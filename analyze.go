@@ -1,0 +1,50 @@
+package smishkit
+
+import (
+	"io"
+
+	"github.com/smishkit/smishkit/internal/cluster"
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/monitor"
+	"github.com/smishkit/smishkit/internal/release"
+)
+
+// Analysis-layer re-exports: campaign attribution, active URL-lifetime
+// monitoring, and the published-dataset format.
+type (
+	// CampaignCluster is one attributed group of reports.
+	CampaignCluster = cluster.Campaign
+	// ClusterOptions selects the linking signals.
+	ClusterOptions = cluster.Options
+	// LifetimeMonitor polls URLs until takedown.
+	LifetimeMonitor = monitor.Monitor
+	// LifetimeSummary condenses a monitoring run.
+	LifetimeSummary = monitor.Summary
+	// ReleaseRecord is one row of the published dataset (Appendix C).
+	ReleaseRecord = release.Record
+)
+
+// ClusterCampaigns groups curated records into campaigns by shared
+// infrastructure (and optionally shared templates).
+func ClusterCampaigns(ds *Dataset, opts ClusterOptions) []*CampaignCluster {
+	return cluster.Cluster(ds.Records, opts)
+}
+
+// DefaultClusterOptions links on domains and senders.
+func DefaultClusterOptions() ClusterOptions { return cluster.DefaultOptions() }
+
+// WriteRelease exports a world in the paper's pseudo-anonymized dataset
+// format; redaction is always on (use internal/release directly for raw
+// debugging exports).
+func WriteRelease(w io.Writer, world *World) (int, error) {
+	return release.Write(w, world, release.Options{})
+}
+
+// ReadRelease loads a published dataset.
+func ReadRelease(r io.Reader) ([]ReleaseRecord, error) { return release.Read(r) }
+
+// ValidateRelease checks the anonymization invariants of a release.
+func ValidateRelease(records []ReleaseRecord) error { return release.Validate(records, true) }
+
+// GenerateHam produces benign SMS texts for detector training.
+func GenerateHam(seed int64, n int) []string { return corpus.GenerateHam(seed, n) }

@@ -1,0 +1,26 @@
+// Quickstart: generate a world, run the full measurement pipeline, print
+// the paper's tables. Three calls, everything else is defaults.
+package main
+
+import (
+	"context"
+	"log"
+	"os"
+
+	"github.com/smishkit/smishkit"
+)
+
+func main() {
+	study, err := smishkit.NewStudy(smishkit.Options{Seed: 42, Messages: 1500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer study.Close()
+
+	ds, err := study.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	smishkit.WriteReport(os.Stdout, ds)
+}

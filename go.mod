@@ -1,0 +1,3 @@
+module github.com/smishkit/smishkit
+
+go 1.22

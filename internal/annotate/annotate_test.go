@@ -1,0 +1,248 @@
+package annotate
+
+import (
+	"testing"
+
+	"github.com/smishkit/smishkit/internal/corpus"
+)
+
+func TestDetectLanguageBasics(t *testing.T) {
+	cases := map[string]string{
+		"Your account has been suspended, verify now":                   "en",
+		"Su cuenta ha sido suspendida por actividad inusual":            "es",
+		"Uw pakket staat vast bij de douane, betaal via":                "nl",
+		"Votre compte a été suspendu suite à une activité inhabituelle": "fr",
+		"Ihr Konto wurde wegen ungewöhnlicher Aktivität gesperrt":       "de",
+		"Il suo conto è stato sospeso per attività insolita":            "it",
+		"Rekening Anda diblokir karena aktivitas mencurigakan":          "id",
+		"A sua conta foi suspensa por atividade invulgar":               "pt",
+		"【ゆうちょ銀行】お客様の口座で不審な取引を確認しました":                                   "ja",
+		"प्रिय ग्राहक, आपका खाता निलंबित कर दिया गया है":                "hi",
+		"您的账户存在异常，请尽快核实":                                                "zh",
+		"Поздравляем! Вы выиграли приз":                                 "ru",
+		"Ваш рахунок заблоковано через підозрілу активність":            "uk",
+		"": "en",
+	}
+	for text, want := range cases {
+		if got := DetectLanguage(text); got != want {
+			t.Errorf("DetectLanguage(%.30q) = %q, want %q", text, got, want)
+		}
+	}
+}
+
+func TestClassifyScamTypeBasics(t *testing.T) {
+	cases := map[string]corpus.ScamType{
+		"SBI alert: your account has been suspended. Update your KYC":          corpus.ScamBanking,
+		"Royal Mail: your parcel is held at our depot. Pay the redelivery fee": corpus.ScamDelivery,
+		"HMRC: you are owed a tax refund of £240. Claim before it expires":     corpus.ScamGovernment,
+		"O2: your SIM card will be deactivated within 24 hours":                corpus.ScamTelecom,
+		"Hi mum, I dropped my phone down the toilet, this is my new number":    corpus.ScamHeyMumDad,
+		"Hello, is this Sam? I got your number from Jenny about the apartment": corpus.ScamWrongNumber,
+		"Congratulations! You have won $500 in our weekly draw":                corpus.ScamSpam,
+		"Netflix: your subscription payment failed. Renew now":                 corpus.ScamOthers,
+		"Su paquete está retenido en nuestro almacén, pague la tasa":           corpus.ScamDelivery,
+		"Uw rekening is geblokkeerd wegens verdachte activiteit":               corpus.ScamBanking,
+		"Votre colis est en attente, réglez les frais de livraison":            corpus.ScamDelivery,
+		"random text with no scam markers at all":                              corpus.ScamOthers,
+	}
+	for text, want := range cases {
+		if got := ClassifyScamType(text); got != want {
+			t.Errorf("ClassifyScamType(%.40q) = %q, want %q", text, got, want)
+		}
+	}
+}
+
+func TestDetectBrandText(t *testing.T) {
+	cases := []struct {
+		text, url, want string
+	}{
+		{"SBI alert: verify your account", "", "State Bank of India"},
+		{"Your HSBC card has been locked", "", "HSBC"},
+		{"Royal Mail: parcel held", "", "Royal Mail"},
+		{"N3tfl!x: your subscription failed", "", "Netflix"},
+		{"Ａｍａｚｏｎ: unusual sign-in", "", "Amazon"},
+		{"P-a-y-P-a-l account limited", "", "PayPal"},
+		{"no brand in this text", "", ""},
+		{"verify your details now", "https://secure-santander-login.top/x", "Santander"},
+		{"pay the fee", "https://royalmail-redelivery.co.uk/pay", "Royal Mail"},
+	}
+	for _, c := range cases {
+		if got := DetectBrand(c.text, c.url); got != c.want {
+			t.Errorf("DetectBrand(%.35q, %q) = %q, want %q", c.text, c.url, got, c.want)
+		}
+	}
+}
+
+func TestDetectLures(t *testing.T) {
+	lures := DetectLures(
+		"HSBC alert: your account is locked. Verify within 24 hours to claim your refund",
+		corpus.ScamBanking, "HSBC")
+	want := map[corpus.Lure]bool{
+		corpus.LureAuthority: true,
+		corpus.LureUrgency:   true,
+		corpus.LureNeedGreed: true,
+	}
+	got := map[corpus.Lure]bool{}
+	for _, l := range lures {
+		got[l] = true
+	}
+	for l := range want {
+		if !got[l] {
+			t.Errorf("missing lure %s in %v", l, lures)
+		}
+	}
+	if got[corpus.LureKindness] || got[corpus.LureDishonesty] {
+		t.Errorf("spurious lures: %v", lures)
+	}
+}
+
+func TestDetectLuresConversation(t *testing.T) {
+	lures := DetectLures("Hi mum, my phone broke, can you help", corpus.ScamHeyMumDad, "")
+	got := map[corpus.Lure]bool{}
+	for _, l := range lures {
+		got[l] = true
+	}
+	if !got[corpus.LureKindness] || !got[corpus.LureDistraction] {
+		t.Errorf("hey mum lures = %v", lures)
+	}
+	if got[corpus.LureAuthority] {
+		t.Error("conversation scam tagged with authority")
+	}
+}
+
+func TestAnnotateEndToEnd(t *testing.T) {
+	a := Annotate("SBI alert: your account has been suspended. Verify at https://sbi-kyc.top/verify within 24 hours", "https://sbi-kyc.top/verify")
+	if a.ScamType != corpus.ScamBanking {
+		t.Errorf("scam = %s", a.ScamType)
+	}
+	if a.Brand != "State Bank of India" {
+		t.Errorf("brand = %q", a.Brand)
+	}
+	if a.Language != "en" {
+		t.Errorf("lang = %q", a.Language)
+	}
+	if len(a.Lures) == 0 {
+		t.Error("no lures detected")
+	}
+}
+
+// The headline evaluation: annotator vs corpus ground truth must land in
+// the paper's agreement bands (§3.4: scam κ=0.93, brand κ=0.85, lure κ=0.7).
+func TestAnnotatorAgreementOnCorpus(t *testing.T) {
+	w := corpus.Generate(corpus.Config{Seed: 77, Messages: 1500})
+	var golden, predicted []Annotation
+	for _, m := range w.Messages {
+		golden = append(golden, Annotation{
+			ScamType: m.ScamType,
+			Language: m.Language,
+			Brand:    m.Brand,
+			Lures:    m.Lures,
+		})
+		predicted = append(predicted, Annotate(m.Text, m.URL))
+	}
+	agr, err := Evaluate(golden, predicted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scam κ=%.3f brand κ=%.3f lang κ=%.3f lure κ=%.3f (n=%d)",
+		agr.ScamKappa, agr.BrandKappa, agr.LangKappa, agr.LureKappa, agr.N)
+	if agr.ScamKappa < 0.75 {
+		t.Errorf("scam kappa = %.3f, want >= 0.75", agr.ScamKappa)
+	}
+	if agr.BrandKappa < 0.70 {
+		t.Errorf("brand kappa = %.3f, want >= 0.70", agr.BrandKappa)
+	}
+	if agr.LangKappa < 0.80 {
+		t.Errorf("language kappa = %.3f, want >= 0.80", agr.LangKappa)
+	}
+	if agr.LureKappa < 0.55 {
+		t.Errorf("lure kappa = %.3f, want >= 0.55", agr.LureKappa)
+	}
+}
+
+func TestEvaluateMismatch(t *testing.T) {
+	if _, err := Evaluate(make([]Annotation, 2), make([]Annotation, 1)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestClassifyOthersSubType(t *testing.T) {
+	cases := []struct {
+		text, brand string
+		want        corpus.OtherSubType
+	}{
+		{"Part-time job offer: earn $80 per day working from your phone. Apply: https://x.top/a", "", corpus.SubJob},
+		{"Your crypto wallet received $420. Confirm the withdrawal at https://x.top/w", "", corpus.SubCrypto},
+		{"My trading group made 40% returns last week. I can add one more member", "", corpus.SubInvestment},
+		{"Your verification code is 123456. If you did not request this, call us immediately", "", corpus.SubOTPCallback},
+		{"Netflix: your subscription payment failed. Renew now", "Netflix", corpus.SubTech},
+		{"random chatter with no markers", "", corpus.OtherSubType("")},
+	}
+	for _, c := range cases {
+		if got := ClassifyOthersSubType(c.text, c.brand); got != c.want {
+			t.Errorf("ClassifyOthersSubType(%.40q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}
+
+// Subtype ground truth vs annotation agreement over the corpus.
+func TestOthersSubTypeAgreement(t *testing.T) {
+	w := corpus.Generate(corpus.Config{Seed: 91, Messages: 4000})
+	match, total := 0, 0
+	for _, m := range w.Messages {
+		if m.ScamType != corpus.ScamOthers || m.SubType == "" {
+			continue
+		}
+		a := Annotate(m.Text, m.URL)
+		if a.ScamType != corpus.ScamOthers {
+			continue // scam-type disagreement measured elsewhere
+		}
+		total++
+		if a.SubType == m.SubType {
+			match++
+		}
+	}
+	if total < 100 {
+		t.Fatalf("only %d others messages", total)
+	}
+	acc := float64(match) / float64(total)
+	t.Logf("others subtype agreement = %.3f (n=%d)", acc, total)
+	if acc < 0.7 {
+		t.Errorf("subtype agreement = %.3f, want >= 0.7", acc)
+	}
+}
+
+func TestDetectLanguageExtendedScripts(t *testing.T) {
+	cases := map[string]string{
+		"บัญชีของคุณถูกระงับ กรุณายืนยันข้อมูล":             "th",
+		"חשבונך הושעה עקב פעילות חשודה":                     "he",
+		"ο λογαριασμός σας έχει ανασταλεί":                  "el",
+		"আপনার অ্যাকাউন্ট স্থগিত করা হয়েছে":                "bn",
+		"உங்கள் கணக்கு முடக்கப்பட்டுள்ளது":                  "ta",
+		"మీ ఖాతా నిలిపివేయబడింది":                           "te",
+		"መለያዎ ታግዷል። ዝርዝሮችዎን ያረጋግጡ":                          "am",
+		"თქვენი ანგარიში შეჩერებულია":                       "ka",
+		"حساب شما مسدود شده است. اطلاعات خود را تایید کنید": "fa",
+		"آپ کا اکاؤنٹ معطل کر دیا گیا ہے":                   "ur",
+		"akaun anda telah digantung, sahkan maklumat":       "ms",
+		"din pakke afventer levering, betal gebyret":        "da",
+		"kontoen din er sperret, bekreft":                   "no",
+		"pakettisi odottaa toimitusta, maksa maksu":         "fi",
+	}
+	for text, want := range cases {
+		if got := DetectLanguage(text); got != want {
+			t.Errorf("DetectLanguage(%.25q) = %q, want %q", text, got, want)
+		}
+	}
+}
+
+func TestCorpusLanguageBreadth(t *testing.T) {
+	w := corpus.Generate(corpus.Config{Seed: 87, Messages: 20000})
+	langs := map[string]bool{}
+	for _, m := range w.Messages {
+		langs[m.Language] = true
+	}
+	if len(langs) < 25 {
+		t.Errorf("corpus emits %d languages, want >= 25", len(langs))
+	}
+}

@@ -1,0 +1,215 @@
+package avscan
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"github.com/smishkit/smishkit/internal/netutil"
+)
+
+// Report is a VirusTotal-style aggregate scan result.
+type Report struct {
+	URL      string             `json:"url"`
+	Verdicts map[string]Verdict `json:"verdicts"` // vendor -> verdict
+	Stats    ReportStats        `json:"stats"`
+}
+
+// ReportStats counts verdicts by class.
+type ReportStats struct {
+	Malicious  int `json:"malicious"`
+	Suspicious int `json:"suspicious"`
+	Harmless   int `json:"harmless"`
+}
+
+// Store holds per-domain ground-truth detectability, fed from the corpus.
+type Store struct {
+	mu            sync.RWMutex
+	detectability map[string]float64 // by registrable domain
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{detectability: make(map[string]float64)} }
+
+// SetDetectability registers a domain's ground-truth detectability.
+func (s *Store) SetDetectability(domain string, d float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detectability[strings.ToLower(domain)] = d
+}
+
+// detectabilityOf resolves the detectability for a URL: the registered
+// value of the longest matching domain suffix, else a deterministic
+// pseudo-value.
+func (s *Store) detectabilityOf(rawURL string) float64 {
+	host := hostOf(rawURL)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	labels := strings.Split(host, ".")
+	for i := 0; i < len(labels)-1; i++ {
+		if d, ok := s.detectability[strings.Join(labels[i:], ".")]; ok {
+			return d
+		}
+	}
+	return DefaultDetectability(rawURL)
+}
+
+func hostOf(rawURL string) string {
+	s := rawURL
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return strings.ToLower(rawURL)
+	}
+	return strings.ToLower(u.Hostname())
+}
+
+// Scan produces the full multi-vendor report for a URL.
+func (s *Store) Scan(rawURL string) Report {
+	d := s.detectabilityOf(rawURL)
+	rep := Report{URL: rawURL, Verdicts: make(map[string]Verdict, len(Vendors))}
+	for _, v := range Vendors {
+		verdict := verdictFor(v, rawURL, d)
+		rep.Verdicts[v.Name] = verdict
+		switch verdict {
+		case VerdictMalicious:
+			rep.Stats.Malicious++
+		case VerdictSuspicious:
+			rep.Stats.Suspicious++
+		default:
+			rep.Stats.Harmless++
+		}
+	}
+	return rep
+}
+
+// GSBResult is the Safe Browsing API answer for one URL.
+type GSBResult struct {
+	URL     string `json:"url"`
+	Matched bool   `json:"matched"`
+	Threat  string `json:"threat,omitempty"` // SOCIAL_ENGINEERING when matched
+}
+
+// GSBLookup runs the Safe Browsing check.
+func (s *Store) GSBLookup(rawURL string) GSBResult {
+	d := s.detectabilityOf(rawURL)
+	res := GSBResult{URL: rawURL, Matched: GSBAPIDetects(rawURL, d)}
+	if res.Matched {
+		res.Threat = "SOCIAL_ENGINEERING"
+	}
+	return res
+}
+
+// TransparencyResult is the transparency-report site's answer.
+type TransparencyResult struct {
+	URL    string             `json:"url"`
+	Status TransparencyStatus `json:"status"`
+}
+
+// Transparency runs the transparency-report check; blocked reports whether
+// the site refused the automated query.
+func (s *Store) Transparency(rawURL string) (TransparencyResult, bool) {
+	if TransparencyBlocked(rawURL) {
+		return TransparencyResult{URL: rawURL}, true
+	}
+	d := s.detectabilityOf(rawURL)
+	return TransparencyResult{URL: rawURL, Status: TransparencyLookup(rawURL, d)}, false
+}
+
+// Server exposes three endpoints mirroring the paper's three data paths:
+//
+//	GET /vt/v1/scan?url=...          VirusTotal-style aggregate
+//	GET /gsb/v4/lookup?url=...       Safe Browsing API
+//	GET /transparency/report?url=... GSB transparency site (often 403)
+type Server struct {
+	store   *Store
+	apiKey  string
+	limiter *netutil.TokenBucket
+}
+
+// NewServer wires the store into the HTTP service.
+func NewServer(store *Store, apiKey string, ratePerSec float64) *Server {
+	s := &Server{store: store, apiKey: apiKey}
+	if ratePerSec > 0 {
+		s.limiter = netutil.NewTokenBucket(int(ratePerSec*2)+1, ratePerSec)
+	}
+	return s
+}
+
+// Handler returns the routed handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /vt/v1/scan", s.withURL(func(w http.ResponseWriter, u string) {
+		netutil.WriteJSON(w, http.StatusOK, s.store.Scan(u))
+	}))
+	mux.HandleFunc("GET /gsb/v4/lookup", s.withURL(func(w http.ResponseWriter, u string) {
+		netutil.WriteJSON(w, http.StatusOK, s.store.GSBLookup(u))
+	}))
+	mux.HandleFunc("GET /transparency/report", s.withURL(func(w http.ResponseWriter, u string) {
+		res, blocked := s.store.Transparency(u)
+		if blocked {
+			netutil.WriteError(w, http.StatusForbidden, "automated queries are not permitted")
+			return
+		}
+		netutil.WriteJSON(w, http.StatusOK, res)
+	}))
+	return netutil.RequireKey(s.apiKey, mux)
+}
+
+func (s *Server) withURL(fn func(w http.ResponseWriter, u string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.limiter != nil && !s.limiter.Allow() {
+			netutil.WriteRateLimited(w, s.limiter.RetryAfter(1))
+			return
+		}
+		u := r.URL.Query().Get("url")
+		if u == "" {
+			netutil.WriteError(w, http.StatusBadRequest, "missing url parameter")
+			return
+		}
+		fn(w, u)
+	}
+}
+
+// ErrBlocked is returned by the transparency client when the site refuses
+// an automated query.
+var ErrBlocked = &netutil.APIError{Status: http.StatusForbidden, Body: "blocked"}
+
+// Client consumes all three endpoints.
+type Client struct {
+	API netutil.Client
+}
+
+// NewClient builds a client for the service at baseURL.
+func NewClient(baseURL, apiKey string) *Client {
+	return &Client{API: netutil.Client{BaseURL: baseURL, APIKey: apiKey}}
+}
+
+// Scan fetches the multi-vendor report.
+func (c *Client) Scan(ctx context.Context, u string) (Report, error) {
+	var out Report
+	err := c.API.GetJSON(ctx, "/vt/v1/scan?url="+url.QueryEscape(u), &out)
+	return out, err
+}
+
+// GSBLookup queries the Safe Browsing API.
+func (c *Client) GSBLookup(ctx context.Context, u string) (GSBResult, error) {
+	var out GSBResult
+	err := c.API.GetJSON(ctx, "/gsb/v4/lookup?url="+url.QueryEscape(u), &out)
+	return out, err
+}
+
+// Transparency queries the transparency report. blocked is true when the
+// site refused the query (HTTP 403), mirroring the paper's inability to
+// script half its URLs.
+func (c *Client) Transparency(ctx context.Context, u string) (res TransparencyResult, blocked bool, err error) {
+	err = c.API.GetJSON(ctx, "/transparency/report?url="+url.QueryEscape(u), &res)
+	if netutil.IsStatus(err, http.StatusForbidden) {
+		return TransparencyResult{URL: u}, true, nil
+	}
+	return res, false, err
+}

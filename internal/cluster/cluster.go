@@ -1,0 +1,235 @@
+// Package cluster groups curated records into campaigns: reports that share
+// a message template, a landing domain, or a sender ID belong to the same
+// operation. The paper reasons about campaigns repeatedly (the 2021 SBI
+// burst in §5.1, per-campaign shortener/registrar choices in §4) without
+// publishing an algorithm; this package provides the attribution layer a
+// deployment needs, built on union-find over shared-infrastructure edges.
+package cluster
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/senderid"
+	"github.com/smishkit/smishkit/internal/textnorm"
+)
+
+// Campaign is one attributed cluster of reports.
+type Campaign struct {
+	ID        int
+	Records   []int // indices into the input record slice
+	Templates map[string]bool
+	Domains   map[string]bool
+	Senders   map[string]bool
+	Brand     string // plurality brand
+	ScamType  string // plurality scam type
+	First     time.Time
+	Last      time.Time
+}
+
+// Size returns the report count.
+func (c *Campaign) Size() int { return len(c.Records) }
+
+// Span returns the campaign's active window.
+func (c *Campaign) Span() time.Duration { return c.Last.Sub(c.First) }
+
+// TemplateKey canonicalizes a message body so texts minted from one
+// template share a key: folded, digits collapsed, URL paths stripped.
+func TemplateKey(text string) string {
+	var b strings.Builder
+	inURL := false
+	for _, r := range textnorm.Fold(text) {
+		switch {
+		case r == ' ':
+			inURL = false
+			b.WriteRune(' ')
+		case inURL:
+			// skip URL path characters entirely
+		case r == '/':
+			inURL = true
+			b.WriteRune('~')
+		case r >= '0' && r <= '9':
+			b.WriteRune('#')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return collapseHashes(b.String())
+}
+
+// collapseHashes squeezes runs of # so amounts of different lengths match.
+func collapseHashes(s string) string {
+	var b strings.Builder
+	prevHash := false
+	for _, r := range s {
+		if r == '#' {
+			if prevHash {
+				continue
+			}
+			prevHash = true
+		} else {
+			prevHash = false
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// unionFind with path compression and union by size.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}
+
+// Options tunes which infrastructure signals link records.
+type Options struct {
+	// ByTemplate links records sharing a message template. Aggressive:
+	// phishing kits reuse stock texts across operations, so template
+	// linking merges distinct infrastructure into kit-level clusters.
+	ByTemplate bool
+	ByDomain   bool // shared landing domain
+	BySender   bool // shared sender ID
+}
+
+// DefaultOptions links on infrastructure only (domain + sender), which
+// recovers operation-level campaigns; enable ByTemplate for kit-level
+// attribution.
+func DefaultOptions() Options {
+	return Options{ByDomain: true, BySender: true}
+}
+
+// Cluster groups records into campaigns.
+func Cluster(records []core.Record, opts Options) []*Campaign {
+	uf := newUnionFind(len(records))
+	link := func(key string, idx int, last map[string]int) {
+		if key == "" {
+			return
+		}
+		if prev, ok := last[key]; ok {
+			uf.union(prev, idx)
+		}
+		last[key] = idx
+	}
+	byTemplate := map[string]int{}
+	byDomain := map[string]int{}
+	bySender := map[string]int{}
+	for i, r := range records {
+		if opts.ByTemplate {
+			link(TemplateKey(r.Text), i, byTemplate)
+		}
+		if opts.ByDomain {
+			link(r.Domain, i, byDomain)
+		}
+		if opts.BySender && r.SenderKind != senderid.KindRedacted {
+			// Redacted IDs all render as the same placeholder; linking on
+			// them would chain unrelated reports.
+			link(r.SenderRaw, i, bySender)
+		}
+	}
+
+	groups := map[int]*Campaign{}
+	for i, r := range records {
+		root := uf.find(i)
+		c, ok := groups[root]
+		if !ok {
+			c = &Campaign{
+				Templates: map[string]bool{},
+				Domains:   map[string]bool{},
+				Senders:   map[string]bool{},
+			}
+			groups[root] = c
+		}
+		c.Records = append(c.Records, i)
+		c.Templates[TemplateKey(r.Text)] = true
+		if r.Domain != "" {
+			c.Domains[r.Domain] = true
+		}
+		if r.SenderRaw != "" {
+			c.Senders[r.SenderRaw] = true
+		}
+		at := r.Timestamp.Time
+		if at.IsZero() {
+			at = r.PostedAt
+		}
+		if c.First.IsZero() || at.Before(c.First) {
+			c.First = at
+		}
+		if at.After(c.Last) {
+			c.Last = at
+		}
+	}
+
+	out := make([]*Campaign, 0, len(groups))
+	for _, c := range groups {
+		c.Brand, c.ScamType = plurality(records, c.Records)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Records) != len(out[j].Records) {
+			return len(out[i].Records) > len(out[j].Records)
+		}
+		return out[i].Records[0] < out[j].Records[0]
+	})
+	for i, c := range out {
+		c.ID = i + 1
+	}
+	return out
+}
+
+func plurality(records []core.Record, idxs []int) (brand, scam string) {
+	brands := map[string]int{}
+	scams := map[string]int{}
+	for _, i := range idxs {
+		if b := records[i].Annotation.Brand; b != "" {
+			brands[b]++
+		}
+		scams[string(records[i].Annotation.ScamType)]++
+	}
+	return maxKey(brands), maxKey(scams)
+}
+
+func maxKey(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best, bestN := "", 0
+	for _, k := range keys {
+		if m[k] > bestN {
+			best, bestN = k, m[k]
+		}
+	}
+	return best
+}

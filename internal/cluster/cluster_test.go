@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/annotate"
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/extract"
+)
+
+func rec(text, sender, domain string) core.Record {
+	return core.Record{
+		Text:      text,
+		SenderRaw: sender,
+		Domain:    domain,
+		PostedAt:  time.Date(2023, 5, 1, 12, 0, 0, 0, time.UTC),
+		Annotation: annotate.Annotation{
+			ScamType: "banking",
+			Brand:    "State Bank of India",
+		},
+	}
+}
+
+func TestTemplateKeyCollapsesVariants(t *testing.T) {
+	a := TemplateKey("SBI: your account is blocked, pay ₹450 at https://sbi-kyc.top/verify?id=12345")
+	b := TemplateKey("SBI: your account is blocked, pay ₹99 at https://sbi-kyc.top/confirm?id=99999")
+	if a != b {
+		t.Errorf("variants do not share a key:\n%q\n%q", a, b)
+	}
+	c := TemplateKey("Royal Mail: your parcel is held, pay the fee")
+	if a == c {
+		t.Error("distinct templates collide")
+	}
+}
+
+func TestTemplateKeyDeterministic(t *testing.T) {
+	s := "Verify 123 at https://a.b/c now"
+	if TemplateKey(s) != TemplateKey(s) {
+		t.Error("unstable key")
+	}
+}
+
+func TestClusterBySharedDomain(t *testing.T) {
+	records := []core.Record{
+		rec("text one about your account 111", "+441", "evil.top"),
+		rec("completely different wording 222", "+442", "evil.top"),
+		rec("unrelated campaign text 333", "+443", "other.top"),
+	}
+	campaigns := Cluster(records, DefaultOptions())
+	if len(campaigns) != 2 {
+		t.Fatalf("campaigns = %d, want 2", len(campaigns))
+	}
+	if campaigns[0].Size() != 2 {
+		t.Errorf("largest campaign size = %d", campaigns[0].Size())
+	}
+}
+
+func TestClusterBySharedSender(t *testing.T) {
+	records := []core.Record{
+		rec("alpha text 1", "+44777", "a.top"),
+		rec("beta text 2", "+44777", "b.top"),
+	}
+	campaigns := Cluster(records, DefaultOptions())
+	if len(campaigns) != 1 {
+		t.Fatalf("campaigns = %d, want 1 (shared sender)", len(campaigns))
+	}
+	if len(campaigns[0].Domains) != 2 {
+		t.Errorf("domains = %d", len(campaigns[0].Domains))
+	}
+}
+
+func TestClusterTransitiveLinking(t *testing.T) {
+	// A-B share a sender; B-C share a domain: all one campaign.
+	records := []core.Record{
+		rec("one 1", "+44777", "a.top"),
+		rec("two 2", "+44777", "b.top"),
+		rec("three 3", "+44888", "b.top"),
+	}
+	campaigns := Cluster(records, DefaultOptions())
+	if len(campaigns) != 1 || campaigns[0].Size() != 3 {
+		t.Fatalf("campaigns = %v", campaigns)
+	}
+}
+
+func TestClusterOptionsDisableSignals(t *testing.T) {
+	records := []core.Record{
+		rec("one 1", "+44777", "a.top"),
+		rec("two 2", "+44777", "b.top"),
+	}
+	campaigns := Cluster(records, Options{ByDomain: true}) // sender off
+	if len(campaigns) != 2 {
+		t.Fatalf("campaigns = %d, want 2 with sender linking off", len(campaigns))
+	}
+	// Template linking merges them back: both texts share no template, so
+	// still 2; but identical templates would merge (kit-level view).
+	kit := Cluster([]core.Record{
+		rec("pay 123 at https://a.top/x", "+1", "a.top"),
+		rec("pay 999 at https://b.top/y", "+2", "b.top"),
+	}, Options{ByTemplate: true})
+	if len(kit) != 1 {
+		t.Fatalf("kit-level clustering = %d campaigns, want 1", len(kit))
+	}
+}
+
+func TestClusterEmptyFieldsDoNotLink(t *testing.T) {
+	records := []core.Record{
+		rec("one 1", "", ""),
+		rec("two 2", "", ""),
+	}
+	campaigns := Cluster(records, Options{ByDomain: true, BySender: true}) // template off
+	if len(campaigns) != 2 {
+		t.Fatalf("empty keys linked records: %d campaigns", len(campaigns))
+	}
+}
+
+func TestClusterPluralityLabels(t *testing.T) {
+	records := []core.Record{
+		rec("a 1", "+44777", "x.top"),
+		rec("b 2", "+44777", "x.top"),
+	}
+	records[1].Annotation.Brand = "HSBC"
+	campaigns := Cluster(records, DefaultOptions())
+	if campaigns[0].ScamType != "banking" {
+		t.Errorf("scam = %q", campaigns[0].ScamType)
+	}
+	// Tie between brands resolves deterministically (sorted keys).
+	if campaigns[0].Brand == "" {
+		t.Error("no plurality brand")
+	}
+}
+
+// Against a full pipeline run, clustering must recover campaign structure:
+// far fewer clusters than records, with the biggest clusters matching the
+// world's biggest campaigns in brand.
+func TestClusterRecoversWorldCampaigns(t *testing.T) {
+	records := pipelineRecords(t)
+	campaigns := Cluster(records, DefaultOptions())
+	if len(campaigns) >= len(records)/2 {
+		t.Fatalf("%d campaigns from %d records: no consolidation", len(campaigns), len(records))
+	}
+	if campaigns[0].Size() < 10 {
+		t.Errorf("largest campaign has %d reports", campaigns[0].Size())
+	}
+	if campaigns[0].Span() < 0 {
+		t.Error("negative campaign span")
+	}
+	// Infra-only clustering should land near the world's true campaign
+	// count (within 2x), while kit-level (template) clustering collapses
+	// much further.
+	w := generateWorld(t)
+	trueCampaigns := len(w.Campaigns)
+	if len(campaigns) > trueCampaigns*2 || len(campaigns) < trueCampaigns/4 {
+		t.Errorf("recovered %d campaigns vs %d true", len(campaigns), trueCampaigns)
+	}
+	kits := Cluster(records, Options{ByTemplate: true, ByDomain: true, BySender: true})
+	if len(kits) >= len(campaigns) {
+		t.Errorf("kit-level clusters (%d) not fewer than infra clusters (%d)", len(kits), len(campaigns))
+	}
+}
+
+// pipelineRecords builds lightweight records straight from a world (no
+// network round trip needed for clustering behavior).
+func pipelineRecords(t *testing.T) []core.Record {
+	t.Helper()
+	w := generateWorld(t)
+	records := make([]core.Record, 0, len(w.Messages))
+	for _, m := range w.Messages {
+		records = append(records, core.Record{
+			Text:      m.Text,
+			SenderRaw: m.Sender.Value,
+			Domain:    m.Domain,
+			PostedAt:  m.ReportedAt,
+			Timestamp: extract.ParsedTime{Time: m.SentAt, HasDate: true},
+			Annotation: annotate.Annotation{
+				ScamType: m.ScamType,
+				Brand:    m.Brand,
+			},
+		})
+	}
+	return records
+}
+
+func generateWorld(t *testing.T) *corpus.World {
+	t.Helper()
+	return corpus.Generate(corpus.Config{Seed: 73, Messages: 3000})
+}
+
+// Property: TemplateKey is idempotent and invariant to digit/URL-path
+// substitutions.
+func TestTemplateKeyProperties(t *testing.T) {
+	f := func(s string) bool {
+		k := TemplateKey(s)
+		return TemplateKey(k) == TemplateKey(k) && k == TemplateKey(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clustering is a partition — every record lands in exactly one
+// campaign, and campaign sizes sum to the input size.
+func TestClusterPartitionProperty(t *testing.T) {
+	records := pipelineRecords(t)
+	campaigns := Cluster(records, DefaultOptions())
+	seen := make([]bool, len(records))
+	total := 0
+	for _, c := range campaigns {
+		for _, idx := range c.Records {
+			if idx < 0 || idx >= len(records) || seen[idx] {
+				t.Fatalf("record %d misassigned", idx)
+			}
+			seen[idx] = true
+			total++
+		}
+	}
+	if total != len(records) {
+		t.Fatalf("partition covers %d of %d", total, len(records))
+	}
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+
+	"github.com/smishkit/smishkit/internal/annotate"
+	"github.com/smishkit/smishkit/internal/avscan"
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/ctlog"
+	"github.com/smishkit/smishkit/internal/dnsdb"
+	"github.com/smishkit/smishkit/internal/extract"
+	"github.com/smishkit/smishkit/internal/forum"
+	"github.com/smishkit/smishkit/internal/hlr"
+	"github.com/smishkit/smishkit/internal/screenshot"
+	"github.com/smishkit/smishkit/internal/senderid"
+	"github.com/smishkit/smishkit/internal/shortener"
+	"github.com/smishkit/smishkit/internal/urlinfo"
+	"github.com/smishkit/smishkit/internal/whois"
+)
+
+// Services bundles the enrichment clients. Any nil client skips its
+// enrichment stage, mirroring how the paper's analyses draw on different
+// data sources (Table 2).
+type Services struct {
+	HLR       *hlr.Client
+	Whois     *whois.Client
+	CTLog     *ctlog.Client
+	DNSDB     *dnsdb.Client
+	AVScan    *avscan.Client
+	Shortener *shortener.Client
+}
+
+// Options tunes the pipeline.
+type Options struct {
+	// Extractor reads screenshot attachments; defaults to StructuredVision
+	// (the rung the paper settled on in §3.2).
+	Extractor screenshot.Extractor
+	// EnrichWorkers is the enrichment fan-out width (default 8).
+	EnrichWorkers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Extractor == nil {
+		o.Extractor = screenshot.StructuredVision{}
+	}
+	if o.EnrichWorkers <= 0 {
+		o.EnrichWorkers = 8
+	}
+	return o
+}
+
+// Pipeline runs collection output through curation, enrichment, and
+// annotation.
+type Pipeline struct {
+	services Services
+	opts     Options
+}
+
+// NewPipeline builds a pipeline over the given services.
+func NewPipeline(services Services, opts Options) *Pipeline {
+	return &Pipeline{services: services, opts: opts.withDefaults()}
+}
+
+// Curate turns raw forum reports into records: it reads screenshot
+// attachments with the configured extractor, rejects non-SMS decoys, pulls
+// quoted SMS texts out of post bodies, and normalizes the four variables
+// (§3.2). Reports whose attachment is unreadable for the extractor count
+// as EmptyDropped — the pytesseract failure mode.
+func (p *Pipeline) Curate(reports []forum.RawReport) *Dataset {
+	ds := &Dataset{
+		PostsByForum:  make(map[corpus.Forum]int),
+		ImagesByForum: make(map[corpus.Forum]int),
+	}
+	for _, rep := range reports {
+		ds.PostsByForum[rep.Forum]++
+		rec, status := p.curateOne(rep)
+		switch status {
+		case curatedOK:
+			ds.Records = append(ds.Records, rec)
+			if rec.FromImage {
+				ds.ImagesByForum[rep.Forum]++
+			}
+		case curatedDecoy:
+			if rep.HasAttachment() {
+				ds.ImagesByForum[rep.Forum]++
+			}
+			ds.DecoysRejected++
+		case curatedEmpty:
+			ds.EmptyDropped++
+		}
+	}
+	return ds
+}
+
+type curationStatus int
+
+const (
+	curatedOK curationStatus = iota
+	curatedDecoy
+	curatedEmpty
+)
+
+func (p *Pipeline) curateOne(rep forum.RawReport) (Record, curationStatus) {
+	var text, sender, stamp, rawURL string
+	fromImage := false
+
+	switch {
+	case rep.HasAttachment():
+		img, err := screenshot.Decode(rep.Attachment)
+		if err != nil {
+			return Record{}, curatedEmpty
+		}
+		ext, err := p.opts.Extractor.Extract(img)
+		if err != nil {
+			return Record{}, curatedEmpty // engine could not read the image
+		}
+		if !ext.OK {
+			return Record{}, curatedDecoy // not an SMS screenshot
+		}
+		text, sender, stamp, rawURL = ext.Text, ext.Sender, ext.Timestamp, ext.URL
+		fromImage = true
+		// Naive engines return the whole grid as text with no structure;
+		// a purely-poster text yields no usable SMS either way.
+	case rep.SMSText != "":
+		text, sender, stamp = rep.SMSText, rep.SenderID, rep.Timestamp
+	default:
+		// Twitter/Reddit text post: the SMS may be quoted in the body.
+		text, sender = parseQuotedBody(rep.Body)
+		if text == "" {
+			return Record{}, curatedEmpty // awareness post / chatter
+		}
+	}
+	if strings.TrimSpace(text) == "" {
+		return Record{}, curatedEmpty
+	}
+
+	fields := extract.Assemble(text, sender, stamp, rawURL, rep.PostedAt)
+	rec := Record{
+		ID:         rep.PostID,
+		Forum:      rep.Forum,
+		PostedAt:   rep.PostedAt,
+		FromImage:  fromImage,
+		Text:       fields.Text,
+		SenderRaw:  fields.Sender,
+		SenderKind: fields.SenderKind,
+		Timestamp:  fields.Timestamp,
+		ShownURL:   fields.PrimaryURL(),
+	}
+	if rec.ShownURL != "" {
+		if info, err := urlinfo.Parse(rec.ShownURL); err == nil {
+			rec.URLInfo = info
+			rec.Shortener = info.Shortener
+		}
+	}
+	return rec, curatedOK
+}
+
+// parseQuotedBody recovers `commentary: "SMS TEXT" from SENDER` bodies.
+func parseQuotedBody(body string) (text, sender string) {
+	start := strings.Index(body, `"`)
+	if start < 0 {
+		return "", ""
+	}
+	end := strings.LastIndex(body, `"`)
+	if end <= start {
+		return "", ""
+	}
+	text = body[start+1 : end]
+	rest := body[end+1:]
+	if i := strings.Index(rest, " from "); i >= 0 {
+		sender = strings.TrimSpace(rest[i+len(" from "):])
+	}
+	return text, sender
+}
+
+// Enrich fans records out over the service clients: shortener expansion,
+// HLR lookups on phone senders, and WHOIS / CT / passive-DNS / AV lookups
+// on landing URLs. Per-record service failures degrade that record, not
+// the run; the first context/transport-level error aborts.
+func (p *Pipeline) Enrich(ctx context.Context, ds *Dataset) error {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	errOnce := sync.Once{}
+	var firstErr error
+	abort := make(chan struct{})
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(abort)
+		})
+	}
+
+	for w := 0; w < p.opts.EnrichWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if err := p.enrichOne(ctx, &ds.Records[idx]); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+loop:
+	for i := range ds.Records {
+		select {
+		case jobs <- i:
+		case <-abort:
+			break loop
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break loop
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+// enrichOne resolves every enrichment source for one record.
+func (p *Pipeline) enrichOne(ctx context.Context, rec *Record) error {
+	// 1. Shortener expansion.
+	rec.FinalURL = rec.ShownURL
+	if rec.Shortener != "" && p.services.Shortener != nil {
+		service, code := splitShort(rec.ShownURL)
+		if service != "" && code != "" {
+			target, err := p.services.Shortener.Expand(ctx, service, code)
+			switch {
+			case err == nil:
+				rec.FinalURL = target
+			case errors.Is(err, shortener.ErrNotFound), errors.Is(err, shortener.ErrTakenDown):
+				rec.FinalURL = "" // chain lost (§3.3.5)
+			default:
+				return err
+			}
+		}
+	}
+	if rec.FinalURL != "" {
+		if info, err := urlinfo.Parse(rec.FinalURL); err == nil {
+			rec.Domain = info.Domain
+		}
+	}
+
+	// 2. HLR on phone senders.
+	if rec.SenderKind == senderid.KindPhone && p.services.HLR != nil {
+		res, err := p.services.HLR.Lookup(ctx, rec.SenderRaw)
+		if err != nil {
+			return err
+		}
+		rec.HLR = res
+		rec.HLRDone = true
+	}
+
+	// 3. Domain intelligence.
+	if rec.Domain != "" && !isSharedPlatform(rec) {
+		if p.services.Whois != nil {
+			w, found, err := p.services.Whois.Lookup(ctx, rec.Domain)
+			if err != nil {
+				return err
+			}
+			rec.Whois, rec.WhoisFound = w, found
+		}
+		if p.services.CTLog != nil {
+			sum, err := p.services.CTLog.Summary(ctx, rec.Domain)
+			if err != nil {
+				return err
+			}
+			rec.CT = sum
+		}
+		if p.services.DNSDB != nil {
+			obs, err := p.services.DNSDB.Resolutions(ctx, rec.Domain)
+			if err != nil {
+				return err
+			}
+			rec.PDNS = obs
+			seen := map[string]bool{}
+			for _, o := range obs {
+				info, err := p.services.DNSDB.ASOf(ctx, o.IP)
+				if errors.Is(err, dnsdb.ErrNoRoute) {
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				key := info.Name + "|" + info.Country
+				if !seen[key] {
+					seen[key] = true
+					rec.ASNames = append(rec.ASNames, info.Name)
+					rec.ASCountries = append(rec.ASCountries, info.Country)
+				}
+			}
+		}
+	}
+
+	// 4. AV verdicts on the landing URL.
+	if rec.FinalURL != "" && p.services.AVScan != nil {
+		scan, err := p.services.AVScan.Scan(ctx, rec.FinalURL)
+		if err != nil {
+			return err
+		}
+		rec.VTMalicious = scan.Stats.Malicious
+		rec.VTSuspicious = scan.Stats.Suspicious
+		gsb, err := p.services.AVScan.GSBLookup(ctx, rec.FinalURL)
+		if err != nil {
+			return err
+		}
+		rec.GSBMatched = gsb.Matched
+		tr, blocked, err := p.services.AVScan.Transparency(ctx, rec.FinalURL)
+		if err != nil {
+			return err
+		}
+		rec.GSBBlocked = blocked
+		if !blocked {
+			rec.GSBStatus = string(tr.Status)
+		}
+	}
+	return nil
+}
+
+// isSharedPlatform reports whether the record's domain belongs to someone
+// else's infrastructure (shorteners, chat deep links), where WHOIS/CT/pDNS
+// describe the platform rather than the scammer.
+func isSharedPlatform(rec *Record) bool {
+	if rec.URLInfo.Messaging != "" {
+		return true
+	}
+	_, isShort := urlinfo.Shorteners[rec.Domain]
+	return isShort
+}
+
+// splitShort decomposes "https://bit.ly/abc" into ("bit.ly", "abc").
+func splitShort(u string) (service, code string) {
+	s := u
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	host, rest, ok := strings.Cut(s, "/")
+	if !ok {
+		return "", ""
+	}
+	code = strings.SplitN(rest, "?", 2)[0]
+	return strings.ToLower(host), code
+}
+
+// Annotate labels every record (§3.3.6).
+func (p *Pipeline) Annotate(ds *Dataset) {
+	for i := range ds.Records {
+		rec := &ds.Records[i]
+		rec.Annotation = annotate.Annotate(rec.Text, rec.ShownURL)
+	}
+}
+
+// Run executes curate -> enrich -> annotate over collected reports.
+func (p *Pipeline) Run(ctx context.Context, reports []forum.RawReport) (*Dataset, error) {
+	ds := p.Curate(reports)
+	if err := p.Enrich(ctx, ds); err != nil {
+		return ds, err
+	}
+	p.Annotate(ds)
+	return ds, nil
+}

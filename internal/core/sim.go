@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/urlinfo"
+
+	"github.com/smishkit/smishkit/internal/avscan"
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/crawler"
+	"github.com/smishkit/smishkit/internal/ctlog"
+	"github.com/smishkit/smishkit/internal/dnsdb"
+	"github.com/smishkit/smishkit/internal/forum"
+	"github.com/smishkit/smishkit/internal/hlr"
+	"github.com/smishkit/smishkit/internal/malware"
+	"github.com/smishkit/smishkit/internal/shortener"
+	"github.com/smishkit/smishkit/internal/whois"
+)
+
+// Simulation is a fully booted world: five forum servers, six intelligence
+// services, the shortener redirect front end, and the scammer hosting —
+// all listening on loopback, all seeded from one corpus.World.
+type Simulation struct {
+	World *World
+
+	// Base URLs of every server.
+	TwitterURL    string
+	RedditURL     string
+	SmishtankURL  string
+	SmishingEUURL string
+	PastebinURL   string
+	HLRURL        string
+	WhoisURL      string
+	CTLogURL      string
+	DNSDBURL      string
+	AVScanURL     string
+	ShortenerURL  string
+	SitesURL      string
+
+	// Credentials the clients need.
+	TwitterBearer string
+	HLRKey        string
+	WhoisKey      string
+	DNSDBKey      string
+	AVScanKey     string
+
+	// Direct handles for case studies and tests.
+	Sites    *crawler.SiteServer
+	ShortSvc *shortener.Service
+	AndroZoo *malware.HashDB
+
+	servers []*http.Server
+	lns     []net.Listener
+}
+
+// World aliases the corpus ground truth for callers of the public facade.
+type World = corpus.World
+
+// StartSimulation generates (or accepts) a world and boots every server.
+func StartSimulation(w *corpus.World) (*Simulation, error) {
+	sim := &Simulation{
+		World:         w,
+		TwitterBearer: "sim-bearer",
+		HLRKey:        "sim-hlr",
+		WhoisKey:      "sim-whois",
+		DNSDBKey:      "sim-dnsdb",
+		AVScanKey:     "sim-avscan",
+	}
+
+	fixtures := forum.BuildFixtures(w)
+
+	// Intelligence stores seeded from ground truth.
+	hlrStore := hlr.NewStore()
+	for msisdn, s := range w.Numbers {
+		status := hlr.StatusInactive
+		if s.Live {
+			status = hlr.StatusLive
+		}
+		hlrStore.Add(hlr.Record{
+			MSISDN:      msisdn,
+			NumberType:  s.NumberType,
+			OriginalMNO: s.MNO,
+			CurrentMNO:  s.MNO,
+			Country:     s.Country,
+			Status:      status,
+		})
+	}
+
+	whoisStore := whois.NewStore()
+	ctStore := ctlog.NewStore()
+	dnsStore := dnsdb.NewStore()
+	avStore := avscan.NewStore()
+	sim.Sites = crawler.NewSiteServer()
+	sim.AndroZoo = malware.NewHashDB()
+	seedAndroZoo(sim.AndroZoo)
+
+	registeredPrefix := map[int]bool{}
+	for _, d := range w.Domains {
+		if !d.FreeHost && d.Registrar != "" {
+			whoisStore.Add(whois.Record{
+				Domain:     d.Name,
+				Registrar:  d.Registrar,
+				Registered: d.Registered,
+				Expires:    d.Registered.AddDate(1, 0, 0),
+				NameServer: "ns1." + d.Name,
+				Status:     "clientTransferProhibited",
+			})
+		}
+		validity := 365 * 24 * time.Hour
+		switch d.CA {
+		case "Let's Encrypt", "cPanel", "Google Trust Services", "Cloudflare":
+			validity = 90 * 24 * time.Hour
+		}
+		ctStore.IssueChain(d.Name, d.CA, ctlog.IssuerID(d.CA), d.FirstCert, validity, d.CertCount)
+		for _, ip := range d.IPs {
+			dnsStore.AddObservation(dnsdb.Observation{
+				Domain:    d.Name,
+				IP:        ip,
+				FirstSeen: d.Registered,
+				LastSeen:  d.Registered.Add(d.TakedownAfter),
+			})
+		}
+		if d.ASN != 0 && !registeredPrefix[d.ASN] {
+			registeredPrefix[d.ASN] = true
+			prefix := corpus.ASNPrefix(d.ASN) // "a.b."
+			cidr := prefix + "0.0/16"
+			if err := dnsStore.AddPrefix(cidr, dnsdb.ASInfo{ASN: d.ASN, Name: d.ASName, Country: d.ASCountry}); err != nil {
+				return nil, fmt.Errorf("core: register prefix %s: %w", cidr, err)
+			}
+		}
+		avStore.SetDetectability(d.Name, d.Detectability)
+		sim.Sites.Add(crawler.SiteBehavior{
+			Domain:        d.Name,
+			Brand:         brandForDomain(w, d.Name),
+			ServesAPK:     d.ServesAPK,
+			MalwareFamily: d.MalwareFamily,
+		})
+	}
+
+	sim.ShortSvc = shortener.NewService()
+	for _, l := range w.Links {
+		sim.ShortSvc.Add(shortener.Link{
+			Service:   l.Service,
+			Code:      l.Code,
+			Target:    l.Target,
+			CreatedAt: l.CreatedAt,
+			TakenDown: l.TakenDown,
+		})
+	}
+
+	// Boot order mirrors dependency order; any failure tears down.
+	boot := func(h http.Handler) (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = srv.Serve(ln) }()
+		sim.servers = append(sim.servers, srv)
+		sim.lns = append(sim.lns, ln)
+		return "http://" + ln.Addr().String(), nil
+	}
+	var err error
+	bootOrDie := func(h http.Handler) string {
+		if err != nil {
+			return ""
+		}
+		var url string
+		url, err = boot(h)
+		return url
+	}
+	sim.TwitterURL = bootOrDie(forum.NewTwitterServer(fixtures.Twitter, sim.TwitterBearer, 0).Handler())
+	sim.RedditURL = bootOrDie(forum.NewRedditServer(fixtures.Reddit, 0).Handler())
+	sim.SmishtankURL = bootOrDie(forum.NewSmishtankServer(fixtures.Smishtank).Handler())
+	sim.SmishingEUURL = bootOrDie(forum.NewSmishingEUServer(fixtures.SmishingEU).Handler())
+	sim.PastebinURL = bootOrDie(forum.NewPastebinServer(fixtures.Pastebin).Handler())
+	sim.HLRURL = bootOrDie(hlr.NewServer(hlrStore, sim.HLRKey, 0).Handler())
+	sim.WhoisURL = bootOrDie(whois.NewServer(whoisStore, sim.WhoisKey, 0).Handler())
+	sim.CTLogURL = bootOrDie(ctlog.NewServer(ctStore, 0).Handler())
+	sim.DNSDBURL = bootOrDie(dnsdb.NewServer(dnsStore, sim.DNSDBKey, 0).Handler())
+	sim.AVScanURL = bootOrDie(avscan.NewServer(avStore, sim.AVScanKey, 0).Handler())
+	sim.ShortenerURL = bootOrDie(sim.ShortSvc.Handler())
+	sim.SitesURL = bootOrDie(sim.Sites.Handler())
+	if err != nil {
+		sim.Close()
+		return nil, fmt.Errorf("core: boot simulation: %w", err)
+	}
+	return sim, nil
+}
+
+// Close shuts down every server.
+func (s *Simulation) Close() {
+	for _, srv := range s.servers {
+		_ = srv.Close()
+	}
+}
+
+// Collectors returns ready-to-run collectors for all five forums.
+func (s *Simulation) Collectors() []forum.Collector {
+	return []forum.Collector{
+		forum.NewTwitterCollector(s.TwitterURL, s.TwitterBearer),
+		forum.NewRedditCollector(s.RedditURL),
+		forum.NewSmishtankCollector(s.SmishtankURL),
+		forum.NewSmishingEUCollector(s.SmishingEUURL),
+		forum.NewPastebinCollector(s.PastebinURL),
+	}
+}
+
+// Services returns enrichment clients wired to the simulation's servers.
+func (s *Simulation) Services() Services {
+	return Services{
+		HLR:       hlr.NewClient(s.HLRURL, s.HLRKey),
+		Whois:     whois.NewClient(s.WhoisURL, s.WhoisKey),
+		CTLog:     ctlog.NewClient(s.CTLogURL),
+		DNSDB:     dnsdb.NewClient(s.DNSDBURL, s.DNSDBKey),
+		AVScan:    avscan.NewClient(s.AVScanURL, s.AVScanKey),
+		Shortener: shortener.NewClient(s.ShortenerURL),
+	}
+}
+
+// CrawlRouter returns a crawler Router that dispatches logical smishing
+// URLs onto the simulation's shortener and hosting servers.
+func (s *Simulation) CrawlRouter() *crawler.Router {
+	hosts := make(map[string]bool, len(urlShortenerHosts))
+	for h := range urlShortenerHosts {
+		hosts[h] = true
+	}
+	return &crawler.Router{
+		ShortenerBase:  s.ShortenerURL,
+		ShortenerHosts: hosts,
+		SiteBase:       s.SitesURL,
+	}
+}
+
+// brandForDomain recovers the impersonated brand of a domain's campaign.
+func brandForDomain(w *corpus.World, domain string) string {
+	for _, c := range w.Campaigns {
+		for _, d := range c.Domains {
+			if d == domain {
+				return c.Brand
+			}
+		}
+	}
+	return "Secure Portal"
+}
+
+// seedAndroZoo fills the hash registry with "previously known" apps so
+// lookups exercise both hit and miss paths. Fresh smishing droppers are
+// absent by construction (§3.3.5 found none of its 18 hashes).
+func seedAndroZoo(db *malware.HashDB) {
+	for i := 0; i < 500; i++ {
+		payload := []byte(fmt.Sprintf("known-app-%d", i))
+		family := ""
+		if i%5 == 0 {
+			family = []string{"FluBot", "MoqHao", "HQWar"}[i%3]
+		}
+		db.Add(malware.Sample{
+			SHA256:  malware.HashBytes(payload),
+			Package: fmt.Sprintf("com.example.app%d", i),
+			Size:    1000 + i,
+			Family:  family,
+		})
+	}
+}
+
+// urlShortenerHosts mirrors urlinfo.Shorteners for router construction.
+var urlShortenerHosts = shortenerHostSet()
+
+func shortenerHostSet() map[string]bool {
+	out := make(map[string]bool, len(urlinfo.Shorteners))
+	for host := range urlinfo.Shorteners {
+		out[host] = true
+	}
+	return out
+}
+
+// EnableTakedownSchedule re-anchors every hosted domain's takedown to a
+// virtual timeline starting at start and installs clock as the site
+// server's time source. Use with internal/monitor to measure URL lifespans
+// without waiting real days.
+func (s *Simulation) EnableTakedownSchedule(start time.Time, clock func() time.Time) {
+	for _, d := range s.World.Domains {
+		s.Sites.Add(crawler.SiteBehavior{
+			Domain:        d.Name,
+			Brand:         brandForDomain(s.World, d.Name),
+			ServesAPK:     d.ServesAPK,
+			MalwareFamily: d.MalwareFamily,
+			DownAt:        start.Add(d.TakedownAfter),
+		})
+	}
+	s.Sites.SetClock(clock)
+}

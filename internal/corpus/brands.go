@@ -1,0 +1,263 @@
+package corpus
+
+// BrandInfo describes an impersonated organization.
+type BrandInfo struct {
+	Name     string
+	Category ScamType // the scam category the brand belongs to
+	Slug     string   // domain-name fragment used in phishing hosts
+}
+
+// brandsByScamCountry maps (scam type, country) to weighted brand pools.
+// Weights shape Table 12: Indian financial institutions dominate because
+// banking+IND is the heaviest cell of the joint distribution.
+var brandsByScamCountry = map[ScamType]map[string]*weighted[BrandInfo]{
+	ScamBanking: {
+		"IND": newWeighted[BrandInfo]().
+			add(BrandInfo{"State Bank of India", ScamBanking, "sbi"}, 55).
+			add(BrandInfo{"PayTM", ScamBanking, "paytm"}, 15).
+			add(BrandInfo{"HDFC", ScamBanking, "hdfc"}, 14).
+			add(BrandInfo{"ICICI Bank", ScamBanking, "icici"}, 6).
+			add(BrandInfo{"Axis Bank", ScamBanking, "axis"}, 4).
+			add(BrandInfo{"Punjab National Bank", ScamBanking, "pnb"}, 3),
+		"ESP": newWeighted[BrandInfo]().
+			add(BrandInfo{"Santander", ScamBanking, "santander"}, 30).
+			add(BrandInfo{"BBVA", ScamBanking, "bbva"}, 28).
+			add(BrandInfo{"CaixaBank", ScamBanking, "caixabank"}, 24).
+			add(BrandInfo{"Banco Sabadell", ScamBanking, "sabadell"}, 8),
+		"NLD": newWeighted[BrandInfo]().
+			add(BrandInfo{"Rabobank", ScamBanking, "rabobank"}, 40).
+			add(BrandInfo{"ING", ScamBanking, "ing"}, 30).
+			add(BrandInfo{"ABN AMRO", ScamBanking, "abnamro"}, 20),
+		"GBR": newWeighted[BrandInfo]().
+			add(BrandInfo{"HSBC", ScamBanking, "hsbc"}, 25).
+			add(BrandInfo{"Barclays", ScamBanking, "barclays"}, 20).
+			add(BrandInfo{"Lloyds Bank", ScamBanking, "lloyds"}, 18).
+			add(BrandInfo{"Santander", ScamBanking, "santander"}, 15).
+			add(BrandInfo{"NatWest", ScamBanking, "natwest"}, 12).
+			add(BrandInfo{"Monzo", ScamBanking, "monzo"}, 5),
+		"USA": newWeighted[BrandInfo]().
+			add(BrandInfo{"Chase", ScamBanking, "chase"}, 25).
+			add(BrandInfo{"Bank of America", ScamBanking, "bofa"}, 22).
+			add(BrandInfo{"Wells Fargo", ScamBanking, "wellsfargo"}, 20).
+			add(BrandInfo{"Citibank", ScamBanking, "citi"}, 10).
+			add(BrandInfo{"PayPal", ScamBanking, "paypal"}, 15),
+		"FRA": newWeighted[BrandInfo]().
+			add(BrandInfo{"Crédit Agricole", ScamBanking, "credit-agricole"}, 35).
+			add(BrandInfo{"BNP Paribas", ScamBanking, "bnp"}, 30).
+			add(BrandInfo{"Société Générale", ScamBanking, "socgen"}, 20),
+		"DEU": newWeighted[BrandInfo]().
+			add(BrandInfo{"Sparkasse", ScamBanking, "sparkasse"}, 40).
+			add(BrandInfo{"Deutsche Bank", ScamBanking, "deutschebank"}, 25).
+			add(BrandInfo{"Commerzbank", ScamBanking, "commerzbank"}, 20),
+		"ITA": newWeighted[BrandInfo]().
+			add(BrandInfo{"Intesa Sanpaolo", ScamBanking, "intesa"}, 40).
+			add(BrandInfo{"UniCredit", ScamBanking, "unicredit"}, 35),
+		"BRA": newWeighted[BrandInfo]().
+			add(BrandInfo{"Itaú", ScamBanking, "itau"}, 40).
+			add(BrandInfo{"Santander", ScamBanking, "santander"}, 30),
+		"PRT": newWeighted[BrandInfo]().
+			add(BrandInfo{"CaixaBank", ScamBanking, "caixabank"}, 30).
+			add(BrandInfo{"Millennium BCP", ScamBanking, "bcp"}, 30).
+			add(BrandInfo{"Santander", ScamBanking, "santander"}, 25),
+		"AUS": newWeighted[BrandInfo]().
+			add(BrandInfo{"Commonwealth Bank", ScamBanking, "commbank"}, 35).
+			add(BrandInfo{"ANZ", ScamBanking, "anz"}, 25).
+			add(BrandInfo{"Westpac", ScamBanking, "westpac"}, 20),
+		"BEL": newWeighted[BrandInfo]().
+			add(BrandInfo{"KBC", ScamBanking, "kbc"}, 35).
+			add(BrandInfo{"Belfius", ScamBanking, "belfius"}, 30).
+			add(BrandInfo{"ING", ScamBanking, "ing"}, 20),
+		"IDN": newWeighted[BrandInfo]().
+			add(BrandInfo{"Bank BRI", ScamBanking, "bri"}, 40).
+			add(BrandInfo{"Bank Mandiri", ScamBanking, "mandiri"}, 30),
+		"JPN": newWeighted[BrandInfo]().
+			add(BrandInfo{"MUFG", ScamBanking, "mufg"}, 35).
+			add(BrandInfo{"SMBC", ScamBanking, "smbc"}, 30),
+	},
+	ScamDelivery: {
+		"USA": newWeighted[BrandInfo]().
+			add(BrandInfo{"USPS", ScamDelivery, "usps"}, 55).
+			add(BrandInfo{"FedEx", ScamDelivery, "fedex"}, 20).
+			add(BrandInfo{"UPS", ScamDelivery, "ups"}, 15).
+			add(BrandInfo{"Amazon", ScamOthers, "amazon"}, 10),
+		"GBR": newWeighted[BrandInfo]().
+			add(BrandInfo{"Royal Mail", ScamDelivery, "royalmail"}, 40).
+			add(BrandInfo{"Evri", ScamDelivery, "evri"}, 25).
+			add(BrandInfo{"DPD", ScamDelivery, "dpd"}, 15).
+			add(BrandInfo{"Hermes", ScamDelivery, "hermes"}, 10),
+		"ESP": newWeighted[BrandInfo]().
+			add(BrandInfo{"Correos", ScamDelivery, "correos"}, 55).
+			add(BrandInfo{"SEUR", ScamDelivery, "seur"}, 20).
+			add(BrandInfo{"DHL", ScamDelivery, "dhl"}, 15),
+		"DEU": newWeighted[BrandInfo]().
+			add(BrandInfo{"DHL", ScamDelivery, "dhl"}, 55).
+			add(BrandInfo{"Deutsche Post", ScamDelivery, "deutschepost"}, 25).
+			add(BrandInfo{"Hermes", ScamDelivery, "hermes"}, 10),
+		"FRA": newWeighted[BrandInfo]().
+			add(BrandInfo{"La Poste", ScamDelivery, "laposte"}, 45).
+			add(BrandInfo{"Chronopost", ScamDelivery, "chronopost"}, 30).
+			add(BrandInfo{"Colissimo", ScamDelivery, "colissimo"}, 15),
+		"NLD": newWeighted[BrandInfo]().
+			add(BrandInfo{"PostNL", ScamDelivery, "postnl"}, 60).
+			add(BrandInfo{"DHL", ScamDelivery, "dhl"}, 25),
+		"CZE": newWeighted[BrandInfo]().
+			add(BrandInfo{"Česká pošta", ScamDelivery, "ceskaposta"}, 60).
+			add(BrandInfo{"DHL", ScamDelivery, "dhl"}, 20),
+		"AUS": newWeighted[BrandInfo]().
+			add(BrandInfo{"Australia Post", ScamDelivery, "auspost"}, 60).
+			add(BrandInfo{"StarTrack", ScamDelivery, "startrack"}, 15),
+		"IND": newWeighted[BrandInfo]().
+			add(BrandInfo{"India Post", ScamDelivery, "indiapost"}, 50).
+			add(BrandInfo{"Delhivery", ScamDelivery, "delhivery"}, 25),
+		"ITA": newWeighted[BrandInfo]().
+			add(BrandInfo{"Poste Italiane", ScamDelivery, "poste"}, 60).
+			add(BrandInfo{"BRT", ScamDelivery, "brt"}, 20),
+		"BEL": newWeighted[BrandInfo]().
+			add(BrandInfo{"bpost", ScamDelivery, "bpost"}, 60).
+			add(BrandInfo{"DHL", ScamDelivery, "dhl"}, 20),
+		"JPN": newWeighted[BrandInfo]().
+			add(BrandInfo{"Japan Post", ScamDelivery, "japanpost"}, 50).
+			add(BrandInfo{"Yamato", ScamDelivery, "yamato"}, 30),
+		"IDN": newWeighted[BrandInfo]().
+			add(BrandInfo{"JNE", ScamDelivery, "jne"}, 50).
+			add(BrandInfo{"Pos Indonesia", ScamDelivery, "posindonesia"}, 30),
+	},
+	ScamGovernment: {
+		"USA": newWeighted[BrandInfo]().
+			add(BrandInfo{"Internal Revenue Service", ScamGovernment, "irs"}, 60).
+			add(BrandInfo{"Social Security Administration", ScamGovernment, "ssa"}, 20).
+			add(BrandInfo{"DMV", ScamGovernment, "dmv"}, 15),
+		"GBR": newWeighted[BrandInfo]().
+			add(BrandInfo{"HMRC", ScamGovernment, "hmrc"}, 50).
+			add(BrandInfo{"DVLA", ScamGovernment, "dvla"}, 25).
+			add(BrandInfo{"NHS", ScamGovernment, "nhs"}, 20),
+		"FRA": newWeighted[BrandInfo]().
+			add(BrandInfo{"impots.gouv.fr", ScamGovernment, "impots"}, 40).
+			add(BrandInfo{"Ameli", ScamGovernment, "ameli"}, 35).
+			add(BrandInfo{"ANTAI", ScamGovernment, "antai"}, 20),
+		"AUS": newWeighted[BrandInfo]().
+			add(BrandInfo{"myGov", ScamGovernment, "mygov"}, 50).
+			add(BrandInfo{"ATO", ScamGovernment, "ato"}, 35),
+		"NLD": newWeighted[BrandInfo]().
+			add(BrandInfo{"Belastingdienst", ScamGovernment, "belastingdienst"}, 55).
+			add(BrandInfo{"DigiD", ScamGovernment, "digid"}, 30),
+		"ESP": newWeighted[BrandInfo]().
+			add(BrandInfo{"Agencia Tributaria", ScamGovernment, "aeat"}, 55).
+			add(BrandInfo{"Seguridad Social", ScamGovernment, "seg-social"}, 30),
+		"IND": newWeighted[BrandInfo]().
+			add(BrandInfo{"Income Tax Department", ScamGovernment, "incometax"}, 55).
+			add(BrandInfo{"EPFO", ScamGovernment, "epfo"}, 25),
+		"DEU": newWeighted[BrandInfo]().
+			add(BrandInfo{"Bundesfinanzministerium", ScamGovernment, "bzst"}, 50),
+		"ITA": newWeighted[BrandInfo]().
+			add(BrandInfo{"Agenzia delle Entrate", ScamGovernment, "agenziaentrate"}, 60),
+	},
+	ScamTelecom: {
+		"GBR": newWeighted[BrandInfo]().
+			add(BrandInfo{"O2", ScamTelecom, "o2"}, 30).
+			add(BrandInfo{"EE", ScamTelecom, "ee"}, 28).
+			add(BrandInfo{"Vodafone", ScamTelecom, "vodafone"}, 25).
+			add(BrandInfo{"Three", ScamTelecom, "three"}, 12),
+		"FRA": newWeighted[BrandInfo]().
+			add(BrandInfo{"SFR", ScamTelecom, "sfr"}, 35).
+			add(BrandInfo{"Orange", ScamTelecom, "orange"}, 35).
+			add(BrandInfo{"Bouygues", ScamTelecom, "bouygues"}, 20),
+		"ESP": newWeighted[BrandInfo]().
+			add(BrandInfo{"Movistar", ScamTelecom, "movistar"}, 40).
+			add(BrandInfo{"Vodafone", ScamTelecom, "vodafone"}, 30),
+		"NLD": newWeighted[BrandInfo]().
+			add(BrandInfo{"KPN", ScamTelecom, "kpn"}, 45).
+			add(BrandInfo{"Vodafone", ScamTelecom, "vodafone"}, 30),
+		"IND": newWeighted[BrandInfo]().
+			add(BrandInfo{"Airtel", ScamTelecom, "airtel"}, 35).
+			add(BrandInfo{"Jio", ScamTelecom, "jio"}, 35).
+			add(BrandInfo{"Vi", ScamTelecom, "vi"}, 20),
+		"USA": newWeighted[BrandInfo]().
+			add(BrandInfo{"Verizon", ScamTelecom, "verizon"}, 40).
+			add(BrandInfo{"AT&T", ScamTelecom, "att"}, 35).
+			add(BrandInfo{"T-Mobile", ScamTelecom, "tmobile"}, 20),
+		"DEU": newWeighted[BrandInfo]().
+			add(BrandInfo{"Telekom", ScamTelecom, "telekom"}, 45).
+			add(BrandInfo{"O2", ScamTelecom, "o2"}, 30),
+		"AUS": newWeighted[BrandInfo]().
+			add(BrandInfo{"Telstra", ScamTelecom, "telstra"}, 50).
+			add(BrandInfo{"Optus", ScamTelecom, "optus"}, 30),
+		"ITA": newWeighted[BrandInfo]().
+			add(BrandInfo{"TIM", ScamTelecom, "tim"}, 50).
+			add(BrandInfo{"Vodafone", ScamTelecom, "vodafone"}, 30),
+		"BEL": newWeighted[BrandInfo]().
+			add(BrandInfo{"Proximus", ScamTelecom, "proximus"}, 55),
+	},
+	ScamOthers: {
+		"USA": newWeighted[BrandInfo]().
+			add(BrandInfo{"Amazon", ScamOthers, "amazon"}, 30).
+			add(BrandInfo{"Netflix", ScamOthers, "netflix"}, 25).
+			add(BrandInfo{"Facebook", ScamOthers, "facebook"}, 12).
+			add(BrandInfo{"Coinbase", ScamOthers, "coinbase"}, 10).
+			add(BrandInfo{"Apple", ScamOthers, "apple"}, 10).
+			add(BrandInfo{"", ScamOthers, ""}, 20), // unbranded job/crypto conversation scams
+		"IDN": newWeighted[BrandInfo]().
+			add(BrandInfo{"WhatsApp", ScamOthers, "whatsapp"}, 25).
+			add(BrandInfo{"Telegram", ScamOthers, "telegram"}, 25).
+			add(BrandInfo{"", ScamOthers, ""}, 45),
+		"*": newWeighted[BrandInfo]().
+			add(BrandInfo{"Amazon", ScamOthers, "amazon"}, 22).
+			add(BrandInfo{"Netflix", ScamOthers, "netflix"}, 20).
+			add(BrandInfo{"Facebook", ScamOthers, "facebook"}, 10).
+			add(BrandInfo{"Telegram", ScamOthers, "telegram"}, 8).
+			add(BrandInfo{"WhatsApp", ScamOthers, "whatsapp"}, 8).
+			add(BrandInfo{"Apple", ScamOthers, "apple"}, 7).
+			add(BrandInfo{"", ScamOthers, ""}, 25),
+	},
+}
+
+// genericBanking is the fallback pool for countries without a banking entry.
+var genericBanking = newWeighted[BrandInfo]().
+	add(BrandInfo{"Santander", ScamBanking, "santander"}, 30).
+	add(BrandInfo{"HSBC", ScamBanking, "hsbc"}, 25).
+	add(BrandInfo{"Citibank", ScamBanking, "citi"}, 20).
+	add(BrandInfo{"Standard Chartered", ScamBanking, "sc"}, 15)
+
+var genericDelivery = newWeighted[BrandInfo]().
+	add(BrandInfo{"DHL", ScamDelivery, "dhl"}, 50).
+	add(BrandInfo{"FedEx", ScamDelivery, "fedex"}, 25).
+	add(BrandInfo{"UPS", ScamDelivery, "ups"}, 20)
+
+var genericGovernment = newWeighted[BrandInfo]().
+	add(BrandInfo{"Tax Authority", ScamGovernment, "tax"}, 60).
+	add(BrandInfo{"Customs Office", ScamGovernment, "customs"}, 30)
+
+var genericTelecom = newWeighted[BrandInfo]().
+	add(BrandInfo{"Vodafone", ScamTelecom, "vodafone"}, 40).
+	add(BrandInfo{"Orange", ScamTelecom, "orange"}, 30).
+	add(BrandInfo{"T-Mobile", ScamTelecom, "tmobile"}, 20)
+
+// pickBrand selects the impersonated brand for a campaign. Conversation
+// scams carry no brand.
+func pickBrand(rng rngT, scam ScamType, country string) BrandInfo {
+	switch scam {
+	case ScamWrongNumber, ScamHeyMumDad, ScamSpam:
+		return BrandInfo{}
+	}
+	pools := brandsByScamCountry[scam]
+	if pools != nil {
+		if w, ok := pools[country]; ok {
+			return w.sample(rng)
+		}
+		if w, ok := pools["*"]; ok {
+			return w.sample(rng)
+		}
+	}
+	switch scam {
+	case ScamBanking:
+		return genericBanking.sample(rng)
+	case ScamDelivery:
+		return genericDelivery.sample(rng)
+	case ScamGovernment:
+		return genericGovernment.sample(rng)
+	case ScamTelecom:
+		return genericTelecom.sample(rng)
+	default:
+		return BrandInfo{}
+	}
+}

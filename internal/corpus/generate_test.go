@@ -1,0 +1,464 @@
+package corpus
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/senderid"
+	"github.com/smishkit/smishkit/internal/stats"
+)
+
+func genWorld(t testing.TB, n int, seed int64) *World {
+	t.Helper()
+	return Generate(Config{Seed: seed, Messages: n})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genWorld(t, 500, 42)
+	b := genWorld(t, 500, 42)
+	if len(a.Messages) != len(b.Messages) {
+		t.Fatalf("message counts differ: %d vs %d", len(a.Messages), len(b.Messages))
+	}
+	for i := range a.Messages {
+		if a.Messages[i].Text != b.Messages[i].Text ||
+			a.Messages[i].Sender.Value != b.Messages[i].Sender.Value ||
+			!a.Messages[i].SentAt.Equal(b.Messages[i].SentAt) {
+			t.Fatalf("message %d differs between runs with same seed", i)
+		}
+	}
+	if len(a.Domains) != len(b.Domains) || len(a.Links) != len(b.Links) {
+		t.Fatalf("infrastructure differs: %d/%d domains, %d/%d links",
+			len(a.Domains), len(b.Domains), len(a.Links), len(b.Links))
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a := genWorld(t, 200, 1)
+	b := genWorld(t, 200, 2)
+	same := 0
+	for i := range a.Messages {
+		if a.Messages[i].Text == b.Messages[i].Text {
+			same++
+		}
+	}
+	if same == len(a.Messages) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateCount(t *testing.T) {
+	for _, n := range []int{1, 10, 333, 2000} {
+		w := Generate(Config{Seed: 7, Messages: n})
+		if len(w.Messages) != n {
+			t.Errorf("Messages = %d, want %d", len(w.Messages), n)
+		}
+	}
+}
+
+func TestScamTypeMarginal(t *testing.T) {
+	w := genWorld(t, 8000, 3)
+	c := stats.NewCounter()
+	for _, m := range w.Messages {
+		c.Add(string(m.ScamType))
+	}
+	// Paper Table 10: banking 45.1%, others 20.6%, delivery 11.3%.
+	if got := c.Share(string(ScamBanking)); math.Abs(got-0.451) > 0.06 {
+		t.Errorf("banking share = %.3f, want ~0.451", got)
+	}
+	if got := c.Share(string(ScamOthers)); math.Abs(got-0.206) > 0.06 {
+		t.Errorf("others share = %.3f, want ~0.206", got)
+	}
+	top := c.TopK(1)
+	if top[0].Key != string(ScamBanking) {
+		t.Errorf("dominant scam type = %q, want banking", top[0].Key)
+	}
+}
+
+func TestLanguageMarginal(t *testing.T) {
+	w := genWorld(t, 8000, 4)
+	c := stats.NewCounter()
+	for _, m := range w.Messages {
+		c.Add(m.Language)
+	}
+	// Paper Table 11: English 65.2%, Spanish 13.7% — check the ordering and
+	// the English dominance band.
+	enShare := c.Share("en")
+	if enShare < 0.5 || enShare > 0.8 {
+		t.Errorf("en share = %.3f, want in [0.5, 0.8]", enShare)
+	}
+	top := c.TopK(2)
+	if top[0].Key != "en" {
+		t.Errorf("top language = %q, want en", top[0].Key)
+	}
+	if top[1].Key != "es" {
+		t.Errorf("second language = %q, want es", top[1].Key)
+	}
+	if c.Len() < 10 {
+		t.Errorf("only %d languages in corpus", c.Len())
+	}
+}
+
+func TestSenderKindMarginal(t *testing.T) {
+	w := genWorld(t, 8000, 5)
+	c := stats.NewCounter()
+	for _, m := range w.Messages {
+		c.Add(string(m.Sender.Kind))
+	}
+	// §4.1: phone 65.6%, alphanumeric 30.7%, email 3.7%.
+	if got := c.Share(string(senderid.KindPhone)); math.Abs(got-0.656) > 0.06 {
+		t.Errorf("phone share = %.3f, want ~0.656", got)
+	}
+	if got := c.Share(string(senderid.KindAlphanumeric)); math.Abs(got-0.307) > 0.06 {
+		t.Errorf("alnum share = %.3f, want ~0.307", got)
+	}
+	if got := c.Share(string(senderid.KindEmail)); math.Abs(got-0.037) > 0.03 {
+		t.Errorf("email share = %.3f, want ~0.037", got)
+	}
+}
+
+func TestNumberTypeMarginal(t *testing.T) {
+	w := genWorld(t, 10000, 6)
+	c := stats.NewCounter()
+	for _, s := range w.Numbers {
+		c.Add(string(s.NumberType))
+	}
+	// Table 3: mobile 66.7%, bad format 24.3%, landline 3.8%.
+	if got := c.Share(string(senderid.TypeMobile)); math.Abs(got-0.667) > 0.08 {
+		t.Errorf("mobile share = %.3f, want ~0.667", got)
+	}
+	if got := c.Share(string(senderid.TypeBadFormat)); math.Abs(got-0.243) > 0.06 {
+		t.Errorf("bad-format share = %.3f, want ~0.243", got)
+	}
+	top := c.TopK(2)
+	if top[0].Key != string(senderid.TypeMobile) || top[1].Key != string(senderid.TypeBadFormat) {
+		t.Errorf("type order = %v", top)
+	}
+}
+
+// Generated phone numbers must be classifiable back to their intended type
+// by the numbering-plan rules (except classes the plan folds together).
+func TestGeneratedNumbersRoundTrip(t *testing.T) {
+	w := genWorld(t, 4000, 7)
+	checked, mismatched := 0, 0
+	for value, s := range w.Numbers {
+		if s.NumberType == senderid.TypeBadFormat {
+			n, err := senderid.ParsePhone(value)
+			if err == nil && senderid.ClassifyNumber(n) != senderid.TypeBadFormat {
+				t.Errorf("bad-format number %q parsed as %q", value, senderid.ClassifyNumber(n))
+			}
+			continue
+		}
+		n, err := senderid.ParsePhone(value)
+		if err != nil {
+			t.Errorf("generated number %q does not parse: %v", value, err)
+			continue
+		}
+		if n.Country != s.Country {
+			t.Errorf("number %q country %q, want %q", value, n.Country, s.Country)
+		}
+		checked++
+		got := senderid.ClassifyNumber(n)
+		// NANP folding: the plan fallback cannot split mobile from
+		// landline, so the authoritative registry's "mobile" reads back
+		// as "mobile_or_landline" — not a generation error.
+		if got == senderid.TypeMobileOrLandline && n.Country == "USA" {
+			continue
+		}
+		if got != s.NumberType {
+			mismatched++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no valid numbers generated")
+	}
+	if frac := float64(mismatched) / float64(checked); frac > 0.02 {
+		t.Errorf("%.1f%% of generated numbers misclassify against plan rules", frac*100)
+	}
+}
+
+func TestCountryMarginal(t *testing.T) {
+	w := genWorld(t, 10000, 8)
+	c := stats.NewCounter()
+	for _, s := range w.Numbers {
+		if s.Country != "" && s.NumberType == senderid.TypeMobile {
+			c.Add(s.Country)
+		}
+	}
+	top := c.TopK(3)
+	if top[0].Key != "IND" {
+		t.Errorf("top origin country = %q, want IND (Table 14)", top[0].Key)
+	}
+	found := map[string]bool{}
+	for _, e := range c.TopK(10) {
+		found[e.Key] = true
+	}
+	for _, want := range []string{"IND", "NLD", "GBR"} {
+		if !found[want] {
+			t.Errorf("%s missing from top-10 origin countries", want)
+		}
+	}
+}
+
+func TestForumMarginal(t *testing.T) {
+	w := genWorld(t, 8000, 9)
+	c := stats.NewCounter()
+	for _, m := range w.Messages {
+		c.Add(string(m.Forum))
+	}
+	if got := c.Share(string(ForumTwitter)); got < 0.85 {
+		t.Errorf("twitter share = %.3f, want > 0.85 (Table 1: 92%%)", got)
+	}
+	for _, f := range Forums {
+		if c.Count(string(f)) == 0 {
+			t.Errorf("forum %s got no messages", f)
+		}
+	}
+}
+
+func TestShortenerMarginal(t *testing.T) {
+	w := genWorld(t, 12000, 10)
+	c := stats.NewCounter()
+	for _, m := range w.Messages {
+		if m.Shortener != "" {
+			c.Add(m.Shortener)
+		}
+	}
+	if c.Total() == 0 {
+		t.Fatal("no shortened URLs generated")
+	}
+	if top := c.TopK(1); top[0].Key != "bit.ly" {
+		t.Errorf("top shortener = %q, want bit.ly (Table 5)", top[0].Key)
+	}
+}
+
+func TestTLDAndRegistrarMarginals(t *testing.T) {
+	w := genWorld(t, 12000, 11)
+	tlds := stats.NewCounter()
+	regs := stats.NewCounter()
+	cas := stats.NewCounter()
+	for _, d := range w.Domains {
+		tlds.Add(d.TLD)
+		if d.Registrar != "" {
+			regs.Add(d.Registrar)
+		}
+		cas.Add(d.CA)
+	}
+	if top := tlds.TopK(1); top[0].Key != "com" {
+		t.Errorf("top TLD = %q, want com (Table 6)", top[0].Key)
+	}
+	if top := regs.TopK(2); top[0].Key != "GoDaddy" || top[1].Key != "NameCheap" {
+		t.Errorf("registrar order = %v, want GoDaddy, NameCheap (Table 17)", top)
+	}
+	if top := cas.TopK(1); top[0].Key != "Let's Encrypt" {
+		t.Errorf("top CA = %q, want Let's Encrypt (Table 7)", top[0].Key)
+	}
+}
+
+func TestLetsEncryptCertInflation(t *testing.T) {
+	w := genWorld(t, 12000, 12)
+	perCA := map[string][]float64{}
+	for _, d := range w.Domains {
+		perCA[d.CA] = append(perCA[d.CA], float64(d.CertCount))
+	}
+	le, _ := stats.Mean(perCA["Let's Encrypt"])
+	dc, _ := stats.Mean(perCA["DigiCert"])
+	if le <= dc {
+		t.Errorf("Let's Encrypt mean certs (%.1f) not above DigiCert (%.1f): 90-day renewals should inflate counts (§4.5)", le, dc)
+	}
+}
+
+func TestASMarginal(t *testing.T) {
+	w := genWorld(t, 16000, 13)
+	ases := stats.NewCounter()
+	resolving := 0
+	for _, d := range w.Domains {
+		if len(d.IPs) > 0 {
+			resolving++
+			ases.Add(d.ASName)
+		}
+	}
+	if resolving == 0 {
+		t.Fatal("no domains resolve in passive DNS")
+	}
+	if top := ases.TopK(1); top[0].Key != "Cloudflare" {
+		t.Errorf("top AS = %q, want Cloudflare (§4.6)", top[0].Key)
+	}
+	// IP prefixes must match the ASN prefix contract.
+	for _, d := range w.Domains {
+		if d.ASN == 0 {
+			continue
+		}
+		prefix := ASNPrefix(d.ASN)
+		for _, ip := range d.IPs {
+			if len(ip) < len(prefix) || ip[:len(prefix)] != prefix {
+				t.Fatalf("domain %s ip %s outside ASN prefix %s", d.Name, ip, prefix)
+			}
+		}
+	}
+}
+
+func TestSendTimeProfile(t *testing.T) {
+	w := genWorld(t, 8000, 14)
+	business, weekday := 0, 0
+	for _, m := range w.Messages {
+		h := m.SentAt.Hour()
+		if h >= 9 && h < 20 {
+			business++
+		}
+		wd := m.SentAt.Weekday()
+		if wd != time.Saturday && wd != time.Sunday {
+			weekday++
+		}
+	}
+	n := float64(len(w.Messages))
+	if frac := float64(business) / n; frac < 0.6 {
+		t.Errorf("only %.2f of sends in 09:00-20:00, want > 0.6 (Fig. 2)", frac)
+	}
+	if frac := float64(weekday) / n; frac < 0.6 {
+		t.Errorf("only %.2f of sends on weekdays", frac)
+	}
+}
+
+func TestSBICampaignInjection(t *testing.T) {
+	w := Generate(Config{Seed: 15, Messages: 8000})
+	count := 0
+	for _, m := range w.Messages {
+		if m.Campaign == "c-sbi-2021" {
+			count++
+			if m.SentAt.Year() != 2021 || m.SentAt.Month() != time.August || m.SentAt.Day() != 3 {
+				t.Fatalf("SBI campaign message at %v", m.SentAt)
+			}
+			if m.Brand != "State Bank of India" {
+				t.Fatalf("SBI campaign brand = %q", m.Brand)
+			}
+		}
+	}
+	if count < 100 {
+		t.Errorf("SBI campaign has %d messages, want >= 100", count)
+	}
+}
+
+func TestBrandMarginal(t *testing.T) {
+	w := genWorld(t, 12000, 16)
+	c := stats.NewCounter()
+	for _, m := range w.Messages {
+		if m.Brand != "" {
+			c.Add(m.Brand)
+		}
+	}
+	if top := c.TopK(1); top[0].Key != "State Bank of India" {
+		t.Errorf("top brand = %q, want State Bank of India (Table 12)", top[0].Key)
+	}
+}
+
+func TestLureProfiles(t *testing.T) {
+	w := genWorld(t, 12000, 17)
+	byScam := map[ScamType]*stats.Counter{}
+	totals := map[ScamType]int{}
+	for _, m := range w.Messages {
+		if byScam[m.ScamType] == nil {
+			byScam[m.ScamType] = stats.NewCounter()
+		}
+		totals[m.ScamType]++
+		for _, l := range m.Lures {
+			byScam[m.ScamType].Add(string(l))
+		}
+	}
+	// Banking leans on authority; hey mum/dad on kindness; dishonesty rare.
+	bank := byScam[ScamBanking]
+	if float64(bank.Count(string(LureAuthority)))/float64(totals[ScamBanking]) < 0.7 {
+		t.Error("banking authority lure below 70%")
+	}
+	hmd := byScam[ScamHeyMumDad]
+	if totals[ScamHeyMumDad] > 10 &&
+		float64(hmd.Count(string(LureKindness)))/float64(totals[ScamHeyMumDad]) < 0.7 {
+		t.Error("hey mum/dad kindness lure below 70%")
+	}
+	var dishonesty, all int
+	for scam, c := range byScam {
+		dishonesty += c.Count(string(LureDishonesty))
+		all += totals[scam]
+	}
+	if frac := float64(dishonesty) / float64(all); frac > 0.02 {
+		t.Errorf("dishonesty lure share %.3f, want < 0.02 (§5.5)", frac)
+	}
+}
+
+func TestWorldConsistency(t *testing.T) {
+	w := genWorld(t, 3000, 18)
+	for _, m := range w.Messages {
+		if m.Domain != "" {
+			if _, ok := w.Domains[m.Domain]; !ok {
+				t.Fatalf("message %s references unknown domain %s", m.ID, m.Domain)
+			}
+		}
+		if m.Shortener != "" {
+			// Shortened URL must exist in the link table.
+			key := m.URL[len("https://"):]
+			if _, ok := w.Links[key]; !ok {
+				t.Fatalf("message %s short url %q missing from link table", m.ID, m.URL)
+			}
+			if w.Links[key].Target != m.FinalURL {
+				t.Fatalf("short link target mismatch for %s", m.ID)
+			}
+		}
+		if m.Sender.Kind == senderid.KindPhone {
+			if _, ok := w.Numbers[m.Sender.Value]; !ok {
+				t.Fatalf("phone sender %q not registered", m.Sender.Value)
+			}
+		}
+		if m.ReportedAt.Before(m.SentAt) {
+			t.Fatalf("message %s reported before sent", m.ID)
+		}
+		if m.Text == "" {
+			t.Fatalf("message %s has empty text", m.ID)
+		}
+		if m.URL != "" && m.Text != "" && !m.RedactURL {
+			// URL-bearing texts must actually contain the URL.
+			if !contains(m.Text, m.URL) {
+				t.Fatalf("message %s text does not contain its URL: %q / %q", m.ID, m.Text, m.URL)
+			}
+		}
+	}
+	if len(w.Campaigns) == 0 {
+		t.Fatal("no campaigns recorded")
+	}
+	for _, f := range Forums {
+		if w.NoisePosts[f] < 0 {
+			t.Errorf("negative noise for %s", f)
+		}
+	}
+}
+
+func TestAPKCampaigns(t *testing.T) {
+	w := genWorld(t, 16000, 19)
+	families := stats.NewCounter()
+	for _, d := range w.Domains {
+		if d.ServesAPK {
+			if len(d.APKHash) != 64 {
+				t.Fatalf("APK hash %q not sha256 hex", d.APKHash)
+			}
+			families.Add(d.MalwareFamily)
+		}
+	}
+	if families.Total() == 0 {
+		t.Fatal("no APK-serving domains generated")
+	}
+	if top := families.TopK(1); top[0].Key != "SMSspy" {
+		t.Errorf("dominant family = %q, want SMSspy (Table 19)", top[0].Key)
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return len(needle) == 0 || len(haystack) >= len(needle) && indexOf(haystack, needle) >= 0
+}
+
+func indexOf(h, n string) int {
+	for i := 0; i+len(n) <= len(h); i++ {
+		if h[i:i+len(n)] == n {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,71 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Benign SMS templates for training/evaluating detectors (§7.2: the paper
+// recommends using the labeled dataset to build multi-class models, which
+// need a ham class; prior work leaned on decade-old spam/ham corpora).
+var hamTemplates = []string{
+	"Hey, running 10 minutes late, see you soon",
+	"Your verification code is {CODE}. Do not share it with anyone",
+	"Reminder: your dentist appointment is tomorrow at {HOUR}:00",
+	"Mum I'll be home for dinner around 7",
+	"Your parcel was delivered to your front door. Thanks for shopping with us",
+	"Lunch tomorrow? The usual place at noon",
+	"Your taxi is arriving in 3 minutes",
+	"Meeting moved to {HOUR}:30, same room",
+	"Thanks for the birthday wishes everyone!",
+	"Your monthly statement is now available in your banking app",
+	"Don't forget to pick up milk on the way home",
+	"Your table for 2 is confirmed for tonight at 8pm",
+	"Happy anniversary! Love you",
+	"The package you sent has been collected by the courier",
+	"Your prescription is ready for collection at the pharmacy",
+	"Train delayed by 15 min, will text when I'm close",
+	"Great seeing you today, let's do it again soon",
+	"Your flight BA{CODE4} is on time, gate B12",
+	"School closed tomorrow due to weather, classes move online",
+	"Your electricity bill of {AMOUNT} was paid successfully",
+	"Track your order here https://shop.example.com/orders/{CODE4}",
+	"Here are the photos from the weekend https://photos.example.com/album/{CODE4}",
+	"Your boarding pass: https://airline.example.com/bp/{CODE4}",
+	"Meeting notes are up at https://docs.example.com/d/{CODE4}",
+	"New episode of the podcast you follow: https://podcasts.example.com/e/{CODE4}",
+}
+
+// GenerateHam produces n benign SMS texts, deterministically per seed.
+func GenerateHam(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		t := hamTemplates[rng.Intn(len(hamTemplates))]
+		t = replaceToken(t, "{CODE}", fmt.Sprintf("%06d", rng.Intn(1000000)))
+		t = replaceToken(t, "{CODE4}", fmt.Sprintf("%04d", rng.Intn(10000)))
+		t = replaceToken(t, "{HOUR}", fmt.Sprint(8+rng.Intn(11)))
+		t = replaceToken(t, "{AMOUNT}", fakeAmount(rng, "GBR"))
+		out[i] = t
+	}
+	return out
+}
+
+func replaceToken(s, tok, val string) string {
+	for {
+		i := indexOfSub(s, tok)
+		if i < 0 {
+			return s
+		}
+		s = s[:i] + val + s[i+len(tok):]
+	}
+}
+
+func indexOfSub(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,190 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/malware"
+)
+
+// domainKeywords are the host-name fragments campaigns combine with the
+// brand slug ("sbi-kyc.top", "royalmail-redelivery.com", ...).
+var domainKeywords = map[ScamType][]string{
+	ScamBanking:    {"kyc", "verify", "secure", "login", "account", "netbank", "update"},
+	ScamDelivery:   {"track", "redelivery", "parcel", "delivery", "fee", "schedule"},
+	ScamGovernment: {"refund", "tax", "penalty", "claim", "rebate"},
+	ScamTelecom:    {"bill", "topup", "sim", "reward", "points"},
+	ScamOthers:     {"account", "support", "login", "app", "wallet", "prize"},
+	ScamSpam:       {"win", "deals", "bonus", "offer"},
+}
+
+// pathKeywords build the landing path.
+var pathKeywords = map[ScamType][]string{
+	ScamBanking:    {"verify", "kyc", "login", "secure"},
+	ScamDelivery:   {"track", "pay", "redeliver"},
+	ScamGovernment: {"refund", "pay", "claim"},
+	ScamTelecom:    {"billing", "renew"},
+	ScamOthers:     {"account", "confirm", "app"},
+	ScamSpam:       {"claim", "win"},
+}
+
+// ASNPrefix returns the deterministic /16-style prefix ("a.b.") every IP in
+// the given AS draws from. The passive-DNS substrate registers the same
+// prefixes, so IP-to-ASN resolution round-trips.
+func ASNPrefix(asn int) string {
+	// Spread ASNs over 2..223 x 0..249 avoiding 10.x, 127.x, 192.x.
+	a := 2 + asn%200
+	switch a {
+	case 10, 127, 192, 172:
+		a += 13
+	}
+	b := (asn / 7) % 250
+	return fmt.Sprintf("%d.%d.", a, b)
+}
+
+// makeDomain fabricates one landing domain with full infrastructure truth.
+func (g *generator) makeDomain(scam ScamType, slug string, start time.Time) Domain {
+	rng := g.rng
+	kws := domainKeywords[scam]
+	if len(kws) == 0 {
+		kws = domainKeywords[ScamOthers]
+	}
+	kw := kws[rng.Intn(len(kws))]
+	if slug == "" {
+		slug = pick(rng, "user", "customer", "service", "online", "mobile")
+	}
+
+	var name, tld string
+	freeHost := rng.Float64() < freeHostProb
+	if freeHost {
+		platform := freeHostWeights.sample(rng)
+		name = fmt.Sprintf("%s-%s.%s", slug, kw, platform)
+		tld = platform[len(platform)-3:] // "app", "io" etc; refined below
+		if i := lastDot(platform); i >= 0 {
+			tld = platform[i+1:]
+		}
+	} else {
+		tld = tldWeights.sample(rng)
+		switch rng.Intn(3) {
+		case 0:
+			name = fmt.Sprintf("%s-%s.%s", slug, kw, tld)
+		case 1:
+			name = fmt.Sprintf("%s-%s.%s", kw, slug, tld)
+		default:
+			name = fmt.Sprintf("%s%s.%s", slug, kw, tld)
+		}
+	}
+	// Ensure uniqueness.
+	if _, exists := g.world.Domains[name]; exists {
+		base := name[:len(name)-len(tld)-1]
+		for n := 2; ; n++ {
+			cand := fmt.Sprintf("%s%d.%s", base, n, tld)
+			if _, exists := g.world.Domains[cand]; !exists {
+				name = cand
+				break
+			}
+		}
+	}
+
+	d := Domain{
+		Name:          name,
+		TLD:           tld,
+		FreeHost:      freeHost,
+		Registered:    start.Add(-time.Duration(1+rng.Intn(21)) * 24 * time.Hour),
+		TakedownAfter: time.Duration(6+rng.Intn(96)) * time.Hour,
+		Detectability: math.Pow(rng.Float64(), 1.6),
+	}
+	if !freeHost {
+		d.Registrar = pickRegistrar(rng, scam)
+	}
+	// TLS: nearly all phishing pages are HTTPS now.
+	d.CA = caWeights.sample(rng)
+	d.FirstCert = d.Registered.Add(time.Duration(rng.Intn(48)) * time.Hour)
+	renew := caRenewalDays[d.CA]
+	if renew == 0 {
+		renew = 365
+	}
+	lifetimeDays := 30 + rng.Intn(700) // how long certs keep being renewed
+	d.CertCount = 1 + lifetimeDays/renew
+	if rng.Float64() < 0.05 {
+		// A few domains accumulate pathological renewal counts (§4.5
+		// observed up to 4,681 certificates on one URL).
+		d.CertCount *= 10 + rng.Intn(40)
+	}
+
+	// Passive DNS visibility and hosting.
+	if rng.Float64() < pdnsProb {
+		entry := asWeights.sample(rng)
+		d.ASN = entry.ASNs[rng.Intn(len(entry.ASNs))]
+		d.ASName = entry.Name
+		d.ASCountry = entry.Country
+		nIPs := 1 + rng.Intn(4)
+		prefix := ASNPrefix(d.ASN)
+		for i := 0; i < nIPs; i++ {
+			d.IPs = append(d.IPs, fmt.Sprintf("%s%d.%d", prefix, rng.Intn(250), 1+rng.Intn(250)))
+		}
+	}
+	return d
+}
+
+func pickRegistrar(rng rngT, scam ScamType) string {
+	aff := registrarScamAffinity[scam]
+	if aff == nil {
+		return registrarWeights.sample(rng)
+	}
+	w := newWeighted[string]()
+	for i, reg := range registrarWeights.values {
+		mult := 1.0
+		if m, ok := aff[reg]; ok {
+			mult = m
+		}
+		w.add(reg, registrarWeights.weights[i]*mult)
+	}
+	return w.sample(rng)
+}
+
+func pickShortener(rng rngT, scam ScamType) string {
+	aff := shortenerScamAffinity[scam]
+	if aff == nil {
+		return shortenerWeights.sample(rng)
+	}
+	w := newWeighted[string]()
+	for i, svc := range shortenerWeights.values {
+		mult := 1.0
+		if m, ok := aff[svc]; ok {
+			mult = m
+		}
+		w.add(svc, shortenerWeights.weights[i]*mult)
+	}
+	return w.sample(rng)
+}
+
+// attachAPK stages an Android drive-by on the domain (§6). The hash is
+// the canonical payload hash, so a crawler downloading from a simulated
+// host recovers exactly this value.
+func (g *generator) attachAPK(d *Domain) {
+	d.ServesAPK = true
+	d.MalwareFamily = malwareFamilyWeights.sample(g.rng)
+	d.APKHash = malware.HashBytes(malware.APKPayload(d.Name, d.MalwareFamily))
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// shortCode mints a deterministic-per-rng shortener path code.
+func shortCode(rng rngT) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	n := 6 + rng.Intn(3)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}

@@ -1,0 +1,274 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"github.com/smishkit/smishkit/internal/senderid"
+)
+
+// rngT is the generator handle threaded through all sampling helpers.
+type rngT = *rand.Rand
+
+// mnosByCountry is the mobile-network-operator registry driving Table 4:
+// Vodafone operates in 18 markets and tops the abuse chart; Airtel spans
+// India plus African markets; BSNL/Jio are India-only.
+var mnosByCountry = map[string]*weighted[string]{
+	"IND": newWeighted[string]().
+		add("Vodafone", 16).add("AirTel", 30).add("BSNL Mobile", 25).
+		add("Reliance Jio", 18).add("Vi India", 8),
+	"USA": newWeighted[string]().
+		add("T-Mobile", 35).add("Verizon", 28).add("AT&T", 27).add("US Cellular", 6),
+	"GBR": newWeighted[string]().
+		add("Vodafone", 24).add("O2", 30).add("EE Limited", 26).add("Three UK", 14),
+	"NLD": newWeighted[string]().
+		add("Vodafone", 18).add("T-Mobile", 22).add("Lycamobile", 20).
+		add("KPN Mobile", 32).add("Odido", 6),
+	"ESP": newWeighted[string]().
+		add("Vodafone", 38).add("Movistar", 30).add("Lycamobile", 14).add("Orange", 16),
+	"AUS": newWeighted[string]().
+		add("Vodafone", 26).add("Telstra", 38).add("Optus", 24).add("Lycamobile", 8),
+	"FRA": newWeighted[string]().
+		add("SFR", 32).add("Orange", 30).add("Lycamobile", 16).add("Bouygues Telecom", 16),
+	"BEL": newWeighted[string]().
+		add("Proximus", 38).add("Lycamobile", 26).add("Orange Belgium", 20).add("BASE", 12),
+	"IDN": newWeighted[string]().
+		add("Telkomsel", 42).add("Indosat Ooredoo", 28).add("XL Axiata", 20),
+	"DEU": newWeighted[string]().
+		add("Vodafone", 24).add("O2", 28).add("Telekom", 30).add("Lycamobile", 10),
+	"ITA": newWeighted[string]().
+		add("Vodafone", 30).add("TIM", 32).add("WindTre", 22).add("Iliad", 10),
+	"IRL": newWeighted[string]().
+		add("Vodafone", 34).add("O2", 22).add("Three Ireland", 24).add("Lycamobile", 12),
+	"CZE": newWeighted[string]().
+		add("Vodafone", 30).add("T-Mobile", 34).add("O2 Czech", 26),
+	"PRT": newWeighted[string]().add("Vodafone", 36).add("MEO", 34).add("NOS", 24),
+	"JPN": newWeighted[string]().add("NTT Docomo", 40).add("SoftBank", 30).add("KDDI", 26),
+	"BRA": newWeighted[string]().add("Vivo", 36).add("Claro", 30).add("TIM Brasil", 24),
+	"MEX": newWeighted[string]().add("Telcel", 50).add("AT&T Mexico", 28).add("Movistar", 18),
+	"PHL": newWeighted[string]().add("Globe Telecom", 44).add("Smart", 42),
+	"NGA": newWeighted[string]().add("AirTel", 30).add("MTN Nigeria", 40).add("Glo", 20),
+	"KEN": newWeighted[string]().add("AirTel", 28).add("Safaricom", 58),
+	"ZAF": newWeighted[string]().add("Vodafone", 30).add("MTN", 34).add("Cell C", 18),
+	"TUR": newWeighted[string]().add("Vodafone", 28).add("Turkcell", 44).add("Turk Telekom", 24),
+	"PAK": newWeighted[string]().add("Jazz", 38).add("Telenor Pakistan", 28).add("Zong", 22),
+	"LKA": newWeighted[string]().add("AirTel", 22).add("Dialog", 48).add("SLT-Mobitel", 24),
+	"NZL": newWeighted[string]().add("Vodafone", 38).add("Spark", 36).add("2degrees", 20),
+	"QAT": newWeighted[string]().add("Vodafone", 44).add("Ooredoo", 50),
+	"HUN": newWeighted[string]().add("Vodafone", 34).add("Magyar Telekom", 36).add("Yettel", 24),
+	"ROU": newWeighted[string]().add("Vodafone", 32).add("Orange Romania", 36).add("Digi", 22),
+	"UKR": newWeighted[string]().add("Vodafone", 34).add("Kyivstar", 40).add("lifecell", 20),
+	"GHA": newWeighted[string]().add("Vodafone", 34).add("MTN Ghana", 44),
+	"MWI": newWeighted[string]().add("AirTel", 48).add("TNM", 40),
+	"COD": newWeighted[string]().add("AirTel", 40).add("Vodacom Congo", 36),
+	"GLP": newWeighted[string]().add("SFR", 44).add("Orange Caraïbe", 40),
+	"CHN": newWeighted[string]().add("China Mobile", 50).add("China Unicom", 26).add("China Telecom", 22),
+	"HKG": newWeighted[string]().add("HKT", 36).add("SmarTone", 28).add("China Mobile HK", 24),
+	"SGP": newWeighted[string]().add("Singtel", 42).add("StarHub", 28).add("M1", 22),
+	"KOR": newWeighted[string]().add("SK Telecom", 44).add("KT", 30).add("LG U+", 22),
+	"POL": newWeighted[string]().add("Orange Polska", 32).add("Play", 30).add("Plus", 22),
+	"RUS": newWeighted[string]().add("MTS", 36).add("MegaFon", 30).add("Beeline", 24),
+	"SWE": newWeighted[string]().add("Telia", 40).add("Tele2", 30).add("Telenor", 22),
+	"ARG": newWeighted[string]().add("Claro", 36).add("Movistar", 32).add("Personal", 26),
+	"COL": newWeighted[string]().add("Claro", 44).add("Movistar", 28).add("Tigo", 22),
+	"CHL": newWeighted[string]().add("Entel", 36).add("Movistar", 30).add("WOM", 22),
+	"PER": newWeighted[string]().add("Claro", 38).add("Movistar", 32).add("Entel", 22),
+}
+
+// genericMNO is used for countries missing above.
+var genericMNO = newWeighted[string]().add("Vodafone", 30).add("Orange", 25).add("Local Telecom", 45)
+
+// pickMNO samples the originating operator for a phone number in country.
+func pickMNO(rng rngT, country string) string {
+	if w, ok := mnosByCountry[country]; ok {
+		return w.sample(rng)
+	}
+	return genericMNO.sample(rng)
+}
+
+// mobilePrefix returns a plan-conforming national-number prefix for the
+// requested number class in the given country, plus the NSN length to pad
+// to. Classes map to internal/senderid's ClassifyNumber rules so HLR-style
+// classification of generated numbers recovers the intended class.
+func mobilePrefix(rng rngT, country, class string) (prefix string, nsnLen int) {
+	switch country {
+	case "USA":
+		switch class {
+		case "toll_free":
+			return pick(rng, "800", "888", "877", "866"), 10
+		case "personal_number":
+			return "500", 10
+		default:
+			// NANP geographic: NPA 2xx-9xx
+			return string(rune('2'+rng.Intn(8))) + twoDigits(rng), 10
+		}
+	case "GBR":
+		switch class {
+		case "mobile":
+			return "7" + pick(rng, "4", "5", "7", "8", "9"), 10
+		case "landline":
+			return pick(rng, "20", "161", "121", "113"), 10
+		case "toll_free":
+			return "80", 10
+		case "voip":
+			return "56", 10
+		case "pager":
+			return "76", 10
+		case "universal_access":
+			return pick(rng, "84", "87"), 10
+		case "personal_number":
+			return "70", 10
+		default:
+			return "7", 10
+		}
+	case "IND":
+		if class == "landline" {
+			return pick(rng, "11", "22", "33", "44"), 10
+		}
+		return pick(rng, "9", "8", "7", "6"), 10
+	case "NLD":
+		switch class {
+		case "mobile":
+			return "6", 9
+		case "landline":
+			return pick(rng, "10", "20", "30"), 9
+		case "voip":
+			return pick(rng, "85", "88"), 9
+		case "voicemail_only":
+			return "84", 9
+		case "toll_free":
+			return "800", 9
+		default:
+			return "6", 9
+		}
+	case "ESP":
+		switch class {
+		case "mobile":
+			return pick(rng, "6", "71", "72"), 9
+		case "landline":
+			return "91", 9
+		case "toll_free":
+			return "900", 9
+		default:
+			return "6", 9
+		}
+	case "FRA":
+		switch class {
+		case "mobile":
+			return pick(rng, "6", "7"), 9
+		case "landline":
+			return pick(rng, "1", "2", "4"), 9
+		case "voip":
+			return "9", 9
+		case "toll_free":
+			return "80", 9
+		default:
+			return "6", 9
+		}
+	case "AUS":
+		switch class {
+		case "mobile":
+			return "4", 9
+		case "landline":
+			return pick(rng, "2", "3", "7", "8"), 9
+		case "voip":
+			return "5", 9
+		default:
+			return "4", 9
+		}
+	case "DEU":
+		switch class {
+		case "mobile":
+			return pick(rng, "151", "160", "170", "175"), 10
+		case "landline":
+			return pick(rng, "30", "40", "89"), 9
+		case "toll_free":
+			return "800", 9
+		case "voip":
+			return "32", 9
+		default:
+			return "17", 10
+		}
+	case "BEL":
+		switch class {
+		case "mobile":
+			return "4", 9
+		case "landline":
+			return "2", 8
+		default:
+			return "4", 9
+		}
+	case "IDN":
+		if class == "landline" {
+			return "21", 9
+		}
+		return "8", 10
+	default:
+		// Generic plan: mobile starts high, landline starts low. Use the
+		// country's real NSN length so generated numbers parse.
+		lo, _ := senderid.NSNRange(country)
+		if class == "landline" {
+			return pick(rng, "1", "2", "3"), lo
+		}
+		return pick(rng, "9", "8", "7"), lo
+	}
+}
+
+func pick(rng rngT, options ...string) string {
+	return options[rng.Intn(len(options))]
+}
+
+func twoDigits(rng rngT) string {
+	return string(rune('0'+rng.Intn(10))) + string(rune('0'+rng.Intn(10)))
+}
+
+// classSupport lists which number classes each modeled country plan can
+// actually mint. Sampled classes outside a country's plan are re-homed to a
+// country that supports them (adaptClass), mirroring how rare number types
+// cluster in specific markets.
+var classSupport = map[string]map[string]bool{
+	"USA": {"mobile": true, "mobile_or_landline": true, "toll_free": true, "personal_number": true},
+	"GBR": {"mobile": true, "landline": true, "toll_free": true, "voip": true, "pager": true, "universal_access": true, "personal_number": true},
+	"IND": {"mobile": true, "landline": true},
+	"NLD": {"mobile": true, "landline": true, "voip": true, "voicemail_only": true, "toll_free": true},
+	"ESP": {"mobile": true, "landline": true, "toll_free": true},
+	"FRA": {"mobile": true, "landline": true, "voip": true, "toll_free": true},
+	"AUS": {"mobile": true, "landline": true, "voip": true},
+	"DEU": {"mobile": true, "landline": true, "toll_free": true, "voip": true, "personal_number": true},
+	"BEL": {"mobile": true, "landline": true},
+	"IDN": {"mobile": true, "landline": true},
+}
+
+// classHomes gives a fallback country for classes most plans lack.
+var classHomes = map[string][]string{
+	"mobile_or_landline": {"USA"},
+	"voicemail_only":     {"NLD"},
+	"pager":              {"GBR"},
+	"universal_access":   {"GBR"},
+	"personal_number":    {"GBR", "DEU"},
+	"voip":               {"GBR", "FRA", "NLD"},
+	"toll_free":          {"USA", "GBR", "FRA"},
+}
+
+// adaptClass reconciles a sampled (country, class) pair against the plan
+// tables. "other" stays wherever it lands: the HLR registry is
+// authoritative for it even though no plan rule can produce it.
+func adaptClass(rng rngT, country, class string) (string, string) {
+	if class == "other" {
+		return country, class
+	}
+	if sup, ok := classSupport[country]; ok && sup[class] {
+		return country, class
+	}
+	if !hasPlanEntry(country) && (class == "mobile" || class == "landline") {
+		return country, class // generic plan mints these everywhere
+	}
+	if homes, ok := classHomes[class]; ok {
+		return homes[rng.Intn(len(homes))], class
+	}
+	return country, "mobile"
+}
+
+func hasPlanEntry(country string) bool {
+	_, ok := classSupport[country]
+	return ok
+}

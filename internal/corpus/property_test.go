@@ -1,0 +1,97 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/stats"
+)
+
+// Property: any (seed, size) configuration yields a structurally consistent
+// world — counts honored, cross-references resolvable, timestamps ordered.
+func TestGenerateFuzzConfig(t *testing.T) {
+	f := func(seed int64, rawSize uint16) bool {
+		size := int(rawSize%600) + 1
+		w := Generate(Config{Seed: seed, Messages: size})
+		if len(w.Messages) != size {
+			return false
+		}
+		for _, m := range w.Messages {
+			if m.Text == "" || m.ID == "" || m.Campaign == "" {
+				return false
+			}
+			if m.ReportedAt.Before(m.SentAt) {
+				return false
+			}
+			if m.Domain != "" {
+				if _, ok := w.Domains[m.Domain]; !ok {
+					return false
+				}
+			}
+			if m.Shortener != "" {
+				key := strings.TrimPrefix(m.URL, "https://")
+				if _, ok := w.Links[key]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GenerateHam is deterministic per seed and never emits empties.
+func TestGenerateHamProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%50) + 1
+		a := GenerateHam(seed, n)
+		b := GenerateHam(seed, n)
+		if len(a) != n || len(b) != n {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] || strings.TrimSpace(a[i]) == "" {
+				return false
+			}
+			if strings.Contains(a[i], "{") {
+				return false // unexpanded slot
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: campaign sizes sum to the message count and every campaign's
+// start falls inside the configured window (SBI campaign excepted: it is
+// pinned to Aug 2021, inside the default window).
+func TestCampaignAccounting(t *testing.T) {
+	w := Generate(Config{Seed: 29, Messages: 2500})
+	perCampaign := stats.NewCounter()
+	for _, m := range w.Messages {
+		perCampaign.Add(m.Campaign)
+	}
+	from := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2023, 10, 1, 0, 0, 0, 0, time.UTC)
+	for _, c := range w.Campaigns {
+		if got := perCampaign.Count(c.ID); got == 0 {
+			// Tail campaigns can be truncated to zero by the message cap
+			// only if they were never recorded; Size must still be >= 1.
+			if c.Size > 0 {
+				t.Fatalf("campaign %s has size %d but no messages", c.ID, c.Size)
+			}
+		}
+		if c.Start.Before(from) || c.Start.After(to) {
+			t.Fatalf("campaign %s starts outside window: %v", c.ID, c.Start)
+		}
+	}
+	if perCampaign.Total() != len(w.Messages) {
+		t.Fatalf("campaign attribution lost messages")
+	}
+}

@@ -1,0 +1,24 @@
+package corpus
+
+import (
+	"testing"
+
+	"github.com/smishkit/smishkit/internal/stats"
+)
+
+// Table 5's headline — bit.ly is the most-abused shortener — must be robust
+// across seeds, not a single-seed accident.
+func TestShortenerTopStableAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 10, 404, 1861} {
+		w := Generate(Config{Seed: seed, Messages: 10000})
+		c := stats.NewCounter()
+		for _, m := range w.Messages {
+			if m.Shortener != "" {
+				c.Add(m.Shortener)
+			}
+		}
+		if top := c.TopK(1); top[0].Key != "bit.ly" {
+			t.Errorf("seed %d: top shortener = %q, want bit.ly", seed, top[0].Key)
+		}
+	}
+}

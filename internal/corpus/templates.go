@@ -1,0 +1,751 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// template text uses these slots:
+//   {BRAND}  impersonated organization
+//   {URL}    the phishing URL (omitted when the message carries none)
+//   {AMOUNT} a currency amount
+//   {CODE}   a fake tracking/reference code
+//   {NAME}   a first name (conversation scams)
+//
+// Each language carries per-scam-type banks plus lure suffixes. English
+// (“en”) is the fallback bank; §5.3 notes scammers frequently use English
+// even for non-English markets.
+
+// tpl couples a template string with its author-annotated lure labels —
+// the ground truth a human rater would assign to texts rendered from it
+// (the role the paper's two annotators played in §3.4).
+type tpl struct {
+	text  string
+	lures []Lure
+}
+
+// T builds a lure-annotated template.
+func T(text string, lures ...Lure) tpl { return tpl{text: text, lures: lures} }
+
+type langBank struct {
+	templates map[ScamType][]tpl
+	generic   []tpl // used when a scam type has no bank
+	lureTails map[Lure][]string
+}
+
+var langBanks = map[string]*langBank{
+	"en": {
+		templates: map[ScamType][]tpl{
+			ScamBanking: {
+				T("{BRAND} alert: your account has been suspended due to unusual activity. Verify your details at {URL}"),
+				T("Dear customer, your {BRAND} net banking will be blocked today. Update your KYC at {URL}", LureUrgency),
+				T("{BRAND}: a new device signed in to your account. If this wasn't you, secure it now at {URL}", LureUrgency),
+				T("Your {BRAND} card has been temporarily locked. Confirm your identity: {URL}", LureUrgency),
+				T("{BRAND} security notice: unusual login attempt detected. Review at {URL} or your account will be closed", LureUrgency),
+			},
+			ScamDelivery: {
+				T("{BRAND}: your parcel {CODE} is held at our depot. Pay the {AMOUNT} redelivery fee at {URL}"),
+				T("{BRAND}: we attempted delivery of parcel {CODE} but no one was home. Reschedule: {URL}", LureDistraction),
+				T("Your {BRAND} package could not be delivered due to an incomplete address. Update it at {URL}", LureDistraction),
+				T("{BRAND} notice: customs fee of {AMOUNT} is due for shipment {CODE}. Settle now: {URL}", LureUrgency),
+			},
+			ScamGovernment: {
+				T("{BRAND}: you are owed a tax refund of {AMOUNT}. Claim it before it expires at {URL}", LureUrgency, LureNeedGreed),
+				T("{BRAND} notice: an outstanding penalty of {AMOUNT} is recorded against you. Pay at {URL} to avoid prosecution", LureUrgency),
+				T("Final reminder from {BRAND}: your benefit claim requires verification at {URL}", LureUrgency),
+				T("{BRAND}: your vehicle tax payment failed. Update your details at {URL} to avoid a {AMOUNT} fine", LureUrgency),
+			},
+			ScamTelecom: {
+				T("{BRAND}: your latest bill payment failed. Update your payment method at {URL} to avoid disconnection", LureUrgency),
+				T("{BRAND}: your SIM card will be deactivated within 24 hours. Re-register at {URL}", LureUrgency),
+				T("{BRAND} reward: your loyalty points worth {AMOUNT} expire today. Redeem at {URL}", LureUrgency, LureNeedGreed),
+			},
+			ScamWrongNumber: {
+				T("Hi {NAME}, are we still on for dinner tomorrow night?", LureDistraction),
+				T("Hello, is this {NAME}? I got your number from Jenny about the apartment", LureDistraction),
+				T("Hey {NAME}! Long time no see, how have you been since the conference?", LureDistraction),
+				T("Sorry to bother you, is this {NAME} from the tennis club?", LureDistraction),
+			},
+			ScamHeyMumDad: {
+				T("Hi mum, I dropped my phone down the toilet, this is my new number. Can you text me back on WhatsApp? {URL}", LureDistraction, LureKindness),
+				T("Hey dad, my phone broke so I'm using a friend's. I need to pay a bill today, can you help?", LureDistraction, LureKindness, LureUrgency),
+				T("Hi mum it's me, I lost my phone. Message me on this number please, it's urgent", LureDistraction, LureKindness, LureUrgency),
+			},
+			ScamOthers: {
+				T("{BRAND}: your subscription payment failed. Renew now at {URL} to keep watching", LureUrgency),
+				T("{BRAND}: your account will be deleted due to inactivity. Reactivate at {URL}"),
+				T("Part-time job offer: earn {AMOUNT} per day working from your phone. Apply: {URL}", LureNeedGreed),
+				T("Your crypto wallet received {AMOUNT}. Confirm the withdrawal at {URL}", LureNeedGreed),
+				T("{BRAND} security: unusual sign-in detected. Verify at {URL}"),
+			},
+			ScamSpam: {
+				T("Congratulations! You have won {AMOUNT} in our weekly draw. Thousands have already claimed: {URL}", LureNeedGreed, LureHerd),
+				T("Hot deals this weekend only! Up to 80% off everything at {URL}", LureNeedGreed),
+				T("Your casino bonus of {AMOUNT} is waiting. Join the winners now: {URL}", LureUrgency, LureNeedGreed, LureHerd),
+			},
+		},
+		lureTails: map[Lure][]string{
+			LureUrgency:   {" Act within 24 hours.", " This expires today.", " Immediate action required."},
+			LureNeedGreed: {" A bonus of {AMOUNT} awaits.", " Claim your refund now."},
+			LureHerd:      {" Join 10,000 others who already claimed.", " Everyone is switching."},
+		},
+	},
+	"es": {
+		templates: map[ScamType][]tpl{
+			ScamBanking: {
+				T("{BRAND}: su cuenta ha sido suspendida por actividad inusual. Verifique sus datos en {URL}"),
+				T("Estimado cliente, su tarjeta {BRAND} ha sido bloqueada temporalmente. Confirme su identidad: {URL}"),
+				T("{BRAND}: un nuevo dispositivo ha accedido a su cuenta. Si no fue usted, asegúrela en {URL}"),
+			},
+			ScamDelivery: {
+				T("{BRAND}: su paquete {CODE} está retenido en nuestro almacén. Pague la tasa de {AMOUNT} en {URL}"),
+				T("{BRAND}: no pudimos entregar su pedido por dirección incompleta. Actualícela en {URL}", LureDistraction),
+			},
+			ScamGovernment: {
+				T("{BRAND}: tiene derecho a una devolución de {AMOUNT}. Reclámela antes de que caduque en {URL}", LureNeedGreed),
+				T("Aviso de {BRAND}: tiene una multa pendiente de {AMOUNT}. Pague en {URL} para evitar recargos", LureUrgency),
+			},
+			ScamTelecom: {
+				T("{BRAND}: el pago de su factura ha fallado. Actualice su método de pago en {URL} para evitar el corte", LureUrgency),
+			},
+			ScamWrongNumber: {
+				T("Hola, ¿eres {NAME}? Me dio tu número Carmen por lo del piso", LureDistraction),
+				T("Hola {NAME}, ¿seguimos quedando mañana para cenar?", LureDistraction),
+			},
+			ScamHeyMumDad: {
+				T("Hola mamá, se me cayó el móvil al agua, este es mi número nuevo. Escríbeme por WhatsApp", LureDistraction, LureKindness),
+			},
+			ScamOthers: {
+				T("{BRAND}: el pago de su suscripción ha fallado. Renueve ahora en {URL}", LureUrgency),
+				T("Oferta de trabajo: gane {AMOUNT} al día desde su móvil. Solicite en {URL}", LureNeedGreed),
+			},
+			ScamSpam: {
+				T("¡Enhorabuena! Ha ganado {AMOUNT} en nuestro sorteo semanal. Miles ya lo han reclamado: {URL}", LureNeedGreed, LureHerd),
+			},
+		},
+		lureTails: map[Lure][]string{
+			LureUrgency:   {" Actúe en 24 horas.", " Caduca hoy."},
+			LureNeedGreed: {" Le espera un bono de {AMOUNT}."},
+		},
+	},
+	"nl": {
+		templates: map[ScamType][]tpl{
+			ScamBanking: {
+				T("{BRAND}: uw rekening is geblokkeerd wegens verdachte activiteit. Verifieer uw gegevens op {URL}"),
+				T("Beste klant, uw {BRAND} bankpas verloopt vandaag. Vraag een nieuwe aan via {URL}", LureUrgency),
+			},
+			ScamDelivery: {
+				T("{BRAND}: uw pakket {CODE} staat vast bij de douane. Betaal {AMOUNT} invoerkosten via {URL}"),
+				T("{BRAND}: wij konden uw pakket niet bezorgen. Plan een nieuwe bezorging via {URL}", LureDistraction),
+			},
+			ScamGovernment: {
+				T("{BRAND}: u heeft recht op een teruggave van {AMOUNT}. Claim deze via {URL}", LureNeedGreed),
+				T("{BRAND}: er staat een openstaande boete van {AMOUNT} geregistreerd. Betaal via {URL}"),
+			},
+			ScamTelecom: {
+				T("{BRAND}: uw laatste betaling is mislukt. Werk uw betaalgegevens bij via {URL}"),
+			},
+			ScamHeyMumDad: {
+				T("Hoi mam, mijn telefoon is kapot, dit is mijn nieuwe nummer. Stuur me een appje terug", LureDistraction, LureKindness),
+			},
+			ScamWrongNumber: {
+				T("Hoi, ben jij {NAME}? Ik kreeg je nummer van Lisa over de woning", LureDistraction),
+			},
+			ScamOthers: {
+				T("{BRAND}: uw abonnementsbetaling is mislukt. Verleng nu via {URL}"),
+			},
+			ScamSpam: {
+				T("Gefeliciteerd! U heeft {AMOUNT} gewonnen in onze wekelijkse trekking: {URL}", LureNeedGreed),
+			},
+		},
+		lureTails: map[Lure][]string{
+			LureUrgency: {" Reageer binnen 24 uur.", " Dit verloopt vandaag."},
+		},
+	},
+	"fr": {
+		templates: map[ScamType][]tpl{
+			ScamBanking: {
+				T("{BRAND} : votre compte a été suspendu suite à une activité inhabituelle. Vérifiez vos informations sur {URL}"),
+				T("Cher client, votre carte {BRAND} a été bloquée. Confirmez votre identité : {URL}"),
+			},
+			ScamDelivery: {
+				T("{BRAND} : votre colis {CODE} est en attente. Réglez les frais de {AMOUNT} sur {URL}"),
+				T("{BRAND} : livraison impossible, adresse incomplète. Mettez à jour sur {URL}", LureDistraction),
+			},
+			ScamGovernment: {
+				T("{BRAND} : un remboursement de {AMOUNT} vous est dû. Réclamez-le sur {URL}", LureNeedGreed),
+				T("{BRAND} : une amende impayée de {AMOUNT} est enregistrée. Payez sur {URL} pour éviter une majoration"),
+			},
+			ScamTelecom: {
+				T("{BRAND} : le paiement de votre facture a échoué. Mettez à jour votre moyen de paiement sur {URL}"),
+				T("{BRAND} : votre forfait sera suspendu sous 24h. Régularisez sur {URL}", LureUrgency),
+			},
+			ScamHeyMumDad: {
+				T("Coucou maman, j'ai cassé mon téléphone, voici mon nouveau numéro. Réponds-moi vite", LureDistraction, LureKindness),
+			},
+			ScamWrongNumber: {
+				T("Bonjour, c'est bien {NAME} ? J'ai eu votre numéro par Sophie pour l'appartement", LureDistraction),
+			},
+			ScamOthers: {
+				T("{BRAND} : le paiement de votre abonnement a échoué. Renouvelez sur {URL}"),
+			},
+			ScamSpam: {
+				T("Félicitations ! Vous avez gagné {AMOUNT} à notre tirage hebdomadaire : {URL}", LureNeedGreed),
+			},
+		},
+		lureTails: map[Lure][]string{
+			LureUrgency: {" Agissez sous 24 heures.", " Expire aujourd'hui."},
+		},
+	},
+	"de": {
+		templates: map[ScamType][]tpl{
+			ScamBanking: {
+				T("{BRAND}: Ihr Konto wurde wegen ungewöhnlicher Aktivität gesperrt. Bestätigen Sie Ihre Daten unter {URL}"),
+				T("Sehr geehrter Kunde, Ihre {BRAND} Karte wurde vorübergehend gesperrt. Identität bestätigen: {URL}"),
+			},
+			ScamDelivery: {
+				T("{BRAND}: Ihr Paket {CODE} wartet im Depot. Zahlen Sie die Gebühr von {AMOUNT} unter {URL}"),
+				T("{BRAND}: Zustellung fehlgeschlagen, Adresse unvollständig. Aktualisieren unter {URL}", LureDistraction),
+			},
+			ScamGovernment: {
+				T("{BRAND}: Ihnen steht eine Steuererstattung von {AMOUNT} zu. Fordern Sie sie an unter {URL}", LureNeedGreed),
+			},
+			ScamTelecom: {
+				T("{BRAND}: Ihre letzte Zahlung ist fehlgeschlagen. Zahlungsdaten aktualisieren: {URL}"),
+			},
+			ScamHeyMumDad: {
+				T("Hallo Mama, mein Handy ist kaputt, das ist meine neue Nummer. Schreib mir bitte zurück", LureDistraction, LureKindness),
+			},
+			ScamWrongNumber: {
+				T("Hallo, bist du {NAME}? Ich habe deine Nummer von Anna wegen der Wohnung", LureDistraction),
+			},
+			ScamOthers: {
+				T("{BRAND}: Ihre Abozahlung ist fehlgeschlagen. Jetzt verlängern unter {URL}"),
+			},
+			ScamSpam: {
+				T("Glückwunsch! Sie haben {AMOUNT} in unserer Verlosung gewonnen: {URL}", LureNeedGreed),
+			},
+		},
+		lureTails: map[Lure][]string{
+			LureUrgency: {" Handeln Sie innerhalb von 24 Stunden.", " Läuft heute ab."},
+		},
+	},
+	"it": {
+		templates: map[ScamType][]tpl{
+			ScamBanking: {
+				T("{BRAND}: il suo conto è stato sospeso per attività insolita. Verifichi i suoi dati su {URL}"),
+				T("Gentile cliente, la sua carta {BRAND} è stata bloccata. Confermi la sua identità: {URL}"),
+			},
+			ScamDelivery: {
+				T("{BRAND}: il suo pacco {CODE} è in giacenza. Paghi la tassa di {AMOUNT} su {URL}"),
+			},
+			ScamGovernment: {
+				T("{BRAND}: le spetta un rimborso di {AMOUNT}. Lo richieda su {URL}", LureNeedGreed),
+			},
+			ScamTelecom: {
+				T("{BRAND}: il pagamento della sua bolletta non è andato a buon fine. Aggiorni su {URL}"),
+			},
+			ScamHeyMumDad: {
+				T("Ciao mamma, ho rotto il telefono, questo è il mio nuovo numero. Scrivimi appena puoi", LureDistraction, LureKindness),
+			},
+			ScamWrongNumber: {
+				T("Ciao, sei {NAME}? Ho avuto il tuo numero da Giulia per l'appartamento", LureDistraction),
+			},
+			ScamOthers: {
+				T("{BRAND}: il pagamento dell'abbonamento è fallito. Rinnovi ora su {URL}"),
+			},
+			ScamSpam: {
+				T("Congratulazioni! Ha vinto {AMOUNT} alla nostra estrazione settimanale: {URL}", LureNeedGreed),
+			},
+		},
+		lureTails: map[Lure][]string{
+			LureUrgency: {" Agisca entro 24 ore.", " Scade oggi."},
+		},
+	},
+	"id": {
+		templates: map[ScamType][]tpl{
+			ScamBanking: {
+				T("{BRAND}: rekening Anda diblokir karena aktivitas mencurigakan. Verifikasi data Anda di {URL}"),
+			},
+			ScamDelivery: {
+				T("{BRAND}: paket Anda {CODE} tertahan di gudang. Bayar biaya {AMOUNT} di {URL}"),
+			},
+			ScamWrongNumber: {
+				T("Halo, apakah ini {NAME}? Saya dapat nomor Anda dari Dewi soal kontrakan", LureDistraction),
+				T("Hai {NAME}, jadi kita ketemu besok?", LureDistraction),
+			},
+			ScamOthers: {
+				T("Lowongan kerja paruh waktu: dapatkan {AMOUNT} per hari dari ponsel Anda. Daftar: {URL}", LureNeedGreed),
+				T("{BRAND}: akun Anda akan dihapus karena tidak aktif. Aktifkan kembali di {URL}"),
+			},
+			ScamSpam: {
+				T("Selamat! Anda memenangkan {AMOUNT} dalam undian mingguan kami: {URL}", LureNeedGreed),
+			},
+		},
+		lureTails: map[Lure][]string{
+			LureUrgency: {" Segera bertindak dalam 24 jam."},
+		},
+	},
+	"pt": {
+		templates: map[ScamType][]tpl{
+			ScamBanking: {
+				T("{BRAND}: a sua conta foi suspensa por atividade invulgar. Verifique os seus dados em {URL}"),
+			},
+			ScamDelivery: {
+				T("{BRAND}: a sua encomenda {CODE} está retida. Pague a taxa de {AMOUNT} em {URL}"),
+			},
+			ScamGovernment: {
+				T("{BRAND}: tem direito a um reembolso de {AMOUNT}. Reclame em {URL}", LureNeedGreed),
+			},
+			ScamHeyMumDad: {
+				T("Oi mãe, meu celular quebrou, este é meu número novo. Me responde aqui", LureDistraction, LureKindness),
+			},
+			ScamOthers: {
+				T("{BRAND}: o pagamento da sua assinatura falhou. Renove em {URL}"),
+			},
+			ScamSpam: {
+				T("Parabéns! Ganhou {AMOUNT} no nosso sorteio semanal: {URL}", LureNeedGreed),
+			},
+		},
+		lureTails: map[Lure][]string{
+			LureUrgency: {" Aja dentro de 24 horas."},
+		},
+	},
+	"ja": {
+		templates: map[ScamType][]tpl{
+			ScamBanking: {
+				T("【{BRAND}】お客様の口座で不審な取引を確認しました。こちらでご確認ください {URL}"),
+			},
+			ScamDelivery: {
+				T("【{BRAND}】お荷物のお届けにあがりましたが不在の為持ち帰りました。ご確認ください {URL}"),
+			},
+			ScamTelecom: {
+				T("【{BRAND}】ご利用料金のお支払いが確認できません。至急こちらから {URL}", LureUrgency),
+			},
+			ScamWrongNumber: {
+				T("こんにちは、{NAME}さんですか？先日のセミナーでお会いした件です", LureDistraction),
+				T("{NAME}さん、明日の予定はまだ大丈夫ですか？", LureDistraction),
+			},
+			ScamOthers: {
+				T("【{BRAND}】アカウントの確認が必要です。こちらから {URL}"),
+			},
+			ScamSpam: {
+				T("おめでとうございます！{AMOUNT}が当選しました。今すぐ受け取る: {URL}", LureNeedGreed),
+			},
+		},
+		lureTails: map[Lure][]string{
+			LureUrgency: {"本日中にご対応ください。"},
+		},
+	},
+	"hi": {
+		templates: map[ScamType][]tpl{
+			ScamBanking: {
+				T("प्रिय ग्राहक, आपका {BRAND} खाता निलंबित कर दिया गया है। अपना KYC अपडेट करें {URL}"),
+				T("{BRAND}: आपके खाते में संदिग्ध गतिविधि देखी गई। तुरंत सत्यापित करें {URL}", LureUrgency),
+			},
+			ScamDelivery: {
+				T("{BRAND}: आपका पार्सल {CODE} रोक दिया गया है। {AMOUNT} शुल्क का भुगतान करें {URL}"),
+			},
+			ScamGovernment: {
+				T("{BRAND}: आपको {AMOUNT} का रिफंड देय है। यहां दावा करें {URL}", LureNeedGreed),
+			},
+			ScamTelecom: {
+				T("{BRAND}: आपका सिम 24 घंटे में बंद हो जाएगा। पुनः पंजीकरण करें {URL}", LureUrgency),
+			},
+			ScamOthers: {
+				T("घर बैठे कमाएं {AMOUNT} प्रतिदिन। अभी आवेदन करें {URL}", LureNeedGreed),
+			},
+			ScamSpam: {
+				T("बधाई हो! आपने हमारे साप्ताहिक ड्रॉ में {AMOUNT} जीते हैं: {URL}", LureNeedGreed),
+			},
+		},
+		lureTails: map[Lure][]string{
+			LureUrgency: {" आज ही कार्रवाई करें।"},
+		},
+	},
+	"cs": {
+		templates: map[ScamType][]tpl{
+			ScamDelivery: {
+				T("{BRAND}: Vaše zásilka {CODE} čeká na doručení. Uhraďte poplatek {AMOUNT} na {URL}"),
+			},
+			ScamBanking: {
+				T("{BRAND}: Váš účet byl pozastaven kvůli podezřelé aktivitě. Ověřte své údaje na {URL}"),
+			},
+		},
+		generic: []tpl{
+			T("{BRAND}: vaše platba se nezdařila. Aktualizujte údaje na {URL}"),
+		},
+	},
+	"tl": {
+		templates: map[ScamType][]tpl{
+			ScamOthers: {
+				T("Part-time job: kumita ng {AMOUNT} kada araw gamit ang iyong cellphone. Mag-apply: {URL}", LureNeedGreed),
+			},
+			ScamSpam: {
+				T("Binabati kita! Nanalo ka ng {AMOUNT} sa aming weekly raffle: {URL}", LureNeedGreed),
+			},
+		},
+		generic: []tpl{
+			T("{BRAND}: may problema sa iyong account. I-verify dito {URL}"),
+		},
+	},
+	"zh": {
+		templates: map[ScamType][]tpl{
+			ScamWrongNumber: {
+				T("你好，请问是{NAME}吗？我是上次展会认识的小王", LureDistraction),
+			},
+			ScamOthers: {
+				T("【{BRAND}】您的账户存在异常，请尽快核实 {URL}"),
+			},
+		},
+		generic: []tpl{
+			T("【{BRAND}】温馨提示：您的账户需要验证，请点击 {URL}"),
+		},
+	},
+	"tr": {
+		generic: []tpl{
+			T("{BRAND}: hesabınız askıya alındı. Bilgilerinizi doğrulayın {URL}", LureUrgency),
+			T("{BRAND}: kargonuz {CODE} beklemede. {AMOUNT} ücreti ödeyin {URL}"),
+		},
+	},
+	"pl": {
+		generic: []tpl{
+			T("{BRAND}: Twoja paczka {CODE} oczekuje. Dopłać {AMOUNT} na {URL}"),
+			T("{BRAND}: Twoje konto zostało zablokowane. Zweryfikuj dane na {URL}"),
+		},
+	},
+	"ru": {
+		generic: []tpl{
+			T("{BRAND}: ваш аккаунт заблокирован из-за подозрительной активности. Подтвердите данные {URL}"),
+			T("Поздравляем! Вы выиграли {AMOUNT} в нашем розыгрыше: {URL}", LureNeedGreed),
+		},
+	},
+	"ko": {
+		generic: []tpl{
+			T("[{BRAND}] 고객님의 계정에서 비정상 접속이 감지되었습니다. 확인: {URL}"),
+			T("[{BRAND}] 택배가 보관 중입니다. 확인해주세요 {URL}"),
+		},
+	},
+	"sv": {
+		generic: []tpl{
+			T("{BRAND}: ditt paket {CODE} väntar på leverans. Betala avgiften {AMOUNT} på {URL}"),
+			T("{BRAND}: ditt konto har spärrats. Verifiera dina uppgifter på {URL}"),
+		},
+	},
+	"hu": {
+		generic: []tpl{
+			T("{BRAND}: csomagja {CODE} vámkezelésre vár. Fizesse be a {AMOUNT} díjat itt: {URL}"),
+		},
+	},
+	"ro": {
+		generic: []tpl{
+			T("{BRAND}: contul dvs. a fost suspendat. Verificați datele la {URL}"),
+		},
+	},
+	"uk": {
+		generic: []tpl{
+			T("{BRAND}: ваш рахунок заблоковано через підозрілу активність. Підтвердіть дані {URL}"),
+		},
+	},
+	"ar": {
+		generic: []tpl{
+			T("{BRAND}: تم تعليق حسابك بسبب نشاط غير معتاد. تحقق من بياناتك عبر {URL}"),
+		},
+	},
+	"ur": {
+		generic: []tpl{
+			T("{BRAND}: آپ کا اکاؤنٹ معطل کر دیا گیا ہے۔ اپنی تفصیلات کی تصدیق کریں {URL}"),
+		},
+	},
+	"sw": {
+		generic: []tpl{
+			T("{BRAND}: akaunti yako imesimamishwa. Thibitisha taarifa zako kwa {URL}"),
+		},
+	},
+	"af": {
+		generic: []tpl{
+			T("{BRAND}: jou rekening is opgeskort weens verdagte aktiwiteit. Verifieer by {URL}"),
+		},
+	},
+	"si": {
+		generic: []tpl{
+			T("{BRAND}: ඔබගේ ගිණුම අත්හිටුවා ඇත. විස්තර තහවුරු කරන්න {URL}"),
+		},
+	}, "da": {generic: []tpl{
+		T("{BRAND}: din pakke {CODE} afventer levering. Betal gebyret {AMOUNT} på {URL}", LureUrgency),
+	}},
+	"no": {generic: []tpl{
+		T("{BRAND}: kontoen din er sperret på grunn av mistenkelig aktivitet. Bekreft på {URL}", LureUrgency),
+	}},
+	"fi": {generic: []tpl{
+		T("{BRAND}: pakettisi {CODE} odottaa toimitusta. Maksa {AMOUNT} maksu osoitteessa {URL}", LureUrgency),
+	}},
+	"el": {generic: []tpl{
+		T("{BRAND}: ο λογαριασμός σας έχει ανασταλεί. Επιβεβαιώστε τα στοιχεία σας στο {URL}", LureUrgency),
+	}},
+	"he": {generic: []tpl{
+		T("{BRAND}: חשבונך הושעה עקב פעילות חשודה. אמת את פרטיך בכתובת {URL}", LureUrgency),
+	}},
+	"th": {generic: []tpl{
+		T("{BRAND}: บัญชีของคุณถูกระงับ กรุณายืนยันข้อมูลที่ {URL}", LureUrgency),
+	}},
+	"vi": {generic: []tpl{
+		T("{BRAND}: tài khoản của bạn đã bị tạm khóa. Xác minh thông tin tại {URL}", LureUrgency),
+	}},
+	"ms": {generic: []tpl{
+		T("{BRAND}: akaun anda telah digantung. Sahkan maklumat anda di {URL}", LureUrgency),
+	}},
+	"bn": {generic: []tpl{
+		T("{BRAND}: আপনার অ্যাকাউন্ট স্থগিত করা হয়েছে। বিবরণ যাচাই করুন {URL}", LureUrgency),
+	}},
+	"ta": {generic: []tpl{
+		T("{BRAND}: உங்கள் கணக்கு முடக்கப்பட்டுள்ளது. விவரங்களை உறுதிப்படுத்தவும் {URL}", LureUrgency),
+	}},
+	"te": {generic: []tpl{
+		T("{BRAND}: మీ ఖాతా నిలిపివేయబడింది. వివరాలను ధృవీకరించండి {URL}", LureUrgency),
+	}},
+	"mr": {generic: []tpl{
+		T("{BRAND}: तुमचे खाते निलंबित केले आहे. तपशील सत्यापित करा {URL}", LureUrgency),
+	}},
+	"fa": {generic: []tpl{
+		T("{BRAND}: حساب شما مسدود شده است. اطلاعات خود را تایید کنید {URL}", LureUrgency),
+	}},
+	"am": {generic: []tpl{
+		T("{BRAND}: መለያዎ ታግዷል። ዝርዝሮችዎን ያረጋግጡ {URL}", LureUrgency),
+	}},
+	"ka": {generic: []tpl{
+		T("{BRAND}: თქვენი ანგარიში შეჩერებულია. დაადასტურეთ მონაცემები {URL}", LureUrgency),
+	}},
+}
+
+// englishGloss renders a rough English version for non-English messages by
+// re-generating from the English bank with the same slots. The paper's
+// pipeline asks the vision model for a translation; ours substitutes the
+// canonical English template of the same scam type.
+func englishGloss(rng rngT, scam ScamType, slots map[string]string) string {
+	bank := langBanks["en"]
+	templates := bank.templates[scam]
+	if len(templates) == 0 {
+		templates = bank.templates[ScamOthers]
+	}
+	return fillSlots(templates[rng.Intn(len(templates))].text, slots)
+}
+
+// renderText produces the message body for (language, scam type) with the
+// given slots. The returned lures are the materialized ground truth: the
+// chosen template's author labels plus the labels of any appended tail.
+// sampled (from lureProfile) only steers which optional tails get added.
+func renderText(rng rngT, lang string, scam ScamType, sampled []Lure, slots map[string]string) (string, []Lure) {
+	bank := langBanks[lang]
+	if bank == nil {
+		bank = langBanks["en"]
+	}
+	templates := bank.templates[scam]
+	if len(templates) == 0 {
+		if len(bank.generic) > 0 {
+			templates = bank.generic
+		} else {
+			templates = langBanks["en"].templates[scam]
+			if len(templates) == 0 {
+				templates = langBanks["en"].templates[ScamOthers]
+			}
+		}
+	}
+	chosen := templates[rng.Intn(len(templates))]
+	text := fillSlots(chosen.text, slots)
+	lureSet := make(map[Lure]bool, len(chosen.lures)+1)
+	for _, l := range chosen.lures {
+		lureSet[l] = true
+	}
+	// Append at most one lure tail so texts stay SMS-sized.
+	if bank.lureTails != nil {
+		for _, l := range sampled {
+			if lureSet[l] {
+				continue
+			}
+			tails := bank.lureTails[l]
+			if len(tails) > 0 {
+				text += " " + fillSlots(tails[rng.Intn(len(tails))], slots)
+				lureSet[l] = true
+				break
+			}
+		}
+	}
+	out := make([]Lure, 0, len(lureSet))
+	for _, l := range Lures {
+		if lureSet[l] {
+			out = append(out, l)
+		}
+	}
+	return strings.TrimSpace(text), out
+}
+
+func fillSlots(tpl string, slots map[string]string) string {
+	out := tpl
+	for k, v := range slots {
+		out = strings.ReplaceAll(out, "{"+k+"}", v)
+	}
+	// Drop orphan slots (e.g. {URL} when the message has none), then tidy.
+	for _, slot := range []string{"{BRAND}", "{URL}", "{AMOUNT}", "{CODE}", "{NAME}"} {
+		out = strings.ReplaceAll(out, slot, "")
+	}
+	return strings.Join(strings.Fields(out), " ")
+}
+
+// obfuscateBrand applies the evasion tricks of §3.3.6 to a brand mention
+// with some probability: leetspeak or inserted punctuation.
+func obfuscateBrand(rng rngT, brand string) string {
+	if brand == "" || rng.Float64() > 0.12 {
+		return brand
+	}
+	switch rng.Intn(3) {
+	case 0: // leetspeak single substitution
+		replacements := []struct{ from, to string }{
+			{"e", "3"}, {"a", "4"}, {"i", "!"}, {"o", "0"}, {"s", "$"}, {"t", "7"},
+		}
+		r := replacements[rng.Intn(len(replacements))]
+		return strings.Replace(brand, r.from, r.to, 1)
+	case 1: // inner punctuation
+		if len(brand) > 3 {
+			pos := 1 + rng.Intn(len(brand)-2)
+			return brand[:pos] + "-" + brand[pos:]
+		}
+		return brand
+	default: // casing mangle
+		return strings.ToUpper(brand)
+	}
+}
+
+// amounts and codes
+
+var currencies = map[string]string{
+	"USA": "$", "GBR": "£", "IND": "₹", "AUS": "$", "NZL": "$",
+	"JPN": "¥", "CHN": "¥",
+}
+
+func fakeAmount(rng rngT, country string) string {
+	symbol, ok := currencies[country]
+	if !ok {
+		symbol = "€"
+	}
+	cents := []string{".00", ".50", ".99", ".49", ""}
+	return fmt.Sprintf("%s%d%s", symbol, 1+rng.Intn(499), cents[rng.Intn(len(cents))])
+}
+
+func fakeCode(rng rngT) string {
+	const letters = "ABCDEFGHJKLMNPQRSTUVWXYZ"
+	b := make([]byte, 2)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return fmt.Sprintf("%s%07d", b, rng.Intn(10000000))
+}
+
+var firstNames = []string{
+	"Alex", "Sam", "Jamie", "Chris", "Taylor", "Jordan", "Maria", "Anna",
+	"David", "Laura", "Kenji", "Yuki", "Dewi", "Putri", "Carlos", "Sofia",
+}
+
+func fakeName(rng rngT) string { return firstNames[rng.Intn(len(firstNames))] }
+
+// Languages returns every language code the template bank can emit.
+func Languages() []string {
+	out := make([]string, 0, len(langBanks))
+	for code := range langBanks {
+		out = append(out, code)
+	}
+	return out
+}
+
+// othersSubBanks hold subtype-specific template banks for the Others
+// category (the §5.2 clusters). Languages without a subtype bank fall back
+// to English; subtypes without a bank fall back to the flat Others bank.
+var othersSubBanks = map[string]map[OtherSubType][]tpl{
+	"en": {
+		SubTech: {
+			T("{BRAND}: your subscription payment failed. Renew now at {URL} to keep watching", LureUrgency),
+			T("{BRAND}: your account will be deleted due to inactivity. Reactivate at {URL}", LureUrgency),
+			T("{BRAND} security: unusual sign-in detected. Verify at {URL}"),
+			T("{BRAND}: your membership expires today. Extend it at {URL}", LureUrgency),
+		},
+		SubJob: {
+			T("Part-time job offer: earn {AMOUNT} per day working from your phone. Apply: {URL}", LureNeedGreed),
+			T("We reviewed your resume and would like to offer flexible remote work, {AMOUNT} daily. Interested?", LureNeedGreed, LureDistraction),
+			T("HR here - we still have openings for online product reviewers paying {AMOUNT}/day. Reply YES", LureNeedGreed),
+		},
+		SubCrypto: {
+			T("Your crypto wallet received {AMOUNT}. Confirm the withdrawal at {URL}", LureNeedGreed),
+			T("BTC alert: your wallet will be suspended. Validate your seed at {URL}", LureUrgency),
+			T("You have {AMOUNT} of unclaimed mining rewards. Claim before settlement closes: {URL}", LureNeedGreed, LureUrgency),
+		},
+		SubInvestment: {
+			T("My trading group made 40% returns last week. I can add one more member, interested?", LureNeedGreed, LureHerd, LureDistraction),
+			T("Aunt May said you wanted in on the investment plan - minimum {AMOUNT}, guaranteed returns", LureNeedGreed, LureDistraction),
+		},
+		SubOTPCallback: {
+			T("Your verification code is {CODE}. If you did not request this, call us immediately", LureUrgency),
+			T("Security code {CODE} for your account. Did not request it? Call support now", LureUrgency),
+		},
+	},
+	"es": {
+		SubJob: {
+			T("Oferta de trabajo: gane {AMOUNT} al día desde su móvil. Solicite en {URL}", LureNeedGreed),
+		},
+		SubCrypto: {
+			T("Su billetera cripto recibió {AMOUNT}. Confirme el retiro en {URL}", LureNeedGreed),
+		},
+		SubTech: {
+			T("{BRAND}: el pago de su suscripción ha fallado. Renueve ahora en {URL}", LureUrgency),
+		},
+	},
+	"id": {
+		SubJob: {
+			T("Lowongan kerja paruh waktu: dapatkan {AMOUNT} per hari dari ponsel Anda. Daftar: {URL}", LureNeedGreed),
+		},
+		SubInvestment: {
+			T("Grup trading kami untung 40% minggu lalu. Mau bergabung? Modal minimal {AMOUNT}", LureNeedGreed, LureHerd),
+		},
+		SubTech: {
+			T("{BRAND}: akun Anda akan dihapus karena tidak aktif. Aktifkan kembali di {URL}", LureUrgency),
+		},
+	},
+}
+
+// otherSubTypeWeights shapes the Others mix the paper's manual sampling
+// found: tech impersonation dominates, then job/crypto conversations.
+var otherSubTypeWeights = newWeighted[OtherSubType]().
+	add(SubTech, 45).
+	add(SubJob, 20).
+	add(SubCrypto, 15).
+	add(SubInvestment, 10).
+	add(SubOTPCallback, 10)
+
+// renderOthersText renders an Others message for the given subtype,
+// falling back to the flat Others bank when no subtype bank exists.
+func renderOthersText(rng rngT, lang string, sub OtherSubType, sampled []Lure, slots map[string]string) (string, []Lure) {
+	banks := othersSubBanks[lang]
+	if banks == nil {
+		banks = othersSubBanks["en"]
+	}
+	templates := banks[sub]
+	if len(templates) == 0 {
+		if enBank := othersSubBanks["en"][sub]; len(enBank) > 0 && lang == "en" {
+			templates = enBank
+		} else {
+			return renderText(rng, lang, ScamOthers, sampled, slots)
+		}
+	}
+	chosen := templates[rng.Intn(len(templates))]
+	text := fillSlots(chosen.text, slots)
+	lureSet := make(map[Lure]bool, len(chosen.lures))
+	for _, l := range chosen.lures {
+		lureSet[l] = true
+	}
+	out := make([]Lure, 0, len(lureSet))
+	for _, l := range Lures {
+		if lureSet[l] {
+			out = append(out, l)
+		}
+	}
+	return strings.TrimSpace(text), out
+}

@@ -1,0 +1,219 @@
+// Package corpus generates the synthetic smishing world every other
+// subsystem runs against. The paper measured real traffic mined from five
+// forums; offline we substitute a seeded generator whose joint distributions
+// (scam mix, languages, brands, sender infrastructure, web infrastructure,
+// send times, lures, forum routing) are calibrated to the marginals the
+// paper publishes, so the measurement pipeline reproduces each table's
+// *shape*. The generator also emits ground truth, which the evaluation
+// harness uses to score extractors and annotators.
+package corpus
+
+import (
+	"time"
+
+	"github.com/smishkit/smishkit/internal/senderid"
+)
+
+// ScamType is one of the paper's eight message categories (Table 10).
+type ScamType string
+
+// The scam categories from Agarwal et al.'s SMS scam taxonomy.
+const (
+	ScamBanking     ScamType = "banking"
+	ScamDelivery    ScamType = "delivery"
+	ScamGovernment  ScamType = "government"
+	ScamTelecom     ScamType = "telecom"
+	ScamWrongNumber ScamType = "wrong_number"
+	ScamHeyMumDad   ScamType = "hey_mum_dad"
+	ScamOthers      ScamType = "others"
+	ScamSpam        ScamType = "spam"
+)
+
+// ScamTypes lists every category in presentation order.
+var ScamTypes = []ScamType{
+	ScamBanking, ScamDelivery, ScamGovernment, ScamTelecom,
+	ScamWrongNumber, ScamHeyMumDad, ScamOthers, ScamSpam,
+}
+
+// OtherSubType differentiates the "Others" category (§5.2 marks this as
+// future work; the paper's manual sampling found these five clusters).
+type OtherSubType string
+
+// Others-category subtypes.
+const (
+	SubTech        OtherSubType = "tech_impersonation"
+	SubJob         OtherSubType = "job_conversation"
+	SubCrypto      OtherSubType = "crypto"
+	SubInvestment  OtherSubType = "investment_conversation"
+	SubOTPCallback OtherSubType = "otp_callback"
+)
+
+// OtherSubTypes lists the subtypes in presentation order.
+var OtherSubTypes = []OtherSubType{SubTech, SubJob, SubCrypto, SubInvestment, SubOTPCallback}
+
+// Lure is one of Stajano & Wilson's seven persuasion principles (Table 13).
+type Lure string
+
+// The seven lure principles.
+const (
+	LureAuthority   Lure = "authority"
+	LureDishonesty  Lure = "dishonesty"
+	LureDistraction Lure = "distraction"
+	LureNeedGreed   Lure = "need_greed"
+	LureHerd        Lure = "herd"
+	LureKindness    Lure = "kindness"
+	LureUrgency     Lure = "time_urgency"
+)
+
+// Lures lists every lure principle in presentation order.
+var Lures = []Lure{
+	LureAuthority, LureDishonesty, LureDistraction, LureNeedGreed,
+	LureHerd, LureKindness, LureUrgency,
+}
+
+// Forum identifies one of the five collection sources (Table 1).
+type Forum string
+
+// The five forums.
+const (
+	ForumTwitter    Forum = "twitter"
+	ForumReddit     Forum = "reddit"
+	ForumSmishtank  Forum = "smishtank"
+	ForumSmishingEU Forum = "smishing.eu"
+	ForumPastebin   Forum = "pastebin"
+)
+
+// Forums lists every forum in Table 1 order.
+var Forums = []Forum{ForumTwitter, ForumReddit, ForumSmishtank, ForumSmishingEU, ForumPastebin}
+
+// Sender is a fully resolved sender identity with its HLR ground truth.
+type Sender struct {
+	Kind       senderid.Kind
+	Value      string // raw sender ID as displayed ("+4477...", "SBIBNK", "x@icloud.com")
+	Country    string // ISO alpha-3 of the originating MNO ("" for non-phone)
+	MNO        string // originating operator ("" for non-phone)
+	NumberType senderid.NumberType
+	Live       bool // current HLR status at lookup time
+}
+
+// Domain is a phishing landing domain with its infrastructure ground truth.
+type Domain struct {
+	Name          string    // registrable domain, e.g. "sbi-kyc.top"
+	TLD           string    // last label
+	FreeHost      bool      // hosted on a free website-building platform
+	Registrar     string    // sponsoring registrar ("" for free hosting)
+	CA            string    // certificate authority issuing its TLS certs
+	CertCount     int       // total certs ever issued (renewals inflate this)
+	FirstCert     time.Time // first issuance
+	IPs           []string  // resolved IPs over the past year ("" slice if never seen in pDNS)
+	ASN           int
+	ASName        string
+	ASCountry     string
+	Registered    time.Time
+	TakedownAfter time.Duration // how long the page lives
+	Detectability float64       // 0..1 how widely AV vendors flag it
+	ServesAPK     bool          // drive-by APK for Android UAs (§6)
+	APKHash       string        // SHA-256 hex of the dropped APK
+	MalwareFamily string        // unified family name (Euphony output)
+}
+
+// ShortLink is one entry in a URL shortener's table.
+type ShortLink struct {
+	Service   string // shortener service host, e.g. "bit.ly"
+	Code      string // path code
+	Target    string // full destination URL
+	CreatedAt time.Time
+	TakenDown bool // disabled by the service or the scammer
+}
+
+// Short returns the short URL string.
+func (l ShortLink) Short() string { return "https://" + l.Service + "/" + l.Code }
+
+// Message is a single smishing (or spam) text with complete ground truth.
+type Message struct {
+	ID       string
+	Campaign string
+
+	ScamType ScamType
+	SubType  OtherSubType // set when ScamType == ScamOthers
+	Language string       // ISO 639-1 code of the original text
+	Brand    string       // impersonated entity ("" for conversation scams)
+	Lures    []Lure
+
+	Text      string // original-language SMS body, including any URL
+	English   string // English rendering (equals Text when Language == "en")
+	URL       string // URL as placed in the text ("" if none); may be a short URL
+	FinalURL  string // landing URL after shortener resolution ("" if none)
+	Domain    string // registrable domain of FinalURL
+	Shortener string // shortener service name ("" if not shortened)
+	Sender    Sender
+	SentAt    time.Time
+
+	// Reporting metadata.
+	Forum          Forum
+	ReportedAt     time.Time
+	HasScreenshot  bool // reported as an image attachment
+	ScreenshotTime bool // the screenshot shows a full timestamp
+	RedactSender   bool // reporter censored the sender ID
+	RedactURL      bool // reporter censored the URL
+}
+
+// HasURL reports whether the message carries a (non-redacted) URL.
+func (m Message) HasURL() bool { return m.URL != "" && !m.RedactURL }
+
+// Campaign groups messages sharing actor infrastructure.
+type Campaign struct {
+	ID       string
+	ScamType ScamType
+	SubType  OtherSubType // set when ScamType == ScamOthers
+	Country  string       // primary target country
+	Language string
+	Brand    string
+	Domains  []string // registrable domains used
+	Size     int      // messages sent
+	Start    time.Time
+}
+
+// World is the complete synthetic ground truth.
+type World struct {
+	Seed      int64
+	Messages  []Message
+	Campaigns []Campaign
+	Domains   map[string]Domain    // by registrable domain
+	Numbers   map[string]Sender    // by E.164 value, phone senders only
+	Links     map[string]ShortLink // by short URL "service/code"
+	// NoisePosts is how many non-smishing decoy posts each forum carries
+	// (awareness posters, unrelated chatter matching the keywords).
+	NoisePosts map[Forum]int
+}
+
+// Config controls generation scale and epoch.
+type Config struct {
+	Seed     int64
+	Messages int // target message count (paper: 33,869)
+	// Epoch bounds for campaign start times; zero values default to the
+	// paper's 2017-01-01 .. 2023-09-30 window.
+	From, To time.Time
+	// NoiseFraction is decoy posts as a fraction of real reports
+	// (default 0.12).
+	NoiseFraction float64
+	// IncludeSBICampaign injects the Aug 3 2021 Indian banking campaign
+	// that §5.1 removes from Fig. 2 (default true at >= 5000 messages).
+	IncludeSBICampaign bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Messages <= 0 {
+		c.Messages = 4000
+	}
+	if c.From.IsZero() {
+		c.From = time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.To.IsZero() {
+		c.To = time.Date(2023, 9, 30, 0, 0, 0, 0, time.UTC)
+	}
+	if c.NoiseFraction == 0 {
+		c.NoiseFraction = 0.12
+	}
+	return c
+}

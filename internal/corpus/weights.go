@@ -1,0 +1,471 @@
+package corpus
+
+import "math/rand"
+
+// weighted is an ordered list of (value, weight) pairs for deterministic
+// sampling. Order matters for reproducibility across runs of the same seed.
+type weighted[T any] struct {
+	values  []T
+	weights []float64
+	total   float64
+}
+
+func newWeighted[T any]() *weighted[T] { return &weighted[T]{} }
+
+func (w *weighted[T]) add(v T, weight float64) *weighted[T] {
+	if weight <= 0 {
+		return w
+	}
+	w.values = append(w.values, v)
+	w.weights = append(w.weights, weight)
+	w.total += weight
+	return w
+}
+
+func (w *weighted[T]) sample(rng *rand.Rand) T {
+	if len(w.values) == 0 {
+		var zero T
+		return zero
+	}
+	x := rng.Float64() * w.total
+	for i, wt := range w.weights {
+		x -= wt
+		if x < 0 {
+			return w.values[i]
+		}
+	}
+	return w.values[len(w.values)-1]
+}
+
+// scamTypeWeights reproduces Table 10's global distribution.
+var scamTypeWeights = newWeighted[ScamType]().
+	add(ScamBanking, 45.1).
+	add(ScamDelivery, 11.3).
+	add(ScamGovernment, 9.6).
+	add(ScamTelecom, 6.6).
+	add(ScamWrongNumber, 0.9).
+	add(ScamHeyMumDad, 0.8).
+	add(ScamOthers, 20.6).
+	add(ScamSpam, 5.0)
+
+// countryBase reproduces Table 14's sender-origin weights, with a tail for
+// the long tail of the 66-language corpus.
+var countryBase = map[string]float64{
+	"IND": 2722, "USA": 1369, "NLD": 801, "GBR": 767, "ESP": 700,
+	"AUS": 392, "FRA": 387, "BEL": 271, "IDN": 216, "DEU": 187,
+	"ITA": 160, "IRL": 95, "CZE": 80, "PRT": 75, "JPN": 110,
+	"BRA": 60, "MEX": 100, "PHL": 50, "NGA": 45, "KEN": 40,
+	"ZAF": 38, "TUR": 35, "PAK": 32, "LKA": 28, "NZL": 26,
+	"QAT": 18, "HUN": 16, "ROU": 15, "UKR": 14, "GHA": 13,
+	"MWI": 9, "COD": 8, "GLP": 7, "CHN": 12, "HKG": 10,
+	"SGP": 14, "KOR": 11, "POL": 20, "RUS": 15, "SWE": 14,
+	"ARG": 240, "COL": 200, "CHL": 110, "PER": 140,
+	"DNK": 10, "NOR": 9, "FIN": 8, "GRC": 12, "ISR": 9, "THA": 14,
+	"VNM": 12, "MYS": 16, "BGD": 10, "IRN": 8, "ETH": 5, "GEO": 4,
+}
+
+// scamCountryAffinity biases country choice per scam type so Fig. 3's
+// per-country scam mixes emerge: India is banking-dominated, the US skews
+// to "others", Indonesia to "others"/conversation scams, and the
+// conversation scams live in Western/JP/ID markets.
+var scamCountryAffinity = map[ScamType]map[string]float64{
+	ScamBanking: {
+		"IND": 3.2, "ESP": 1.6, "NLD": 1.4, "GBR": 1.1, "ITA": 1.5,
+		"BRA": 1.2, "USA": 0.45, "IDN": 0.3, "JPN": 0.4,
+	},
+	ScamDelivery: {
+		"USA": 1.3, "GBR": 1.4, "ESP": 1.3, "DEU": 1.4, "FRA": 1.3,
+		"CZE": 1.6, "NLD": 1.1, "IND": 0.25, "AUS": 1.2,
+	},
+	ScamGovernment: {
+		"USA": 1.4, "GBR": 1.3, "FRA": 1.6, "AUS": 1.3, "NLD": 1.1,
+		"IND": 0.35, "ESP": 1.0,
+	},
+	ScamTelecom: {
+		"FRA": 1.7, "GBR": 1.2, "ESP": 1.1, "NLD": 1.1, "IND": 0.9,
+		"USA": 0.8,
+	},
+	ScamWrongNumber: {
+		"USA": 2.0, "JPN": 2.6, "IDN": 2.2, "ESP": 0.9, "IND": 0.1,
+		"CHN": 1.8, "GBR": 0.7,
+	},
+	ScamHeyMumDad: {
+		"GBR": 2.4, "DEU": 2.0, "ESP": 1.3, "NLD": 1.8, "AUS": 1.6,
+		"IND": 0.02, "USA": 0.9, "IRL": 1.5,
+	},
+	ScamOthers: {
+		"USA": 2.2, "IDN": 2.6, "IND": 0.5, "PHL": 1.8, "JPN": 1.3,
+		"GBR": 0.9, "NGA": 1.4,
+	},
+	ScamSpam: {
+		"USA": 1.5, "IDN": 1.8, "PHL": 2.2, "IND": 0.8, "GBR": 0.9,
+	},
+}
+
+// countryLanguages gives per-country language mixes. English dominance in
+// globally-operating sectors (§5.3) comes from the englishBias applied on
+// top for banking/others/government texts.
+var countryLanguages = map[string]*weighted[string]{
+	"IND": newWeighted[string]().add("en", 88).add("hi", 12),
+	"USA": newWeighted[string]().add("en", 93).add("es", 7),
+	"NLD": newWeighted[string]().add("nl", 72).add("en", 28),
+	"GBR": newWeighted[string]().add("en", 100),
+	"ESP": newWeighted[string]().add("es", 88).add("en", 12),
+	"AUS": newWeighted[string]().add("en", 100),
+	"FRA": newWeighted[string]().add("fr", 82).add("en", 18),
+	"BEL": newWeighted[string]().add("nl", 48).add("fr", 40).add("en", 12),
+	"IDN": newWeighted[string]().add("id", 78).add("en", 22),
+	"DEU": newWeighted[string]().add("de", 76).add("en", 24),
+	"ITA": newWeighted[string]().add("it", 82).add("en", 18),
+	"IRL": newWeighted[string]().add("en", 100),
+	"CZE": newWeighted[string]().add("cs", 70).add("en", 30),
+	"PRT": newWeighted[string]().add("pt", 80).add("en", 20),
+	"JPN": newWeighted[string]().add("ja", 85).add("en", 15),
+	"BRA": newWeighted[string]().add("pt", 90).add("en", 10),
+	"MEX": newWeighted[string]().add("es", 92).add("en", 8),
+	"PHL": newWeighted[string]().add("tl", 55).add("en", 45),
+	"NGA": newWeighted[string]().add("en", 100),
+	"KEN": newWeighted[string]().add("en", 90).add("sw", 10),
+	"ZAF": newWeighted[string]().add("en", 95).add("af", 5),
+	"TUR": newWeighted[string]().add("tr", 85).add("en", 15),
+	"PAK": newWeighted[string]().add("en", 70).add("ur", 30),
+	"LKA": newWeighted[string]().add("en", 85).add("si", 15),
+	"NZL": newWeighted[string]().add("en", 100),
+	"QAT": newWeighted[string]().add("en", 70).add("ar", 30),
+	"HUN": newWeighted[string]().add("hu", 70).add("en", 30),
+	"ROU": newWeighted[string]().add("ro", 75).add("en", 25),
+	"UKR": newWeighted[string]().add("uk", 70).add("en", 30),
+	"GHA": newWeighted[string]().add("en", 100),
+	"MWI": newWeighted[string]().add("en", 100),
+	"COD": newWeighted[string]().add("fr", 85).add("en", 15),
+	"GLP": newWeighted[string]().add("fr", 95).add("en", 5),
+	"CHN": newWeighted[string]().add("zh", 85).add("en", 15),
+	"HKG": newWeighted[string]().add("zh", 60).add("en", 40),
+	"SGP": newWeighted[string]().add("en", 85).add("zh", 15),
+	"KOR": newWeighted[string]().add("ko", 80).add("en", 20),
+	"POL": newWeighted[string]().add("pl", 80).add("en", 20),
+	"RUS": newWeighted[string]().add("ru", 85).add("en", 15),
+	"SWE": newWeighted[string]().add("sv", 70).add("en", 30),
+	"ARG": newWeighted[string]().add("es", 95).add("en", 5),
+	"COL": newWeighted[string]().add("es", 95).add("en", 5),
+	"CHL": newWeighted[string]().add("es", 95).add("en", 5),
+	"PER": newWeighted[string]().add("es", 95).add("en", 5),
+	"DNK": newWeighted[string]().add("da", 70).add("en", 30),
+	"NOR": newWeighted[string]().add("no", 70).add("en", 30),
+	"FIN": newWeighted[string]().add("fi", 70).add("en", 30),
+	"GRC": newWeighted[string]().add("el", 75).add("en", 25),
+	"ISR": newWeighted[string]().add("he", 70).add("en", 30),
+	"THA": newWeighted[string]().add("th", 80).add("en", 20),
+	"VNM": newWeighted[string]().add("vi", 80).add("en", 20),
+	"MYS": newWeighted[string]().add("ms", 60).add("en", 40),
+	"BGD": newWeighted[string]().add("bn", 80).add("en", 20),
+	"IRN": newWeighted[string]().add("fa", 85).add("en", 15),
+	"ETH": newWeighted[string]().add("am", 80).add("en", 20),
+	"GEO": newWeighted[string]().add("ka", 75).add("en", 25),
+}
+
+// englishBias: probability that a campaign in a non-English market still
+// uses English, by scam type — global organizations text in English (§5.3).
+var englishBias = map[ScamType]float64{
+	ScamBanking:     0.35,
+	ScamDelivery:    0.15,
+	ScamGovernment:  0.15,
+	ScamTelecom:     0.15,
+	ScamWrongNumber: 0.30,
+	ScamHeyMumDad:   0.25,
+	ScamOthers:      0.38,
+	ScamSpam:        0.40,
+}
+
+// senderKindWeights reproduces §4.1's unique-sender split: 65.6% phone
+// numbers, 30.7% alphanumeric shortcodes, 3.7% email addresses.
+var senderKindWeights = newWeighted[string]().
+	add("phone", 65.6).
+	add("alphanumeric", 30.7).
+	add("email", 3.7)
+
+// numberClassWeights reproduces Table 3's phone-number type distribution.
+// "mobile" is redistributed to "mobile_or_landline" automatically for NANP
+// countries by the generator.
+var numberClassWeights = newWeighted[string]().
+	add("mobile", 66.7).
+	add("bad_format", 24.3).
+	add("landline", 3.8).
+	add("mobile_or_landline", 2.3).
+	add("voip", 2.0).
+	add("toll_free", 0.6).
+	add("pager", 0.1).
+	add("universal_access", 0.05).
+	add("personal_number", 0.02).
+	add("other", 0.1).
+	add("voicemail_only", 0.02)
+
+// shortenerWeights reproduces Table 5's shortener popularity. The
+// per-scam-type preferences (is.gd for banking, cutt.ly for delivery and
+// government) are applied as multipliers in pickShortener.
+var shortenerWeights = newWeighted[string]().
+	add("bit.ly", 34.0).
+	add("is.gd", 17.2).
+	add("cutt.ly", 8.7).
+	add("tinyurl.com", 7.4).
+	add("bit.do", 6.8).
+	add("shrtco.de", 4.5).
+	add("rb.gy", 3.9).
+	add("t.ly", 2.9).
+	add("bitly.ws", 2.7).
+	add("t.co", 2.6).
+	add("ow.ly", 1.6).
+	add("rebrand.ly", 1.3).
+	add("tiny.cc", 1.1).
+	add("s.id", 0.9).
+	add("v.gd", 0.8).
+	add("gg.gg", 0.7).
+	add("clck.ru", 0.6).
+	add("shorturl.at", 0.6).
+	add("u.to", 0.5).
+	add("x.co", 0.5)
+
+// shortenerScamAffinity shapes Table 5's per-scam-type columns.
+var shortenerScamAffinity = map[ScamType]map[string]float64{
+	ScamBanking:    {"is.gd": 1.8, "shrtco.de": 2.0, "bitly.ws": 1.6, "rb.gy": 1.2},
+	ScamDelivery:   {"cutt.ly": 2.0, "bit.do": 1.3, "tinyurl.com": 1.1, "t.co": 1.6, "is.gd": 0.15},
+	ScamGovernment: {"cutt.ly": 1.8, "bit.do": 1.4, "t.ly": 1.6, "is.gd": 0.1},
+	ScamTelecom:    {"bit.do": 1.6, "bit.ly": 1.2, "is.gd": 0.12},
+}
+
+// shortenedProb is the probability a URL-bearing message uses a shortener,
+// by scam type (banking campaigns shorten heavily to evade MNO filters).
+var shortenedProb = map[ScamType]float64{
+	ScamBanking:    0.42,
+	ScamDelivery:   0.28,
+	ScamGovernment: 0.30,
+	ScamTelecom:    0.25,
+	ScamOthers:     0.20,
+	ScamSpam:       0.15,
+}
+
+// urlProb is the probability a message carries a URL at all. Conversation
+// scams ask for a reply instead; "hey mum/dad" occasionally uses wa.me.
+var urlProb = map[ScamType]float64{
+	ScamBanking:     0.88,
+	ScamDelivery:    0.92,
+	ScamGovernment:  0.85,
+	ScamTelecom:     0.82,
+	ScamWrongNumber: 0.05,
+	ScamHeyMumDad:   0.12,
+	ScamOthers:      0.70,
+	ScamSpam:        0.60,
+}
+
+// othersURLProb gives per-subtype URL probability for Others campaigns:
+// conversation scams fish for replies, not clicks.
+var othersURLProb = map[OtherSubType]float64{
+	SubTech:        0.85,
+	SubJob:         0.55,
+	SubCrypto:      0.80,
+	SubInvestment:  0.10,
+	SubOTPCallback: 0.0,
+}
+
+// tldWeights reproduces Table 6's landing-domain TLD column.
+var tldWeights = newWeighted[string]().
+	add("com", 47.5).
+	add("info", 5.5).
+	add("in", 3.9).
+	add("me", 2.8).
+	add("net", 2.7).
+	add("co", 2.2).
+	add("top", 2.2).
+	add("us", 1.9).
+	add("online", 1.9).
+	add("xyz", 1.5).
+	add("org", 1.4).
+	add("site", 1.2).
+	add("club", 1.0).
+	add("live", 0.9).
+	add("icu", 0.8).
+	add("shop", 0.8).
+	add("vip", 0.7).
+	add("work", 0.6).
+	add("link", 0.6).
+	add("buzz", 0.5).
+	add("cc", 0.5).
+	add("uk", 1.4).
+	add("es", 0.9).
+	add("fr", 0.8).
+	add("de", 0.8).
+	add("nl", 0.7).
+	add("it", 0.6).
+	add("ru", 0.6).
+	add("br", 0.5).
+	add("cn", 0.5).
+	add("id", 0.4).
+	add("jp", 0.4).
+	add("au", 0.4).
+	add("biz", 0.3).
+	add("pro", 0.2).
+	add("asia", 0.15).
+	add("tel", 0.05)
+
+// freeHostProb is the chance a campaign uses a free hosting platform
+// instead of registering a domain (§4.3: web.app, ngrok.io, ...).
+const freeHostProb = 0.08
+
+var freeHostWeights = newWeighted[string]().
+	add("web.app", 303).
+	add("ngrok.io", 186).
+	add("firebaseapp.com", 60).
+	add("vercel.app", 45).
+	add("herokuapp.com", 42).
+	add("netlify.app", 37)
+
+// registrarWeights reproduces Table 17.
+var registrarWeights = newWeighted[string]().
+	add("GoDaddy", 464).
+	add("NameCheap", 153).
+	add("Gname", 98).
+	add("Dynadot", 79).
+	add("Tucows", 74).
+	add("PublicDomainRegistry", 71).
+	add("NameSilo", 64).
+	add("Key-Systems", 60).
+	add("MarkMonitor", 53).
+	add("Gandi", 52).
+	add("Hostinger", 40).
+	add("IONOS", 35).
+	add("OVH", 30).
+	add("Porkbun", 28).
+	add("Alibaba Cloud", 25)
+
+// registrarScamAffinity: Gname over-indexes on government scams (§4.4).
+var registrarScamAffinity = map[ScamType]map[string]float64{
+	ScamGovernment: {"Gname": 3.0, "GoDaddy": 0.8},
+}
+
+// caWeights reproduces Table 7's issuing organizations weighted by the
+// number of *domains* they serve; per-domain certificate counts are then
+// drawn from the CA's renewal policy.
+var caWeights = newWeighted[string]().
+	add("Let's Encrypt", 4773).
+	add("Sectigo", 1372).
+	add("Google Trust Services", 957).
+	add("cPanel", 915).
+	add("DigiCert", 736).
+	add("Cloudflare", 683).
+	add("Amazon", 273).
+	add("Comodo", 250).
+	add("GlobalSign", 144).
+	add("Entrust", 73)
+
+// caRenewalDays is the certificate validity driving renewal counts: short
+// validity inflates issuance exactly as §4.5 observes for Let's Encrypt.
+var caRenewalDays = map[string]int{
+	"Let's Encrypt":         90,
+	"cPanel":                90,
+	"Google Trust Services": 90,
+	"Cloudflare":            90,
+	"Amazon":                395,
+	"DigiCert":              365,
+	"Sectigo":               365,
+	"Comodo":                365,
+	"GlobalSign":            365,
+	"Entrust":               365,
+}
+
+// asEntry describes an autonomous system in Table 8's population.
+type asEntry struct {
+	Name    string
+	ASNs    []int
+	Country string
+	Proxy   bool // CDN/proxy provider hiding origin (Cloudflare)
+	BHP     bool // bulletproof hosting provider
+}
+
+// asWeights reproduces Table 8 plus the Cloudflare share from §4.6
+// (Cloudflare fronted 18.8% of resolving domains) and the BHP tail.
+var asWeights = func() *weighted[asEntry] {
+	w := newWeighted[asEntry]()
+	w.add(asEntry{Name: "Cloudflare", ASNs: []int{13335}, Country: "US", Proxy: true}, 487)
+	w.add(asEntry{Name: "Amazon", ASNs: []int{16509, 14618}, Country: "US"}, 188)
+	w.add(asEntry{Name: "Akamai", ASNs: []int{63949}, Country: "US"}, 147)
+	w.add(asEntry{Name: "Google", ASNs: []int{15169, 396982}, Country: "US"}, 59)
+	w.add(asEntry{Name: "Multacom", ASNs: []int{35916}, Country: "US"}, 49)
+	w.add(asEntry{Name: "SEDO GmbH", ASNs: []int{47846}, Country: "DE"}, 31)
+	w.add(asEntry{Name: "Alibaba", ASNs: []int{45102, 37963}, Country: "HK"}, 16)
+	w.add(asEntry{Name: "Tencent", ASNs: []int{132203}, Country: "US"}, 15)
+	w.add(asEntry{Name: "FranTech Solutions", ASNs: []int{53667}, Country: "US", BHP: true}, 11)
+	w.add(asEntry{Name: "HKBN Enterprise", ASNs: []int{17444}, Country: "HK"}, 11)
+	w.add(asEntry{Name: "The Constant Company", ASNs: []int{20473}, Country: "US"}, 11)
+	w.add(asEntry{Name: "Proton66 OOO", ASNs: []int{198953}, Country: "RU", BHP: true}, 8)
+	w.add(asEntry{Name: "Stark Industries", ASNs: []int{44477}, Country: "NL", BHP: true}, 7)
+	w.add(asEntry{Name: "OVH SAS", ASNs: []int{16276}, Country: "FR"}, 10)
+	w.add(asEntry{Name: "Hetzner", ASNs: []int{24940}, Country: "DE"}, 9)
+	w.add(asEntry{Name: "DigitalOcean", ASNs: []int{14061}, Country: "US"}, 9)
+	return w
+}()
+
+// pdnsProb: only a minority of domains appear in passive DNS within the
+// lookback year (466 of the corpus's domains resolved, §4.6).
+const pdnsProb = 0.30
+
+// forumWeights reproduces Table 1's message-source split.
+var forumWeights = newWeighted[Forum]().
+	add(ForumTwitter, 92.1).
+	add(ForumReddit, 1.1).
+	add(ForumSmishtank, 6.0).
+	add(ForumSmishingEU, 0.4).
+	add(ForumPastebin, 0.4)
+
+// yearWeights reproduces Table 15's growth in reports 2017-2023.
+var yearWeights = newWeighted[int]().
+	add(2017, 2.9).
+	add(2018, 4.6).
+	add(2019, 7.6).
+	add(2020, 15.9).
+	add(2021, 21.1).
+	add(2022, 23.9).
+	add(2023, 23.9)
+
+// lureProfile gives per-scam-type lure probabilities (Table 13's matrix).
+var lureProfile = map[ScamType]map[Lure]float64{
+	ScamBanking: {
+		LureAuthority: 0.92, LureUrgency: 0.80, LureNeedGreed: 0.10,
+		LureDistraction: 0.05, LureHerd: 0.01, LureDishonesty: 0.004,
+	},
+	ScamDelivery: {
+		LureAuthority: 0.90, LureUrgency: 0.72, LureNeedGreed: 0.12,
+		LureDistraction: 0.25, LureHerd: 0.01,
+	},
+	ScamGovernment: {
+		LureAuthority: 0.94, LureUrgency: 0.70, LureNeedGreed: 0.35,
+		LureHerd: 0.01, LureDishonesty: 0.005,
+	},
+	ScamTelecom: {
+		LureAuthority: 0.88, LureUrgency: 0.60, LureNeedGreed: 0.40,
+		LureHerd: 0.02,
+	},
+	ScamWrongNumber: {
+		LureDistraction: 0.85, LureKindness: 0.55, LureDishonesty: 0.01,
+	},
+	ScamHeyMumDad: {
+		LureKindness: 0.95, LureUrgency: 0.75, LureDistraction: 0.60,
+	},
+	ScamOthers: {
+		LureAuthority: 0.45, LureUrgency: 0.50, LureNeedGreed: 0.45,
+		LureHerd: 0.05, LureDistraction: 0.15, LureDishonesty: 0.01,
+	},
+	ScamSpam: {
+		LureNeedGreed: 0.70, LureHerd: 0.25, LureUrgency: 0.25,
+	},
+}
+
+// malwareFamilyWeights reproduces Table 19: SMSspy dominates the APK drops.
+var malwareFamilyWeights = newWeighted[string]().
+	add("SMSspy", 15).
+	add("HQWar", 1).
+	add("Rewardsteal", 1).
+	add("Artemis", 1)
+
+// apkCampaignProb is the fraction of URL-bearing banking/delivery campaigns
+// that stage an Android drive-by download (§6 found 18 in 145 URLs).
+const apkCampaignProb = 0.10

@@ -1,0 +1,275 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/malware"
+)
+
+// Persona is the device identity the crawler presents.
+type Persona string
+
+// Crawl personas. The §6 case study found redirects that diverge between
+// desktop browsers and Android devices.
+const (
+	PersonaDesktop Persona = "desktop"
+	PersonaAndroid Persona = "android"
+)
+
+// userAgents maps personas to User-Agent strings.
+var userAgents = map[Persona]string{
+	PersonaDesktop: "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/120 Safari/537.36",
+	PersonaAndroid: "Mozilla/5.0 (Linux; Android 13; Pixel 7) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/120 Mobile Safari/537.36",
+}
+
+// Hop is one step in a redirect chain.
+type Hop struct {
+	URL    string
+	Status int
+}
+
+// Outcome classifies where a crawl ended.
+type Outcome string
+
+// Crawl outcomes.
+const (
+	OutcomePhishingPage Outcome = "phishing_page" // HTML landing page
+	OutcomeAPKDownload  Outcome = "apk_download"  // drive-by APK
+	OutcomeDead         Outcome = "dead"          // 404/410: taken down
+	OutcomeError        Outcome = "error"         // transport failure
+)
+
+// Result is a full crawl record for one URL under one persona.
+type Result struct {
+	StartURL string
+	Persona  Persona
+	Chain    []Hop
+	Outcome  Outcome
+	FinalURL string
+	// APK fields, set when Outcome == OutcomeAPKDownload.
+	APKSHA256 string
+	APKSize   int
+	PageTitle string // set for phishing pages
+	Err       error
+}
+
+// Crawler fetches URLs without auto-following redirects, so every hop is
+// recorded, and sniffs APK payloads by content type, extension, or magic.
+type Crawler struct {
+	// HTTPClient must not follow redirects itself; NewCrawler configures
+	// one correctly.
+	HTTPClient *http.Client
+	MaxHops    int // redirect-chain bound (default 10)
+	// Rewrite maps a target URL to where the request is actually sent
+	// (test servers); nil means identity.
+	Rewrite func(url string) string
+}
+
+// NewCrawler returns a crawler with sane defaults.
+func NewCrawler() *Crawler {
+	return &Crawler{
+		HTTPClient: &http.Client{
+			Timeout: 15 * time.Second,
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
+		MaxHops: 10,
+	}
+}
+
+// ErrTooManyHops aborts chains longer than MaxHops.
+var ErrTooManyHops = errors.New("crawler: redirect chain too long")
+
+// Crawl follows url under the given persona and classifies the outcome.
+func (c *Crawler) Crawl(ctx context.Context, startURL string, persona Persona) Result {
+	res := Result{StartURL: startURL, Persona: persona}
+	current := startURL
+	maxHops := c.MaxHops
+	if maxHops <= 0 {
+		maxHops = 10
+	}
+	for hop := 0; ; hop++ {
+		if hop >= maxHops {
+			res.Outcome = OutcomeError
+			res.Err = ErrTooManyHops
+			return res
+		}
+		target := current
+		if c.Rewrite != nil {
+			target = c.Rewrite(current)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+		if err != nil {
+			res.Outcome = OutcomeError
+			res.Err = fmt.Errorf("crawler: build request for %q: %w", current, err)
+			return res
+		}
+		req.Header.Set("User-Agent", userAgents[persona])
+		resp, err := c.HTTPClient.Do(req)
+		if err != nil {
+			res.Outcome = OutcomeError
+			res.Err = err
+			return res
+		}
+		res.Chain = append(res.Chain, Hop{URL: current, Status: resp.StatusCode})
+
+		switch {
+		case resp.StatusCode >= 300 && resp.StatusCode < 400:
+			loc := resp.Header.Get("Location")
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if loc == "" {
+				res.Outcome = OutcomeError
+				res.Err = fmt.Errorf("crawler: redirect without location at %q", current)
+				return res
+			}
+			current = resolveRef(current, loc)
+			continue
+		case resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusGone:
+			resp.Body.Close()
+			res.Outcome = OutcomeDead
+			res.FinalURL = current
+			return res
+		case resp.StatusCode >= 400:
+			resp.Body.Close()
+			res.Outcome = OutcomeError
+			res.FinalURL = current
+			res.Err = fmt.Errorf("crawler: status %d at %q", resp.StatusCode, current)
+			return res
+		}
+
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+		resp.Body.Close()
+		if err != nil {
+			res.Outcome = OutcomeError
+			res.Err = err
+			return res
+		}
+		res.FinalURL = current
+		if isAPKResponse(resp, current, body) {
+			res.Outcome = OutcomeAPKDownload
+			res.APKSHA256 = malware.HashBytes(body)
+			res.APKSize = len(body)
+			return res
+		}
+		res.Outcome = OutcomePhishingPage
+		res.PageTitle = extractTitle(string(body))
+		return res
+	}
+}
+
+// CrawlBoth runs desktop then Android personas, returning both results —
+// the workflow that exposed the sa-krs device-dependent redirect.
+func (c *Crawler) CrawlBoth(ctx context.Context, url string) (desktop, android Result) {
+	return c.Crawl(ctx, url, PersonaDesktop), c.Crawl(ctx, url, PersonaAndroid)
+}
+
+// isAPKResponse sniffs APK deliveries by content type, attachment name,
+// URL extension, or ZIP magic.
+func isAPKResponse(resp *http.Response, url string, body []byte) bool {
+	ct := resp.Header.Get("Content-Type")
+	if strings.Contains(ct, "android.package-archive") {
+		return true
+	}
+	if strings.Contains(resp.Header.Get("Content-Disposition"), ".apk") {
+		return true
+	}
+	if strings.HasSuffix(strings.ToLower(strings.SplitN(url, "?", 2)[0]), ".apk") {
+		return true
+	}
+	return len(body) > 4 && string(body[:4]) == "PK\x03\x04" && !strings.Contains(ct, "text/html")
+}
+
+// resolveRef resolves a possibly relative redirect Location against base.
+func resolveRef(base, ref string) string {
+	if strings.Contains(ref, "://") {
+		return ref
+	}
+	// Keep scheme://host from base, replace path+query.
+	i := strings.Index(base, "://")
+	if i < 0 {
+		return ref
+	}
+	rest := base[i+3:]
+	if j := strings.IndexAny(rest, "/?"); j >= 0 {
+		rest = rest[:j]
+	}
+	if !strings.HasPrefix(ref, "/") {
+		ref = "/" + ref
+	}
+	return base[:i+3] + rest + ref
+}
+
+func extractTitle(html string) string {
+	lower := strings.ToLower(html)
+	start := strings.Index(lower, "<title>")
+	if start < 0 {
+		return ""
+	}
+	start += len("<title>")
+	end := strings.Index(lower[start:], "</title>")
+	if end < 0 {
+		return ""
+	}
+	return strings.TrimSpace(html[start : start+end])
+}
+
+// Router builds Rewrite functions that dispatch logical URLs (the hosts
+// that appear in smishing texts) onto the loopback servers simulating them.
+// Shortener hosts route to the shortener front end with a "?host=" hint;
+// every other host routes to the site server with a "?site=" hint.
+type Router struct {
+	// ShortenerBase serves hosts listed in ShortenerHosts.
+	ShortenerBase  string
+	ShortenerHosts map[string]bool
+	// SiteBase serves everything else.
+	SiteBase string
+}
+
+// Rewrite implements the Crawler.Rewrite contract.
+func (r *Router) Rewrite(logical string) string {
+	host, pathAndQuery := splitURL(logical)
+	if host == "" {
+		return logical
+	}
+	if r.ShortenerHosts[strings.ToLower(host)] {
+		return r.ShortenerBase + withParam(pathAndQuery, "host", host)
+	}
+	return r.SiteBase + withParam(pathAndQuery, "site", host)
+}
+
+func splitURL(u string) (host, pathAndQuery string) {
+	i := strings.Index(u, "://")
+	if i < 0 {
+		return "", u
+	}
+	rest := u[i+3:]
+	j := strings.IndexAny(rest, "/?")
+	if j < 0 {
+		return rest, "/"
+	}
+	host = rest[:j]
+	pathAndQuery = rest[j:]
+	if strings.HasPrefix(pathAndQuery, "?") {
+		pathAndQuery = "/" + pathAndQuery
+	}
+	return host, pathAndQuery
+}
+
+func withParam(pathAndQuery, key, value string) string {
+	if strings.Contains(pathAndQuery, key+"=") {
+		return pathAndQuery
+	}
+	sep := "?"
+	if strings.Contains(pathAndQuery, "?") {
+		sep = "&"
+	}
+	return pathAndQuery + sep + key + "=" + value
+}

@@ -1,0 +1,195 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/smishkit/smishkit/internal/malware"
+	"github.com/smishkit/smishkit/internal/shortener"
+)
+
+// fabric wires a shortener and a site server behind a Router.
+type fabric struct {
+	sites *SiteServer
+	short *shortener.Service
+	crawl *Crawler
+}
+
+func newFabric(t *testing.T) *fabric {
+	t.Helper()
+	f := &fabric{sites: NewSiteServer(), short: shortener.NewService()}
+	siteSrv := httptest.NewServer(f.sites.Handler())
+	t.Cleanup(siteSrv.Close)
+	shortSrv := httptest.NewServer(f.short.Handler())
+	t.Cleanup(shortSrv.Close)
+
+	router := &Router{
+		ShortenerBase: shortSrv.URL,
+		ShortenerHosts: map[string]bool{
+			"bit.ly": true, "is.gd": true, "shrtco.de": true,
+		},
+		SiteBase: siteSrv.URL,
+	}
+	f.crawl = NewCrawler()
+	f.crawl.Rewrite = router.Rewrite
+	return f
+}
+
+func TestCrawlPhishingPageDesktop(t *testing.T) {
+	f := newFabric(t)
+	f.sites.Add(SiteBehavior{Domain: "sbi-kyc.top", Brand: "State Bank of India"})
+
+	res := f.crawl.Crawl(context.Background(), "https://sbi-kyc.top/verify", PersonaDesktop)
+	if res.Outcome != OutcomePhishingPage {
+		t.Fatalf("outcome = %s (err %v)", res.Outcome, res.Err)
+	}
+	if !strings.Contains(res.PageTitle, "State Bank of India") {
+		t.Errorf("title = %q", res.PageTitle)
+	}
+	if len(res.Chain) != 1 {
+		t.Errorf("chain = %v", res.Chain)
+	}
+}
+
+func TestCrawlDeviceDependentRedirect(t *testing.T) {
+	f := newFabric(t)
+	f.sites.Add(SiteBehavior{
+		Domain: "sa-krs.web.app", Brand: "Bank",
+		ServesAPK: true, MalwareFamily: "SMSspy",
+	})
+
+	desktop, android := f.crawl.CrawlBoth(context.Background(), "https://sa-krs.web.app/")
+	if desktop.Outcome != OutcomePhishingPage {
+		t.Fatalf("desktop outcome = %s (err %v)", desktop.Outcome, desktop.Err)
+	}
+	if android.Outcome != OutcomeAPKDownload {
+		t.Fatalf("android outcome = %s (err %v)", android.Outcome, android.Err)
+	}
+	want := malware.HashBytes(malware.APKPayload("sa-krs.web.app", "SMSspy"))
+	if android.APKSHA256 != want {
+		t.Errorf("apk hash = %s, want %s", android.APKSHA256, want)
+	}
+	if android.APKSize == 0 {
+		t.Error("apk size = 0")
+	}
+	if len(android.Chain) < 2 {
+		t.Errorf("android chain = %v, want redirect hop", android.Chain)
+	}
+}
+
+func TestCrawlThroughShortener(t *testing.T) {
+	f := newFabric(t)
+	f.sites.Add(SiteBehavior{Domain: "evri-fee.top", Brand: "Evri"})
+	f.short.Add(shortener.Link{Service: "bit.ly", Code: "abc12", Target: "https://evri-fee.top/pay"})
+
+	res := f.crawl.Crawl(context.Background(), "https://bit.ly/abc12", PersonaDesktop)
+	if res.Outcome != OutcomePhishingPage {
+		t.Fatalf("outcome = %s (err %v)", res.Outcome, res.Err)
+	}
+	if res.FinalURL != "https://evri-fee.top/pay" {
+		t.Errorf("final = %q", res.FinalURL)
+	}
+	if len(res.Chain) != 2 {
+		t.Errorf("chain = %v", res.Chain)
+	}
+}
+
+func TestCrawlTakenDownShortLink(t *testing.T) {
+	f := newFabric(t)
+	f.short.Add(shortener.Link{Service: "bit.ly", Code: "gone1", Target: "https://x.top/", TakenDown: true})
+
+	res := f.crawl.Crawl(context.Background(), "https://bit.ly/gone1", PersonaDesktop)
+	if res.Outcome != OutcomeDead {
+		t.Fatalf("outcome = %s", res.Outcome)
+	}
+}
+
+func TestCrawlTakenDownSite(t *testing.T) {
+	f := newFabric(t)
+	f.sites.Add(SiteBehavior{Domain: "dead.top", Brand: "X", TakenDown: true})
+	res := f.crawl.Crawl(context.Background(), "https://dead.top/x", PersonaAndroid)
+	if res.Outcome != OutcomeDead {
+		t.Fatalf("outcome = %s", res.Outcome)
+	}
+}
+
+func TestCrawlUnknownHost(t *testing.T) {
+	f := newFabric(t)
+	res := f.crawl.Crawl(context.Background(), "https://never-registered.example/x", PersonaDesktop)
+	if res.Outcome != OutcomeDead {
+		t.Fatalf("outcome = %s", res.Outcome)
+	}
+}
+
+func TestCrawlRedirectLoopBounded(t *testing.T) {
+	loop := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/again", http.StatusFound)
+	}))
+	defer loop.Close()
+
+	c := NewCrawler()
+	c.MaxHops = 5
+	res := c.Crawl(context.Background(), loop.URL+"/start", PersonaDesktop)
+	if res.Outcome != OutcomeError || !errors.Is(res.Err, ErrTooManyHops) {
+		t.Fatalf("outcome = %s err = %v", res.Outcome, res.Err)
+	}
+	if len(res.Chain) != 5 {
+		t.Errorf("chain length = %d", len(res.Chain))
+	}
+}
+
+func TestCrawlSubdomainRouting(t *testing.T) {
+	f := newFabric(t)
+	f.sites.Add(SiteBehavior{Domain: "evil.top", Brand: "Bank"})
+	res := f.crawl.Crawl(context.Background(), "https://secure.evil.top/login", PersonaDesktop)
+	if res.Outcome != OutcomePhishingPage {
+		t.Fatalf("subdomain outcome = %s (err %v)", res.Outcome, res.Err)
+	}
+}
+
+func TestRouterRewrite(t *testing.T) {
+	r := &Router{
+		ShortenerBase:  "http://127.0.0.1:1000",
+		ShortenerHosts: map[string]bool{"bit.ly": true},
+		SiteBase:       "http://127.0.0.1:2000",
+	}
+	cases := map[string]string{
+		"https://bit.ly/abc":       "http://127.0.0.1:1000/abc?host=bit.ly",
+		"https://evil.top/p?x=1":   "http://127.0.0.1:2000/p?x=1&site=evil.top",
+		"https://evil.top":         "http://127.0.0.1:2000/?site=evil.top",
+		"https://evil.top/?site=已": "http://127.0.0.1:2000/?site=已",
+	}
+	for in, want := range cases {
+		if got := r.Rewrite(in); got != want {
+			t.Errorf("Rewrite(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestResolveRef(t *testing.T) {
+	cases := []struct {
+		base, ref, want string
+	}{
+		{"https://a.com/x", "https://b.com/y", "https://b.com/y"},
+		{"https://a.com/x?q=1", "/z", "https://a.com/z"},
+		{"https://a.com/x", "z", "https://a.com/z"},
+	}
+	for _, c := range cases {
+		if got := resolveRef(c.base, c.ref); got != c.want {
+			t.Errorf("resolveRef(%q, %q) = %q, want %q", c.base, c.ref, got, c.want)
+		}
+	}
+}
+
+func TestExtractTitle(t *testing.T) {
+	if got := extractTitle("<html><title>  Hello </title></html>"); got != "Hello" {
+		t.Errorf("title = %q", got)
+	}
+	if got := extractTitle("no title here"); got != "" {
+		t.Errorf("phantom title %q", got)
+	}
+}

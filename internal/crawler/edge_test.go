@@ -1,0 +1,96 @@
+package crawler
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestCrawlRedirectWithoutLocation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusFound) // no Location header
+	}))
+	defer srv.Close()
+	res := NewCrawler().Crawl(context.Background(), srv.URL+"/x", PersonaDesktop)
+	if res.Outcome != OutcomeError || res.Err == nil {
+		t.Fatalf("outcome = %s err = %v", res.Outcome, res.Err)
+	}
+}
+
+func TestCrawlServerError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	res := NewCrawler().Crawl(context.Background(), srv.URL+"/x", PersonaDesktop)
+	if res.Outcome != OutcomeError {
+		t.Fatalf("outcome = %s", res.Outcome)
+	}
+}
+
+func TestCrawlTransportError(t *testing.T) {
+	res := NewCrawler().Crawl(context.Background(), "http://127.0.0.1:1/unreachable", PersonaDesktop)
+	if res.Outcome != OutcomeError || res.Err == nil {
+		t.Fatalf("outcome = %s err = %v", res.Outcome, res.Err)
+	}
+}
+
+func TestCrawlAPKByExtension(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write([]byte("PK\x03\x04payload"))
+	}))
+	defer srv.Close()
+	res := NewCrawler().Crawl(context.Background(), srv.URL+"/internet.apk", PersonaDesktop)
+	if res.Outcome != OutcomeAPKDownload {
+		t.Fatalf("outcome = %s", res.Outcome)
+	}
+	if res.APKSize == 0 || res.APKSHA256 == "" {
+		t.Errorf("apk fields: %+v", res)
+	}
+}
+
+func TestCrawlZipMagicWithoutHTMLType(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("PK\x03\x04more-zip-bytes-here"))
+	}))
+	defer srv.Close()
+	res := NewCrawler().Crawl(context.Background(), srv.URL+"/dl", PersonaAndroid)
+	if res.Outcome != OutcomeAPKDownload {
+		t.Fatalf("magic-sniff outcome = %s", res.Outcome)
+	}
+}
+
+func TestSiteServerTakeDown(t *testing.T) {
+	s := NewSiteServer()
+	s.Add(SiteBehavior{Domain: "x.top", Brand: "X"})
+	if !s.TakeDown("X.TOP") {
+		t.Fatal("takedown missed existing site (case folding)")
+	}
+	if s.TakeDown("ghost.top") {
+		t.Fatal("phantom takedown")
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	res := NewCrawler().Crawl(context.Background(), srv.URL+"/p?site=x.top", PersonaDesktop)
+	if res.Outcome != OutcomeDead {
+		t.Errorf("taken-down site outcome = %s", res.Outcome)
+	}
+}
+
+func TestRouterNoScheme(t *testing.T) {
+	r := &Router{SiteBase: "http://127.0.0.1:9"}
+	if got := r.Rewrite("no-scheme-here"); got != "no-scheme-here" {
+		t.Errorf("schemeless rewrite = %q", got)
+	}
+}
+
+func TestWithParamPreservesExisting(t *testing.T) {
+	if got := withParam("/p?site=a.com", "site", "b.com"); got != "/p?site=a.com" {
+		t.Errorf("existing param overwritten: %q", got)
+	}
+	if got := withParam("/p", "site", "a.com"); got != "/p?site=a.com" {
+		t.Errorf("param not appended: %q", got)
+	}
+}

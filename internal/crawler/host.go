@@ -1,0 +1,145 @@
+// Package crawler implements the §6 active-analysis case study: a crawler
+// that follows shortened URLs through redirect chains with different device
+// personas and captures drive-by APK downloads, plus a SiteServer that
+// simulates the scammer hosting it crawls — phishing pages for desktop
+// browsers, automatic APK delivery for Android user agents, and hard 404s
+// after takedown.
+package crawler
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/malware"
+)
+
+// SiteBehavior configures how one hosted domain responds.
+type SiteBehavior struct {
+	Domain        string
+	Brand         string    // impersonated brand shown on the page
+	ServesAPK     bool      // Android UAs get redirected to an APK download
+	MalwareFamily string    // family of the dropped APK
+	TakenDown     bool      // hosting revoked: everything 404s
+	DownAt        time.Time // scheduled takedown instant (zero: none)
+}
+
+// SiteServer multiplexes many phishing domains behind one handler, selected
+// by Host header or an explicit "?site=" override.
+type SiteServer struct {
+	mu    sync.RWMutex
+	sites map[string]SiteBehavior
+	clock func() time.Time
+}
+
+// NewSiteServer returns an empty host.
+func NewSiteServer() *SiteServer {
+	return &SiteServer{sites: make(map[string]SiteBehavior), clock: time.Now}
+}
+
+// SetClock overrides the takedown-schedule time source (simulated time).
+func (s *SiteServer) SetClock(clock func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = clock
+}
+
+// down reports whether a site is dead at the server's current time.
+func (s *SiteServer) down(b SiteBehavior) bool {
+	if b.TakenDown {
+		return true
+	}
+	return !b.DownAt.IsZero() && !s.clock().Before(b.DownAt)
+}
+
+// Add registers (or replaces) a domain's behavior.
+func (s *SiteServer) Add(b SiteBehavior) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sites[strings.ToLower(b.Domain)] = b
+}
+
+// TakeDown flips a domain to 404s, reporting whether it existed.
+func (s *SiteServer) TakeDown(domain string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.sites[strings.ToLower(domain)]
+	if ok {
+		b.TakenDown = true
+		s.sites[strings.ToLower(domain)] = b
+	}
+	return ok
+}
+
+func (s *SiteServer) site(r *http.Request) (SiteBehavior, bool) {
+	name := r.URL.Query().Get("site")
+	if name == "" {
+		name = r.Host
+		if i := strings.LastIndex(name, ":"); i >= 0 {
+			name = name[:i]
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Exact match, then registrable-suffix match for subdomain hosts.
+	if b, ok := s.sites[strings.ToLower(name)]; ok {
+		return b, true
+	}
+	labels := strings.Split(strings.ToLower(name), ".")
+	for i := 1; i < len(labels)-1; i++ {
+		if b, ok := s.sites[strings.Join(labels[i:], ".")]; ok {
+			return b, true
+		}
+	}
+	return SiteBehavior{}, false
+}
+
+// isAndroidUA reports whether the request announces an Android device.
+func isAndroidUA(r *http.Request) bool {
+	return strings.Contains(strings.ToLower(r.Header.Get("User-Agent")), "android")
+}
+
+// Handler serves the simulated phishing sites:
+//
+//	GET /<any path>        phishing page (desktop) | 302 to /?d=s1 (Android, APK sites)
+//	GET /?d=s1             the APK payload (any UA)
+func (s *SiteServer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, ok := s.site(r)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		s.mu.RLock()
+		dead := s.down(b)
+		s.mu.RUnlock()
+		if dead {
+			http.NotFound(w, r)
+			return
+		}
+		if r.URL.Query().Get("d") == "s1" && b.ServesAPK {
+			payload := malware.APKPayload(b.Domain, b.MalwareFamily)
+			w.Header().Set("Content-Type", "application/vnd.android.package-archive")
+			w.Header().Set("Content-Disposition", `attachment; filename="s1.apk"`)
+			_, _ = w.Write(payload)
+			return
+		}
+		if b.ServesAPK && isAndroidUA(r) {
+			// Device-dependent redirect: Android visitors are pushed to
+			// the drive-by download (the sa-krs.web.app pattern from §6).
+			q := "?d=s1"
+			if site := r.URL.Query().Get("site"); site != "" {
+				q += "&site=" + site
+			}
+			http.Redirect(w, r, "/"+q, http.StatusFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<!doctype html><html><head><title>%s - Secure Login</title></head>
+<body><h1>%s</h1><form method="post" action="/submit">
+<input name="user" placeholder="Username"><input name="pass" type="password" placeholder="Password">
+<button>Sign in</button></form></body></html>`, b.Brand, b.Brand)
+	})
+}

@@ -1,0 +1,191 @@
+// Package ctlog simulates the certificate-transparency search service the
+// paper queried via crt.sh (§3.3.3, §4.5). It stores issuance records for
+// every certificate ever issued to a domain — including the 90-day renewal
+// chains that inflate Let's Encrypt counts — and serves per-domain searches
+// over an HTTP API.
+package ctlog
+
+import (
+	"context"
+
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/netutil"
+)
+
+// Certificate is one logged issuance.
+type Certificate struct {
+	ID        int64     `json:"id"`
+	Domain    string    `json:"domain"` // common name / primary SAN
+	IssuerOrg string    `json:"issuer_org"`
+	IssuerID  int       `json:"issuer_id"` // CA-specific issuer key id
+	NotBefore time.Time `json:"not_before"`
+	NotAfter  time.Time `json:"not_after"`
+	SANs      []string  `json:"sans,omitempty"`
+}
+
+// Store is the in-memory log. Safe for concurrent use after sealing: Append
+// during load, then serve reads.
+type Store struct {
+	mu     sync.RWMutex
+	nextID int64
+	byDom  map[string][]Certificate
+	total  int
+}
+
+// NewStore returns an empty log.
+func NewStore() *Store { return &Store{byDom: make(map[string][]Certificate), nextID: 1} }
+
+// Append logs a certificate, assigning its ID.
+func (s *Store) Append(c Certificate) Certificate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.ID = s.nextID
+	s.nextID++
+	key := strings.ToLower(c.Domain)
+	s.byDom[key] = append(s.byDom[key], c)
+	s.total++
+	return c
+}
+
+// IssueChain logs a renewal chain: count certificates starting at first,
+// each valid for validity and renewed back-to-back. This is how a corpus
+// domain's CertCount materializes into log entries.
+func (s *Store) IssueChain(domain, issuerOrg string, issuerID int, first time.Time, validity time.Duration, count int) {
+	for i := 0; i < count; i++ {
+		start := first.Add(time.Duration(i) * validity)
+		s.Append(Certificate{
+			Domain:    domain,
+			IssuerOrg: issuerOrg,
+			IssuerID:  issuerID,
+			NotBefore: start,
+			NotAfter:  start.Add(validity),
+		})
+	}
+}
+
+// Search returns every certificate logged for domain, oldest first.
+func (s *Store) Search(domain string) []Certificate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	certs := s.byDom[strings.ToLower(strings.TrimSpace(domain))]
+	out := make([]Certificate, len(certs))
+	copy(out, certs)
+	sort.Slice(out, func(i, j int) bool { return out[i].NotBefore.Before(out[j].NotBefore) })
+	return out
+}
+
+// Summary condenses a domain's log history.
+type Summary struct {
+	Domain    string         `json:"domain"`
+	Certs     int            `json:"certs"`
+	Issuers   map[string]int `json:"issuers"` // issuer org -> cert count
+	FirstSeen time.Time      `json:"first_seen"`
+	LastSeen  time.Time      `json:"last_seen"`
+}
+
+// Summarize aggregates a domain's history without copying every record.
+func (s *Store) Summarize(domain string) Summary {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	certs := s.byDom[strings.ToLower(strings.TrimSpace(domain))]
+	sum := Summary{Domain: strings.ToLower(domain), Issuers: make(map[string]int)}
+	for _, c := range certs {
+		sum.Certs++
+		sum.Issuers[c.IssuerOrg]++
+		if sum.FirstSeen.IsZero() || c.NotBefore.Before(sum.FirstSeen) {
+			sum.FirstSeen = c.NotBefore
+		}
+		if c.NotAfter.After(sum.LastSeen) {
+			sum.LastSeen = c.NotAfter
+		}
+	}
+	return sum
+}
+
+// Totals returns (total certificates, distinct domains).
+func (s *Store) Totals() (certs, domains int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.total, len(s.byDom)
+}
+
+// Server exposes the log: GET /v1/search?domain=x and /v1/summary?domain=x.
+// The public crt.sh has no API key; neither does this.
+type Server struct {
+	store   *Store
+	limiter *netutil.TokenBucket
+}
+
+// NewServer wires the store into the HTTP API.
+func NewServer(store *Store, ratePerSec float64) *Server {
+	s := &Server{store: store}
+	if ratePerSec > 0 {
+		s.limiter = netutil.NewTokenBucket(int(ratePerSec*2)+1, ratePerSec)
+	}
+	return s
+}
+
+// Handler returns the routed handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/search", s.serve(func(domain string) any { return s.store.Search(domain) }))
+	mux.HandleFunc("GET /v1/summary", s.serve(func(domain string) any { return s.store.Summarize(domain) }))
+	return mux
+}
+
+func (s *Server) serve(fn func(domain string) any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.limiter != nil && !s.limiter.Allow() {
+			netutil.WriteRateLimited(w, s.limiter.RetryAfter(1))
+			return
+		}
+		domain := r.URL.Query().Get("domain")
+		if domain == "" {
+			netutil.WriteError(w, http.StatusBadRequest, "missing domain parameter")
+			return
+		}
+		netutil.WriteJSON(w, http.StatusOK, fn(domain))
+	}
+}
+
+// Client consumes the search API.
+type Client struct {
+	API netutil.Client
+}
+
+// NewClient builds a client for the service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{API: netutil.Client{BaseURL: baseURL}}
+}
+
+// Search fetches the full issuance list for a domain.
+func (c *Client) Search(ctx context.Context, domain string) ([]Certificate, error) {
+	var out []Certificate
+	err := c.API.GetJSON(ctx, "/v1/search?domain="+url.QueryEscape(domain), &out)
+	return out, err
+}
+
+// Summary fetches the per-domain aggregate.
+func (c *Client) Summary(ctx context.Context, domain string) (Summary, error) {
+	var out Summary
+	err := c.API.GetJSON(ctx, "/v1/summary?domain="+url.QueryEscape(domain), &out)
+	return out, err
+}
+
+// IssuerID derives a stable per-CA issuer key identifier.
+func IssuerID(org string) int {
+	h := 0
+	for _, r := range org {
+		h = h*31 + int(r)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h%900 + 100
+}

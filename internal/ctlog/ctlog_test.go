@@ -1,0 +1,141 @@
+package ctlog
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func TestAppendAssignsIDs(t *testing.T) {
+	s := NewStore()
+	a := s.Append(Certificate{Domain: "a.com"})
+	b := s.Append(Certificate{Domain: "b.com"})
+	if a.ID == b.ID || a.ID == 0 {
+		t.Errorf("ids: %d, %d", a.ID, b.ID)
+	}
+}
+
+func TestIssueChain(t *testing.T) {
+	s := NewStore()
+	s.IssueChain("evil.top", "Let's Encrypt", 123, t0, 90*24*time.Hour, 4)
+	certs := s.Search("evil.top")
+	if len(certs) != 4 {
+		t.Fatalf("chain length = %d", len(certs))
+	}
+	for i := 1; i < len(certs); i++ {
+		if !certs[i].NotBefore.Equal(certs[i-1].NotAfter) {
+			t.Errorf("renewal gap between cert %d and %d", i-1, i)
+		}
+	}
+	sum := s.Summarize("evil.top")
+	if sum.Certs != 4 || sum.Issuers["Let's Encrypt"] != 4 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if !sum.FirstSeen.Equal(t0) {
+		t.Errorf("first seen = %v", sum.FirstSeen)
+	}
+}
+
+func TestSearchIsCaseInsensitiveAndSorted(t *testing.T) {
+	s := NewStore()
+	s.Append(Certificate{Domain: "Mixed.Com", NotBefore: t0.Add(time.Hour)})
+	s.Append(Certificate{Domain: "mixed.com", NotBefore: t0})
+	certs := s.Search("MIXED.COM")
+	if len(certs) != 2 {
+		t.Fatalf("len = %d", len(certs))
+	}
+	if !certs[0].NotBefore.Equal(t0) {
+		t.Error("not sorted oldest-first")
+	}
+}
+
+func TestSearchUnknownDomain(t *testing.T) {
+	s := NewStore()
+	if got := s.Search("ghost.example"); len(got) != 0 {
+		t.Errorf("phantom certs: %v", got)
+	}
+	sum := s.Summarize("ghost.example")
+	if sum.Certs != 0 {
+		t.Errorf("phantom summary: %+v", sum)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	s := NewStore()
+	s.IssueChain("a.com", "DigiCert", 1, t0, 365*24*time.Hour, 2)
+	s.IssueChain("b.com", "Sectigo", 2, t0, 365*24*time.Hour, 3)
+	certs, domains := s.Totals()
+	if certs != 5 || domains != 2 {
+		t.Errorf("totals = %d certs, %d domains", certs, domains)
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	store := NewStore()
+	store.IssueChain("evil.top", "Let's Encrypt", IssuerID("Let's Encrypt"), t0, 90*24*time.Hour, 3)
+	srv := httptest.NewServer(NewServer(store, 0).Handler())
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	certs, err := c.Search(context.Background(), "evil.top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(certs) != 3 {
+		t.Fatalf("search = %d certs", len(certs))
+	}
+	sum, err := c.Summary(context.Background(), "evil.top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Certs != 3 || sum.Issuers["Let's Encrypt"] != 3 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestHTTPMissingParam(t *testing.T) {
+	srv := httptest.NewServer(NewServer(NewStore(), 0).Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if _, err := c.Search(context.Background(), ""); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+// Property: summaries agree with full searches.
+func TestSummaryMatchesSearchProperty(t *testing.T) {
+	f := func(counts []uint8) bool {
+		s := NewStore()
+		issuers := []string{"Let's Encrypt", "DigiCert", "Sectigo"}
+		for i, c := range counts {
+			n := int(c%7) + 1
+			s.IssueChain("d.com", issuers[i%len(issuers)], i, t0.Add(time.Duration(i)*time.Hour), 24*time.Hour, n)
+		}
+		sum := s.Summarize("d.com")
+		certs := s.Search("d.com")
+		if sum.Certs != len(certs) {
+			return false
+		}
+		total := 0
+		for _, n := range sum.Issuers {
+			total += n
+		}
+		return total == len(certs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIssuerIDStable(t *testing.T) {
+	if IssuerID("Let's Encrypt") != IssuerID("Let's Encrypt") {
+		t.Error("IssuerID unstable")
+	}
+	if IssuerID("Let's Encrypt") == IssuerID("DigiCert") {
+		t.Error("issuer collision between major CAs")
+	}
+}

@@ -1,0 +1,228 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"github.com/smishkit/smishkit/internal/corpus"
+)
+
+// corpusDocs builds a labeled dataset: smishing messages labeled with
+// their scam type plus a ham class, the training regime §7.2 proposes.
+func corpusDocs(t testing.TB, n int, seed int64) []Doc {
+	t.Helper()
+	w := corpus.Generate(corpus.Config{Seed: seed, Messages: n})
+	docs := make([]Doc, 0, n+n/4)
+	for _, m := range w.Messages {
+		docs = append(docs, Doc{Text: m.Text, Label: string(m.ScamType)})
+	}
+	for _, ham := range corpus.GenerateHam(seed+1, n/4) {
+		docs = append(docs, Doc{Text: ham, Label: "ham"})
+	}
+	return docs
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, false); err != ErrNoTraining {
+		t.Errorf("empty train err = %v", err)
+	}
+	if _, err := Train([]Doc{{Text: "x", Label: ""}}, false); err == nil {
+		t.Error("empty label accepted")
+	}
+}
+
+func TestPredictUntrained(t *testing.T) {
+	var m *Model
+	if _, _, err := m.Predict("x"); err != ErrNoTraining {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBinarySmishingDetection(t *testing.T) {
+	// Binary task: smishing (any scam type) vs ham.
+	raw := corpusDocs(t, 3000, 21)
+	docs := make([]Doc, len(raw))
+	for i, d := range raw {
+		label := "smish"
+		if d.Label == "ham" {
+			label = "ham"
+		}
+		docs[i] = Doc{Text: d.Text, Label: label}
+	}
+	train, test := Split(docs, 0.25, 5)
+	m, err := Train(train, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("binary: acc=%.3f macroF1=%.3f n=%d", ev.Accuracy, ev.MacroF1, ev.N)
+	if ev.Accuracy < 0.95 {
+		t.Errorf("binary accuracy = %.3f, want >= 0.95", ev.Accuracy)
+	}
+	if ev.PerLabel["ham"].Recall < 0.9 {
+		t.Errorf("ham recall = %.3f (false-positive rate too high)", ev.PerLabel["ham"].Recall)
+	}
+}
+
+func TestMulticlassScamTypes(t *testing.T) {
+	docs := corpusDocs(t, 4000, 22)
+	train, test := Split(docs, 0.25, 6)
+	m, err := Train(train, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("multiclass: acc=%.3f macroF1=%.3f n=%d labels=%d", ev.Accuracy, ev.MacroF1, ev.N, len(ev.PerLabel))
+	if ev.Accuracy < 0.80 {
+		t.Errorf("multiclass accuracy = %.3f, want >= 0.80", ev.Accuracy)
+	}
+	if bank, ok := ev.PerLabel[string(corpus.ScamBanking)]; ok && bank.F1 < 0.8 {
+		t.Errorf("banking F1 = %.3f", bank.F1)
+	}
+}
+
+func TestBigramsHelpOnConversationScams(t *testing.T) {
+	docs := corpusDocs(t, 4000, 23)
+	train, test := Split(docs, 0.25, 7)
+	uni, err := Train(train, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := Train(train, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evU, _ := Evaluate(uni, test)
+	evB, _ := Evaluate(bi, test)
+	t.Logf("unigram acc=%.3f, bigram acc=%.3f", evU.Accuracy, evB.Accuracy)
+	if evB.Accuracy < evU.Accuracy-0.02 {
+		t.Errorf("bigrams hurt accuracy: %.3f vs %.3f", evB.Accuracy, evU.Accuracy)
+	}
+}
+
+func TestPredictProbabilitiesNormalized(t *testing.T) {
+	docs := corpusDocs(t, 800, 24)
+	m, err := Train(docs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range []string{
+		"Your parcel is waiting, pay the fee",
+		"see you at 7",
+		"", // empty text must not panic
+	} {
+		_, scores, err := m.Predict(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, s := range scores {
+			if s.Prob < 0 || s.Prob > 1 || math.IsNaN(s.Prob) {
+				t.Fatalf("bad probability %v for %q", s.Prob, text)
+			}
+			sum += s.Prob
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("probabilities sum to %v for %q", sum, text)
+		}
+		// Sorted most-probable first.
+		for i := 1; i < len(scores); i++ {
+			if scores[i].LogProb > scores[i-1].LogProb {
+				t.Fatal("scores not sorted")
+			}
+		}
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	docs := corpusDocs(t, 600, 25)
+	m, err := Train(docs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range []string{"verify your account now", "lunch at noon?"} {
+		a, _, _ := m.Predict(text)
+		b, _, _ := m2.Predict(text)
+		if a != b {
+			t.Errorf("round-trip prediction differs for %q: %q vs %q", text, a, b)
+		}
+	}
+	if _, err := Load([]byte("{}")); err == nil {
+		t.Error("empty model loaded")
+	}
+	if _, err := Load([]byte("junk")); err == nil {
+		t.Error("junk loaded")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	docs := corpusDocs(t, 400, 26)
+	a1, b1 := Split(docs, 0.3, 9)
+	a2, b2 := Split(docs, 0.3, 9)
+	if len(a1) != len(a2) || len(b1) != len(b2) || a1[0].Text != a2[0].Text {
+		t.Error("split not deterministic")
+	}
+	if len(a1)+len(b1) != len(docs) {
+		t.Error("split lost documents")
+	}
+}
+
+func TestFeaturesURLMarker(t *testing.T) {
+	feats := Features("pay at https://evil.top/x now", false)
+	hasURL := false
+	for _, f := range feats {
+		if f == "__url__" {
+			hasURL = true
+		}
+	}
+	if !hasURL {
+		t.Errorf("no url marker in %v", feats)
+	}
+}
+
+// Campaign-level splitting prevents template leakage between train and
+// test; accuracy must stay strong but is allowed to drop vs the random
+// split (which shares templates across the boundary).
+func TestCampaignLevelSplit(t *testing.T) {
+	w := corpus.Generate(corpus.Config{Seed: 27, Messages: 4000})
+	var docs []Doc
+	var groups []string
+	for _, m := range w.Messages {
+		docs = append(docs, Doc{Text: m.Text, Label: string(m.ScamType)})
+		groups = append(groups, m.Campaign)
+	}
+	for i, ham := range corpus.GenerateHam(28, 1000) {
+		docs = append(docs, Doc{Text: ham, Label: "ham"})
+		groups = append(groups, "ham-group-"+string(rune('a'+i%20)))
+	}
+	train, test := SplitByGroup(docs, groups, 0.25, 11)
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatalf("degenerate split: %d/%d", len(train), len(test))
+	}
+	m, err := Train(train, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("campaign split: acc=%.3f macroF1=%.3f n=%d", ev.Accuracy, ev.MacroF1, ev.N)
+	if ev.Accuracy < 0.75 {
+		t.Errorf("campaign-split accuracy = %.3f, want >= 0.75", ev.Accuracy)
+	}
+}

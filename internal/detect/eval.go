@@ -1,0 +1,124 @@
+package detect
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/smishkit/smishkit/internal/stats"
+)
+
+// Split shuffles docs deterministically and divides them into train/test
+// with the given test fraction.
+func Split(docs []Doc, testFrac float64, seed int64) (train, test []Doc) {
+	shuffled := make([]Doc, len(docs))
+	copy(shuffled, docs)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	cut := int(float64(len(shuffled)) * (1 - testFrac))
+	if cut <= 0 || cut >= len(shuffled) {
+		return shuffled, nil
+	}
+	return shuffled[:cut], shuffled[cut:]
+}
+
+// Evaluation summarizes held-out performance.
+type Evaluation struct {
+	N         int
+	Accuracy  float64
+	MacroF1   float64
+	PerLabel  map[string]LabelMetrics
+	Confusion *stats.CrossTab // rows: truth, cols: prediction
+}
+
+// LabelMetrics holds one class's precision/recall/F1.
+type LabelMetrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// Evaluate scores a model on held-out docs.
+func Evaluate(m *Model, test []Doc) (Evaluation, error) {
+	ev := Evaluation{Confusion: stats.NewCrossTab(), PerLabel: map[string]LabelMetrics{}}
+	correct := 0
+	tp := map[string]int{}
+	fp := map[string]int{}
+	fn := map[string]int{}
+	support := map[string]int{}
+	for _, d := range test {
+		pred, _, err := m.Predict(d.Text)
+		if err != nil {
+			return ev, err
+		}
+		ev.N++
+		ev.Confusion.Add(d.Label, pred)
+		support[d.Label]++
+		if pred == d.Label {
+			correct++
+			tp[d.Label]++
+		} else {
+			fp[pred]++
+			fn[d.Label]++
+		}
+	}
+	if ev.N == 0 {
+		return ev, ErrNoTraining
+	}
+	ev.Accuracy = float64(correct) / float64(ev.N)
+
+	labels := make([]string, 0, len(support))
+	for l := range support {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var f1Sum float64
+	for _, l := range labels {
+		prec := safeDiv(tp[l], tp[l]+fp[l])
+		rec := safeDiv(tp[l], tp[l]+fn[l])
+		f1 := 0.0
+		if prec+rec > 0 {
+			f1 = 2 * prec * rec / (prec + rec)
+		}
+		ev.PerLabel[l] = LabelMetrics{Precision: prec, Recall: rec, F1: f1, Support: support[l]}
+		f1Sum += f1
+	}
+	ev.MacroF1 = f1Sum / float64(len(labels))
+	return ev, nil
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// SplitByGroup divides docs into train/test with whole groups (e.g.
+// campaigns) kept on one side, preventing template leakage between splits —
+// the honest protocol for campaign-generated corpora.
+func SplitByGroup(docs []Doc, groups []string, testFrac float64, seed int64) (train, test []Doc) {
+	distinct := make([]string, 0)
+	seen := map[string]bool{}
+	for _, g := range groups {
+		if !seen[g] {
+			seen[g] = true
+			distinct = append(distinct, g)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(distinct), func(i, j int) { distinct[i], distinct[j] = distinct[j], distinct[i] })
+	cut := int(float64(len(distinct)) * (1 - testFrac))
+	trainGroups := map[string]bool{}
+	for _, g := range distinct[:cut] {
+		trainGroups[g] = true
+	}
+	for i, d := range docs {
+		if i < len(groups) && trainGroups[groups[i]] {
+			train = append(train, d)
+		} else {
+			test = append(test, d)
+		}
+	}
+	return train, test
+}

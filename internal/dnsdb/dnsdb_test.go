@@ -1,0 +1,190 @@
+package dnsdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func mustPrefix(t testing.TB, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRadixLongestPrefixMatch(t *testing.T) {
+	r := NewRadixTable()
+	if err := r.Insert(mustPrefix(t, "10.0.0.0/8"), ASInfo{ASN: 1, Name: "big"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(mustPrefix(t, "10.1.0.0/16"), ASInfo{ASN: 2, Name: "mid"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(mustPrefix(t, "10.1.2.0/24"), ASInfo{ASN: 3, Name: "small"}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ip   string
+		want int
+	}{
+		{"10.9.9.9", 1},
+		{"10.1.9.9", 2},
+		{"10.1.2.3", 3},
+	}
+	for _, c := range cases {
+		info, err := r.Lookup(netip.MustParseAddr(c.ip))
+		if err != nil {
+			t.Fatalf("%s: %v", c.ip, err)
+		}
+		if info.ASN != c.want {
+			t.Errorf("%s -> AS%d, want AS%d", c.ip, info.ASN, c.want)
+		}
+	}
+}
+
+func TestRadixNoRoute(t *testing.T) {
+	r := NewRadixTable()
+	_ = r.Insert(mustPrefix(t, "10.0.0.0/8"), ASInfo{ASN: 1})
+	if _, err := r.Lookup(netip.MustParseAddr("11.0.0.1")); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestRadixRejectsIPv6(t *testing.T) {
+	r := NewRadixTable()
+	if err := r.Insert(netip.MustParsePrefix("2001:db8::/32"), ASInfo{}); err == nil {
+		t.Error("ipv6 insert accepted")
+	}
+	if _, err := r.Lookup(netip.MustParseAddr("::1")); err == nil {
+		t.Error("ipv6 lookup accepted")
+	}
+}
+
+func TestRadixOverwrite(t *testing.T) {
+	r := NewRadixTable()
+	_ = r.Insert(mustPrefix(t, "10.0.0.0/8"), ASInfo{ASN: 1})
+	_ = r.Insert(mustPrefix(t, "10.0.0.0/8"), ASInfo{ASN: 9})
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	info, _ := r.Lookup(netip.MustParseAddr("10.1.1.1"))
+	if info.ASN != 9 {
+		t.Errorf("overwrite lost: AS%d", info.ASN)
+	}
+}
+
+func TestRadixZeroLengthPrefix(t *testing.T) {
+	r := NewRadixTable()
+	_ = r.Insert(mustPrefix(t, "0.0.0.0/0"), ASInfo{ASN: 42, Name: "default"})
+	info, err := r.Lookup(netip.MustParseAddr("203.0.113.7"))
+	if err != nil || info.ASN != 42 {
+		t.Errorf("default route: %v %v", info, err)
+	}
+}
+
+// Property: radix and linear-scan tables always agree.
+func TestRadixMatchesLinearProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		radix := NewRadixTable()
+		linear := &LinearTable{}
+		for i := 0; i < 100; i++ {
+			bits := 8 + rng.Intn(17)
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(223) + 1), byte(rng.Intn(256)), byte(rng.Intn(256)), 0})
+			p, err := addr.Prefix(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			info := ASInfo{ASN: i, Name: fmt.Sprintf("as-%d", i)}
+			if err := radix.Insert(p, info); err != nil {
+				t.Fatal(err)
+			}
+			if err := linear.Insert(p, info); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for q := 0; q < 500; q++ {
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+			ri, rerr := radix.Lookup(addr)
+			li, lerr := linear.Lookup(addr)
+			if (rerr == nil) != (lerr == nil) {
+				t.Fatalf("%v: radix err %v, linear err %v", addr, rerr, lerr)
+			}
+			if rerr == nil && ri.ASN != li.ASN {
+				// Equal-length duplicate prefixes may differ; verify both
+				// prefixes have the same bits before failing.
+				t.Fatalf("%v: radix AS%d, linear AS%d", addr, ri.ASN, li.ASN)
+			}
+		}
+	}
+}
+
+func TestStoreObservations(t *testing.T) {
+	s := NewStore()
+	t0 := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	s.AddObservation(Observation{Domain: "Evil.Top", IP: "9.8.7.6", FirstSeen: t0.Add(time.Hour), LastSeen: t0.Add(2 * time.Hour)})
+	s.AddObservation(Observation{Domain: "evil.top", IP: "9.8.7.5", FirstSeen: t0, LastSeen: t0.Add(time.Hour)})
+	obs := s.Resolutions("EVIL.top")
+	if len(obs) != 2 {
+		t.Fatalf("obs = %d", len(obs))
+	}
+	if obs[0].IP != "9.8.7.5" {
+		t.Error("not sorted by first seen")
+	}
+	if got := s.Resolutions("ghost.example"); len(got) != 0 {
+		t.Errorf("phantom observations: %v", got)
+	}
+}
+
+func TestStoreASOf(t *testing.T) {
+	s := NewStore()
+	if err := s.AddPrefix("104.16.0.0/16", ASInfo{ASN: 13335, Name: "Cloudflare", Country: "US"}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.ASOf("104.16.1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "Cloudflare" {
+		t.Errorf("info = %+v", info)
+	}
+	if _, err := s.ASOf("not-an-ip"); err == nil {
+		t.Error("junk IP accepted")
+	}
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	store := NewStore()
+	t0 := time.Now().UTC().Truncate(time.Second)
+	store.AddObservation(Observation{Domain: "evil.top", IP: "104.16.1.2", FirstSeen: t0, LastSeen: t0})
+	_ = store.AddPrefix("104.16.0.0/16", ASInfo{ASN: 13335, Name: "Cloudflare", Country: "US"})
+	srv := httptest.NewServer(NewServer(store, "pk", 0).Handler())
+	defer srv.Close()
+
+	c := NewClient(srv.URL, "pk")
+	obs, err := c.Resolutions(context.Background(), "evil.top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 || obs[0].IP != "104.16.1.2" {
+		t.Errorf("obs = %v", obs)
+	}
+	info, err := c.ASOf(context.Background(), "104.16.1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ASN != 13335 {
+		t.Errorf("asn = %d", info.ASN)
+	}
+	if _, err := c.ASOf(context.Background(), "203.0.113.9"); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("uncovered IP err = %v, want ErrNoRoute", err)
+	}
+}

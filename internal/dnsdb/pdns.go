@@ -1,0 +1,163 @@
+package dnsdb
+
+import (
+	"context"
+	"net/http"
+	"net/netip"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/netutil"
+)
+
+// Observation is one passive-DNS sighting: domain resolved to IP during
+// [FirstSeen, LastSeen].
+type Observation struct {
+	Domain    string    `json:"domain"`
+	IP        string    `json:"ip"`
+	FirstSeen time.Time `json:"first_seen"`
+	LastSeen  time.Time `json:"last_seen"`
+}
+
+// Store combines the passive-DNS history with the IP->AS database.
+type Store struct {
+	mu    sync.RWMutex
+	byDom map[string][]Observation
+	asdb  *RadixTable
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byDom: make(map[string][]Observation), asdb: NewRadixTable()}
+}
+
+// AddObservation records a pDNS sighting.
+func (s *Store) AddObservation(o Observation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(o.Domain)
+	s.byDom[key] = append(s.byDom[key], o)
+}
+
+// AddPrefix registers a CIDR prefix with its AS.
+func (s *Store) AddPrefix(cidr string, info ASInfo) error {
+	p, err := netip.ParsePrefix(cidr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.asdb.Insert(p, info)
+}
+
+// Resolutions returns a domain's sightings, oldest first.
+func (s *Store) Resolutions(domain string) []Observation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obs := s.byDom[strings.ToLower(strings.TrimSpace(domain))]
+	out := make([]Observation, len(obs))
+	copy(out, obs)
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstSeen.Before(out[j].FirstSeen) })
+	return out
+}
+
+// ASOf maps an IP to its autonomous system.
+func (s *Store) ASOf(ip string) (ASInfo, error) {
+	addr, err := netip.ParseAddr(strings.TrimSpace(ip))
+	if err != nil {
+		return ASInfo{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.asdb.Lookup(addr)
+}
+
+// Server exposes:
+//
+//	GET /v1/pdns?domain=x  -> []Observation
+//	GET /v1/ip?addr=a.b.c.d -> ASInfo
+type Server struct {
+	store   *Store
+	apiKey  string
+	limiter *netutil.TokenBucket
+}
+
+// NewServer wires the store into the HTTP API.
+func NewServer(store *Store, apiKey string, ratePerSec float64) *Server {
+	s := &Server{store: store, apiKey: apiKey}
+	if ratePerSec > 0 {
+		s.limiter = netutil.NewTokenBucket(int(ratePerSec*2)+1, ratePerSec)
+	}
+	return s
+}
+
+// Handler returns the routed, authenticated handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/pdns", func(w http.ResponseWriter, r *http.Request) {
+		if !s.allow(w) {
+			return
+		}
+		domain := r.URL.Query().Get("domain")
+		if domain == "" {
+			netutil.WriteError(w, http.StatusBadRequest, "missing domain parameter")
+			return
+		}
+		netutil.WriteJSON(w, http.StatusOK, s.store.Resolutions(domain))
+	})
+	mux.HandleFunc("GET /v1/ip", func(w http.ResponseWriter, r *http.Request) {
+		if !s.allow(w) {
+			return
+		}
+		addr := r.URL.Query().Get("addr")
+		if addr == "" {
+			netutil.WriteError(w, http.StatusBadRequest, "missing addr parameter")
+			return
+		}
+		info, err := s.store.ASOf(addr)
+		if err != nil {
+			netutil.WriteError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		netutil.WriteJSON(w, http.StatusOK, info)
+	})
+	return netutil.RequireKey(s.apiKey, mux)
+}
+
+func (s *Server) allow(w http.ResponseWriter) bool {
+	if s.limiter == nil || s.limiter.Allow() {
+		return true
+	}
+	netutil.WriteRateLimited(w, s.limiter.RetryAfter(1))
+	return false
+}
+
+// Client consumes the API.
+type Client struct {
+	API netutil.Client
+}
+
+// NewClient builds a client for the service at baseURL.
+func NewClient(baseURL, apiKey string) *Client {
+	return &Client{API: netutil.Client{BaseURL: baseURL, APIKey: apiKey}}
+}
+
+// Resolutions fetches a domain's pDNS history.
+func (c *Client) Resolutions(ctx context.Context, domain string) ([]Observation, error) {
+	var out []Observation
+	err := c.API.GetJSON(ctx, "/v1/pdns?domain="+url.QueryEscape(domain), &out)
+	return out, err
+}
+
+// ASOf resolves an IP to its AS. A 404 maps to ErrNoRoute.
+func (c *Client) ASOf(ctx context.Context, ip string) (ASInfo, error) {
+	var out ASInfo
+	err := c.API.GetJSON(ctx, "/v1/ip?addr="+url.QueryEscape(ip), &out)
+	if netutil.IsStatus(err, http.StatusNotFound) {
+		return ASInfo{}, ErrNoRoute
+	}
+	return out, err
+}

@@ -1,0 +1,132 @@
+// Package dnsdb simulates the passive-DNS feed (Spamhaus) and the IP
+// geolocation/ASN database (ipinfo.io) the paper combines in §3.3.3/§4.6:
+// a domain's historical resolutions feed a longest-prefix-match IP-to-ASN
+// lookup, yielding the abused autonomous systems and their countries.
+package dnsdb
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// ASInfo describes the autonomous system owning a prefix.
+type ASInfo struct {
+	ASN     int    `json:"asn"`
+	Name    string `json:"name"`
+	Country string `json:"country"`
+}
+
+// PrefixEntry binds a CIDR prefix to its AS.
+type PrefixEntry struct {
+	Prefix netip.Prefix
+	Info   ASInfo
+}
+
+// ErrNoRoute is returned when no prefix covers an address.
+var ErrNoRoute = errors.New("dnsdb: address not covered by any prefix")
+
+// RadixTable performs longest-prefix matching over IPv4 space using a
+// binary trie keyed on address bits — the structure real BGP/geo databases
+// use. Insertions are not safe for concurrent use with lookups; load fully,
+// then query.
+type RadixTable struct {
+	root *radixNode
+	size int
+}
+
+type radixNode struct {
+	child [2]*radixNode
+	info  *ASInfo // set when a prefix terminates here
+}
+
+// NewRadixTable returns an empty table.
+func NewRadixTable() *RadixTable { return &RadixTable{root: &radixNode{}} }
+
+// Len returns the number of inserted prefixes.
+func (t *RadixTable) Len() int { return t.size }
+
+// Insert adds prefix -> info. IPv4 only; longer (more specific) prefixes
+// win at lookup. Re-inserting a prefix overwrites its info.
+func (t *RadixTable) Insert(prefix netip.Prefix, info ASInfo) error {
+	addr := prefix.Addr()
+	if !addr.Is4() {
+		return fmt.Errorf("dnsdb: only IPv4 prefixes supported, got %v", prefix)
+	}
+	bits := ipv4Bits(addr)
+	n := t.root
+	for i := 0; i < prefix.Bits(); i++ {
+		b := (bits >> (31 - i)) & 1
+		if n.child[b] == nil {
+			n.child[b] = &radixNode{}
+		}
+		n = n.child[b]
+	}
+	if n.info == nil {
+		t.size++
+	}
+	infoCopy := info
+	n.info = &infoCopy
+	return nil
+}
+
+// Lookup finds the most specific prefix covering addr.
+func (t *RadixTable) Lookup(addr netip.Addr) (ASInfo, error) {
+	if !addr.Is4() {
+		return ASInfo{}, fmt.Errorf("dnsdb: only IPv4 lookups supported, got %v", addr)
+	}
+	bits := ipv4Bits(addr)
+	n := t.root
+	var best *ASInfo
+	for i := 0; i < 32 && n != nil; i++ {
+		if n.info != nil {
+			best = n.info
+		}
+		b := (bits >> (31 - i)) & 1
+		n = n.child[b]
+	}
+	if n != nil && n.info != nil {
+		best = n.info
+	}
+	if best == nil {
+		return ASInfo{}, ErrNoRoute
+	}
+	return *best, nil
+}
+
+func ipv4Bits(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// LinearTable is the naive scan baseline used by the ablation bench
+// (DESIGN.md §6 item 5): correct but O(prefixes) per lookup.
+type LinearTable struct {
+	entries []PrefixEntry
+}
+
+// Insert appends prefix -> info.
+func (t *LinearTable) Insert(prefix netip.Prefix, info ASInfo) error {
+	if !prefix.Addr().Is4() {
+		return fmt.Errorf("dnsdb: only IPv4 prefixes supported, got %v", prefix)
+	}
+	t.entries = append(t.entries, PrefixEntry{Prefix: prefix, Info: info})
+	return nil
+}
+
+// Lookup scans all prefixes for the longest match.
+func (t *LinearTable) Lookup(addr netip.Addr) (ASInfo, error) {
+	best := -1
+	bestBits := -1
+	for i, e := range t.entries {
+		// >= so a re-inserted (duplicate) prefix overrides the earlier
+		// entry, matching RadixTable's overwrite semantics.
+		if e.Prefix.Contains(addr) && e.Prefix.Bits() >= bestBits {
+			best, bestBits = i, e.Prefix.Bits()
+		}
+	}
+	if best < 0 {
+		return ASInfo{}, ErrNoRoute
+	}
+	return t.entries[best].Info, nil
+}

@@ -1,0 +1,116 @@
+// Package extract turns raw extractor output into curated message fields:
+// a multi-format timestamp parser standing in for Python's dateparser
+// (§3.2 "Timestamp"), plus assembly of text/sender/URL fields from an
+// extraction. Messaging apps show times in wildly different formats — some
+// without a date at all — and the parser reports exactly what it could
+// recover so the metadata analysis (§3.3.2) can exclude date-less stamps.
+package extract
+
+import (
+	"errors"
+	"strings"
+	"time"
+)
+
+// ParsedTime is the outcome of parsing a screenshot timestamp.
+type ParsedTime struct {
+	Time    time.Time
+	HasDate bool // false for clock-only stamps like "14:32"
+}
+
+// ErrUnparsable is returned when no known format matches.
+var ErrUnparsable = errors.New("extract: unparsable timestamp")
+
+// dateFormats are tried in order; first hit wins. The list covers the
+// renderer's app formats plus common international spellings.
+var dateFormats = []string{
+	"Mon, 2 Jan 2006 15:04",
+	"Mon, 2 Jan 2006 3:04 PM",
+	"2006-01-02 15:04:05",
+	"2006-01-02 15:04",
+	"2006-01-02T15:04:05Z07:00",
+	"Jan 2, 2006 3:04 PM",
+	"Jan 2, 2006 15:04",
+	"2 Jan 2006 15:04",
+	"2 January 2006 15:04",
+	"02/01/2006 15:04", // EU day-first
+	"01/02/2006 3:04 PM",
+	"02.01.2006 15:04",
+	"Monday, January 2, 2006 3:04 PM",
+	"Mon 2 Jan 15:04",
+	"2 Jan, 15:04",
+	"Jan 2, 3:04 PM",
+}
+
+// timeOnlyFormats carry no date.
+var timeOnlyFormats = []string{
+	"15:04:05",
+	"15:04",
+	"3:04 PM",
+	"3:04PM",
+	"3.04 PM",
+}
+
+// relativeWords map day words to offsets from the reference date.
+var relativeWords = map[string]int{
+	"today":     0,
+	"yesterday": -1,
+}
+
+// ParseTimestamp parses a screenshot time string. ref anchors formats that
+// omit the year (the renderer's "Mon 2 Jan 15:04") and relative words
+// ("Yesterday 14:32"); pass the report time. Clock-only stamps return
+// HasDate=false with the clock applied to ref's date.
+func ParseTimestamp(s string, ref time.Time) (ParsedTime, error) {
+	s = strings.TrimSpace(collapseSpaces(s))
+	if s == "" {
+		return ParsedTime{}, ErrUnparsable
+	}
+	lower := strings.ToLower(s)
+	for word, offset := range relativeWords {
+		if strings.HasPrefix(lower, word) {
+			rest := strings.TrimSpace(s[len(word):])
+			rest = strings.TrimPrefix(rest, ",")
+			rest = strings.TrimSpace(rest)
+			pt, err := parseClock(rest, ref.AddDate(0, 0, offset))
+			if err != nil {
+				return ParsedTime{}, err
+			}
+			pt.HasDate = true
+			return pt, nil
+		}
+	}
+	for _, layout := range dateFormats {
+		t, err := time.Parse(layout, s)
+		if err != nil {
+			continue
+		}
+		if t.Year() == 0 {
+			// Year-less layout: adopt the reference year, stepping back a
+			// year if that would land in the future relative to ref.
+			t = t.AddDate(ref.Year(), 0, 0)
+			if t.After(ref.AddDate(0, 0, 1)) {
+				t = t.AddDate(-1, 0, 0)
+			}
+		}
+		return ParsedTime{Time: t, HasDate: true}, nil
+	}
+	return parseClock(s, ref)
+}
+
+func parseClock(s string, day time.Time) (ParsedTime, error) {
+	for _, layout := range timeOnlyFormats {
+		t, err := time.Parse(layout, s)
+		if err != nil {
+			continue
+		}
+		combined := time.Date(day.Year(), day.Month(), day.Day(),
+			t.Hour(), t.Minute(), t.Second(), 0, day.Location())
+		return ParsedTime{Time: combined, HasDate: false}, nil
+	}
+	return ParsedTime{}, ErrUnparsable
+}
+
+func collapseSpaces(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,176 @@
+package extract
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/screenshot"
+	"github.com/smishkit/smishkit/internal/senderid"
+)
+
+var ref = time.Date(2023, 6, 10, 18, 0, 0, 0, time.UTC)
+
+func TestParseTimestampFullFormats(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Time
+	}{
+		{"Tue, 2 May 2023 14:32", time.Date(2023, 5, 2, 14, 32, 0, 0, time.UTC)},
+		{"2023-05-02 14:32", time.Date(2023, 5, 2, 14, 32, 0, 0, time.UTC)},
+		{"May 2, 2023 2:32 PM", time.Date(2023, 5, 2, 14, 32, 0, 0, time.UTC)},
+		{"02/05/2023 14:32", time.Date(2023, 5, 2, 14, 32, 0, 0, time.UTC)},
+		{"02.05.2023 14:32", time.Date(2023, 5, 2, 14, 32, 0, 0, time.UTC)},
+		{"2 May 2023 14:32", time.Date(2023, 5, 2, 14, 32, 0, 0, time.UTC)},
+	}
+	for _, c := range cases {
+		pt, err := ParseTimestamp(c.in, ref)
+		if err != nil {
+			t.Errorf("ParseTimestamp(%q): %v", c.in, err)
+			continue
+		}
+		if !pt.HasDate {
+			t.Errorf("%q: HasDate = false", c.in)
+		}
+		if !pt.Time.Equal(c.want) {
+			t.Errorf("%q -> %v, want %v", c.in, pt.Time, c.want)
+		}
+	}
+}
+
+func TestParseTimestampClockOnly(t *testing.T) {
+	pt, err := ParseTimestamp("14:32", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.HasDate {
+		t.Error("clock-only stamp claims a date")
+	}
+	if pt.Time.Hour() != 14 || pt.Time.Day() != ref.Day() {
+		t.Errorf("time = %v", pt.Time)
+	}
+	pt, err = ParseTimestamp("2:32 PM", ref)
+	if err != nil || pt.Time.Hour() != 14 {
+		t.Errorf("12h clock: %v %v", pt, err)
+	}
+}
+
+func TestParseTimestampRelative(t *testing.T) {
+	pt, err := ParseTimestamp("Yesterday 09:15", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.HasDate {
+		t.Error("relative stamp lost its date")
+	}
+	want := time.Date(2023, 6, 9, 9, 15, 0, 0, time.UTC)
+	if !pt.Time.Equal(want) {
+		t.Errorf("yesterday = %v, want %v", pt.Time, want)
+	}
+	pt, err = ParseTimestamp("Today, 10:00", ref)
+	if err != nil || pt.Time.Day() != 10 {
+		t.Errorf("today = %v, %v", pt, err)
+	}
+}
+
+func TestParseTimestampYearless(t *testing.T) {
+	pt, err := ParseTimestamp("Sat 10 Jun 12:30", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Time.Year() != 2023 {
+		t.Errorf("year = %d", pt.Time.Year())
+	}
+	// A yearless date after ref rolls back a year.
+	pt, err = ParseTimestamp("25 Dec, 23:59", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Time.Year() != 2022 {
+		t.Errorf("future yearless year = %d, want 2022", pt.Time.Year())
+	}
+}
+
+func TestParseTimestampGarbage(t *testing.T) {
+	for _, bad := range []string{"", "not a time", "99:99", "snakes"} {
+		if _, err := ParseTimestamp(bad, ref); !errors.Is(err, ErrUnparsable) {
+			t.Errorf("ParseTimestamp(%q) err = %v", bad, err)
+		}
+	}
+}
+
+// Every format the screenshot renderer emits must be parsable.
+func TestParseTimestampCoversRendererFormats(t *testing.T) {
+	base := time.Date(2023, 5, 2, 14, 32, 0, 0, time.UTC)
+	for sec := 0; sec < 4; sec++ {
+		spec := screenshot.Spec{
+			Sender:    "X",
+			Timestamp: base.Add(time.Duration(sec) * time.Second),
+			Body:      "hello",
+			Theme:     screenshot.Themes[0],
+		}
+		img := screenshot.Render(spec)
+		stamp := img.TruthTimestamp
+		pt, err := ParseTimestamp(stamp, ref)
+		if err != nil {
+			t.Errorf("renderer stamp %q unparsable: %v", stamp, err)
+			continue
+		}
+		if !pt.HasDate {
+			t.Errorf("stamp %q lost its date", stamp)
+		}
+		if pt.Time.Hour() != 14 || pt.Time.Minute() != 32 {
+			t.Errorf("stamp %q -> %v", stamp, pt.Time)
+		}
+	}
+	// Time-only renderer format.
+	spec := screenshot.Spec{Sender: "X", Timestamp: base, TimeOnly: true, Body: "hi", Theme: screenshot.Themes[0]}
+	img := screenshot.Render(spec)
+	pt, err := ParseTimestamp(img.TruthTimestamp, ref)
+	if err != nil || pt.HasDate {
+		t.Errorf("time-only stamp: %+v, %v", pt, err)
+	}
+}
+
+func TestAssemble(t *testing.T) {
+	f := Assemble(
+		"SBI alert: verify at https://sbi-kyc.top/verify now",
+		"+919876543210",
+		"2023-05-02 14:32",
+		"",
+		ref,
+	)
+	if f.SenderKind != senderid.KindPhone {
+		t.Errorf("sender kind = %s", f.SenderKind)
+	}
+	if len(f.URLs) != 1 || f.PrimaryURL() != "https://sbi-kyc.top/verify" {
+		t.Errorf("urls = %v", f.URLs)
+	}
+	if !f.Timestamp.HasDate {
+		t.Error("timestamp lost")
+	}
+}
+
+func TestAssembleMergesExtractorURL(t *testing.T) {
+	f := Assemble("pay the fee now", "DHL", "", "hxxps://dhl-fee[.]top/pay", ref)
+	if len(f.URLs) != 1 || f.URLs[0] != "https://dhl-fee.top/pay" {
+		t.Errorf("urls = %v", f.URLs)
+	}
+	if f.SenderKind != senderid.KindAlphanumeric {
+		t.Errorf("kind = %s", f.SenderKind)
+	}
+}
+
+func TestAssembleDedupsURLs(t *testing.T) {
+	f := Assemble("visit https://a.com/x", "X", "", "https://a.com/x", ref)
+	if len(f.URLs) != 1 {
+		t.Errorf("urls = %v", f.URLs)
+	}
+}
+
+func TestAssembleEmpty(t *testing.T) {
+	f := Assemble("", "", "", "", ref)
+	if f.PrimaryURL() != "" || f.SenderKind != senderid.KindUnknown {
+		t.Errorf("fields = %+v", f)
+	}
+}

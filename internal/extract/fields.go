@@ -1,0 +1,60 @@
+package extract
+
+import (
+	"strings"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/senderid"
+	"github.com/smishkit/smishkit/internal/urlinfo"
+)
+
+// Fields is the curated record assembled from one report: the paper's four
+// variables, validated and normalized (§3.2).
+type Fields struct {
+	Text       string
+	Sender     string
+	SenderKind senderid.Kind
+	Timestamp  ParsedTime // zero Time when absent/unparsable
+	URLs       []string   // every URL found in the text, refanged
+}
+
+// Assemble normalizes raw extractor output into Fields. rawURL, when the
+// extractor isolated one, is merged with URLs discovered in the text; ref
+// anchors partial timestamps.
+func Assemble(text, sender, timestamp, rawURL string, ref time.Time) Fields {
+	f := Fields{
+		Text:   strings.TrimSpace(text),
+		Sender: strings.TrimSpace(sender),
+	}
+	f.SenderKind = senderid.Classify(f.Sender)
+	if timestamp != "" {
+		if pt, err := ParseTimestamp(timestamp, ref); err == nil {
+			f.Timestamp = pt
+		}
+	}
+	seen := make(map[string]bool)
+	push := func(u string) {
+		u = urlinfo.Refang(strings.TrimSpace(u))
+		if u == "" || seen[u] {
+			return
+		}
+		if _, err := urlinfo.Parse(u); err != nil {
+			return
+		}
+		seen[u] = true
+		f.URLs = append(f.URLs, u)
+	}
+	push(rawURL)
+	for _, u := range urlinfo.ExtractURLs(f.Text) {
+		push(u)
+	}
+	return f
+}
+
+// PrimaryURL returns the first URL, or "".
+func (f Fields) PrimaryURL() string {
+	if len(f.URLs) == 0 {
+		return ""
+	}
+	return f.URLs[0]
+}

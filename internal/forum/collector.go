@@ -1,0 +1,90 @@
+package forum
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/netutil"
+)
+
+// ctxType keeps collector signatures compact.
+type ctxType = context.Context
+
+// Collector is one forum's collection client. Collect streams every report
+// into sink; returning an error from sink aborts the run.
+type Collector interface {
+	Name() corpus.Forum
+	Collect(ctx context.Context, sink func(RawReport) error) error
+}
+
+// CollectAll drains every collector sequentially (the paper's collectors
+// ran as independent jobs; sequential keeps per-forum rate limits simple)
+// and returns all reports plus per-forum counts.
+func CollectAll(ctx context.Context, collectors []Collector) ([]RawReport, map[corpus.Forum]int, error) {
+	var all []RawReport
+	counts := make(map[corpus.Forum]int)
+	for _, c := range collectors {
+		err := c.Collect(ctx, func(r RawReport) error {
+			all = append(all, r)
+			counts[c.Name()]++
+			return nil
+		})
+		if err != nil {
+			return all, counts, fmt.Errorf("forum: collect %s: %w", c.Name(), err)
+		}
+	}
+	return all, counts, nil
+}
+
+// fetchBytes downloads a raw resource (media, paste) relative to the
+// client's BaseURL, with the client's auth headers and bounded retries.
+func fetchBytes(ctx context.Context, api *netutil.Client, path string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Duration(attempt) * 50 * time.Millisecond):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, api.BaseURL+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		if api.APIKey != "" {
+			req.Header.Set("X-Api-Key", api.APIKey)
+		}
+		for k, v := range api.Headers {
+			req.Header.Set(k, v)
+		}
+		client := api.HTTPClient
+		if client == nil {
+			client = &http.Client{Timeout: 10 * time.Second}
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, readErr := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK && readErr == nil:
+			return data, nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("status %d", resp.StatusCode)
+			continue
+		default:
+			if readErr != nil {
+				return nil, readErr
+			}
+			return nil, fmt.Errorf("forum: fetch %s: status %d", path, resp.StatusCode)
+		}
+	}
+	return nil, fmt.Errorf("forum: fetch %s failed: %w", path, lastErr)
+}

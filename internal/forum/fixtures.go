@@ -1,0 +1,190 @@
+package forum
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/screenshot"
+)
+
+// Fixtures holds the seeded content for all five forum servers.
+type Fixtures struct {
+	Twitter    []post
+	Reddit     []post
+	Smishtank  []post
+	SmishingEU []post
+	Pastebin   []post
+}
+
+// commentary users attach around the screenshot; every variant carries at
+// least one collection keyword so the simulated search finds it.
+var commentaries = []string{
+	"Got this smishing text today, be careful out there",
+	"Another phishing sms impersonating @%s, reported",
+	"Is this an sms scam? Received this morning",
+	"PSA: sms fraud attempt going around, don't click",
+	"This smishing attempt almost got my mum. Reporting here",
+	"More phishing sms spam. When will carriers block this sms fraud?",
+}
+
+// noiseBodies are the awareness/chatter posts that match the keywords but
+// are not reports — the curation stage must filter them (§3.2).
+var noiseBodies = []string{
+	"Our new blog post explains what smishing is and how to avoid sms fraud",
+	"Reminder: forward any sms scam to 7726. Retweet to spread awareness",
+	"We are hiring a researcher to study phishing sms campaigns",
+	"Join our webinar on smishing and mobile threats this Thursday",
+	"Thread: 10 red flags of an sms scam, number 7 will surprise you",
+}
+
+// redactSender is what privacy-minded reporters replace sender IDs with.
+const redactSender = "+44 74** ***123"
+
+// BuildFixtures routes every world message to its forum in the forum's
+// native shape, appends keyword-matching noise posts, and renders
+// screenshot attachments where the report has one.
+func BuildFixtures(w *corpus.World) *Fixtures {
+	rng := rand.New(rand.NewSource(w.Seed ^ 0x5eed))
+	f := &Fixtures{}
+	for _, m := range w.Messages {
+		p := buildPost(rng, m)
+		switch m.Forum {
+		case corpus.ForumTwitter:
+			f.Twitter = append(f.Twitter, p)
+		case corpus.ForumReddit:
+			p.Subreddit = pickSubreddit(rng)
+			f.Reddit = append(f.Reddit, p)
+		case corpus.ForumSmishtank:
+			f.Smishtank = append(f.Smishtank, p)
+		case corpus.ForumSmishingEU:
+			f.SmishingEU = append(f.SmishingEU, p)
+		case corpus.ForumPastebin:
+			f.Pastebin = append(f.Pastebin, p)
+		}
+	}
+	// Noise posts: only the screenshot-driven social forums carry them;
+	// smishing.eu/Pastebin/Smishtank are purpose-built reporting channels.
+	addNoise := func(forum corpus.Forum, out *[]post) {
+		n := w.NoisePosts[forum]
+		for i := 0; i < n; i++ {
+			p := post{
+				ID:        fmt.Sprintf("%s-noise-%05d", forum, i),
+				CreatedAt: randomTime(rng),
+				Body:      noiseBodies[rng.Intn(len(noiseBodies))],
+				IsNoise:   true,
+			}
+			if rng.Float64() < 0.5 {
+				// Half the noise posts attach a poster or unrelated image.
+				if rng.Float64() < 0.7 {
+					p.Attachment = screenshot.RenderPoster("Think before you click").Encode()
+				} else {
+					p.Attachment = screenshot.RenderUnrelated(i).Encode()
+				}
+			}
+			if forum == corpus.ForumReddit {
+				p.Subreddit = pickSubreddit(rng)
+			}
+			*out = append(*out, p)
+		}
+	}
+	addNoise(corpus.ForumTwitter, &f.Twitter)
+	addNoise(corpus.ForumReddit, &f.Reddit)
+	return f
+}
+
+func buildPost(rng *rand.Rand, m corpus.Message) post {
+	p := post{
+		ID:        string(m.Forum) + "-" + m.ID,
+		CreatedAt: m.ReportedAt,
+		Country:   m.Sender.Country,
+	}
+	displaySender := m.Sender.Value
+	if m.RedactSender {
+		displaySender = redactSender
+	}
+	displayText := m.Text
+	if m.RedactURL && m.URL != "" {
+		displayText = strings.ReplaceAll(displayText, m.URL, redactedURL(m.URL))
+	}
+
+	switch m.Forum {
+	case corpus.ForumTwitter, corpus.ForumReddit:
+		c := commentaries[rng.Intn(len(commentaries))]
+		if strings.Contains(c, "%s") {
+			brand := m.Brand
+			if brand == "" {
+				brand = "my bank"
+			}
+			c = fmt.Sprintf(c, strings.ReplaceAll(brand, " ", ""))
+		}
+		p.Body = c
+		if m.HasScreenshot {
+			p.Attachment = renderShot(rng, m, displaySender, displayText)
+		} else {
+			// No screenshot: the user quotes the SMS in the post body.
+			p.Body = c + `: "` + displayText + `" from ` + displaySender
+		}
+	case corpus.ForumSmishtank:
+		p.SMSText = displayText
+		p.SenderID = displaySender
+		p.Timestamp = m.SentAt.Format("2006-01-02T15:04:05Z")
+		if m.HasScreenshot {
+			p.Attachment = renderShot(rng, m, displaySender, displayText)
+		}
+	case corpus.ForumSmishingEU:
+		p.SMSText = displayText
+		p.SenderID = displaySender
+		p.Brand = m.Brand
+		p.Timestamp = m.SentAt.Format("2006-01-02") // date only (§3.3.2)
+	case corpus.ForumPastebin:
+		p.SMSText = displayText
+		p.SenderID = displaySender
+		p.Timestamp = m.SentAt.Format("2006-01-02") // date only
+	}
+	return p
+}
+
+func renderShot(rng *rand.Rand, m corpus.Message, sender, text string) []byte {
+	spec := screenshot.Spec{
+		Sender: sender,
+		Body:   text,
+		URL:    m.URL,
+		Theme:  screenshot.Themes[rng.Intn(len(screenshot.Themes))],
+	}
+	if m.RedactURL {
+		spec.URL = ""
+	}
+	spec.Timestamp = m.SentAt
+	spec.TimeOnly = !m.ScreenshotTime
+	return screenshot.Render(spec).Encode()
+}
+
+func redactedURL(u string) string {
+	if i := strings.LastIndex(u, "/"); i > 8 {
+		return u[:i+1] + "******"
+	}
+	return "https://********"
+}
+
+// subreddits follow §3.1.2: r/Scams dominates, then a long tail of
+// one-post communities.
+var subreddits = []string{
+	"Scams", "Scams", "Scams", "Scams", "cybersecurity", "cybersecurity",
+	"ledgerwallet", "phishing", "privacy", "uknews", "india", "Netherlands",
+	"australia", "legaladvice", "personalfinance", "banking",
+}
+
+func pickSubreddit(rng *rand.Rand) string {
+	if rng.Float64() < 0.35 {
+		// Long tail: a fresh single-post community.
+		return fmt.Sprintf("community%04d", rng.Intn(1200))
+	}
+	return subreddits[rng.Intn(len(subreddits))]
+}
+
+func randomTime(rng *rand.Rand) time.Time {
+	return time.Unix(1500000000+rng.Int63n(190000000), 0).UTC()
+}

@@ -1,0 +1,255 @@
+package forum
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/screenshot"
+)
+
+func testWorld(t testing.TB, n int) *corpus.World {
+	t.Helper()
+	return corpus.Generate(corpus.Config{Seed: 55, Messages: n})
+}
+
+func TestBuildFixturesRouting(t *testing.T) {
+	w := testWorld(t, 3000)
+	f := BuildFixtures(w)
+	total := len(f.Twitter) + len(f.Reddit) + len(f.Smishtank) + len(f.SmishingEU) + len(f.Pastebin)
+	noiseTotal := w.NoisePosts[corpus.ForumTwitter] + w.NoisePosts[corpus.ForumReddit]
+	if total != len(w.Messages)+noiseTotal {
+		t.Fatalf("fixtures total = %d, want %d + %d noise", total, len(w.Messages), noiseTotal)
+	}
+	if len(f.Twitter) < len(f.Reddit) {
+		t.Error("twitter smaller than reddit; Table 1 says 92% vs 1%")
+	}
+	// Every twitter/reddit post body must match at least one keyword.
+	for _, p := range append(append([]post{}, f.Twitter...), f.Reddit...) {
+		low := strings.ToLower(p.Body)
+		found := false
+		for _, kw := range Keywords {
+			if strings.Contains(low, kw) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("post %s matches no keyword: %q", p.ID, p.Body)
+		}
+	}
+}
+
+func TestTwitterServerAndCollector(t *testing.T) {
+	w := testWorld(t, 1200)
+	f := BuildFixtures(w)
+	srv := httptest.NewServer(NewTwitterServer(f.Twitter, "bearer-token", 0).Handler())
+	defer srv.Close()
+
+	c := NewTwitterCollector(srv.URL, "bearer-token")
+	c.PageSize = 50
+	var reports []RawReport
+	err := c.Collect(context.Background(), func(r RawReport) error {
+		reports = append(reports, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(f.Twitter) {
+		t.Fatalf("collected %d, fixtures %d", len(reports), len(f.Twitter))
+	}
+	withShots := 0
+	for _, r := range reports {
+		if r.HasAttachment() {
+			withShots++
+			if _, err := screenshot.Decode(r.Attachment); err != nil {
+				t.Fatalf("attachment not decodable: %v", err)
+			}
+		}
+	}
+	if withShots == 0 {
+		t.Error("no screenshots collected")
+	}
+}
+
+func TestTwitterServerAuth(t *testing.T) {
+	srv := httptest.NewServer(NewTwitterServer(nil, "secret", 0).Handler())
+	defer srv.Close()
+	c := NewTwitterCollector(srv.URL, "wrong")
+	err := c.Collect(context.Background(), func(RawReport) error { return nil })
+	if err == nil {
+		t.Fatal("expected auth failure")
+	}
+}
+
+func TestTwitterServerSurvivesRateLimit(t *testing.T) {
+	w := testWorld(t, 400)
+	f := BuildFixtures(w)
+	// Tight rate limit: collector must retry and still finish.
+	srv := httptest.NewServer(NewTwitterServer(f.Twitter, "", 200).Handler())
+	defer srv.Close()
+	c := NewTwitterCollector(srv.URL, "")
+	c.API.MaxRetries = 8
+	count := 0
+	if err := c.Collect(context.Background(), func(RawReport) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != len(f.Twitter) {
+		t.Errorf("collected %d of %d under rate limiting", count, len(f.Twitter))
+	}
+}
+
+func TestRedditServerAndCollector(t *testing.T) {
+	w := testWorld(t, 3000)
+	f := BuildFixtures(w)
+	if len(f.Reddit) == 0 {
+		t.Skip("no reddit posts at this seed")
+	}
+	srv := httptest.NewServer(NewRedditServer(f.Reddit, 0).Handler())
+	defer srv.Close()
+
+	c := NewRedditCollector(srv.URL)
+	c.PageSize = 7 // force pagination
+	var reports []RawReport
+	if err := c.Collect(context.Background(), func(r RawReport) error {
+		reports = append(reports, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(f.Reddit) {
+		t.Fatalf("collected %d, fixtures %d", len(reports), len(f.Reddit))
+	}
+}
+
+func TestSmishtankServerAndCollector(t *testing.T) {
+	w := testWorld(t, 3000)
+	f := BuildFixtures(w)
+	if len(f.Smishtank) == 0 {
+		t.Skip("no smishtank posts at this seed")
+	}
+	srv := httptest.NewServer(NewSmishtankServer(f.Smishtank).Handler())
+	defer srv.Close()
+
+	var reports []RawReport
+	if err := NewSmishtankCollector(srv.URL).Collect(context.Background(), func(r RawReport) error {
+		reports = append(reports, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(f.Smishtank) {
+		t.Fatalf("collected %d, fixtures %d", len(reports), len(f.Smishtank))
+	}
+	for _, r := range reports {
+		if r.SMSText == "" || r.SenderID == "" {
+			t.Fatalf("structured fields missing: %+v", r)
+		}
+	}
+}
+
+func TestSmishingEUServerAndCollector(t *testing.T) {
+	w := testWorld(t, 6000)
+	f := BuildFixtures(w)
+	if len(f.SmishingEU) == 0 {
+		t.Skip("no smishing.eu posts at this seed")
+	}
+	srv := httptest.NewServer(NewSmishingEUServer(f.SmishingEU).Handler())
+	defer srv.Close()
+
+	var reports []RawReport
+	if err := NewSmishingEUCollector(srv.URL).Collect(context.Background(), func(r RawReport) error {
+		reports = append(reports, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(f.SmishingEU) {
+		t.Fatalf("scraped %d, fixtures %d", len(reports), len(f.SmishingEU))
+	}
+	for _, r := range reports {
+		if r.Timestamp == "" {
+			t.Fatal("date column lost")
+		}
+	}
+}
+
+func TestPastebinServerAndCollector(t *testing.T) {
+	w := testWorld(t, 6000)
+	f := BuildFixtures(w)
+	if len(f.Pastebin) == 0 {
+		t.Skip("no pastebin posts at this seed")
+	}
+	srv := httptest.NewServer(NewPastebinServer(f.Pastebin).Handler())
+	defer srv.Close()
+
+	var reports []RawReport
+	if err := NewPastebinCollector(srv.URL).Collect(context.Background(), func(r RawReport) error {
+		reports = append(reports, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(f.Pastebin) {
+		t.Fatalf("parsed %d, fixtures %d", len(reports), len(f.Pastebin))
+	}
+}
+
+func TestCollectAllEndToEnd(t *testing.T) {
+	w := testWorld(t, 2500)
+	f := BuildFixtures(w)
+
+	tw := httptest.NewServer(NewTwitterServer(f.Twitter, "b", 0).Handler())
+	defer tw.Close()
+	rd := httptest.NewServer(NewRedditServer(f.Reddit, 0).Handler())
+	defer rd.Close()
+	st := httptest.NewServer(NewSmishtankServer(f.Smishtank).Handler())
+	defer st.Close()
+	se := httptest.NewServer(NewSmishingEUServer(f.SmishingEU).Handler())
+	defer se.Close()
+	pb := httptest.NewServer(NewPastebinServer(f.Pastebin).Handler())
+	defer pb.Close()
+
+	collectors := []Collector{
+		NewTwitterCollector(tw.URL, "b"),
+		NewRedditCollector(rd.URL),
+		NewSmishtankCollector(st.URL),
+		NewSmishingEUCollector(se.URL),
+		NewPastebinCollector(pb.URL),
+	}
+	reports, counts, err := CollectAll(context.Background(), collectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := len(f.Twitter) + len(f.Reddit) + len(f.Smishtank) + len(f.SmishingEU) + len(f.Pastebin)
+	if len(reports) != wantTotal {
+		t.Fatalf("collected %d, want %d (per-forum: %v)", len(reports), wantTotal, counts)
+	}
+	if counts[corpus.ForumTwitter] != len(f.Twitter) {
+		t.Errorf("twitter count = %d, want %d", counts[corpus.ForumTwitter], len(f.Twitter))
+	}
+}
+
+func TestCollectCancellation(t *testing.T) {
+	w := testWorld(t, 800)
+	f := BuildFixtures(w)
+	srv := httptest.NewServer(NewTwitterServer(f.Twitter, "", 0).Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewTwitterCollector(srv.URL, "")
+	n := 0
+	err := c.Collect(ctx, func(RawReport) error {
+		n++
+		if n == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("cancelled collection finished without error")
+	}
+}

@@ -1,0 +1,203 @@
+package forum
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/netutil"
+)
+
+// RedditServer speaks the listing JSON of Reddit's public search endpoint
+// (§3.1.2): GET /search.json?q=...&limit=...&after=t3_<id>, with image
+// posts linking to an /img/ URL.
+type RedditServer struct {
+	posts   []post
+	limiter *netutil.TokenBucket
+}
+
+// NewRedditServer seeds the server.
+func NewRedditServer(posts []post, ratePerSec float64) *RedditServer {
+	sorted := make([]post, len(posts))
+	copy(sorted, posts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
+	s := &RedditServer{posts: sorted}
+	if ratePerSec > 0 {
+		s.limiter = netutil.NewTokenBucket(int(ratePerSec*2)+1, ratePerSec)
+	}
+	return s
+}
+
+// Reddit wire types.
+type redditListing struct {
+	Kind string `json:"kind"`
+	Data struct {
+		After    string        `json:"after"`
+		Children []redditChild `json:"children"`
+	} `json:"data"`
+}
+
+type redditChild struct {
+	Kind string     `json:"kind"`
+	Data redditPost `json:"data"`
+}
+
+type redditPost struct {
+	ID         string  `json:"id"`
+	Title      string  `json:"title"`
+	SelfText   string  `json:"selftext"`
+	URL        string  `json:"url"`
+	CreatedUTC float64 `json:"created_utc"`
+	Subreddit  string  `json:"subreddit"`
+}
+
+// Handler returns the API routes.
+func (s *RedditServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search.json", s.handleSearch)
+	mux.HandleFunc("GET /img/{id}", s.handleImage)
+	return mux
+}
+
+func (s *RedditServer) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.limiter != nil && !s.limiter.Allow() {
+		netutil.WriteRateLimited(w, s.limiter.RetryAfter(1))
+		return
+	}
+	q := strings.ToLower(strings.Trim(r.URL.Query().Get("q"), `"`))
+	if q == "" {
+		netutil.WriteError(w, http.StatusBadRequest, "missing q")
+		return
+	}
+	limit := 25
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && n <= 100 {
+			limit = n
+		}
+	}
+	start := 0
+	if after := r.URL.Query().Get("after"); after != "" {
+		id := strings.TrimPrefix(after, "t3_")
+		for i, p := range s.posts {
+			if p.ID == id {
+				start = i + 1
+				break
+			}
+		}
+	}
+
+	listing := redditListing{Kind: "Listing"}
+	listing.Data.Children = []redditChild{}
+	for i := start; i < len(s.posts); i++ {
+		p := s.posts[i]
+		if !strings.Contains(strings.ToLower(p.Body), q) {
+			continue
+		}
+		rp := redditPost{
+			ID:         p.ID,
+			Title:      firstSentence(p.Body),
+			SelfText:   p.Body,
+			CreatedUTC: float64(p.CreatedAt.Unix()),
+			Subreddit:  p.Subreddit,
+		}
+		if len(p.Attachment) > 0 {
+			rp.URL = "/img/" + p.ID
+		}
+		listing.Data.Children = append(listing.Data.Children, redditChild{Kind: "t3", Data: rp})
+		if len(listing.Data.Children) == limit {
+			listing.Data.After = "t3_" + p.ID
+			break
+		}
+	}
+	netutil.WriteJSON(w, http.StatusOK, listing)
+}
+
+func (s *RedditServer) handleImage(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	for _, p := range s.posts {
+		if p.ID == id && len(p.Attachment) > 0 {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(p.Attachment)
+			return
+		}
+	}
+	http.NotFound(w, r)
+}
+
+func firstSentence(s string) string {
+	if i := strings.IndexAny(s, ".:!?"); i > 0 {
+		return s[:i]
+	}
+	if len(s) > 80 {
+		return s[:80]
+	}
+	return s
+}
+
+// RedditCollector drains the search endpoint for every keyword.
+type RedditCollector struct {
+	API      netutil.Client
+	PageSize int
+}
+
+// NewRedditCollector builds a collector for the API at baseURL.
+func NewRedditCollector(baseURL string) *RedditCollector {
+	return &RedditCollector{API: netutil.Client{BaseURL: baseURL}, PageSize: 100}
+}
+
+// Name implements Collector.
+func (c *RedditCollector) Name() corpus.Forum { return corpus.ForumReddit }
+
+// Collect implements Collector.
+func (c *RedditCollector) Collect(ctx ctxType, sink func(RawReport) error) error {
+	seen := make(map[string]bool)
+	limit := c.PageSize
+	if limit <= 0 {
+		limit = 100
+	}
+	for _, kw := range Keywords {
+		after := ""
+		for {
+			path := fmt.Sprintf("/search.json?q=%s&limit=%d", url.QueryEscape(kw), limit)
+			if after != "" {
+				path += "&after=" + after
+			}
+			var listing redditListing
+			if err := c.API.GetJSON(ctx, path, &listing); err != nil {
+				return fmt.Errorf("forum: reddit search %q: %w", kw, err)
+			}
+			for _, child := range listing.Data.Children {
+				p := child.Data
+				if seen[p.ID] {
+					continue
+				}
+				seen[p.ID] = true
+				rep := RawReport{
+					Forum:    corpus.ForumReddit,
+					PostID:   p.ID,
+					PostedAt: unixTime(p.CreatedUTC),
+					Body:     p.SelfText,
+				}
+				if p.URL != "" {
+					data, err := fetchBytes(ctx, &c.API, p.URL)
+					if err != nil {
+						return fmt.Errorf("forum: reddit image %s: %w", p.ID, err)
+					}
+					rep.Attachment = data
+				}
+				if err := sink(rep); err != nil {
+					return err
+				}
+			}
+			if listing.Data.After == "" {
+				break
+			}
+			after = listing.Data.After
+		}
+	}
+	return nil
+}

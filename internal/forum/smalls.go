@@ -1,0 +1,342 @@
+package forum
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/netutil"
+)
+
+func unixTime(sec float64) time.Time { return time.Unix(int64(sec), 0).UTC() }
+
+// --- Smishtank (§3.1.5): JSON submissions API + screenshots ---
+
+// SmishtankServer serves the crowdsourced submission list.
+type SmishtankServer struct {
+	posts []post
+}
+
+// NewSmishtankServer seeds the server.
+func NewSmishtankServer(posts []post) *SmishtankServer {
+	sorted := make([]post, len(posts))
+	copy(sorted, posts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
+	return &SmishtankServer{posts: sorted}
+}
+
+type smishtankSubmission struct {
+	ID         string `json:"id"`
+	Submitted  string `json:"submitted_at"`
+	Sender     string `json:"sender"`
+	Text       string `json:"text"`
+	Timestamp  string `json:"sms_timestamp,omitempty"`
+	Screenshot string `json:"screenshot,omitempty"` // path
+}
+
+type smishtankPage struct {
+	Submissions []smishtankSubmission `json:"submissions"`
+	Total       int                   `json:"total"`
+	Offset      int                   `json:"offset"`
+}
+
+// Handler returns the API routes.
+func (s *SmishtankServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/submissions", func(w http.ResponseWriter, r *http.Request) {
+		offset, _ := strconv.Atoi(r.URL.Query().Get("offset"))
+		limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+		if limit <= 0 || limit > 200 {
+			limit = 50
+		}
+		if offset < 0 || offset > len(s.posts) {
+			offset = len(s.posts)
+		}
+		page := smishtankPage{Total: len(s.posts), Offset: offset, Submissions: []smishtankSubmission{}}
+		for i := offset; i < len(s.posts) && len(page.Submissions) < limit; i++ {
+			p := s.posts[i]
+			sub := smishtankSubmission{
+				ID:        p.ID,
+				Submitted: p.CreatedAt.Format(time.RFC3339),
+				Sender:    p.SenderID,
+				Text:      p.SMSText,
+				Timestamp: p.Timestamp,
+			}
+			if len(p.Attachment) > 0 {
+				sub.Screenshot = "/screenshots/" + p.ID
+			}
+			page.Submissions = append(page.Submissions, sub)
+		}
+		netutil.WriteJSON(w, http.StatusOK, page)
+	})
+	mux.HandleFunc("GET /screenshots/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		for _, p := range s.posts {
+			if p.ID == id && len(p.Attachment) > 0 {
+				_, _ = w.Write(p.Attachment)
+				return
+			}
+		}
+		http.NotFound(w, r)
+	})
+	return mux
+}
+
+// SmishtankCollector pages through the submission API.
+type SmishtankCollector struct {
+	API netutil.Client
+}
+
+// NewSmishtankCollector builds a collector for the API at baseURL.
+func NewSmishtankCollector(baseURL string) *SmishtankCollector {
+	return &SmishtankCollector{API: netutil.Client{BaseURL: baseURL}}
+}
+
+// Name implements Collector.
+func (c *SmishtankCollector) Name() corpus.Forum { return corpus.ForumSmishtank }
+
+// Collect implements Collector.
+func (c *SmishtankCollector) Collect(ctx ctxType, sink func(RawReport) error) error {
+	offset := 0
+	for {
+		var page smishtankPage
+		if err := c.API.GetJSON(ctx, fmt.Sprintf("/api/submissions?offset=%d&limit=100", offset), &page); err != nil {
+			return fmt.Errorf("forum: smishtank page %d: %w", offset, err)
+		}
+		for _, sub := range page.Submissions {
+			posted, _ := time.Parse(time.RFC3339, sub.Submitted)
+			rep := RawReport{
+				Forum:     corpus.ForumSmishtank,
+				PostID:    sub.ID,
+				PostedAt:  posted,
+				SMSText:   sub.Text,
+				SenderID:  sub.Sender,
+				Timestamp: sub.Timestamp,
+			}
+			if sub.Screenshot != "" {
+				data, err := fetchBytes(ctx, &c.API, sub.Screenshot)
+				if err != nil {
+					return fmt.Errorf("forum: smishtank screenshot %s: %w", sub.ID, err)
+				}
+				rep.Attachment = data
+			}
+			if err := sink(rep); err != nil {
+				return err
+			}
+		}
+		offset += len(page.Submissions)
+		if len(page.Submissions) == 0 || offset >= page.Total {
+			return nil
+		}
+	}
+}
+
+// --- Smishing.eu (§3.1.3): HTML report tables, scraped weekly ---
+
+// SmishingEUServer renders paginated HTML tables of user reports.
+type SmishingEUServer struct {
+	posts    []post
+	pageSize int
+}
+
+// NewSmishingEUServer seeds the server.
+func NewSmishingEUServer(posts []post) *SmishingEUServer {
+	sorted := make([]post, len(posts))
+	copy(sorted, posts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
+	return &SmishingEUServer{posts: sorted, pageSize: 25}
+}
+
+// Handler returns the web routes.
+func (s *SmishingEUServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /reports", func(w http.ResponseWriter, r *http.Request) {
+		page, _ := strconv.Atoi(r.URL.Query().Get("page"))
+		if page < 1 {
+			page = 1
+		}
+		start := (page - 1) * s.pageSize
+		end := start + s.pageSize
+		if start > len(s.posts) {
+			start = len(s.posts)
+		}
+		if end > len(s.posts) {
+			end = len(s.posts)
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, "<html><body><h1>Reported smishing</h1><table id=\"reports\">\n")
+		fmt.Fprint(w, "<tr><th>Date</th><th>Country</th><th>Sender</th><th>Brand</th><th>Message</th></tr>\n")
+		for _, p := range s.posts[start:end] {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(p.Timestamp), html.EscapeString(p.Country),
+				html.EscapeString(p.SenderID), html.EscapeString(p.Brand),
+				html.EscapeString(p.SMSText))
+		}
+		fmt.Fprint(w, "</table>")
+		if end < len(s.posts) {
+			fmt.Fprintf(w, `<a href="/reports?page=%d" rel="next">older</a>`, page+1)
+		}
+		fmt.Fprint(w, "</body></html>")
+	})
+	return mux
+}
+
+// rowRe captures one table row of the report page.
+var rowRe = regexp.MustCompile(`<tr><td>(.*?)</td><td>(.*?)</td><td>(.*?)</td><td>(.*?)</td><td>(.*?)</td></tr>`)
+
+// SmishingEUCollector scrapes the HTML tables page by page — the paper's
+// custom weekly scraper (§3.1.3).
+type SmishingEUCollector struct {
+	API netutil.Client
+}
+
+// NewSmishingEUCollector builds a scraper for the site at baseURL.
+func NewSmishingEUCollector(baseURL string) *SmishingEUCollector {
+	return &SmishingEUCollector{API: netutil.Client{BaseURL: baseURL}}
+}
+
+// Name implements Collector.
+func (c *SmishingEUCollector) Name() corpus.Forum { return corpus.ForumSmishingEU }
+
+// Collect implements Collector.
+func (c *SmishingEUCollector) Collect(ctx ctxType, sink func(RawReport) error) error {
+	for page := 1; ; page++ {
+		body, err := fetchBytes(ctx, &c.API, fmt.Sprintf("/reports?page=%d", page))
+		if err != nil {
+			return fmt.Errorf("forum: smishing.eu page %d: %w", page, err)
+		}
+		doc := string(body)
+		rows := rowRe.FindAllStringSubmatch(doc, -1)
+		n := 0
+		for _, row := range rows {
+			date, country, sender, brand, msg := row[1], row[2], row[3], row[4], row[5]
+			if date == "Date" || strings.Contains(row[0], "<th>") {
+				continue
+			}
+			n++
+			rep := RawReport{
+				Forum:     corpus.ForumSmishingEU,
+				PostID:    fmt.Sprintf("smishing.eu-p%d-r%d", page, n),
+				SMSText:   html.UnescapeString(msg),
+				SenderID:  html.UnescapeString(sender),
+				Timestamp: date,
+				Brand:     html.UnescapeString(brand),
+				Country:   country,
+			}
+			if t, err := time.Parse("2006-01-02", date); err == nil {
+				rep.PostedAt = t
+			}
+			if err := sink(rep); err != nil {
+				return err
+			}
+		}
+		if !strings.Contains(doc, `rel="next"`) {
+			return nil
+		}
+	}
+}
+
+// --- Pastebin (§3.1.4): analyst pastes, one smish per line ---
+
+// PastebinServer serves an archive listing and raw pastes. Each paste packs
+// several reports as "sender | date | message" lines, the format of the
+// abuseipdb-mirroring analyst the paper found.
+type PastebinServer struct {
+	pastes map[string][]post
+	order  []string
+}
+
+// NewPastebinServer groups posts into pastes of up to 10 reports.
+func NewPastebinServer(posts []post) *PastebinServer {
+	sorted := make([]post, len(posts))
+	copy(sorted, posts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
+	s := &PastebinServer{pastes: make(map[string][]post)}
+	for i := 0; i < len(sorted); i += 10 {
+		end := i + 10
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		id := fmt.Sprintf("p%06x", i/10+1)
+		s.pastes[id] = sorted[i:end]
+		s.order = append(s.order, id)
+	}
+	return s
+}
+
+// Handler returns the web routes.
+func (s *PastebinServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /archive", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, id := range s.order {
+			fmt.Fprintln(w, id)
+		}
+	})
+	mux.HandleFunc("GET /raw/{id}", func(w http.ResponseWriter, r *http.Request) {
+		posts, ok := s.pastes[r.PathValue("id")]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, p := range posts {
+			msg := strings.ReplaceAll(p.SMSText, "|", "/")
+			fmt.Fprintf(w, "%s | %s | %s\n", p.SenderID, p.Timestamp, msg)
+		}
+	})
+	return mux
+}
+
+// PastebinCollector lists the archive and parses each paste.
+type PastebinCollector struct {
+	API netutil.Client
+}
+
+// NewPastebinCollector builds a collector for the site at baseURL.
+func NewPastebinCollector(baseURL string) *PastebinCollector {
+	return &PastebinCollector{API: netutil.Client{BaseURL: baseURL}}
+}
+
+// Name implements Collector.
+func (c *PastebinCollector) Name() corpus.Forum { return corpus.ForumPastebin }
+
+// Collect implements Collector.
+func (c *PastebinCollector) Collect(ctx ctxType, sink func(RawReport) error) error {
+	index, err := fetchBytes(ctx, &c.API, "/archive")
+	if err != nil {
+		return fmt.Errorf("forum: pastebin archive: %w", err)
+	}
+	for _, id := range strings.Fields(string(index)) {
+		body, err := fetchBytes(ctx, &c.API, "/raw/"+id)
+		if err != nil {
+			return fmt.Errorf("forum: pastebin paste %s: %w", id, err)
+		}
+		for n, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+			parts := strings.SplitN(line, " | ", 3)
+			if len(parts) != 3 {
+				continue // truncated line: skip, don't abort the paste
+			}
+			rep := RawReport{
+				Forum:     corpus.ForumPastebin,
+				PostID:    fmt.Sprintf("%s-%d", id, n),
+				SMSText:   parts[2],
+				SenderID:  parts[0],
+				Timestamp: parts[1],
+			}
+			if t, err := time.Parse("2006-01-02", parts[1]); err == nil {
+				rep.PostedAt = t
+			}
+			if err := sink(rep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package forum
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/netutil"
+)
+
+// TwitterServer speaks a faithful subset of the v2 full-archive search API
+// the paper used through the Academic track (§3.1.1): Bearer-token auth,
+// next_token pagination, media expansion via includes, and rate limiting.
+type TwitterServer struct {
+	posts   []post // sorted by CreatedAt
+	bearer  string
+	limiter *netutil.TokenBucket
+}
+
+// NewTwitterServer seeds the server. ratePerSec <= 0 disables limiting.
+func NewTwitterServer(posts []post, bearer string, ratePerSec float64) *TwitterServer {
+	sorted := make([]post, len(posts))
+	copy(sorted, posts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
+	s := &TwitterServer{posts: sorted, bearer: bearer}
+	if ratePerSec > 0 {
+		s.limiter = netutil.NewTokenBucket(int(ratePerSec*2)+1, ratePerSec)
+	}
+	return s
+}
+
+// Twitter API wire types (subset).
+type tweetObject struct {
+	ID          string            `json:"id"`
+	Text        string            `json:"text"`
+	CreatedAt   time.Time         `json:"created_at"`
+	Attachments *tweetAttachments `json:"attachments,omitempty"`
+}
+
+type tweetAttachments struct {
+	MediaKeys []string `json:"media_keys"`
+}
+
+type mediaObject struct {
+	MediaKey string `json:"media_key"`
+	Type     string `json:"type"`
+	URL      string `json:"url"`
+}
+
+type searchResponse struct {
+	Data     []tweetObject `json:"data"`
+	Includes struct {
+		Media []mediaObject `json:"media,omitempty"`
+	} `json:"includes"`
+	Meta struct {
+		ResultCount int    `json:"result_count"`
+		NextToken   string `json:"next_token,omitempty"`
+	} `json:"meta"`
+}
+
+// Handler returns the API routes.
+func (s *TwitterServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /2/tweets/search/all", s.handleSearch)
+	mux.HandleFunc("GET /2/media/{key}", s.handleMedia)
+	return mux
+}
+
+func (s *TwitterServer) authorized(r *http.Request) bool {
+	if s.bearer == "" {
+		return true
+	}
+	return r.Header.Get("Authorization") == "Bearer "+s.bearer
+}
+
+func (s *TwitterServer) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		netutil.WriteError(w, http.StatusUnauthorized, "invalid bearer token")
+		return
+	}
+	if s.limiter != nil && !s.limiter.Allow() {
+		netutil.WriteRateLimited(w, s.limiter.RetryAfter(1))
+		return
+	}
+	query := strings.ToLower(r.URL.Query().Get("query"))
+	if query == "" {
+		netutil.WriteError(w, http.StatusBadRequest, "missing query")
+		return
+	}
+	query = strings.Trim(query, `"`)
+	maxResults := 10
+	if v := r.URL.Query().Get("max_results"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 10 && n <= 500 {
+			maxResults = n
+		}
+	}
+	offset := 0
+	if tok := r.URL.Query().Get("next_token"); tok != "" {
+		n, err := strconv.Atoi(strings.TrimPrefix(tok, "pg-"))
+		if err != nil {
+			netutil.WriteError(w, http.StatusBadRequest, "bad next_token")
+			return
+		}
+		offset = n
+	}
+
+	var resp searchResponse
+	resp.Data = []tweetObject{} // v2 returns an empty array, not null
+	matched := 0
+	for i := offset; i < len(s.posts); i++ {
+		p := s.posts[i]
+		if !strings.Contains(strings.ToLower(p.Body), query) {
+			continue
+		}
+		matched++
+		tw := tweetObject{ID: p.ID, Text: p.Body, CreatedAt: p.CreatedAt}
+		if len(p.Attachment) > 0 {
+			key := "m-" + p.ID
+			tw.Attachments = &tweetAttachments{MediaKeys: []string{key}}
+			resp.Includes.Media = append(resp.Includes.Media, mediaObject{
+				MediaKey: key, Type: "photo", URL: "/2/media/" + key,
+			})
+		}
+		resp.Data = append(resp.Data, tw)
+		if matched == maxResults {
+			if i+1 < len(s.posts) {
+				resp.Meta.NextToken = fmt.Sprintf("pg-%d", i+1)
+			}
+			break
+		}
+	}
+	resp.Meta.ResultCount = len(resp.Data)
+	netutil.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *TwitterServer) handleMedia(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		netutil.WriteError(w, http.StatusUnauthorized, "invalid bearer token")
+		return
+	}
+	key := strings.TrimPrefix(r.PathValue("key"), "m-")
+	for _, p := range s.posts {
+		if p.ID == key && len(p.Attachment) > 0 {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(p.Attachment)
+			return
+		}
+	}
+	http.NotFound(w, r)
+}
+
+// TwitterCollector drains the search API across all keywords.
+type TwitterCollector struct {
+	API      netutil.Client
+	Bearer   string
+	PageSize int // default 100
+}
+
+// NewTwitterCollector builds a collector for the API at baseURL.
+func NewTwitterCollector(baseURL, bearer string) *TwitterCollector {
+	c := &TwitterCollector{Bearer: bearer, PageSize: 100}
+	c.API = netutil.Client{
+		BaseURL: baseURL,
+		Headers: map[string]string{"Authorization": "Bearer " + bearer},
+	}
+	return c
+}
+
+// Name implements Collector.
+func (c *TwitterCollector) Name() corpus.Forum { return corpus.ForumTwitter }
+
+// Collect implements Collector: it queries each keyword, follows pagination,
+// downloads media, and deduplicates across keywords.
+func (c *TwitterCollector) Collect(ctx ctxType, sink func(RawReport) error) error {
+	seen := make(map[string]bool)
+	size := c.PageSize
+	if size <= 0 {
+		size = 100
+	}
+	for _, kw := range Keywords {
+		next := ""
+		for {
+			path := fmt.Sprintf("/2/tweets/search/all?query=%s&max_results=%d",
+				strings.ReplaceAll(kw, " ", "%20"), size)
+			if next != "" {
+				path += "&next_token=" + next
+			}
+			var resp searchResponse
+			if err := c.API.GetJSON(ctx, path, &resp); err != nil {
+				return fmt.Errorf("forum: twitter search %q: %w", kw, err)
+			}
+			mediaByKey := make(map[string]string, len(resp.Includes.Media))
+			for _, m := range resp.Includes.Media {
+				mediaByKey[m.MediaKey] = m.URL
+			}
+			for _, tw := range resp.Data {
+				if seen[tw.ID] {
+					continue
+				}
+				seen[tw.ID] = true
+				rep := RawReport{
+					Forum:    corpus.ForumTwitter,
+					PostID:   tw.ID,
+					PostedAt: tw.CreatedAt,
+					Body:     tw.Text,
+				}
+				if tw.Attachments != nil {
+					for _, key := range tw.Attachments.MediaKeys {
+						if url, ok := mediaByKey[key]; ok {
+							data, err := c.fetchMedia(ctx, url)
+							if err != nil {
+								return fmt.Errorf("forum: twitter media %s: %w", key, err)
+							}
+							rep.Attachment = data
+						}
+					}
+				}
+				if err := sink(rep); err != nil {
+					return err
+				}
+			}
+			if resp.Meta.NextToken == "" {
+				break
+			}
+			next = resp.Meta.NextToken
+		}
+	}
+	return nil
+}
+
+func (c *TwitterCollector) fetchMedia(ctx ctxType, path string) ([]byte, error) {
+	return fetchBytes(ctx, &c.API, path)
+}

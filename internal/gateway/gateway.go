@@ -1,0 +1,206 @@
+// Package gateway is the deployment surface for the §7.2 mitigations: an
+// SMS message center front end that accepts submissions (an SMPP-like JSON
+// API), runs every message through the XDR filter inline, delivers clean
+// traffic to subscriber inboxes, quarantines blocks, and exposes the 7726
+// reporting flow — subscribers forward suspicious texts and the gateway
+// feeds confirmed domains back into the filter's blocklist, closing the
+// loop the paper asks operators to build.
+package gateway
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/netutil"
+	"github.com/smishkit/smishkit/internal/urlinfo"
+	"github.com/smishkit/smishkit/internal/xdrfilter"
+)
+
+// Message is one SMS in flight.
+type Message struct {
+	ID     string    `json:"id"`
+	From   string    `json:"from"`
+	To     string    `json:"to"`
+	Text   string    `json:"text"`
+	At     time.Time `json:"at"`
+	Action string    `json:"action"` // delivered | blocked | flagged
+	Reason string    `json:"reason"`
+}
+
+// Gateway filters and routes SMS traffic. Safe for concurrent use.
+type Gateway struct {
+	filter *xdrfilter.Filter
+
+	mu         sync.Mutex
+	nextID     int
+	inboxes    map[string][]Message // by recipient
+	quarantine []Message
+	reports    []Message // 7726 submissions
+	stats      Stats
+}
+
+// Stats summarizes gateway traffic.
+type Stats struct {
+	Submitted   int `json:"submitted"`
+	Delivered   int `json:"delivered"`
+	Blocked     int `json:"blocked"`
+	Flagged     int `json:"flagged"`
+	UserReports int `json:"user_reports"`
+	FeedbackAdd int `json:"feedback_blocklist_additions"`
+}
+
+// New builds a gateway around a configured filter.
+func New(filter *xdrfilter.Filter) *Gateway {
+	return &Gateway{filter: filter, inboxes: make(map[string][]Message)}
+}
+
+// Submit runs one message through the filter and routes it.
+func (g *Gateway) Submit(ctx context.Context, from, to, text string) (Message, error) {
+	verdict, err := g.filter.Check(ctx, from, text)
+	if err != nil {
+		return Message{}, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextID++
+	m := Message{
+		ID:   idString(g.nextID),
+		From: from, To: to, Text: text,
+		At:     time.Now().UTC(),
+		Reason: string(verdict.Reason),
+	}
+	g.stats.Submitted++
+	switch verdict.Action {
+	case xdrfilter.ActionBlock:
+		m.Action = "blocked"
+		g.stats.Blocked++
+		g.quarantine = append(g.quarantine, m)
+	case xdrfilter.ActionFlag:
+		m.Action = "flagged"
+		g.stats.Flagged++
+		g.inboxes[to] = append(g.inboxes[to], m) // delivered with a warning
+	default:
+		m.Action = "delivered"
+		g.stats.Delivered++
+		g.inboxes[to] = append(g.inboxes[to], m)
+	}
+	return m, nil
+}
+
+// Report handles a 7726 forward: the subscriber reports a delivered text.
+// Domains in reported texts join the blocklist once reported, so later
+// copies of the campaign are blocked — the paper's feedback loop.
+func (g *Gateway) Report(from, text string) int {
+	g.mu.Lock()
+	g.stats.UserReports++
+	g.reports = append(g.reports, Message{From: from, Text: text, At: time.Now().UTC()})
+	g.mu.Unlock()
+
+	added := 0
+	for _, raw := range urlinfo.ExtractURLs(text) {
+		info, err := urlinfo.Parse(raw)
+		if err != nil || info.Domain == "" {
+			continue
+		}
+		if _, isShort := urlinfo.Shorteners[info.Domain]; isShort {
+			continue // never blocklist a shared shortener domain
+		}
+		g.filter.AddToBlocklist(info.Domain)
+		added++
+	}
+	g.mu.Lock()
+	g.stats.FeedbackAdd += added
+	g.mu.Unlock()
+	return added
+}
+
+// Inbox returns a copy of a subscriber's messages.
+func (g *Gateway) Inbox(subscriber string) []Message {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	msgs := g.inboxes[subscriber]
+	out := make([]Message, len(msgs))
+	copy(out, msgs)
+	return out
+}
+
+// Quarantine returns the blocked messages.
+func (g *Gateway) Quarantine() []Message {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Message, len(g.quarantine))
+	copy(out, g.quarantine)
+	return out
+}
+
+// Snapshot returns current stats.
+func (g *Gateway) Snapshot() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+func idString(n int) string {
+	const digits = "0123456789"
+	buf := [12]byte{'s', 'm', 's', '-', '0', '0', '0', '0', '0', '0', '0', '0'}
+	for i := 11; i >= 4 && n > 0; i-- {
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return string(buf[:])
+}
+
+// Handler exposes the gateway over HTTP:
+//
+//	POST /v1/sms           {"from","to","text"}            -> routed Message
+//	POST /v1/report        {"from","text"}                 -> {"blocklisted": n}   (7726)
+//	GET  /v1/inbox?to=...                                  -> []Message
+//	GET  /v1/quarantine                                    -> []Message
+//	GET  /v1/stats                                         -> Stats
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sms", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ From, To, Text string }
+		if err := netutil.ReadJSON(r, &req); err != nil {
+			netutil.WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if strings.TrimSpace(req.To) == "" || strings.TrimSpace(req.Text) == "" {
+			netutil.WriteError(w, http.StatusBadRequest, "to and text are required")
+			return
+		}
+		m, err := g.Submit(r.Context(), req.From, req.To, req.Text)
+		if err != nil {
+			netutil.WriteError(w, http.StatusBadGateway, err.Error())
+			return
+		}
+		netutil.WriteJSON(w, http.StatusOK, m)
+	})
+	mux.HandleFunc("POST /v1/report", func(w http.ResponseWriter, r *http.Request) {
+		var req struct{ From, Text string }
+		if err := netutil.ReadJSON(r, &req); err != nil {
+			netutil.WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		n := g.Report(req.From, req.Text)
+		netutil.WriteJSON(w, http.StatusOK, map[string]int{"blocklisted": n})
+	})
+	mux.HandleFunc("GET /v1/inbox", func(w http.ResponseWriter, r *http.Request) {
+		to := r.URL.Query().Get("to")
+		if to == "" {
+			netutil.WriteError(w, http.StatusBadRequest, "missing to parameter")
+			return
+		}
+		netutil.WriteJSON(w, http.StatusOK, g.Inbox(to))
+	})
+	mux.HandleFunc("GET /v1/quarantine", func(w http.ResponseWriter, r *http.Request) {
+		netutil.WriteJSON(w, http.StatusOK, g.Quarantine())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		netutil.WriteJSON(w, http.StatusOK, g.Snapshot())
+	})
+	return mux
+}

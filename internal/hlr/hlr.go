@@ -1,0 +1,111 @@
+// Package hlr simulates the Home Location Register lookup service the paper
+// used (HLRLookup.com, §3.3.1). The service holds an authoritative registry
+// of MSISDNs with their number type, original and current mobile network
+// operator, origin country, and live status; unknown but well-formed numbers
+// fall back to numbering-plan classification. The client mirrors the
+// one-time bulk lookup workflow the paper ran over its 12,299 numbers.
+package hlr
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/smishkit/smishkit/internal/senderid"
+)
+
+// Status is the reachability state of a subscriber number.
+type Status string
+
+// HLR statuses: live numbers are currently registered; inactive numbers are
+// provisioned but unreachable; dead numbers were never issued or have been
+// retired; undetermined covers spoofed/malformed sender IDs.
+const (
+	StatusLive         Status = "live"
+	StatusInactive     Status = "inactive"
+	StatusDead         Status = "dead"
+	StatusUndetermined Status = "undetermined"
+)
+
+// Record is the authoritative registry entry for one MSISDN.
+type Record struct {
+	MSISDN      string              `json:"msisdn"`
+	NumberType  senderid.NumberType `json:"number_type"`
+	OriginalMNO string              `json:"original_mno"`
+	CurrentMNO  string              `json:"current_mno"`
+	Country     string              `json:"country"` // ISO alpha-3
+	Status      Status              `json:"status"`
+}
+
+// Result is what a lookup returns. Source distinguishes registry hits from
+// plan-rule fallbacks ("registry" vs "plan").
+type Result struct {
+	Record
+	Known  bool   `json:"known"`
+	Source string `json:"source"`
+}
+
+// Store is the in-memory HLR database. Safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	records map[string]Record
+}
+
+// NewStore returns an empty registry.
+func NewStore() *Store {
+	return &Store{records: make(map[string]Record)}
+}
+
+// Add upserts a record keyed by normalized MSISDN.
+func (s *Store) Add(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records[normalize(r.MSISDN)] = r
+}
+
+// Len returns the registry size.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Lookup resolves one MSISDN. Registry hits return authoritative data;
+// misses fall back to E.164 parsing plus numbering-plan classification,
+// which mirrors how commercial HLR providers respond for unknown ranges.
+func (s *Store) Lookup(msisdn string) Result {
+	key := normalize(msisdn)
+	s.mu.RLock()
+	rec, ok := s.records[key]
+	s.mu.RUnlock()
+	if ok {
+		return Result{Record: rec, Known: true, Source: "registry"}
+	}
+	n, err := senderid.ParsePhone(msisdn)
+	if err != nil {
+		return Result{
+			Record: Record{MSISDN: msisdn, NumberType: senderid.TypeBadFormat, Status: StatusUndetermined},
+			Source: "plan",
+		}
+	}
+	return Result{
+		Record: Record{
+			MSISDN:     n.E164,
+			NumberType: senderid.ClassifyNumber(n),
+			Country:    n.Country,
+			Status:     StatusUndetermined,
+		},
+		Source: "plan",
+	}
+}
+
+// normalize strips formatting so "+44 7700 900123" and "+447700900123"
+// address the same record.
+func normalize(msisdn string) string {
+	var b strings.Builder
+	for _, r := range msisdn {
+		if r >= '0' && r <= '9' || r == '+' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

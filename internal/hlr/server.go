@@ -1,0 +1,144 @@
+package hlr
+
+import (
+	"context"
+	"net/http"
+
+	"github.com/smishkit/smishkit/internal/netutil"
+)
+
+// Server exposes the registry over HTTP:
+//
+//	GET  /v1/lookup?msisdn=+447700900123
+//	POST /v1/bulk   {"msisdns": ["+44...", ...]}  (max 500 per call)
+//
+// Requests require the configured API key and are rate limited.
+type Server struct {
+	store   *Store
+	apiKey  string
+	limiter *netutil.TokenBucket
+}
+
+// MaxBulk is the largest accepted bulk-lookup batch.
+const MaxBulk = 500
+
+// NewServer wires a Store into an HTTP service. ratePerSec <= 0 disables
+// rate limiting.
+func NewServer(store *Store, apiKey string, ratePerSec float64) *Server {
+	s := &Server{store: store, apiKey: apiKey}
+	if ratePerSec > 0 {
+		s.limiter = netutil.NewTokenBucket(int(ratePerSec*2)+1, ratePerSec)
+	}
+	return s
+}
+
+// Handler returns the routed, authenticated handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/lookup", s.handleLookup)
+	mux.HandleFunc("POST /v1/bulk", s.handleBulk)
+	return netutil.RequireKey(s.apiKey, mux)
+}
+
+func (s *Server) allow(w http.ResponseWriter, n int) bool {
+	if s.limiter == nil || s.limiter.AllowN(n) {
+		return true
+	}
+	netutil.WriteRateLimited(w, s.limiter.RetryAfter(n))
+	return false
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	if !s.allow(w, 1) {
+		return
+	}
+	msisdn := r.URL.Query().Get("msisdn")
+	if msisdn == "" {
+		netutil.WriteError(w, http.StatusBadRequest, "missing msisdn parameter")
+		return
+	}
+	netutil.WriteJSON(w, http.StatusOK, s.store.Lookup(msisdn))
+}
+
+type bulkRequest struct {
+	MSISDNs []string `json:"msisdns"`
+}
+
+type bulkResponse struct {
+	Results []Result `json:"results"`
+}
+
+func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
+	var req bulkRequest
+	if err := netutil.ReadJSON(r, &req); err != nil {
+		netutil.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.MSISDNs) == 0 {
+		netutil.WriteError(w, http.StatusBadRequest, "empty msisdn list")
+		return
+	}
+	if len(req.MSISDNs) > MaxBulk {
+		netutil.WriteError(w, http.StatusRequestEntityTooLarge, "batch exceeds limit")
+		return
+	}
+	if !s.allow(w, len(req.MSISDNs)) {
+		return
+	}
+	resp := bulkResponse{Results: make([]Result, len(req.MSISDNs))}
+	for i, m := range req.MSISDNs {
+		resp.Results[i] = s.store.Lookup(m)
+	}
+	netutil.WriteJSON(w, http.StatusOK, resp)
+}
+
+// Client is the HLR API consumer used by the enrichment pipeline.
+type Client struct {
+	API netutil.Client
+}
+
+// NewClient builds a client for the service at baseURL.
+func NewClient(baseURL, apiKey string) *Client {
+	return &Client{API: netutil.Client{BaseURL: baseURL, APIKey: apiKey}}
+}
+
+// Lookup resolves a single MSISDN.
+func (c *Client) Lookup(ctx context.Context, msisdn string) (Result, error) {
+	var out Result
+	err := c.API.GetJSON(ctx, "/v1/lookup?msisdn="+urlEscape(msisdn), &out)
+	return out, err
+}
+
+// BulkLookup resolves msisdns in MaxBulk-sized batches, preserving order.
+func (c *Client) BulkLookup(ctx context.Context, msisdns []string) ([]Result, error) {
+	out := make([]Result, 0, len(msisdns))
+	for start := 0; start < len(msisdns); start += MaxBulk {
+		end := start + MaxBulk
+		if end > len(msisdns) {
+			end = len(msisdns)
+		}
+		var resp bulkResponse
+		if err := c.API.PostJSON(ctx, "/v1/bulk", bulkRequest{MSISDNs: msisdns[start:end]}, &resp); err != nil {
+			return nil, err
+		}
+		out = append(out, resp.Results...)
+	}
+	return out, nil
+}
+
+// urlEscape percent-encodes the characters that appear in MSISDNs.
+func urlEscape(s string) string {
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '+':
+			b = append(b, '%', '2', 'B')
+		case c == ' ':
+			b = append(b, '%', '2', '0')
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(b)
+}

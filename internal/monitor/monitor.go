@@ -1,0 +1,152 @@
+// Package monitor implements the active URL-lifetime measurement the paper
+// motivates but could not run at scale: smishing URLs "have a short
+// lifespan, ranging from a few minutes to a maximum of a few days" (§2,
+// citing Liu et al.), and §7 argues that actively measuring smishing URLs
+// would recover redirects and phishing kits before takedown. The monitor
+// polls a URL set on a schedule, records when each target dies, and
+// summarizes the lifespan distribution. Time is injectable, so simulations
+// can sweep days of polling in milliseconds.
+package monitor
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/crawler"
+	"github.com/smishkit/smishkit/internal/stats"
+)
+
+// Status is one target's lifecycle state.
+type Status string
+
+// Target states.
+const (
+	StatusAlive Status = "alive"
+	StatusDead  Status = "dead"
+)
+
+// Target tracks one monitored URL.
+type Target struct {
+	URL       string
+	FirstSeen time.Time // first successful fetch
+	LastAlive time.Time // most recent successful fetch
+	DeadAt    time.Time // first failed fetch after being alive (zero if alive)
+	Polls     int
+	Status    Status
+	// NeverUp marks targets that were already dead at the first poll.
+	NeverUp bool
+}
+
+// Lifespan returns the observed alive duration; targets still alive return
+// the span so far.
+func (t *Target) Lifespan() time.Duration {
+	if t.NeverUp {
+		return 0
+	}
+	end := t.LastAlive
+	if !t.DeadAt.IsZero() {
+		end = t.DeadAt
+	}
+	return end.Sub(t.FirstSeen)
+}
+
+// Monitor polls URLs until they die or the deadline passes.
+type Monitor struct {
+	Crawler *crawler.Crawler
+	// Interval between poll rounds (simulated time).
+	Interval time.Duration
+	// Clock returns current simulated time; Advance moves it. Defaults
+	// drive a purely virtual clock starting at CLOCK epoch.
+	Clock   func() time.Time
+	Advance func(d time.Duration)
+}
+
+// NewVirtualTime returns a (clock, advance) pair over a virtual timeline.
+func NewVirtualTime(start time.Time) (func() time.Time, func(time.Duration)) {
+	now := start
+	return func() time.Time { return now }, func(d time.Duration) { now = now.Add(d) }
+}
+
+// Run polls every URL each Interval until all targets are dead or rounds
+// poll rounds have elapsed. It returns final target states keyed by URL.
+func (m *Monitor) Run(ctx context.Context, urls []string, rounds int) (map[string]*Target, error) {
+	targets := make(map[string]*Target, len(urls))
+	for _, u := range urls {
+		targets[u] = &Target{URL: u, Status: StatusAlive}
+	}
+	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return targets, err
+		}
+		liveLeft := false
+		now := m.Clock()
+		for _, t := range targets {
+			if t.Status == StatusDead {
+				continue
+			}
+			t.Polls++
+			res := m.Crawler.Crawl(ctx, t.URL, crawler.PersonaDesktop)
+			switch res.Outcome {
+			case crawler.OutcomePhishingPage, crawler.OutcomeAPKDownload:
+				if t.FirstSeen.IsZero() {
+					t.FirstSeen = now
+				}
+				t.LastAlive = now
+				liveLeft = true
+			default:
+				if t.FirstSeen.IsZero() {
+					t.Status = StatusDead
+					t.NeverUp = true
+				} else {
+					t.Status = StatusDead
+					t.DeadAt = now
+				}
+			}
+		}
+		if !liveLeft {
+			break
+		}
+		m.Advance(m.Interval)
+	}
+	return targets, nil
+}
+
+// Summary condenses a monitoring run.
+type Summary struct {
+	Targets    int
+	Died       int
+	StillAlive int
+	NeverUp    int
+	Lifespans  stats.FiveNumber // hours, over targets that died
+}
+
+// Summarize aggregates target states.
+func Summarize(targets map[string]*Target) Summary {
+	var sum Summary
+	var spans []float64
+	urls := make([]string, 0, len(targets))
+	for u := range targets {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		t := targets[u]
+		sum.Targets++
+		switch {
+		case t.NeverUp:
+			sum.NeverUp++
+		case t.Status == StatusDead:
+			sum.Died++
+			spans = append(spans, t.Lifespan().Hours())
+		default:
+			sum.StillAlive++
+		}
+	}
+	if len(spans) > 0 {
+		if s, err := stats.Summarize(spans); err == nil {
+			sum.Lifespans = s
+		}
+	}
+	return sum
+}

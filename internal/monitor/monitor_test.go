@@ -1,0 +1,131 @@
+package monitor
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/crawler"
+)
+
+// fixture boots a site server whose domains die on a schedule driven by a
+// shared virtual clock.
+func fixture(t *testing.T, start time.Time) (*crawler.SiteServer, *Monitor) {
+	t.Helper()
+	sites := crawler.NewSiteServer()
+	srv := httptest.NewServer(sites.Handler())
+	t.Cleanup(srv.Close)
+
+	clock, advance := NewVirtualTime(start)
+	sites.SetClock(clock)
+
+	c := crawler.NewCrawler()
+	router := &crawler.Router{SiteBase: srv.URL, ShortenerHosts: map[string]bool{}}
+	c.Rewrite = router.Rewrite
+
+	return sites, &Monitor{
+		Crawler:  c,
+		Interval: time.Hour,
+		Clock:    clock,
+		Advance:  advance,
+	}
+}
+
+func TestMonitorMeasuresLifespans(t *testing.T) {
+	start := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	sites, m := fixture(t, start)
+	sites.Add(crawler.SiteBehavior{Domain: "short.top", Brand: "X", DownAt: start.Add(3 * time.Hour)})
+	sites.Add(crawler.SiteBehavior{Domain: "long.top", Brand: "Y", DownAt: start.Add(30 * time.Hour)})
+	sites.Add(crawler.SiteBehavior{Domain: "immortal.top", Brand: "Z"})
+
+	targets, err := m.Run(context.Background(),
+		[]string{"https://short.top/x", "https://long.top/x", "https://immortal.top/x"}, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := targets["https://short.top/x"]
+	if short.Status != StatusDead {
+		t.Fatalf("short.top still alive: %+v", short)
+	}
+	// Died between hour 2 (last alive) and hour 3 (first dead poll).
+	if got := short.Lifespan(); got < 2*time.Hour || got > 4*time.Hour {
+		t.Errorf("short lifespan = %v", got)
+	}
+	long := targets["https://long.top/x"]
+	if long.Status != StatusDead || long.Lifespan() < 28*time.Hour {
+		t.Errorf("long target: %+v (lifespan %v)", long, long.Lifespan())
+	}
+	if targets["https://immortal.top/x"].Status != StatusAlive {
+		t.Error("immortal target died")
+	}
+}
+
+func TestMonitorNeverUpTargets(t *testing.T) {
+	start := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	_, m := fixture(t, start)
+	targets, err := m.Run(context.Background(), []string{"https://unregistered.top/x"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := targets["https://unregistered.top/x"]
+	if !tg.NeverUp || tg.Status != StatusDead {
+		t.Errorf("target = %+v", tg)
+	}
+	if tg.Lifespan() != 0 {
+		t.Errorf("never-up lifespan = %v", tg.Lifespan())
+	}
+}
+
+func TestMonitorStopsEarlyWhenAllDead(t *testing.T) {
+	start := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	sites, m := fixture(t, start)
+	sites.Add(crawler.SiteBehavior{Domain: "quick.top", Brand: "X", DownAt: start.Add(time.Hour)})
+	targets, err := m.Run(context.Background(), []string{"https://quick.top/x"}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polls := targets["https://quick.top/x"].Polls; polls > 5 {
+		t.Errorf("polled %d times after death", polls)
+	}
+}
+
+func TestMonitorContextCancel(t *testing.T) {
+	start := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	sites, m := fixture(t, start)
+	sites.Add(crawler.SiteBehavior{Domain: "x.top", Brand: "X"})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.Run(ctx, []string{"https://x.top/"}, 10); err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	start := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	sites, m := fixture(t, start)
+	// The paper's claim: lifespans from minutes to a few days. Schedule a
+	// spread and verify the summary brackets it.
+	sites.Add(crawler.SiteBehavior{Domain: "m1.top", DownAt: start.Add(2 * time.Hour)})
+	sites.Add(crawler.SiteBehavior{Domain: "m2.top", DownAt: start.Add(12 * time.Hour)})
+	sites.Add(crawler.SiteBehavior{Domain: "m3.top", DownAt: start.Add(60 * time.Hour)})
+	sites.Add(crawler.SiteBehavior{Domain: "alive.top"})
+
+	targets, err := m.Run(context.Background(), []string{
+		"https://m1.top/", "https://m2.top/", "https://m3.top/",
+		"https://alive.top/", "https://ghost.top/",
+	}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(targets)
+	if sum.Targets != 5 || sum.Died != 3 || sum.StillAlive != 1 || sum.NeverUp != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Lifespans.Min < 1 || sum.Lifespans.Max > 61 {
+		t.Errorf("lifespan hours = %+v", sum.Lifespans)
+	}
+	if sum.Lifespans.Median <= sum.Lifespans.Min || sum.Lifespans.Median >= sum.Lifespans.Max {
+		t.Errorf("median out of bracket: %+v", sum.Lifespans)
+	}
+}

@@ -1,0 +1,188 @@
+package netutil
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBasics(t *testing.T) {
+	b := NewTokenBucket(2, 1000)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("full bucket refused tokens")
+	}
+	// Freeze the clock: the third take must fail.
+	frozen := time.Now()
+	b.SetClock(func() time.Time { return frozen })
+	if b.Allow() {
+		t.Fatal("empty bucket granted a token")
+	}
+	// Advance clock: tokens refill.
+	frozen = frozen.Add(10 * time.Millisecond) // 1000/s * 10ms = 10 tokens, capped at 2
+	if !b.AllowN(2) {
+		t.Fatal("refilled bucket refused tokens")
+	}
+}
+
+func TestTokenBucketRetryAfter(t *testing.T) {
+	b := NewTokenBucket(1, 10)
+	frozen := time.Now()
+	b.SetClock(func() time.Time { return frozen })
+	b.Allow()
+	after := b.RetryAfter(1)
+	if after <= 0 || after > 200*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want ~100ms", after)
+	}
+	if b.RetryAfter(0) != 0 {
+		t.Error("RetryAfter(0) != 0")
+	}
+}
+
+func TestClientGetJSON(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Api-Key") != "sekrit" {
+			WriteError(w, http.StatusUnauthorized, "no key")
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]string{"hello": "world"})
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, APIKey: "sekrit"}
+	var out map[string]string
+	if err := c.GetJSON(context.Background(), "/x", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["hello"] != "world" {
+		t.Errorf("body = %v", out)
+	}
+}
+
+func TestClientRetriesOn429(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			WriteRateLimited(w, time.Millisecond)
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]int{"ok": 1})
+	}))
+	defer srv.Close()
+
+	c := &Client{
+		BaseURL: srv.URL,
+		Backoff: time.Millisecond,
+		Sleep:   func(ctx context.Context, d time.Duration) error { return nil },
+	}
+	var out map[string]int
+	if err := c.GetJSON(context.Background(), "/y", &out); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestClientNoRetryOn404(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		WriteError(w, http.StatusNotFound, "nope")
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Sleep: func(ctx context.Context, d time.Duration) error { return nil }}
+	err := c.GetJSON(context.Background(), "/z", nil)
+	if !IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("err = %v, want 404 APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (no retry)", calls.Load())
+	}
+}
+
+func TestClientGivesUpAfterRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusInternalServerError, "boom")
+	}))
+	defer srv.Close()
+
+	c := &Client{
+		BaseURL:    srv.URL,
+		MaxRetries: 2,
+		Sleep:      func(ctx context.Context, d time.Duration) error { return nil },
+	}
+	if err := c.GetJSON(context.Background(), "/w", nil); err == nil {
+		t.Fatal("expected failure after retries")
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusInternalServerError, "boom")
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Client{BaseURL: srv.URL}
+	err := c.GetJSON(ctx, "/w", nil)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestClientPostJSON(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var in map[string]string
+		if r.Method != http.MethodPost {
+			t.Errorf("method = %s", r.Method)
+		}
+		if err := ReadJSON(r, &in); err != nil {
+			WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]string{"echo": in["msg"]})
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL}
+	var out map[string]string
+	if err := c.PostJSON(context.Background(), "/p", map[string]string{"msg": "hi"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["echo"] != "hi" {
+		t.Errorf("echo = %q", out["echo"])
+	}
+}
+
+func TestRequireKey(t *testing.T) {
+	h := RequireKey("k", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("no key status = %d", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set("X-Api-Key", "k")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("keyed status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,135 @@
+// Package release implements the paper's published-dataset format
+// (Appendix C): pseudo-anonymized JSON-Lines records carrying the sender's
+// kind/type/MNO/country instead of raw numbers, the SMS text with PII
+// placeholders, translations, and the full labels (scam category, lures,
+// language, brand, shortener). Write exports a world; Read loads a release
+// back for downstream research — the round trip the paper's artifact
+// enables.
+package release
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/smishkit/smishkit/internal/corpus"
+)
+
+// Record is one published dataset row (Appendix C field list).
+type Record struct {
+	ID             string   `json:"id"`
+	SenderKind     string   `json:"sender_id"` // anonymized: kind only
+	SenderType     string   `json:"sender_id_type,omitempty"`
+	SenderMNO      string   `json:"sender_original_mno,omitempty"`
+	SenderCountry  string   `json:"sender_origin_country,omitempty"`
+	Text           string   `json:"text_message"`
+	TranslatedText string   `json:"translated_text,omitempty"`
+	URLShortener   string   `json:"url_shortener,omitempty"`
+	Brand          string   `json:"brand_impersonated,omitempty"`
+	ScamCategory   string   `json:"scam_category"`
+	SubCategory    string   `json:"sub_category,omitempty"`
+	Lures          []string `json:"lure_principles"`
+	Language       string   `json:"language"`
+	Forum          string   `json:"forum"`
+	SentAt         string   `json:"sent_at"`
+}
+
+// Options controls export redaction.
+type Options struct {
+	// Raw keeps raw URLs in texts. The published dataset never does this
+	// (Appendix A: URL paths may carry PII); it exists for local debugging.
+	Raw bool
+}
+
+// FromMessage converts one ground-truth message into a release record.
+func FromMessage(m corpus.Message, opts Options) Record {
+	rec := Record{
+		ID:           m.ID,
+		SenderKind:   string(m.Sender.Kind),
+		Text:         m.Text,
+		ScamCategory: string(m.ScamType),
+		SubCategory:  string(m.SubType),
+		Language:     m.Language,
+		Forum:        string(m.Forum),
+		Brand:        m.Brand,
+		SentAt:       m.SentAt.Format("2006-01-02T15:04:05Z"),
+		URLShortener: m.Shortener,
+		Lures:        []string{},
+	}
+	if m.Language != "en" {
+		rec.TranslatedText = m.English
+	}
+	if m.Sender.NumberType != "" {
+		rec.SenderType = string(m.Sender.NumberType)
+		rec.SenderMNO = m.Sender.MNO
+		rec.SenderCountry = m.Sender.Country
+	}
+	for _, l := range m.Lures {
+		rec.Lures = append(rec.Lures, string(l))
+	}
+	if !opts.Raw && m.URL != "" {
+		rec.Text = strings.ReplaceAll(rec.Text, m.URL, "<URL>")
+		rec.TranslatedText = strings.ReplaceAll(rec.TranslatedText, m.URL, "<URL>")
+	}
+	return rec
+}
+
+// Write exports every world message as JSON Lines.
+func Write(w io.Writer, world *corpus.World, opts Options) (int, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, m := range world.Messages {
+		if err := enc.Encode(FromMessage(m, opts)); err != nil {
+			return 0, fmt.Errorf("release: encode %s: %w", m.ID, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, fmt.Errorf("release: flush: %w", err)
+	}
+	return len(world.Messages), nil
+}
+
+// Read loads a release file. Blank lines are skipped; a malformed line
+// aborts with its line number.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			return nil, fmt.Errorf("release: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("release: read: %w", err)
+	}
+	return out, nil
+}
+
+// Validate checks a release for the anonymization invariants the paper's
+// ethics appendix requires: no raw E.164 numbers as sender IDs and no raw
+// URLs in redacted texts. It returns the first violation.
+func Validate(records []Record, redacted bool) error {
+	for i, rec := range records {
+		if strings.HasPrefix(rec.SenderKind, "+") {
+			return fmt.Errorf("release: record %d (%s): raw sender id leaked", i, rec.ID)
+		}
+		if redacted && (strings.Contains(rec.Text, "https://") || strings.Contains(rec.Text, "http://")) {
+			return fmt.Errorf("release: record %d (%s): raw URL leaked", i, rec.ID)
+		}
+		if rec.ScamCategory == "" || rec.Language == "" {
+			return fmt.Errorf("release: record %d (%s): missing labels", i, rec.ID)
+		}
+	}
+	return nil
+}

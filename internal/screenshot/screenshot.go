@@ -1,0 +1,200 @@
+// Package screenshot substitutes for the paper's image-attachment corpus
+// (§3.2). Real screenshots are pixel grids; offline we render SMS
+// conversations into a glyph-grid "image" format that preserves exactly the
+// properties the paper's extraction ladder stumbled on: per-app themes with
+// low-contrast custom backgrounds (plain OCR fails), multi-line wrapped
+// URLs and scrambled reading order (Google-Vision-style OCR fails), and
+// non-screenshot decoy images (awareness posters) that must be rejected.
+// Three extractor engines reproduce the ladder: NaiveOCR, VisionOCR, and
+// StructuredVision.
+package screenshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Theme describes the messaging app's rendering style.
+type Theme struct {
+	Name     string  `json:"name"`
+	Contrast float64 `json:"contrast"` // glyph/background contrast, 0..1
+	Decor    bool    `json:"decor"`    // decorative bubbles/emoji rails
+}
+
+// Themes available to the renderer; weights reflect popularity. The custom
+// themes are the "custom background colors and designs" pytesseract could
+// not read (§3.2).
+var Themes = []Theme{
+	{Name: "ios-messages", Contrast: 0.95},
+	{Name: "android-messages", Contrast: 0.92},
+	{Name: "samsung-messages", Contrast: 0.85},
+	{Name: "whatsapp", Contrast: 0.75, Decor: true},
+	{Name: "custom-dark", Contrast: 0.40, Decor: true},
+	{Name: "custom-gradient", Contrast: 0.30, Decor: true},
+}
+
+// Kind tags what an image actually shows.
+type Kind string
+
+// Image kinds: real SMS screenshots, awareness posters, and unrelated
+// pictures all circulate under the same report keywords.
+const (
+	KindSMS       Kind = "sms_screenshot"
+	KindPoster    Kind = "awareness_poster"
+	KindUnrelated Kind = "unrelated"
+)
+
+// Line is one rendered text row with its layout ground truth.
+type Line struct {
+	Text   string `json:"text"`
+	Left   int    `json:"left"`   // left edge column
+	Row    int    `json:"row"`    // grid row
+	Region string `json:"region"` // "header" | "sender" | "body"
+}
+
+// Image is the serialized glyph-grid screenshot.
+type Image struct {
+	Kind  Kind   `json:"kind"`
+	Theme Theme  `json:"theme"`
+	Width int    `json:"width"`
+	Lines []Line `json:"lines"`
+	// Ground truth for evaluation; a real image would not carry these,
+	// and extractors other than the test harness must not read them.
+	TruthText      string `json:"truth_text"`
+	TruthSender    string `json:"truth_sender"`
+	TruthTimestamp string `json:"truth_timestamp"`
+	TruthURL       string `json:"truth_url"`
+}
+
+// Spec configures a render.
+type Spec struct {
+	Sender    string
+	Timestamp time.Time // zero means no timestamp shown
+	TimeOnly  bool      // screenshot shows clock time without a date
+	Body      string
+	URL       string // ground truth URL within Body ("" if none)
+	Theme     Theme
+	Width     int // wrap width in columns (default 34, a phone's worth)
+}
+
+// Render lays out an SMS conversation screenshot.
+func Render(spec Spec) Image {
+	width := spec.Width
+	if width <= 0 {
+		width = 34
+	}
+	img := Image{
+		Kind:        KindSMS,
+		Theme:       spec.Theme,
+		Width:       width,
+		TruthText:   spec.Body,
+		TruthSender: spec.Sender,
+		TruthURL:    spec.URL,
+	}
+	row := 0
+	if !spec.Timestamp.IsZero() {
+		stamp := formatStamp(spec.Timestamp, spec.TimeOnly)
+		img.TruthTimestamp = stamp
+		img.Lines = append(img.Lines, Line{Text: stamp, Left: (width - len(stamp)) / 2, Row: row, Region: "header"})
+		row++
+	}
+	if spec.Sender != "" {
+		img.Lines = append(img.Lines, Line{Text: spec.Sender, Left: 2, Row: row, Region: "sender"})
+		row++
+	}
+	indent := 3 // bubble padding
+	for _, l := range wrap(spec.Body, width-indent) {
+		img.Lines = append(img.Lines, Line{Text: l, Left: indent, Row: row, Region: "body"})
+		row++
+	}
+	return img
+}
+
+// stampFormats vary by messaging app; dateparse must handle all of them.
+func formatStamp(t time.Time, timeOnly bool) string {
+	if timeOnly {
+		return t.Format("15:04")
+	}
+	switch t.Second() % 4 { // deterministic per message, varied across corpus
+	case 0:
+		return t.Format("Mon, 2 Jan 2006 15:04")
+	case 1:
+		return t.Format("2006-01-02 15:04")
+	case 2:
+		return t.Format("Jan 2, 2006 3:04 PM")
+	default:
+		return t.Format("02/01/2006 15:04")
+	}
+}
+
+// RenderPoster produces an awareness-poster decoy (not an SMS screenshot).
+func RenderPoster(headline string) Image {
+	lines := []Line{
+		{Text: "!! SCAM ALERT !!", Left: 4, Row: 0, Region: "body"},
+		{Text: headline, Left: 0, Row: 2, Region: "body"},
+		{Text: "Never click links in texts", Left: 0, Row: 4, Region: "body"},
+		{Text: "Report to 7726", Left: 6, Row: 6, Region: "body"},
+	}
+	return Image{Kind: KindPoster, Theme: Themes[0], Width: 40, Lines: lines}
+}
+
+// RenderUnrelated produces a non-text decoy image.
+func RenderUnrelated(seed int) Image {
+	return Image{
+		Kind:  KindUnrelated,
+		Theme: Themes[seed%len(Themes)],
+		Width: 40,
+		Lines: []Line{{Text: fmt.Sprintf("IMG_%04d", seed), Left: 0, Row: 0, Region: "body"}},
+	}
+}
+
+// Encode serializes an image to attachment bytes.
+func (img Image) Encode() []byte {
+	b, _ := json.Marshal(img)
+	return b
+}
+
+// Decode parses attachment bytes back into an Image.
+func Decode(b []byte) (Image, error) {
+	var img Image
+	if err := json.Unmarshal(b, &img); err != nil {
+		return Image{}, fmt.Errorf("screenshot: decode image: %w", err)
+	}
+	return img, nil
+}
+
+// wrap breaks text into lines at word boundaries, splitting overlong words
+// (URLs!) mid-token exactly like a phone's message bubble does.
+func wrap(text string, width int) []string {
+	if width < 4 {
+		width = 4
+	}
+	var lines []string
+	current := ""
+	for _, word := range strings.Fields(text) {
+		for len(word) > width {
+			// Hard-split an overlong token (the multi-line URL case).
+			if current != "" {
+				lines = append(lines, current)
+				current = ""
+			}
+			lines = append(lines, word[:width])
+			word = word[width:]
+		}
+		switch {
+		case current == "":
+			current = word
+		case len(current)+1+len(word) <= width:
+			current += " " + word
+		default:
+			lines = append(lines, current)
+			current = word
+		}
+	}
+	if current != "" {
+		lines = append(lines, current)
+	}
+	return lines
+}

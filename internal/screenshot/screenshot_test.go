@@ -1,0 +1,270 @@
+package screenshot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+	"unicode"
+)
+
+var ts = time.Date(2023, 5, 2, 14, 32, 0, 0, time.UTC)
+
+func smsSpec(theme Theme) Spec {
+	return Spec{
+		Sender:    "+447700900123",
+		Timestamp: ts,
+		Body:      "Royal Mail: your parcel is held. Pay the fee at https://royalmail-redelivery.top/pay now",
+		URL:       "https://royalmail-redelivery.top/pay",
+		Theme:     theme,
+	}
+}
+
+func TestRenderLayout(t *testing.T) {
+	img := Render(smsSpec(Themes[0]))
+	if img.Kind != KindSMS {
+		t.Fatalf("kind = %s", img.Kind)
+	}
+	var regions []string
+	for _, l := range img.Lines {
+		regions = append(regions, l.Region)
+	}
+	if regions[0] != "header" || regions[1] != "sender" {
+		t.Errorf("region order = %v", regions)
+	}
+	// The long URL must be wrapped across >= 2 body lines.
+	bodyLines := 0
+	for _, l := range img.Lines {
+		if l.Region == "body" {
+			bodyLines++
+			if len(l.Text) > img.Width {
+				t.Errorf("line exceeds width: %q", l.Text)
+			}
+		}
+	}
+	if bodyLines < 2 {
+		t.Errorf("body not wrapped: %d lines", bodyLines)
+	}
+}
+
+func TestRenderNoTimestamp(t *testing.T) {
+	spec := smsSpec(Themes[0])
+	spec.Timestamp = time.Time{}
+	img := Render(spec)
+	for _, l := range img.Lines {
+		if l.Region == "header" {
+			t.Fatal("header present without timestamp")
+		}
+	}
+	if img.TruthTimestamp != "" {
+		t.Error("truth timestamp set")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := Render(smsSpec(Themes[3]))
+	b := img.Encode()
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TruthText != img.TruthText || len(got.Lines) != len(img.Lines) {
+		t.Error("round trip lost data")
+	}
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Error("junk decoded")
+	}
+}
+
+func TestWrapSplitsLongTokens(t *testing.T) {
+	lines := wrap("pay https://a-very-long-domain-name-here.example/with/a/long/path now", 20)
+	for _, l := range lines {
+		if len(l) > 20 {
+			t.Errorf("line too long: %q", l)
+		}
+	}
+	if len(lines) < 3 {
+		t.Errorf("expected multiple lines, got %v", lines)
+	}
+	// Rejoining without spaces must reproduce the URL.
+	joined := strings.Join(lines, "")
+	if !strings.Contains(joined, "a-very-long-domain-name-here.example/with/a/long/path") {
+		t.Error("hard split lost characters")
+	}
+}
+
+func TestNaiveOCRFailsOnCustomThemes(t *testing.T) {
+	img := Render(smsSpec(Theme{Name: "custom-gradient", Contrast: 0.30}))
+	_, err := NaiveOCR{}.Extract(img)
+	if err != ErrUnreadable {
+		t.Fatalf("err = %v, want ErrUnreadable", err)
+	}
+}
+
+func TestNaiveOCRConfusesGlyphs(t *testing.T) {
+	spec := smsSpec(Theme{Name: "samsung-messages", Contrast: 0.55})
+	spec.Body = "Illlllllll 1111111111 OO00OO00 validate l1O0 SSS555 " + spec.Body
+	img := Render(spec)
+	ext, err := NaiveOCR{}.Extract(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.OK {
+		t.Fatal("naive OCR rejected an SMS image")
+	}
+	if ext.Text == strings.Join(linesOf(img), "\n") {
+		t.Error("no glyph confusion at low contrast")
+	}
+}
+
+func TestNaiveOCRCannotRejectPosters(t *testing.T) {
+	poster := RenderPoster("Beware of parcel scams")
+	ext, err := NaiveOCR{}.Extract(poster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.OK {
+		t.Error("naive OCR claims to reject posters — it has no layout model")
+	}
+}
+
+func TestVisionOCRReadsAllGlyphsButScramblesOrder(t *testing.T) {
+	img := Render(smsSpec(Theme{Name: "custom-gradient", Contrast: 0.30}))
+	ext, err := VisionOCR{}.Extract(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every line's characters present (perfect recognition)...
+	for _, l := range img.Lines {
+		if !strings.Contains(ext.Text, l.Text) {
+			t.Errorf("vision lost line %q", l.Text)
+		}
+	}
+	// ...but the full URL is NOT reconstructable as a contiguous string.
+	noNewlines := strings.ReplaceAll(ext.Text, "\n", "")
+	if strings.Contains(noNewlines, img.TruthURL) {
+		t.Error("vision output preserved URL contiguity; expected scrambled order")
+	}
+}
+
+func TestStructuredVisionExtractsAllFields(t *testing.T) {
+	img := Render(smsSpec(Themes[5])) // worst theme: structured vision doesn't care
+	ext, err := StructuredVision{}.Extract(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.OK {
+		t.Fatal("structured vision rejected an SMS image")
+	}
+	if ext.Sender != "+447700900123" {
+		t.Errorf("sender = %q", ext.Sender)
+	}
+	if ext.Timestamp == "" {
+		t.Error("timestamp missing")
+	}
+	if ext.URL != "https://royalmail-redelivery.top/pay" {
+		t.Errorf("url = %q", ext.URL)
+	}
+	if ext.Text != smsSpec(Themes[5]).Body {
+		t.Errorf("text = %q", ext.Text)
+	}
+}
+
+func TestStructuredVisionRejectsDecoys(t *testing.T) {
+	for _, img := range []Image{RenderPoster("x"), RenderUnrelated(7)} {
+		ext, err := StructuredVision{}.Extract(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ext.OK {
+			t.Errorf("decoy %s accepted", img.Kind)
+		}
+	}
+}
+
+func TestExtractorLadderFidelity(t *testing.T) {
+	// Across all themes, structured vision must recover strictly more URLs
+	// than vision OCR, which recovers more text than naive OCR.
+	var naiveOK, visionURL, structURL, total int
+	for _, theme := range Themes {
+		for i := 0; i < 5; i++ {
+			spec := smsSpec(theme)
+			spec.Timestamp = ts.Add(time.Duration(i) * time.Minute)
+			img := Render(spec)
+			total++
+			if _, err := (NaiveOCR{}).Extract(img); err == nil {
+				naiveOK++
+			}
+			vext, _ := VisionOCR{}.Extract(img)
+			if strings.Contains(strings.ReplaceAll(vext.Text, "\n", ""), img.TruthURL) {
+				visionURL++
+			}
+			sext, _ := StructuredVision{}.Extract(img)
+			if sext.URL == img.TruthURL {
+				structURL++
+			}
+		}
+	}
+	if naiveOK == total {
+		t.Error("naive OCR read every theme; custom themes should fail")
+	}
+	if structURL != total {
+		t.Errorf("structured vision recovered %d/%d URLs", structURL, total)
+	}
+	if visionURL >= structURL {
+		t.Errorf("vision OCR URL recovery (%d) not below structured (%d)", visionURL, structURL)
+	}
+}
+
+func linesOf(img Image) []string {
+	out := make([]string, len(img.Lines))
+	for i, l := range img.Lines {
+		out[i] = l.Text
+	}
+	return out
+}
+
+// Property: wrapping never loses characters — rejoining (with hard-split
+// awareness) reproduces every non-space rune in order.
+func TestWrapLosslessProperty(t *testing.T) {
+	f := func(words []string, rawWidth uint8) bool {
+		width := int(rawWidth%40) + 4
+		var clean []string
+		for _, w := range words {
+			w = strings.Map(func(r rune) rune {
+				if unicode.IsSpace(r) || r < 0x20 {
+					return -1
+				}
+				return r
+			}, w)
+			if w != "" {
+				clean = append(clean, w)
+			}
+		}
+		text := strings.Join(clean, " ")
+		lines := wrap(text, width)
+		joined := strings.Join(lines, "")
+		want := strings.ReplaceAll(text, " ", "")
+		got := strings.ReplaceAll(joined, " ", "")
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rendering and decoding round-trips any printable body.
+func TestRenderDecodeProperty(t *testing.T) {
+	f := func(body string, sender string) bool {
+		spec := Spec{Sender: sender, Body: body, Theme: Themes[0]}
+		img := Render(spec)
+		decoded, err := Decode(img.Encode())
+		if err != nil {
+			return false
+		}
+		return decoded.TruthText == body && decoded.TruthSender == sender
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

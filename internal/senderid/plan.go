@@ -1,0 +1,256 @@
+package senderid
+
+import "strings"
+
+// NumberType is the HLR-style classification of a phone number (Table 3).
+type NumberType string
+
+// Number types as reported by HLR lookups.
+const (
+	TypeMobile           NumberType = "mobile"
+	TypeMobileOrLandline NumberType = "mobile_or_landline"
+	TypeVOIP             NumberType = "voip"
+	TypeTollFree         NumberType = "toll_free"
+	TypePager            NumberType = "pager"
+	TypeUAN              NumberType = "universal_access"
+	TypePersonal         NumberType = "personal_number"
+	TypeLandline         NumberType = "landline"
+	TypeVoicemail        NumberType = "voicemail_only"
+	TypePremium          NumberType = "premium_rate"
+	TypeBadFormat        NumberType = "bad_format"
+	TypeOther            NumberType = "other"
+)
+
+// Valid reports whether t denotes a number that can legitimately originate
+// SMS traffic. Landlines, voicemail-only and malformed sender IDs cannot and
+// are the paper's "likely spoofed" bucket (§4.1).
+func (t NumberType) Valid() bool {
+	switch t {
+	case TypeBadFormat, TypeLandline, TypeVoicemail:
+		return false
+	}
+	return true
+}
+
+// ClassifyNumber applies per-country numbering-plan rules to a parsed
+// number. This is the offline fallback the HLR service uses for numbers
+// missing from its registry; real HLRs have authoritative data.
+func ClassifyNumber(n Number) NumberType {
+	if n.Country == "" || n.NSN == "" {
+		return TypeBadFormat
+	}
+	lo, hi := nsnRange(n.Country)
+	if len(n.NSN) < lo || len(n.NSN) > hi {
+		return TypeBadFormat
+	}
+	switch n.Country {
+	case "USA":
+		return classifyNANP(n.NSN)
+	case "GBR":
+		return classifyGBR(n.NSN)
+	case "IND":
+		return classifyIND(n.NSN)
+	case "NLD":
+		return classifyNLD(n.NSN)
+	case "ESP":
+		return classifyESP(n.NSN)
+	case "FRA":
+		return classifyFRA(n.NSN)
+	case "AUS":
+		return classifyAUS(n.NSN)
+	case "DEU":
+		return classifyDEU(n.NSN)
+	case "BEL":
+		return classifyBEL(n.NSN)
+	case "IDN":
+		return classifyIDN(n.NSN)
+	default:
+		return classifyGenericPlan(n.NSN)
+	}
+}
+
+// classifyNANP: the North American plan does not segregate mobile ranges, so
+// every geographic number is "mobile or landline" — the reason Table 3 has
+// that category. 800/888/877/866/855/844/833 are toll-free; 900 premium.
+func classifyNANP(nsn string) NumberType {
+	if len(nsn) != 10 {
+		return TypeBadFormat
+	}
+	npa := nsn[:3]
+	switch npa {
+	case "800", "888", "877", "866", "855", "844", "833", "822":
+		return TypeTollFree
+	case "900":
+		return TypePremium
+	case "500", "521", "522", "533", "544", "566", "577", "588":
+		return TypePersonal
+	}
+	if npa[0] == '0' || npa[0] == '1' {
+		return TypeBadFormat
+	}
+	return TypeMobileOrLandline
+}
+
+func classifyGBR(nsn string) NumberType {
+	switch {
+	case strings.HasPrefix(nsn, "76"):
+		// 7640-76x: radiopaging (except 7624, Isle of Man mobile).
+		if strings.HasPrefix(nsn, "7624") {
+			return TypeMobile
+		}
+		return TypePager
+	case strings.HasPrefix(nsn, "70"):
+		return TypePersonal
+	case strings.HasPrefix(nsn, "7"):
+		return TypeMobile
+	case strings.HasPrefix(nsn, "1"), strings.HasPrefix(nsn, "2"):
+		return TypeLandline
+	case strings.HasPrefix(nsn, "80"):
+		return TypeTollFree
+	case strings.HasPrefix(nsn, "84"), strings.HasPrefix(nsn, "87"):
+		return TypeUAN
+	case strings.HasPrefix(nsn, "9"):
+		return TypePremium
+	case strings.HasPrefix(nsn, "56"):
+		return TypeVOIP
+	default:
+		return TypeOther
+	}
+}
+
+func classifyIND(nsn string) NumberType {
+	if len(nsn) != 10 {
+		return TypeBadFormat
+	}
+	switch nsn[0] {
+	case '9', '8', '7', '6':
+		return TypeMobile
+	case '1', '2', '3', '4', '5':
+		return TypeLandline
+	default:
+		return TypeOther
+	}
+}
+
+func classifyNLD(nsn string) NumberType {
+	switch {
+	case strings.HasPrefix(nsn, "6"):
+		return TypeMobile
+	case strings.HasPrefix(nsn, "800"):
+		return TypeTollFree
+	case strings.HasPrefix(nsn, "90"):
+		return TypePremium
+	case strings.HasPrefix(nsn, "85"), strings.HasPrefix(nsn, "88"):
+		return TypeVOIP
+	case strings.HasPrefix(nsn, "84"):
+		return TypeVoicemail
+	default:
+		return TypeLandline
+	}
+}
+
+func classifyESP(nsn string) NumberType {
+	switch {
+	case nsn[0] == '6', strings.HasPrefix(nsn, "7") && len(nsn) > 1 && nsn[1] >= '1' && nsn[1] <= '4':
+		return TypeMobile
+	case nsn[0] == '9', nsn[0] == '8':
+		if strings.HasPrefix(nsn, "900") {
+			return TypeTollFree
+		}
+		if strings.HasPrefix(nsn, "803") || strings.HasPrefix(nsn, "806") || strings.HasPrefix(nsn, "807") {
+			return TypePremium
+		}
+		return TypeLandline
+	default:
+		return TypeOther
+	}
+}
+
+func classifyFRA(nsn string) NumberType {
+	switch {
+	case nsn[0] == '6', nsn[0] == '7':
+		return TypeMobile
+	case nsn[0] == '8':
+		if strings.HasPrefix(nsn, "80") {
+			return TypeTollFree
+		}
+		return TypePremium
+	case nsn[0] == '9':
+		return TypeVOIP
+	case nsn[0] >= '1' && nsn[0] <= '5':
+		return TypeLandline
+	default:
+		return TypeOther
+	}
+}
+
+func classifyAUS(nsn string) NumberType {
+	switch {
+	case nsn[0] == '4':
+		return TypeMobile
+	case nsn[0] == '2', nsn[0] == '3', nsn[0] == '7', nsn[0] == '8':
+		return TypeLandline
+	case strings.HasPrefix(nsn, "1800"), strings.HasPrefix(nsn, "1300"):
+		return TypeTollFree
+	case nsn[0] == '5':
+		return TypeVOIP
+	default:
+		return TypeOther
+	}
+}
+
+func classifyDEU(nsn string) NumberType {
+	switch {
+	case strings.HasPrefix(nsn, "15"), strings.HasPrefix(nsn, "16"), strings.HasPrefix(nsn, "17"):
+		return TypeMobile
+	case strings.HasPrefix(nsn, "800"):
+		return TypeTollFree
+	case strings.HasPrefix(nsn, "900"):
+		return TypePremium
+	case strings.HasPrefix(nsn, "700"):
+		return TypePersonal
+	case strings.HasPrefix(nsn, "32"):
+		return TypeVOIP
+	default:
+		return TypeLandline
+	}
+}
+
+func classifyBEL(nsn string) NumberType {
+	switch {
+	case strings.HasPrefix(nsn, "4"):
+		return TypeMobile
+	case strings.HasPrefix(nsn, "800"):
+		return TypeTollFree
+	case strings.HasPrefix(nsn, "90"):
+		return TypePremium
+	default:
+		return TypeLandline
+	}
+}
+
+func classifyIDN(nsn string) NumberType {
+	switch {
+	case strings.HasPrefix(nsn, "8"):
+		return TypeMobile
+	case strings.HasPrefix(nsn, "21"), strings.HasPrefix(nsn, "22"), strings.HasPrefix(nsn, "24"), strings.HasPrefix(nsn, "31"):
+		return TypeLandline
+	default:
+		return TypeOther
+	}
+}
+
+// classifyGenericPlan covers the long tail: leading 9/8/7/6 reads as mobile
+// in most ITU plans; low leading digits as geographic landline.
+func classifyGenericPlan(nsn string) NumberType {
+	switch {
+	case nsn == "":
+		return TypeBadFormat
+	case nsn[0] >= '6':
+		return TypeMobile
+	case nsn[0] >= '1':
+		return TypeLandline
+	default:
+		return TypeOther
+	}
+}

@@ -1,0 +1,126 @@
+package senderid
+
+import "testing"
+
+// Per-country plan coverage: every branch of every modeled numbering plan.
+func TestClassifyNumberAllPlans(t *testing.T) {
+	cases := []struct {
+		country, nsn string
+		want         NumberType
+	}{
+		// Netherlands
+		{"NLD", "612345678", TypeMobile},
+		{"NLD", "101234567", TypeLandline},
+		{"NLD", "800123456", TypeTollFree},
+		{"NLD", "901234567", TypePremium},
+		{"NLD", "851234567", TypeVOIP},
+		{"NLD", "881234567", TypeVOIP},
+		{"NLD", "841234567", TypeVoicemail},
+		// Spain
+		{"ESP", "612345678", TypeMobile},
+		{"ESP", "712345678", TypeMobile},
+		{"ESP", "912345678", TypeLandline},
+		{"ESP", "900123456", TypeTollFree},
+		{"ESP", "803123456", TypePremium},
+		{"ESP", "806123456", TypePremium},
+		{"ESP", "807123456", TypePremium},
+		// France
+		{"FRA", "612345678", TypeMobile},
+		{"FRA", "712345678", TypeMobile},
+		{"FRA", "112345678", TypeLandline},
+		{"FRA", "412345678", TypeLandline},
+		{"FRA", "801234567", TypeTollFree},
+		{"FRA", "891234567", TypePremium},
+		{"FRA", "912345678", TypeVOIP},
+		// Australia
+		{"AUS", "412345678", TypeMobile},
+		{"AUS", "212345678", TypeLandline},
+		{"AUS", "812345678", TypeLandline},
+		{"AUS", "512345678", TypeVOIP},
+		// Germany
+		{"DEU", "15123456789", TypeMobile},
+		{"DEU", "1601234567", TypeMobile},
+		{"DEU", "1701234567", TypeMobile},
+		{"DEU", "800123456", TypeTollFree},
+		{"DEU", "900123456", TypePremium},
+		{"DEU", "700123456", TypePersonal},
+		{"DEU", "321234567", TypeVOIP},
+		{"DEU", "301234567", TypeLandline},
+		// Belgium
+		{"BEL", "412345678", TypeMobile},
+		{"BEL", "800123456", TypeTollFree},
+		{"BEL", "901234567", TypePremium},
+		{"BEL", "21234567", TypeLandline},
+		// Indonesia
+		{"IDN", "81234567890", TypeMobile},
+		{"IDN", "211234567", TypeLandline},
+		{"IDN", "511234567", TypeOther},
+		// Generic-plan country (Kenya)
+		{"KEN", "712345678", TypeMobile},
+		{"KEN", "201234567", TypeLandline},
+		// UK UAN + premium
+		{"GBR", "8412345678", TypeUAN},
+		{"GBR", "8712345678", TypeUAN},
+	}
+	for _, c := range cases {
+		got := ClassifyNumber(Number{Country: c.country, NSN: c.nsn})
+		if got != c.want {
+			t.Errorf("%s %s = %q, want %q", c.country, c.nsn, got, c.want)
+		}
+	}
+}
+
+func TestClassifyNumberLengthBounds(t *testing.T) {
+	// Each plan rejects NSNs outside its length window.
+	for _, c := range []struct{ country, nsn string }{
+		{"NLD", "61234"},
+		{"ESP", "6123456789012"},
+		{"USA", "123"},
+		{"FRA", "6"},
+	} {
+		if got := ClassifyNumber(Number{Country: c.country, NSN: c.nsn}); got != TypeBadFormat {
+			t.Errorf("%s %s = %q, want bad_format", c.country, c.nsn, got)
+		}
+	}
+}
+
+func TestParsePhoneFormattingVariants(t *testing.T) {
+	variants := []string{
+		"+44 7700 900123",
+		"+44-7700-900123",
+		"+44 (7700) 900123",
+		"+447700900123",
+		"0044 7700 900123",
+	}
+	for _, v := range variants {
+		n, err := ParsePhone(v)
+		if err != nil {
+			t.Errorf("ParsePhone(%q): %v", v, err)
+			continue
+		}
+		if n.E164 != "+447700900123" {
+			t.Errorf("ParsePhone(%q).E164 = %q", v, n.E164)
+		}
+	}
+}
+
+func TestNSNRangeFallback(t *testing.T) {
+	lo, hi := NSNRange("ZZZ")
+	if lo != 7 || hi != 12 {
+		t.Errorf("default NSN range = %d..%d", lo, hi)
+	}
+	lo, hi = NSNRange("GBR")
+	if lo != 9 || hi != 10 {
+		t.Errorf("GBR NSN range = %d..%d", lo, hi)
+	}
+}
+
+func TestDialCodeForUnknown(t *testing.T) {
+	if got := DialCodeFor("XXX"); got != "" {
+		t.Errorf("DialCodeFor(XXX) = %q", got)
+	}
+	// Shared-plan countries return their canonical (shortest) code.
+	if got := DialCodeFor("USA"); got != "1" {
+		t.Errorf("DialCodeFor(USA) = %q", got)
+	}
+}

@@ -1,0 +1,249 @@
+// Package senderid classifies SMS sender IDs. A smishing sender ID is a
+// phone number, an email address (iMessage-style sending), or an
+// alphanumeric shortcode spoofed through an SMS aggregator (§3.3.1, §4.1).
+// For phone numbers it provides E.164 parsing with country detection and
+// per-country numbering-plan rules that distinguish mobile, landline, VoIP,
+// toll-free and friends — the taxonomy behind Table 3.
+package senderid
+
+import (
+	"errors"
+	"regexp"
+	"strings"
+)
+
+// Kind is the top-level sender-ID category (§4.1).
+type Kind string
+
+// Sender-ID kinds. Redacted covers user-censored IDs ("+44 74** ***123",
+// "[redacted]") that cannot be attributed.
+const (
+	KindPhone        Kind = "phone"
+	KindEmail        Kind = "email"
+	KindAlphanumeric Kind = "alphanumeric"
+	KindRedacted     Kind = "redacted"
+	KindUnknown      Kind = "unknown"
+)
+
+var (
+	emailRe = regexp.MustCompile(`^[a-zA-Z0-9._%+-]+@[a-zA-Z0-9.-]+\.[a-zA-Z]{2,}$`)
+	// Alphanumeric sender IDs are up to 11 GSM characters with at least
+	// one letter (GSM 03.38 / TP-OA alphanumeric addressing).
+	alphaRe    = regexp.MustCompile(`^[A-Za-z0-9 ._-]{1,11}$`)
+	hasLetter  = regexp.MustCompile(`[A-Za-z]`)
+	redactedRe = regexp.MustCompile(`[*xX•#]{2,}|\[redacted\]|\[removed\]|<hidden>`)
+)
+
+// Classify returns the Kind of a raw sender ID string.
+func Classify(raw string) Kind {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return KindUnknown
+	}
+	if redactedRe.MatchString(s) {
+		return KindRedacted
+	}
+	if emailRe.MatchString(s) {
+		return KindEmail
+	}
+	digits := digitsOf(s)
+	switch {
+	case len(digits) >= 5 && isPhoneShaped(s):
+		return KindPhone
+	case len(digits) >= 3 && len(digits) <= 6 && len(digits) == len(s):
+		// 3-6 digit shortcodes (e.g. banks' 567676) count as phone-side
+		// addressing: they ride the operator shortcode plan.
+		return KindPhone
+	case alphaRe.MatchString(s) && hasLetter.MatchString(s):
+		return KindAlphanumeric
+	default:
+		return KindUnknown
+	}
+}
+
+// isPhoneShaped accepts digits with optional +, spaces, hyphens, dots,
+// parentheses — and nothing else.
+func isPhoneShaped(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '+' && i == 0:
+		case r == ' ' || r == '-' || r == '.' || r == '(' || r == ')':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func digitsOf(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Number is a parsed E.164-style phone number.
+type Number struct {
+	Raw      string // original input
+	E164     string // +<cc><nsn>, best-effort canonical form
+	DialCode string // country calling code, e.g. "44"
+	Country  string // ISO 3166-1 alpha-3, e.g. "GBR"; "" if unresolvable
+	NSN      string // national significant number (digits after dial code)
+}
+
+// Parse errors.
+var (
+	ErrNotPhone  = errors.New("senderid: not a phone-shaped sender ID")
+	ErrBadFormat = errors.New("senderid: phone number has invalid format")
+)
+
+// dialCodes maps country calling codes to ISO alpha-3, longest-prefix
+// matched. Shared-code NANP (+1) resolves to USA (the corpus does not
+// distinguish Canadian numbers, mirroring HLR behaviour on unported data).
+var dialCodes = map[string]string{
+	"1": "USA", "7": "RUS", "20": "EGY", "27": "ZAF", "30": "GRC",
+	"31": "NLD", "32": "BEL", "33": "FRA", "34": "ESP", "36": "HUN",
+	"39": "ITA", "40": "ROU", "41": "CHE", "43": "AUT", "44": "GBR",
+	"45": "DNK", "46": "SWE", "47": "NOR", "48": "POL", "49": "DEU",
+	"51": "PER", "54": "ARG", "56": "CHL", "57": "COL",
+	"52": "MEX", "55": "BRA", "60": "MYS", "61": "AUS", "62": "IDN",
+	"63": "PHL", "64": "NZL", "65": "SGP", "66": "THA", "81": "JPN",
+	"82": "KOR", "84": "VNM", "86": "CHN", "90": "TUR", "91": "IND",
+	"92": "PAK", "94": "LKA", "98": "IRN", "212": "MAR", "233": "GHA",
+	"234": "NGA", "243": "COD", "254": "KEN", "265": "MWI", "351": "PRT",
+	"352": "LUX", "353": "IRL", "380": "UKR", "420": "CZE", "421": "SVK",
+	"590": "GLP", "852": "HKG", "880": "BGD", "971": "ARE", "974": "QAT",
+	"972": "ISR", "358": "FIN", "251": "ETH", "995": "GEO",
+}
+
+// nsnLengths gives the valid national-number digit-length range per country
+// (approximate ITU plans; used for the Bad Format check in Table 3).
+var nsnLengths = map[string][2]int{
+	"USA": {10, 10}, "GBR": {9, 10}, "IND": {10, 10}, "NLD": {9, 9},
+	"ESP": {9, 9}, "AUS": {9, 9}, "FRA": {9, 9}, "BEL": {8, 9},
+	"IDN": {8, 12}, "DEU": {7, 11}, "ITA": {8, 11}, "IRL": {9, 9},
+	"PRT": {9, 9}, "CZE": {9, 9}, "JPN": {9, 10}, "CHN": {11, 11},
+	"RUS": {10, 10}, "ZAF": {9, 9}, "KEN": {9, 9}, "NGA": {10, 10},
+	"GHA": {9, 9}, "PAK": {10, 10}, "LKA": {9, 9}, "TUR": {10, 10},
+	"UKR": {9, 9}, "HUN": {9, 9}, "ROU": {9, 9}, "QAT": {8, 8},
+	"NZL": {8, 10}, "GLP": {9, 9}, "MWI": {9, 9}, "COD": {9, 9},
+	"HKG": {8, 8}, "SGP": {8, 8}, "MYS": {9, 10}, "PHL": {10, 10},
+	"BRA": {10, 11}, "MEX": {10, 10}, "KOR": {9, 10}, "VNM": {9, 10},
+	"ARG": {10, 10}, "COL": {10, 10}, "CHL": {9, 9}, "PER": {9, 9},
+	"ISR": {9, 9}, "FIN": {9, 10}, "ETH": {9, 9}, "GEO": {9, 9},
+	"THA": {9, 9}, "DNK": {8, 8}, "NOR": {8, 8}, "GRC": {10, 10},
+}
+
+// defaultNSNRange is used for countries without an entry above.
+var defaultNSNRange = [2]int{7, 12}
+
+// maxE164Digits is the ITU-T E.164 limit (15 digits including dial code).
+const maxE164Digits = 15
+
+// ParsePhone parses raw into a Number. Inputs without a leading + are
+// accepted when they begin with a recognizable dial code and are long enough
+// to be international form. An error of ErrBadFormat still returns the
+// partially parsed number so callers can count "Bad Format" entries.
+func ParsePhone(raw string) (Number, error) {
+	s := strings.TrimSpace(raw)
+	if Classify(s) != KindPhone {
+		return Number{Raw: raw}, ErrNotPhone
+	}
+	digits := digitsOf(s)
+	hadPlus := strings.HasPrefix(s, "+")
+	// Strip international call prefix 00.
+	if !hadPlus && strings.HasPrefix(digits, "00") && len(digits) > 8 {
+		digits = digits[2:]
+		hadPlus = true
+	}
+	n := Number{Raw: raw}
+	if len(digits) > maxE164Digits {
+		// Random over-long sender IDs (§4.1's spoofed "more digits than
+		// any valid number" case).
+		n.E164 = "+" + digits
+		return n, ErrBadFormat
+	}
+	cc, iso := matchDialCode(digits)
+	if hadPlus && cc == "" {
+		n.E164 = "+" + digits
+		return n, ErrBadFormat
+	}
+	if !hadPlus {
+		// National-format numbers cannot be attributed to a country here;
+		// the HLR resolves them via the reporting context. Treat 7+ digit
+		// national numbers as parseable but countryless.
+		if len(digits) < 7 {
+			n.E164 = digits
+			return n, ErrBadFormat
+		}
+		n.E164 = digits
+		n.NSN = digits
+		return n, nil
+	}
+	n.DialCode = cc
+	n.Country = iso
+	n.NSN = digits[len(cc):]
+	n.E164 = "+" + digits
+	lo, hi := nsnRange(iso)
+	if len(n.NSN) < lo || len(n.NSN) > hi {
+		return n, ErrBadFormat
+	}
+	return n, nil
+}
+
+// NSNRange returns the valid national-number digit-length range for an ISO
+// alpha-3 country, falling back to the generic ITU bounds.
+func NSNRange(iso string) (lo, hi int) { return nsnRange(iso) }
+
+func nsnRange(iso string) (int, int) {
+	if r, ok := nsnLengths[iso]; ok {
+		return r[0], r[1]
+	}
+	return defaultNSNRange[0], defaultNSNRange[1]
+}
+
+// matchDialCode finds the longest dial code that prefixes digits.
+func matchDialCode(digits string) (cc, iso string) {
+	for take := 3; take >= 1; take-- {
+		if len(digits) < take {
+			continue
+		}
+		if country, ok := dialCodes[digits[:take]]; ok {
+			return digits[:take], country
+		}
+	}
+	return "", ""
+}
+
+// Countries returns the ISO codes with dial-code support, for tests and
+// corpus generation.
+func Countries() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, iso := range dialCodes {
+		if !seen[iso] {
+			seen[iso] = true
+			out = append(out, iso)
+		}
+	}
+	return out
+}
+
+// DialCodeFor returns the calling code for an ISO alpha-3 country ("" if
+// unknown). Shared codes return the canonical owner's code.
+func DialCodeFor(iso string) string {
+	best := ""
+	for code, c := range dialCodes {
+		if c != iso {
+			continue
+		}
+		if best == "" || len(code) < len(best) {
+			best = code
+		}
+	}
+	return best
+}

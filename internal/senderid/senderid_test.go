@@ -1,0 +1,247 @@
+package senderid
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestClassifyKinds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+	}{
+		{"+447700900123", KindPhone},
+		{"07700 900123", KindPhone},
+		{"+1 (202) 555-0175", KindPhone},
+		{"567676", KindPhone}, // bank shortcode
+		{"scam@icloud.com", KindEmail},
+		{"SBIBNK", KindAlphanumeric},
+		{"DHL-Info", KindAlphanumeric},
+		{"EVRi", KindAlphanumeric},
+		{"+44 74** ***123", KindRedacted},
+		{"[redacted]", KindRedacted},
+		{"", KindUnknown},
+		{"this is far too long to be a sender id", KindUnknown},
+	}
+	for _, c := range cases {
+		if got := Classify(c.in); got != c.want {
+			t.Errorf("Classify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePhoneInternational(t *testing.T) {
+	n, err := ParsePhone("+44 7700 900123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Country != "GBR" || n.DialCode != "44" {
+		t.Errorf("country = %q dial = %q", n.Country, n.DialCode)
+	}
+	if n.NSN != "7700900123" {
+		t.Errorf("NSN = %q", n.NSN)
+	}
+	if n.E164 != "+447700900123" {
+		t.Errorf("E164 = %q", n.E164)
+	}
+}
+
+func TestParsePhoneIndia(t *testing.T) {
+	n, err := ParsePhone("+919876543210")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Country != "IND" || n.NSN != "9876543210" {
+		t.Errorf("parsed = %+v", n)
+	}
+}
+
+func TestParsePhoneDoubleZeroPrefix(t *testing.T) {
+	n, err := ParsePhone("0031612345678")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Country != "NLD" {
+		t.Errorf("country = %q, want NLD", n.Country)
+	}
+}
+
+func TestParsePhoneNationalFormat(t *testing.T) {
+	n, err := ParsePhone("07700900123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Country != "" {
+		t.Errorf("national number attributed to %q", n.Country)
+	}
+	if n.NSN != "07700900123" {
+		t.Errorf("NSN = %q", n.NSN)
+	}
+}
+
+func TestParsePhoneBadFormats(t *testing.T) {
+	cases := []string{
+		"+4477009001234567890", // too many digits
+		"+999123456789",        // unknown dial code
+		"+44 771",              // too short NSN
+		"12345",                // short code, no country
+	}
+	for _, in := range cases {
+		if _, err := ParsePhone(in); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("ParsePhone(%q) err = %v, want ErrBadFormat", in, err)
+		}
+	}
+}
+
+func TestParsePhoneNotPhone(t *testing.T) {
+	if _, err := ParsePhone("DHL-Info"); !errors.Is(err, ErrNotPhone) {
+		t.Errorf("err = %v, want ErrNotPhone", err)
+	}
+}
+
+func TestDialCodeLongestMatch(t *testing.T) {
+	// +420 (CZE) must not match +42 or +4.
+	n, err := ParsePhone("+420601234567")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Country != "CZE" || n.DialCode != "420" {
+		t.Errorf("parsed = %+v", n)
+	}
+	// +1 matches before nothing.
+	n, err = ParsePhone("+12025550175")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Country != "USA" {
+		t.Errorf("country = %q", n.Country)
+	}
+}
+
+func TestClassifyNumberGBR(t *testing.T) {
+	cases := []struct {
+		nsn  string
+		want NumberType
+	}{
+		{"7700900123", TypeMobile},
+		{"2079460000", TypeLandline},
+		{"1632960000", TypeLandline},
+		{"8001111000", TypeTollFree},
+		{"9098790000", TypePremium},
+		{"5600123456", TypeVOIP},
+		{"7600123456", TypePager},
+		{"7624123456", TypeMobile}, // Isle of Man inside 76
+		{"7012345678", TypePersonal},
+	}
+	for _, c := range cases {
+		n := Number{Country: "GBR", NSN: c.nsn}
+		if got := ClassifyNumber(n); got != c.want {
+			t.Errorf("GBR %s = %q, want %q", c.nsn, got, c.want)
+		}
+	}
+}
+
+func TestClassifyNumberNANP(t *testing.T) {
+	cases := []struct {
+		nsn  string
+		want NumberType
+	}{
+		{"2025550175", TypeMobileOrLandline},
+		{"8005550175", TypeTollFree},
+		{"9005550175", TypePremium},
+		{"5005550175", TypePersonal},
+		{"0025550175", TypeBadFormat},
+	}
+	for _, c := range cases {
+		n := Number{Country: "USA", NSN: c.nsn}
+		if got := ClassifyNumber(n); got != c.want {
+			t.Errorf("USA %s = %q, want %q", c.nsn, got, c.want)
+		}
+	}
+}
+
+func TestClassifyNumberIND(t *testing.T) {
+	if got := ClassifyNumber(Number{Country: "IND", NSN: "9876543210"}); got != TypeMobile {
+		t.Errorf("IND mobile = %q", got)
+	}
+	if got := ClassifyNumber(Number{Country: "IND", NSN: "1123456789"}); got != TypeLandline {
+		t.Errorf("IND landline = %q", got)
+	}
+}
+
+func TestClassifyNumberNLDVoicemail(t *testing.T) {
+	if got := ClassifyNumber(Number{Country: "NLD", NSN: "841234567"}); got != TypeVoicemail {
+		t.Errorf("NLD voicemail = %q", got)
+	}
+}
+
+func TestClassifyNumberBadFormat(t *testing.T) {
+	if got := ClassifyNumber(Number{}); got != TypeBadFormat {
+		t.Errorf("empty = %q", got)
+	}
+	if got := ClassifyNumber(Number{Country: "IND", NSN: "123"}); got != TypeBadFormat {
+		t.Errorf("short IND = %q", got)
+	}
+}
+
+func TestNumberTypeValid(t *testing.T) {
+	valid := []NumberType{TypeMobile, TypeMobileOrLandline, TypeVOIP, TypeTollFree, TypePager, TypeUAN, TypePersonal, TypeOther}
+	for _, ty := range valid {
+		if !ty.Valid() {
+			t.Errorf("%q should be valid", ty)
+		}
+	}
+	invalid := []NumberType{TypeBadFormat, TypeLandline, TypeVoicemail}
+	for _, ty := range invalid {
+		if ty.Valid() {
+			t.Errorf("%q should be invalid", ty)
+		}
+	}
+}
+
+func TestCountriesAndDialCodeRoundTrip(t *testing.T) {
+	countries := Countries()
+	if len(countries) < 40 {
+		t.Fatalf("only %d countries", len(countries))
+	}
+	for _, iso := range countries {
+		code := DialCodeFor(iso)
+		if code == "" {
+			t.Errorf("no dial code for %s", iso)
+			continue
+		}
+		// Round-trip: a well-formed number with this dial code resolves
+		// back to a country owning that code.
+		n, err := ParsePhone("+" + code + strings.Repeat("7", 9))
+		if errors.Is(err, ErrBadFormat) {
+			// Some plans reject 9-digit NSNs; length mismatch is fine,
+			// country attribution must still work.
+			if n.DialCode != code {
+				t.Errorf("%s: dial code %q not recovered (%+v)", iso, code, n)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", iso, err)
+			continue
+		}
+		if n.DialCode != code {
+			t.Errorf("%s: got dial %q, want %q", iso, n.DialCode, code)
+		}
+	}
+}
+
+// Property: Classify never panics and returns a known kind for random junk.
+func TestClassifyTotal(t *testing.T) {
+	inputs := []string{
+		"+++", "()()", "a@b", "@", "++44123456789", "0000000000000000000000",
+		"\x00\x01", "ＳＢＩ", "....", "+4 4", "short", "1-800-FLOWERS",
+	}
+	known := map[Kind]bool{KindPhone: true, KindEmail: true, KindAlphanumeric: true, KindRedacted: true, KindUnknown: true}
+	for _, in := range inputs {
+		if k := Classify(in); !known[k] {
+			t.Errorf("Classify(%q) = %q (unknown kind)", in, k)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package shortener simulates the URL-shortening services scammers abuse
+// (§4.2, Table 5). A single Service multiplexes many shortener hosts
+// (bit.ly, is.gd, ...) from one redirect table; links can be taken down —
+// by the service or the scammer — after which resolution fails exactly the
+// way the paper describes losing redirect chains (§3.3.5).
+package shortener
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/netutil"
+)
+
+// Link is one shortened URL entry.
+type Link struct {
+	Service   string    `json:"service"` // host, e.g. "bit.ly"
+	Code      string    `json:"code"`
+	Target    string    `json:"target"`
+	CreatedAt time.Time `json:"created_at"`
+	TakenDown bool      `json:"taken_down"`
+	Clicks    int       `json:"clicks"`
+}
+
+// Short returns the short URL.
+func (l Link) Short() string { return "https://" + l.Service + "/" + l.Code }
+
+// Resolution errors.
+var (
+	ErrNotFound  = errors.New("shortener: unknown short code")
+	ErrTakenDown = errors.New("shortener: link has been taken down")
+)
+
+// Service is the in-memory redirect table for all shortener hosts.
+type Service struct {
+	mu    sync.RWMutex
+	links map[string]*Link // key: "service/code"
+}
+
+// NewService returns an empty redirect table.
+func NewService() *Service { return &Service{links: make(map[string]*Link)} }
+
+// Add registers a link. Existing entries are overwritten.
+func (s *Service) Add(l Link) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := l
+	s.links[key(l.Service, l.Code)] = &cp
+}
+
+// Resolve returns the target for service/code, counting the click.
+func (s *Service) Resolve(service, code string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.links[key(service, code)]
+	if !ok {
+		return "", ErrNotFound
+	}
+	if l.TakenDown {
+		return "", ErrTakenDown
+	}
+	l.Clicks++
+	return l.Target, nil
+}
+
+// TakeDown disables a link, reporting whether it existed.
+func (s *Service) TakeDown(service, code string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.links[key(service, code)]
+	if ok {
+		l.TakenDown = true
+	}
+	return ok
+}
+
+// Stats returns (total links, taken down, total clicks).
+func (s *Service) Stats() (total, down, clicks int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, l := range s.links {
+		total++
+		if l.TakenDown {
+			down++
+		}
+		clicks += l.Clicks
+	}
+	return
+}
+
+func key(service, code string) string {
+	return strings.ToLower(service) + "/" + code
+}
+
+// Handler serves the redirect front end. The shortener host is taken from
+// the Host header (stripped of port), so one listener can impersonate every
+// service; a "?host=bit.ly" override supports clients that cannot set Host.
+//
+//	GET /{code}         -> 301 to target | 404 | 410 (taken down)
+//	GET /_api/expand?service=bit.ly&code=x -> JSON (admin/debug)
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /_api/expand", func(w http.ResponseWriter, r *http.Request) {
+		service := r.URL.Query().Get("service")
+		code := r.URL.Query().Get("code")
+		target, err := s.Resolve(service, code)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			netutil.WriteError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrTakenDown):
+			netutil.WriteError(w, http.StatusGone, err.Error())
+		default:
+			netutil.WriteJSON(w, http.StatusOK, map[string]string{"target": target})
+		}
+	})
+	mux.HandleFunc("GET /{code}", func(w http.ResponseWriter, r *http.Request) {
+		service := r.URL.Query().Get("host")
+		if service == "" {
+			service = r.Host
+			if i := strings.LastIndex(service, ":"); i >= 0 {
+				service = service[:i]
+			}
+		}
+		code := r.PathValue("code")
+		target, err := s.Resolve(service, code)
+		switch {
+		case errors.Is(err, ErrNotFound):
+			http.NotFound(w, r)
+		case errors.Is(err, ErrTakenDown):
+			http.Error(w, "this link has been disabled", http.StatusGone)
+		default:
+			http.Redirect(w, r, target, http.StatusMovedPermanently)
+		}
+	})
+	return mux
+}
+
+// Client expands short links through the debug API (used by the enrichment
+// pipeline when it only needs the mapping, not a full crawl).
+type Client struct {
+	API netutil.Client
+}
+
+// NewClient builds a client for the redirect service at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{API: netutil.Client{BaseURL: baseURL}}
+}
+
+// Expand resolves service/code to its target.
+func (c *Client) Expand(ctx context.Context, service, code string) (string, error) {
+	var out map[string]string
+	err := c.API.GetJSON(ctx, "/_api/expand?service="+service+"&code="+code, &out)
+	if netutil.IsStatus(err, http.StatusNotFound) {
+		return "", ErrNotFound
+	}
+	if netutil.IsStatus(err, http.StatusGone) {
+		return "", ErrTakenDown
+	}
+	if err != nil {
+		return "", err
+	}
+	return out["target"], nil
+}

@@ -1,0 +1,175 @@
+package shortener
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func link() Link {
+	return Link{
+		Service:   "bit.ly",
+		Code:      "3xYz9",
+		Target:    "https://sbi-kyc.top/verify",
+		CreatedAt: time.Date(2023, 5, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestResolve(t *testing.T) {
+	s := NewService()
+	s.Add(link())
+	target, err := s.Resolve("bit.ly", "3xYz9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "https://sbi-kyc.top/verify" {
+		t.Errorf("target = %q", target)
+	}
+	// Case-insensitive service, case-sensitive code (bit.ly semantics).
+	if _, err := s.Resolve("BIT.LY", "3xYz9"); err != nil {
+		t.Errorf("service case: %v", err)
+	}
+	if _, err := s.Resolve("bit.ly", "3xyz9"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("code case folded: %v", err)
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	s := NewService()
+	if _, err := s.Resolve("is.gd", "zz"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTakeDown(t *testing.T) {
+	s := NewService()
+	s.Add(link())
+	if !s.TakeDown("bit.ly", "3xYz9") {
+		t.Fatal("takedown missed existing link")
+	}
+	if _, err := s.Resolve("bit.ly", "3xYz9"); !errors.Is(err, ErrTakenDown) {
+		t.Errorf("err = %v, want ErrTakenDown", err)
+	}
+	if s.TakeDown("bit.ly", "ghost") {
+		t.Error("takedown of unknown code reported success")
+	}
+}
+
+func TestClickCounting(t *testing.T) {
+	s := NewService()
+	s.Add(link())
+	for i := 0; i < 5; i++ {
+		if _, err := s.Resolve("bit.ly", "3xYz9"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, clicks := s.Stats()
+	if clicks != 5 {
+		t.Errorf("clicks = %d", clicks)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewService()
+	s.Add(link())
+	s.Add(Link{Service: "is.gd", Code: "a", Target: "https://x.com", TakenDown: true})
+	total, down, _ := s.Stats()
+	if total != 2 || down != 1 {
+		t.Errorf("stats = %d/%d", total, down)
+	}
+}
+
+func TestHTTPRedirect(t *testing.T) {
+	s := NewService()
+	s.Add(link())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	client := &http.Client{CheckRedirect: func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse // don't follow
+	}}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/3xYz9", nil)
+	req.Host = "bit.ly"
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMovedPermanently {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "https://sbi-kyc.top/verify" {
+		t.Errorf("location = %q", loc)
+	}
+}
+
+func TestHTTPHostQueryOverride(t *testing.T) {
+	s := NewService()
+	s.Add(link())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	client := &http.Client{CheckRedirect: func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(srv.URL + "/3xYz9?host=bit.ly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMovedPermanently {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPGoneAndNotFound(t *testing.T) {
+	s := NewService()
+	s.Add(Link{Service: "bit.ly", Code: "dead", Target: "https://x.com", TakenDown: true})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/dead?host=bit.ly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Errorf("taken-down status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/missing?host=bit.ly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing status = %d", resp.StatusCode)
+	}
+}
+
+func TestExpandClient(t *testing.T) {
+	s := NewService()
+	s.Add(link())
+	s.Add(Link{Service: "is.gd", Code: "gone", Target: "https://x.com", TakenDown: true})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+	target, err := c.Expand(ctx, "bit.ly", "3xYz9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "https://sbi-kyc.top/verify" {
+		t.Errorf("target = %q", target)
+	}
+	if _, err := c.Expand(ctx, "is.gd", "gone"); !errors.Is(err, ErrTakenDown) {
+		t.Errorf("gone err = %v", err)
+	}
+	if _, err := c.Expand(ctx, "bit.ly", "nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing err = %v", err)
+	}
+}

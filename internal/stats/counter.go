@@ -1,0 +1,162 @@
+// Package stats provides the small statistical toolkit the measurement
+// pipeline needs: frequency counters with top-k extraction, descriptive
+// statistics and quantiles, the two-sample Kolmogorov–Smirnov test used for
+// Fig. 2's weekday comparisons, and Cohen's kappa used in the annotation
+// evaluation (§3.4 of the paper).
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter counts occurrences of string keys. The zero value is not usable;
+// construct with NewCounter.
+type Counter struct {
+	counts map[string]int
+	total  int
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int)}
+}
+
+// Add increments key by one.
+func (c *Counter) Add(key string) { c.AddN(key, 1) }
+
+// AddN increments key by n. Negative n is allowed and decrements; a key
+// whose count reaches zero is retained (callers that care should use Prune).
+func (c *Counter) AddN(key string, n int) {
+	c.counts[key] += n
+	c.total += n
+}
+
+// Count returns the count for key (zero if absent).
+func (c *Counter) Count(key string) int { return c.counts[key] }
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int { return c.total }
+
+// Len returns the number of distinct keys.
+func (c *Counter) Len() int { return len(c.counts) }
+
+// Share returns key's fraction of the total, or 0 when the counter is empty.
+func (c *Counter) Share(key string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[key]) / float64(c.total)
+}
+
+// Prune removes keys whose count is <= 0.
+func (c *Counter) Prune() {
+	for k, v := range c.counts {
+		if v <= 0 {
+			c.total -= v
+			delete(c.counts, k)
+		}
+	}
+}
+
+// Entry is a key with its count and its share of the counter total.
+type Entry struct {
+	Key   string
+	Count int
+	Share float64
+}
+
+func (e Entry) String() string {
+	return fmt.Sprintf("%s: %d (%.1f%%)", e.Key, e.Count, e.Share*100)
+}
+
+// TopK returns the k most frequent entries in descending count order.
+// Ties break lexicographically by key so output is deterministic.
+// k <= 0 or k >= Len returns all entries.
+func (c *Counter) TopK(k int) []Entry {
+	entries := make([]Entry, 0, len(c.counts))
+	for key, n := range c.counts {
+		var share float64
+		if c.total != 0 {
+			share = float64(n) / float64(c.total)
+		}
+		entries = append(entries, Entry{Key: key, Count: n, Share: share})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	if k > 0 && k < len(entries) {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// Keys returns all keys in descending count order.
+func (c *Counter) Keys() []string {
+	top := c.TopK(0)
+	keys := make([]string, len(top))
+	for i, e := range top {
+		keys[i] = e.Key
+	}
+	return keys
+}
+
+// Merge adds every count from other into c.
+func (c *Counter) Merge(other *Counter) {
+	for k, v := range other.counts {
+		c.AddN(k, v)
+	}
+}
+
+// CrossTab counts co-occurrences of (row, col) pairs, e.g. URL shortener ×
+// scam type for Table 5 or lure × scam type for Table 13.
+type CrossTab struct {
+	cells map[string]map[string]int
+	rows  *Counter
+	cols  *Counter
+}
+
+// NewCrossTab returns an empty CrossTab.
+func NewCrossTab() *CrossTab {
+	return &CrossTab{
+		cells: make(map[string]map[string]int),
+		rows:  NewCounter(),
+		cols:  NewCounter(),
+	}
+}
+
+// Add increments the (row, col) cell by one.
+func (t *CrossTab) Add(row, col string) {
+	m := t.cells[row]
+	if m == nil {
+		m = make(map[string]int)
+		t.cells[row] = m
+	}
+	m[col]++
+	t.rows.Add(row)
+	t.cols.Add(col)
+}
+
+// Cell returns the count at (row, col).
+func (t *CrossTab) Cell(row, col string) int { return t.cells[row][col] }
+
+// RowTotals returns a counter of row marginals.
+func (t *CrossTab) RowTotals() *Counter { return t.rows }
+
+// ColTotals returns a counter of column marginals.
+func (t *CrossTab) ColTotals() *Counter { return t.cols }
+
+// Total returns the grand total.
+func (t *CrossTab) Total() int { return t.rows.Total() }
+
+// RowShare returns the fraction of row's total falling in col.
+func (t *CrossTab) RowShare(row, col string) float64 {
+	rt := t.rows.Count(row)
+	if rt == 0 {
+		return 0
+	}
+	return float64(t.cells[row][col]) / float64(rt)
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	if c.Total() != 0 || c.Len() != 0 {
+		t.Fatalf("fresh counter not empty: total=%d len=%d", c.Total(), c.Len())
+	}
+	c.Add("a")
+	c.Add("a")
+	c.Add("b")
+	if got := c.Count("a"); got != 2 {
+		t.Errorf("Count(a) = %d, want 2", got)
+	}
+	if got := c.Count("missing"); got != 0 {
+		t.Errorf("Count(missing) = %d, want 0", got)
+	}
+	if got := c.Total(); got != 3 {
+		t.Errorf("Total = %d, want 3", got)
+	}
+	if got := c.Share("a"); got != 2.0/3.0 {
+		t.Errorf("Share(a) = %v, want 2/3", got)
+	}
+}
+
+func TestCounterShareEmpty(t *testing.T) {
+	c := NewCounter()
+	if got := c.Share("x"); got != 0 {
+		t.Errorf("Share on empty counter = %v, want 0", got)
+	}
+}
+
+func TestCounterAddN(t *testing.T) {
+	c := NewCounter()
+	c.AddN("x", 10)
+	c.AddN("x", -4)
+	if got := c.Count("x"); got != 6 {
+		t.Errorf("Count(x) = %d, want 6", got)
+	}
+	if got := c.Total(); got != 6 {
+		t.Errorf("Total = %d, want 6", got)
+	}
+}
+
+func TestCounterPrune(t *testing.T) {
+	c := NewCounter()
+	c.AddN("dead", 3)
+	c.AddN("dead", -3)
+	c.Add("live")
+	c.Prune()
+	if c.Len() != 1 {
+		t.Errorf("Len after prune = %d, want 1", c.Len())
+	}
+	if c.Count("live") != 1 {
+		t.Errorf("live count lost in prune")
+	}
+}
+
+func TestTopKOrderAndTies(t *testing.T) {
+	c := NewCounter()
+	c.AddN("banking", 5)
+	c.AddN("delivery", 3)
+	c.AddN("telecom", 3)
+	c.AddN("spam", 1)
+	top := c.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d entries", len(top))
+	}
+	if top[0].Key != "banking" {
+		t.Errorf("top[0] = %q, want banking", top[0].Key)
+	}
+	// ties break lexicographically: delivery before telecom
+	if top[1].Key != "delivery" || top[2].Key != "telecom" {
+		t.Errorf("tie order = %q,%q; want delivery,telecom", top[1].Key, top[2].Key)
+	}
+}
+
+func TestTopKZeroReturnsAll(t *testing.T) {
+	c := NewCounter()
+	for _, k := range []string{"a", "b", "c"} {
+		c.Add(k)
+	}
+	if got := len(c.TopK(0)); got != 3 {
+		t.Errorf("TopK(0) len = %d, want 3", got)
+	}
+	if got := len(c.TopK(100)); got != 3 {
+		t.Errorf("TopK(100) len = %d, want 3", got)
+	}
+}
+
+func TestCounterMerge(t *testing.T) {
+	a := NewCounter()
+	a.AddN("x", 2)
+	b := NewCounter()
+	b.AddN("x", 3)
+	b.AddN("y", 1)
+	a.Merge(b)
+	if a.Count("x") != 5 || a.Count("y") != 1 || a.Total() != 6 {
+		t.Errorf("merge result wrong: x=%d y=%d total=%d", a.Count("x"), a.Count("y"), a.Total())
+	}
+}
+
+// Property: TopK output is sorted non-increasing by count, and shares sum to
+// <= 1 with full TopK summing to ~1.
+func TestTopKMonotoneProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		c := NewCounter()
+		for _, k := range keys {
+			c.Add(string(rune('a' + k%16)))
+		}
+		top := c.TopK(0)
+		if !sort.SliceIsSorted(top, func(i, j int) bool {
+			if top[i].Count != top[j].Count {
+				return top[i].Count > top[j].Count
+			}
+			return top[i].Key < top[j].Key
+		}) {
+			return false
+		}
+		sum := 0
+		for _, e := range top {
+			sum += e.Count
+		}
+		return sum == c.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossTab(t *testing.T) {
+	ct := NewCrossTab()
+	ct.Add("bit.ly", "banking")
+	ct.Add("bit.ly", "banking")
+	ct.Add("bit.ly", "delivery")
+	ct.Add("is.gd", "banking")
+	if got := ct.Cell("bit.ly", "banking"); got != 2 {
+		t.Errorf("cell = %d, want 2", got)
+	}
+	if got := ct.RowTotals().Count("bit.ly"); got != 3 {
+		t.Errorf("row total = %d, want 3", got)
+	}
+	if got := ct.ColTotals().Count("banking"); got != 3 {
+		t.Errorf("col total = %d, want 3", got)
+	}
+	if got := ct.Total(); got != 4 {
+		t.Errorf("grand total = %d, want 4", got)
+	}
+	if got := ct.RowShare("bit.ly", "banking"); got != 2.0/3.0 {
+		t.Errorf("row share = %v, want 2/3", got)
+	}
+	if got := ct.RowShare("missing", "banking"); got != 0 {
+		t.Errorf("missing row share = %v, want 0", got)
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := Entry{Key: "banking", Count: 45, Share: 0.451}
+	if got := e.String(); got != "banking: 45 (45.1%)" {
+		t.Errorf("Entry.String() = %q", got)
+	}
+}
+
+// Property: merging counters is equivalent to counting the concatenation.
+func TestMergeEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a, b, both := NewCounter(), NewCounter(), NewCounter()
+		for i := 0; i < rng.Intn(200); i++ {
+			k := string(rune('a' + rng.Intn(8)))
+			a.Add(k)
+			both.Add(k)
+		}
+		for i := 0; i < rng.Intn(200); i++ {
+			k := string(rune('a' + rng.Intn(8)))
+			b.Add(k)
+			both.Add(k)
+		}
+		a.Merge(b)
+		if a.Total() != both.Total() || a.Len() != both.Len() {
+			t.Fatalf("merge mismatch: total %d vs %d", a.Total(), both.Total())
+		}
+		for _, k := range both.Keys() {
+			if a.Count(k) != both.Count(k) {
+				t.Fatalf("key %q: %d vs %d", k, a.Count(k), both.Count(k))
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or an error for an empty sample.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// xs need not be sorted; it is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of range [0,1]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// FiveNumber holds a classic five-number summary, the data behind each
+// weekday box in Fig. 2.
+type FiveNumber struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// Summarize computes the five-number summary of xs.
+func Summarize(xs []float64) (FiveNumber, error) {
+	if len(xs) == 0 {
+		return FiveNumber{}, ErrEmpty
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	q1, _ := Quantile(sorted, 0.25)
+	med, _ := Quantile(sorted, 0.5)
+	q3, _ := Quantile(sorted, 0.75)
+	return FiveNumber{
+		Min:    sorted[0],
+		Q1:     q1,
+		Median: med,
+		Q3:     q3,
+		Max:    sorted[len(sorted)-1],
+		N:      len(sorted),
+	}, nil
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1)), nil
+}

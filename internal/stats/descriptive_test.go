@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1},
+		{1, 4},
+		{0.5, 2.5},
+		{0.25, 1.75},
+		{0.75, 3.25},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// input must not be mutated
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Errorf("empty: err = %v", err)
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("q<0 accepted")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("q>1 accepted")
+	}
+	if _, err := Quantile([]float64{1}, math.NaN()); err == nil {
+		t.Error("NaN q accepted")
+	}
+}
+
+func TestQuantileSingleton(t *testing.T) {
+	got, err := Quantile([]float64{42}, 0.99)
+	if err != nil || got != 42 {
+		t.Errorf("singleton quantile = %v, %v", got, err)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if m, _ := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m, _ := Median([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{5, 1, 3, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.N != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %v, %v", s.Q1, s.Q3)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("empty summarize err = %v", err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	got, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if _, err := StdDev([]float64{1}); err != ErrEmpty {
+		t.Errorf("short StdDev err = %v", err)
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		va, err1 := Quantile(xs, a)
+		vb, err2 := Quantile(xs, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		lo, _ := Quantile(xs, 0)
+		hi, _ := Quantile(xs, 1)
+		return va <= vb && va >= lo && vb <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: five-number summary ordering Min <= Q1 <= Median <= Q3 <= Max.
+func TestSummarizeOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max) {
+			t.Fatalf("summary out of order: %+v", s)
+		}
+	}
+}

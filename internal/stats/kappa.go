@@ -1,0 +1,123 @@
+package stats
+
+import "errors"
+
+// ErrLengthMismatch is returned when two rating slices differ in length.
+var ErrLengthMismatch = errors.New("stats: rating slices have different lengths")
+
+// CohenKappa computes Cohen's kappa between two raters' nominal labels, the
+// inter-rater reliability metric used in §3.4 to evaluate both author
+// agreement and the model-vs-human agreement on scam type, brand, and lure.
+//
+// The result is in [-1, 1]; 1 is perfect agreement, 0 is chance-level.
+// Degenerate inputs where both raters always emit the same single label
+// return kappa = 1 (observed == expected == 1).
+func CohenKappa(a, b []string) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	n := float64(len(a))
+	agree := 0
+	ca := NewCounter()
+	cb := NewCounter()
+	for i := range a {
+		if a[i] == b[i] {
+			agree++
+		}
+		ca.Add(a[i])
+		cb.Add(b[i])
+	}
+	po := float64(agree) / n
+	pe := 0.0
+	for label, na := range ca.counts {
+		pe += (float64(na) / n) * (float64(cb.Count(label)) / n)
+	}
+	if pe >= 1 {
+		// Both raters constant and identical: define as perfect agreement.
+		if po >= 1 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return (po - pe) / (1 - pe), nil
+}
+
+// KappaBand translates a kappa value into the Landis–Koch qualitative band
+// the paper uses ("near-perfect", "substantial", ...).
+func KappaBand(k float64) string {
+	switch {
+	case k >= 0.81:
+		return "near-perfect"
+	case k >= 0.61:
+		return "substantial"
+	case k >= 0.41:
+		return "moderate"
+	case k >= 0.21:
+		return "fair"
+	case k > 0:
+		return "slight"
+	default:
+		return "poor"
+	}
+}
+
+// MultiLabelKappa computes Cohen's kappa over set-valued annotations (such
+// as the lure-principle lists) by binarizing per label and averaging the
+// per-label kappas weighted by label prevalence. Labels present in neither
+// rater's output are ignored.
+func MultiLabelKappa(a, b [][]string) (float64, error) {
+	if len(a) != len(b) {
+		return 0, ErrLengthMismatch
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	labels := make(map[string]int)
+	for i := range a {
+		for _, l := range a[i] {
+			labels[l]++
+		}
+		for _, l := range b[i] {
+			labels[l]++
+		}
+	}
+	if len(labels) == 0 {
+		return 0, ErrEmpty
+	}
+	var weighted, totalWeight float64
+	for label, prevalence := range labels {
+		ra := make([]string, len(a))
+		rb := make([]string, len(b))
+		for i := range a {
+			ra[i] = boolLabel(contains(a[i], label))
+			rb[i] = boolLabel(contains(b[i], label))
+		}
+		k, err := CohenKappa(ra, rb)
+		if err != nil {
+			return 0, err
+		}
+		w := float64(prevalence)
+		weighted += k * w
+		totalWeight += w
+	}
+	return weighted / totalWeight, nil
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func boolLabel(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKappaPerfectAgreement(t *testing.T) {
+	a := []string{"banking", "delivery", "spam", "banking"}
+	k, err := CohenKappa(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("kappa = %v, want 1", k)
+	}
+}
+
+func TestKappaKnownValue(t *testing.T) {
+	// Classic worked example: 2x2 table [[20,5],[10,15]] -> kappa = 0.4
+	a := make([]string, 0, 50)
+	b := make([]string, 0, 50)
+	push := func(n int, la, lb string) {
+		for i := 0; i < n; i++ {
+			a = append(a, la)
+			b = append(b, lb)
+		}
+	}
+	push(20, "yes", "yes")
+	push(5, "yes", "no")
+	push(10, "no", "yes")
+	push(15, "no", "no")
+	k, err := CohenKappa(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-0.4) > 1e-12 {
+		t.Errorf("kappa = %v, want 0.4", k)
+	}
+}
+
+func TestKappaChanceLevel(t *testing.T) {
+	// Independent raters: kappa should hover near 0.
+	rng := rand.New(rand.NewSource(3))
+	n := 20000
+	a := make([]string, n)
+	b := make([]string, n)
+	labels := []string{"x", "y", "z"}
+	for i := 0; i < n; i++ {
+		a[i] = labels[rng.Intn(3)]
+		b[i] = labels[rng.Intn(3)]
+	}
+	k, err := CohenKappa(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k) > 0.03 {
+		t.Errorf("independent raters kappa = %v, want ~0", k)
+	}
+}
+
+func TestKappaErrors(t *testing.T) {
+	if _, err := CohenKappa([]string{"a"}, []string{"a", "b"}); err != ErrLengthMismatch {
+		t.Errorf("err = %v, want ErrLengthMismatch", err)
+	}
+	if _, err := CohenKappa(nil, nil); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestKappaDegenerateConstant(t *testing.T) {
+	a := []string{"same", "same", "same"}
+	k, err := CohenKappa(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("constant identical raters kappa = %v, want 1", k)
+	}
+}
+
+func TestKappaBounds(t *testing.T) {
+	// Systematic disagreement drives kappa negative but never below -1.
+	a := []string{"x", "x", "y", "y"}
+	b := []string{"y", "y", "x", "x"}
+	k, err := CohenKappa(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < -1 || k > 1 {
+		t.Errorf("kappa = %v out of [-1,1]", k)
+	}
+	if k >= 0 {
+		t.Errorf("total disagreement kappa = %v, want negative", k)
+	}
+}
+
+func TestKappaBand(t *testing.T) {
+	cases := []struct {
+		k    float64
+		want string
+	}{
+		{0.94, "near-perfect"},
+		{0.7, "substantial"},
+		{0.5, "moderate"},
+		{0.3, "fair"},
+		{0.1, "slight"},
+		{-0.2, "poor"},
+	}
+	for _, c := range cases {
+		if got := KappaBand(c.k); got != c.want {
+			t.Errorf("KappaBand(%v) = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestMultiLabelKappaPerfect(t *testing.T) {
+	a := [][]string{{"authority", "urgency"}, {"kindness"}, {}}
+	k, err := MultiLabelKappa(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Errorf("multilabel kappa = %v, want 1", k)
+	}
+}
+
+func TestMultiLabelKappaPartial(t *testing.T) {
+	a := [][]string{{"authority"}, {"urgency"}, {"authority", "urgency"}, {"kindness"}}
+	b := [][]string{{"authority"}, {"urgency"}, {"authority"}, {}}
+	k, err := MultiLabelKappa(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k <= 0 || k >= 1 {
+		t.Errorf("partial agreement kappa = %v, want in (0,1)", k)
+	}
+}
+
+func TestMultiLabelKappaErrors(t *testing.T) {
+	if _, err := MultiLabelKappa([][]string{{"a"}}, nil); err != ErrLengthMismatch {
+		t.Errorf("err = %v, want ErrLengthMismatch", err)
+	}
+	if _, err := MultiLabelKappa(nil, nil); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+	// All-empty annotations: no labels at all.
+	if _, err := MultiLabelKappa([][]string{{}}, [][]string{{}}); err != ErrEmpty {
+		t.Errorf("no-label err = %v, want ErrEmpty", err)
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult holds the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the KS statistic: the supremum distance between the two
+	// empirical CDFs. Always in [0, 1].
+	D float64
+	// P is the asymptotic two-sided p-value from the Kolmogorov
+	// distribution with the standard effective-sample-size correction.
+	P float64
+	// N1, N2 are the two sample sizes.
+	N1, N2 int
+}
+
+// Significant reports whether the test rejects equality at level alpha.
+func (r KSResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// KolmogorovSmirnov runs the two-sample KS test the paper uses (§5.1) to
+// compare the distribution of smishing send times across weekdays.
+// It returns an error only for empty samples.
+func KolmogorovSmirnov(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, ErrEmpty
+	}
+	x := make([]float64, len(a))
+	copy(x, a)
+	sort.Float64s(x)
+	y := make([]float64, len(b))
+	copy(y, b)
+	sort.Float64s(y)
+
+	var d float64
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		v := math.Min(x[i], y[j])
+		for i < len(x) && x[i] <= v {
+			i++
+		}
+		for j < len(y) && y[j] <= v {
+			j++
+		}
+		fx := float64(i) / float64(len(x))
+		fy := float64(j) / float64(len(y))
+		if diff := math.Abs(fx - fy); diff > d {
+			d = diff
+		}
+	}
+
+	n1, n2 := float64(len(x)), float64(len(y))
+	ne := n1 * n2 / (n1 + n2)
+	p := ksPValue(d, ne)
+	return KSResult{D: d, P: p, N1: len(x), N2: len(y)}, nil
+}
+
+// ksPValue evaluates the asymptotic Kolmogorov distribution survival
+// function Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2)
+// with the Stephens small-sample correction, as in Numerical Recipes.
+func ksPValue(d, ne float64) float64 {
+	sqrtNe := math.Sqrt(ne)
+	lambda := (sqrtNe + 0.12 + 0.11/sqrtNe) * d
+	if lambda <= 0 {
+		return 1
+	}
+	const eps1, eps2 = 1e-6, 1e-16
+	a2 := -2 * lambda * lambda
+	sum, prevTerm, sign := 0.0, 0.0, 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * 2 * math.Exp(a2*float64(k)*float64(k))
+		sum += term
+		abs := math.Abs(term)
+		if abs <= eps1*prevTerm || abs <= eps2*sum {
+			return clamp01(sum)
+		}
+		sign = -sign
+		prevTerm = abs
+	}
+	return 1 // failed to converge: treat as indistinguishable
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	r, err := KolmogorovSmirnov(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.D != 0 {
+		t.Errorf("D = %v, want 0 for identical samples", r.D)
+	}
+	if r.P < 0.99 {
+		t.Errorf("P = %v, want ~1 for identical samples", r.P)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b := []float64{100, 101, 102, 103, 104, 105, 106, 107, 108, 109}
+	r, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.D != 1 {
+		t.Errorf("D = %v, want 1 for disjoint samples", r.D)
+	}
+	if !r.Significant(0.05) {
+		t.Errorf("P = %v, expected significant", r.P)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+	if _, err := KolmogorovSmirnov([]float64{1}, nil); err != ErrEmpty {
+		t.Errorf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestKSSameDistributionNotSignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	r, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Significant(0.001) {
+		t.Errorf("same-distribution samples flagged significant: D=%v P=%v", r.D, r.P)
+	}
+}
+
+func TestKSShiftedDistributionSignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1.0
+	}
+	r, err := KolmogorovSmirnov(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.01) {
+		t.Errorf("shifted distributions not detected: D=%v P=%v", r.D, r.P)
+	}
+}
+
+func TestKSUnsortedInputUntouched(t *testing.T) {
+	a := []float64{5, 1, 3}
+	b := []float64{2, 9, 4}
+	if _, err := KolmogorovSmirnov(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 5 || b[1] != 9 {
+		t.Error("KolmogorovSmirnov mutated its inputs")
+	}
+}
+
+// Properties: D in [0,1], P in [0,1], symmetry in argument order.
+func TestKSProperties(t *testing.T) {
+	f := func(rawA, rawB []float64) bool {
+		clean := func(raw []float64) []float64 {
+			out := raw[:0:0]
+			for _, x := range raw {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		a, b := clean(rawA), clean(rawB)
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		r1, err1 := KolmogorovSmirnov(a, b)
+		r2, err2 := KolmogorovSmirnov(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if r1.D < 0 || r1.D > 1 || r1.P < 0 || r1.P > 1 {
+			return false
+		}
+		return math.Abs(r1.D-r2.D) < 1e-12 && math.Abs(r1.P-r2.P) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package textnorm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestFoldLowercases(t *testing.T) {
+	if got := Fold("HSBC Alert"); got != "hsbc alert" {
+		t.Errorf("Fold = %q", got)
+	}
+}
+
+func TestFoldHomoglyphs(t *testing.T) {
+	// Cyrillic Р/а and Greek ο
+	if got := Fold("РayРal"); got != "paypal" {
+		t.Errorf("Fold cyrillic = %q, want paypal", got)
+	}
+	if got := Fold("Amazοn"); got != "amazon" {
+		t.Errorf("Fold greek = %q, want amazon", got)
+	}
+}
+
+func TestFoldDiacritics(t *testing.T) {
+	if got := Fold("Crédit Agricolé"); got != "credit agricole" {
+		t.Errorf("Fold diacritics = %q", got)
+	}
+}
+
+func TestFoldZeroWidth(t *testing.T) {
+	input := "Net​flix" // zero width space inside brand
+	if got := Fold(input); got != "netflix" {
+		t.Errorf("Fold zero-width = %q, want netflix", got)
+	}
+}
+
+func TestFoldFullwidth(t *testing.T) {
+	if got := Fold("ｎｅｔｆｌｉｘ"); got != "netflix" {
+		t.Errorf("Fold fullwidth = %q", got)
+	}
+}
+
+func TestSkeletonLeet(t *testing.T) {
+	cases := map[string]string{
+		"N3tfl!x":   "netflix",
+		"PayPa1":    "paypal",
+		"Am4zon":    "amazon",
+		"$antander": "santander",
+	}
+	for in, want := range cases {
+		if got := Skeleton(in); got != want {
+			t.Errorf("Skeleton(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSkeletonPreservesPureNumbers(t *testing.T) {
+	// The reporting shortcode 7726 must not turn into "tte_", etc.
+	if got := Skeleton("reply 7726 now"); got != "reply 7726 now" {
+		t.Errorf("Skeleton = %q, numbers were mangled", got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Your SBI account: verify at http://sbi-kyc.top now!")
+	want := []string{"your", "sbi", "account", "verify", "at", "http", "sbi", "kyc", "top", "now"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("Tokenize = %v", got)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize("  ...  "); len(got) != 0 {
+		t.Errorf("Tokenize punctuation = %v, want empty", got)
+	}
+}
+
+func TestCollapseRepeats(t *testing.T) {
+	if got := CollapseRepeats("heeeelp meee"); got != "heelp mee" {
+		t.Errorf("CollapseRepeats = %q", got)
+	}
+	if got := CollapseRepeats("normal"); got != "normal" {
+		t.Errorf("CollapseRepeats changed clean text: %q", got)
+	}
+}
+
+func TestStripSpacingTricks(t *testing.T) {
+	if got := StripSpacingTricks("P-a-y-P-a-l"); got != "PayPal" {
+		t.Errorf("hyphen trick = %q", got)
+	}
+	if got := StripSpacingTricks("A m a z o n"); got != "Amazon" {
+		t.Errorf("space trick = %q", got)
+	}
+	// hyphenated normal words survive
+	if got := StripSpacingTricks("two-factor"); got != "two-factor" {
+		t.Errorf("normal hyphen mangled: %q", got)
+	}
+}
+
+// Property: Fold is idempotent.
+func TestFoldIdempotentProperty(t *testing.T) {
+	f := func(s string) bool {
+		once := Fold(s)
+		return Fold(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Skeleton is idempotent.
+func TestSkeletonIdempotentProperty(t *testing.T) {
+	f := func(s string) bool {
+		once := Skeleton(s)
+		return Skeleton(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fold output is a ToLower fixed point with no zero-width runes.
+func TestFoldOutputClean(t *testing.T) {
+	f := func(s string) bool {
+		for _, r := range Fold(s) {
+			if unicode.ToLower(r) != r || zeroWidth[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Tokenize never returns tokens containing separators.
+func TestTokenizeNoSeparators(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

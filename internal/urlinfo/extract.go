@@ -1,0 +1,133 @@
+package urlinfo
+
+import (
+	"regexp"
+	"strings"
+)
+
+// urlPattern matches http(s) URLs and bare domains with a known-looking TLD
+// followed by an optional path. It is deliberately permissive: smishing URLs
+// use exotic TLDs, and validation happens in Parse.
+var urlPattern = regexp.MustCompile(
+	`(?i)\b(?:(?:https?|hxxps?)://[^\s<>"']+|` +
+		`(?:[a-z0-9](?:[a-z0-9-]*[a-z0-9])?\.)+[a-z]{2,24}(?:/[^\s<>"']*)?)`)
+
+// trailingJunk strips punctuation that sentence context glues onto URLs.
+const trailingJunk = ".,;:!?)]}'\"”’»"
+
+// ExtractURLs finds URL candidates in free text. It first rejoins URLs that
+// screenshots wrap across lines: a line ending mid-URL (no terminal
+// punctuation) followed by a line starting with a path/domain continuation
+// is fused before matching — the exact failure mode §3.2 reports for
+// Google Vision output.
+func ExtractURLs(text string) []string {
+	fused := FuseWrappedLines(text)
+	matches := urlPattern.FindAllString(fused, -1)
+	seen := make(map[string]bool, len(matches))
+	var out []string
+	for _, m := range matches {
+		m = strings.TrimRight(m, trailingJunk)
+		if m == "" || seen[m] {
+			continue
+		}
+		if looksLikeVersionOrNumber(m) || looksLikeFilename(m) {
+			continue
+		}
+		seen[m] = true
+		out = append(out, m)
+	}
+	return out
+}
+
+// FuseWrappedLines rejoins line-broken URLs: if a line ends inside a URL and
+// the next line looks like its continuation (starts with url-safe characters
+// and the fragment contains a slash or dot already), they are concatenated
+// without whitespace.
+func FuseWrappedLines(text string) string {
+	lines := strings.Split(text, "\n")
+	var b strings.Builder
+	for i := 0; i < len(lines); i++ {
+		line := strings.TrimRight(lines[i], " \t")
+		for i+1 < len(lines) && endsInsideURL(line) && startsLikeContinuation(strings.TrimSpace(lines[i+1])) {
+			i++
+			line += strings.TrimSpace(lines[i])
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// endsInsideURL reports whether line's tail looks like an unterminated URL.
+func endsInsideURL(line string) bool {
+	idx := strings.LastIndexAny(line, " \t")
+	tail := line[idx+1:]
+	if tail == "" {
+		return false
+	}
+	lower := strings.ToLower(tail)
+	if strings.Contains(lower, "://") {
+		return true
+	}
+	// A dotted token with no sentence-final punctuation, ending in a
+	// letter, digit, slash, dot, or hyphen is likely a wrapped URL start.
+	if !strings.Contains(tail, ".") {
+		return false
+	}
+	last := tail[len(tail)-1]
+	switch {
+	case last == '/' || last == '.' || last == '-' || last == '=':
+		return true
+	case (last >= 'a' && last <= 'z') || (last >= 'A' && last <= 'Z') || (last >= '0' && last <= '9'):
+		// Only treat as wrapped if the token already looks like a URL
+		// (has a scheme or a path component); bare "end of sentence.com"
+		// style false fusions are worse than missed fusions.
+		return strings.Contains(tail, "/") || strings.HasPrefix(lower, "www.")
+	}
+	return false
+}
+
+// startsLikeContinuation reports whether s plausibly continues a URL.
+func startsLikeContinuation(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '/' || c == '?' || c == '=' || c == '&' || c == '%' || c == '-' || c == '.' || c == '_') {
+		return false
+	}
+	// Continuations are single URL-safe tokens, not prose.
+	if strings.ContainsAny(s, " \t") {
+		first := strings.Fields(s)[0]
+		return len(first) >= 4 && !strings.ContainsAny(first, ",;")
+	}
+	return true
+}
+
+// looksLikeVersionOrNumber filters "v1.2.3"-style and decimal matches.
+func looksLikeVersionOrNumber(s string) bool {
+	stripped := strings.Map(func(r rune) rune {
+		if r >= '0' && r <= '9' || r == '.' || r == 'v' || r == 'V' {
+			return -1
+		}
+		return r
+	}, s)
+	return stripped == ""
+}
+
+// looksLikeFilename filters common non-URL dotted tokens ("report.pdf" with
+// no slash or scheme). APK paths keep flowing through since drive-by links
+// always carry a host.
+func looksLikeFilename(s string) bool {
+	if strings.Contains(s, "://") || strings.Contains(s, "/") {
+		return false
+	}
+	lower := strings.ToLower(s)
+	for _, ext := range []string{".pdf", ".doc", ".docx", ".xls", ".png", ".jpg", ".jpeg", ".txt", ".csv", ".zip"} {
+		if strings.HasSuffix(lower, ext) {
+			return true
+		}
+	}
+	return false
+}

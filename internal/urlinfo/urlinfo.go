@@ -1,0 +1,295 @@
+// Package urlinfo parses and classifies the URLs found in smishing texts:
+// registrable-domain extraction, top-level-domain classification against the
+// IANA root-zone groups (§4.3, Tables 6 and 16), URL-shortener detection
+// against the curated service list (§3.3.3, Table 5), and handling for the
+// defanged forms users post ("hxxp", "example[.]com").
+package urlinfo
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// TLDClass is an IANA root-zone database group (§4.3, Table 16).
+type TLDClass string
+
+// The IANA classification groups. Test TLDs never appear in the root zone
+// but the class exists in the taxonomy.
+const (
+	ClassGeneric           TLDClass = "generic"            // gTLD
+	ClassCountryCode       TLDClass = "country-code"       // ccTLD
+	ClassGenericRestricted TLDClass = "generic-restricted" // grTLD
+	ClassSponsored         TLDClass = "sponsored"          // sTLD
+	ClassInfrastructure    TLDClass = "infrastructure"     // iTLD
+	ClassTest              TLDClass = "test"
+	ClassUnknown           TLDClass = "unknown"
+)
+
+// ccTLDs is the country-code set relevant to the corpus plus the common
+// ccTLDs repurposed by shortening services (ly, gd, de, co, ws, cc, fr...).
+var ccTLDs = map[string]bool{
+	"ac": true, "ae": true, "ar": true, "at": true, "au": true, "be": true,
+	"bg": true, "br": true, "ca": true, "cc": true, "ch": true, "cl": true,
+	"cn": true, "co": true, "cy": true, "cz": true, "de": true, "dk": true,
+	"do": true, "es": true, "eu": true, "fi": true, "fr": true, "gd": true,
+	"gh": true, "gl": true, "gr": true, "gy": true, "hk": true, "hu": true,
+	"id": true, "ie": true, "il": true, "in": true, "io": true, "ir": true,
+	"it": true, "jp": true, "ke": true, "kr": true, "lk": true, "lu": true,
+	"ly": true, "ma": true, "me": true, "mw": true, "mx": true, "my": true,
+	"ng": true, "nl": true, "no": true, "nz": true, "ph": true, "pk": true,
+	"pl": true, "pt": true, "qa": true, "ro": true, "rs": true, "ru": true,
+	"sa": true, "se": true, "sg": true, "sh": true, "sk": true, "th": true,
+	"tk": true, "tr": true, "tv": true, "tw": true, "ua": true, "uk": true,
+	"us": true, "vn": true, "za": true,
+}
+
+// genericRestricted and sponsored follow the IANA root-zone database.
+var genericRestrictedTLDs = map[string]bool{"biz": true, "name": true, "pro": true}
+
+var sponsoredTLDs = map[string]bool{
+	"aero": true, "asia": true, "cat": true, "coop": true, "edu": true,
+	"gov": true, "int": true, "jobs": true, "mil": true, "museum": true,
+	"post": true, "tel": true, "travel": true, "xxx": true,
+}
+
+// gTLDs: legacy generics plus the new-gTLD set smishing abuses (Table 6).
+var gTLDs = map[string]bool{
+	"com": true, "net": true, "org": true, "info": true, "app": true,
+	"online": true, "top": true, "xyz": true, "site": true, "club": true,
+	"shop": true, "vip": true, "icu": true, "live": true, "link": true,
+	"work": true, "buzz": true, "cyou": true, "rest": true, "support": true,
+	"help": true, "click": true, "today": true, "world": true, "life": true,
+	"store": true, "tech": true, "space": true, "fun": true, "website": true,
+	"page": true, "dev": true, "cloud": true, "email": true, "digital": true,
+	"finance": true, "bank": true, "money": true, "express": true, "services": true,
+	"center": true, "one": true, "run": true, "best": true, "monster": true,
+	"quest": true, "bar": true, "sbs": true, "pw": true, "win": true,
+}
+
+// multiLabelSuffixes are effective TLDs with two labels (a minimal embedded
+// public-suffix list covering the corpus and the free-hosting platforms the
+// paper highlights: web.app, ngrok.io, firebaseapp.com, herokuapp.com...).
+var multiLabelSuffixes = map[string]bool{
+	"co.uk": true, "org.uk": true, "ac.uk": true, "gov.uk": true,
+	"com.au": true, "net.au": true, "org.au": true,
+	"co.in": true, "net.in": true, "org.in": true, "gov.in": true,
+	"co.nz": true, "co.za": true, "com.br": true, "com.mx": true,
+	"com.es": true, "com.cn": true, "com.hk": true, "com.sg": true,
+	"co.jp": true, "ne.jp": true, "or.jp": true, "co.kr": true,
+	"com.tr": true, "com.ph": true, "com.my": true, "com.pk": true,
+	"web.app":         true,
+	"firebaseapp.com": true,
+	"ngrok.io":        true,
+	"herokuapp.com":   true,
+	"vercel.app":      true,
+	"netlify.app":     true,
+	"github.io":       true,
+	"pages.dev":       true,
+	"workers.dev":     true,
+	"repl.co":         true,
+	"glitch.me":       true,
+	"weebly.com":      true,
+	"wixsite.com":     true,
+	"blogspot.com":    true,
+	"duckdns.org":     true,
+}
+
+// FreeHostingSuffixes lists the free website-building platforms §4.3 calls
+// out. Keys are effective suffixes matched against registrable domains.
+var FreeHostingSuffixes = []string{
+	"web.app", "firebaseapp.com", "ngrok.io", "herokuapp.com",
+	"vercel.app", "netlify.app", "github.io", "pages.dev", "workers.dev",
+	"repl.co", "glitch.me", "weebly.com", "wixsite.com", "blogspot.com",
+}
+
+// Shorteners is the curated list of URL shortening services (the paper
+// manually assembled 33; Table 5 reports the top abused ones). Keyed by
+// host, value is the service's display name.
+var Shorteners = map[string]string{
+	"bit.ly":      "bit.ly",
+	"is.gd":       "is.gd",
+	"cutt.ly":     "cutt.ly",
+	"tinyurl.com": "tinyurl.com",
+	"bit.do":      "bit.do",
+	"shrtco.de":   "shrtco.de",
+	"rb.gy":       "rb.gy",
+	"t.ly":        "t.ly",
+	"bitly.ws":    "bitly.ws",
+	"t.co":        "t.co",
+	"ow.ly":       "ow.ly",
+	"buff.ly":     "buff.ly",
+	"rebrand.ly":  "rebrand.ly",
+	"shorturl.at": "shorturl.at",
+	"tiny.cc":     "tiny.cc",
+	"s.id":        "s.id",
+	"v.gd":        "v.gd",
+	"qr.ae":       "qr.ae",
+	"lnkd.in":     "lnkd.in",
+	"goo.gl":      "goo.gl",
+	"u.to":        "u.to",
+	"x.co":        "x.co",
+	"clck.ru":     "clck.ru",
+	"soo.gd":      "soo.gd",
+	"urlz.fr":     "urlz.fr",
+	"gg.gg":       "gg.gg",
+	"shorte.st":   "shorte.st",
+	"adf.ly":      "adf.ly",
+	"chilp.it":    "chilp.it",
+	"vu.fr":       "vu.fr",
+	"lc.cx":       "lc.cx",
+	"short.io":    "short.io",
+	"kutt.it":     "kutt.it",
+}
+
+// MessagingHosts are hosts used to funnel victims into chat conversations
+// rather than web phishing (wa.me in §4.2).
+var MessagingHosts = map[string]string{
+	"wa.me":     "WhatsApp",
+	"t.me":      "Telegram",
+	"m.me":      "Messenger",
+	"signal.me": "Signal",
+	"line.me":   "LINE",
+}
+
+// Info is the parsed classification of a single URL.
+type Info struct {
+	Raw          string   // input as given (possibly defanged)
+	URL          *url.URL // parsed, after refanging
+	Host         string   // lowercase host without port
+	Domain       string   // registrable domain (eTLD+1), e.g. "sbi-kyc.top"
+	TLD          string   // last label, e.g. "top"
+	EffectiveTLD string   // effective suffix, e.g. "web.app" or "top"
+	Class        TLDClass // IANA class of TLD
+	Shortener    string   // shortener service name, "" if none
+	Messaging    string   // messaging platform name, "" if none
+	FreeHosting  string   // free-hosting suffix, "" if none
+	IsAPK        bool     // path ends in .apk (direct malware drop, §6)
+}
+
+// ErrNoHost is returned for URLs without a parseable host.
+var ErrNoHost = errors.New("urlinfo: url has no host")
+
+// Refang undoes the defusing conventions of user reports:
+// hxxp(s) -> http(s), [.]/(.)/{.} -> ., [:]/(:) -> :, spaces around dots.
+func Refang(s string) string {
+	r := strings.TrimSpace(s)
+	for _, pair := range [][2]string{
+		{"hxxps://", "https://"}, {"hxxp://", "http://"},
+		{"hXXps://", "https://"}, {"hXXp://", "http://"},
+		{"[.]", "."}, {"(.)", "."}, {"{.}", "."},
+		{"[dot]", "."}, {"(dot)", "."},
+		{"[:]", ":"}, {"(:)", ":"},
+		{"[/]", "/"},
+		{" . ", "."},
+	} {
+		r = strings.ReplaceAll(r, pair[0], pair[1])
+	}
+	return r
+}
+
+// Parse classifies a (possibly defanged, possibly scheme-less) URL string.
+func Parse(raw string) (Info, error) {
+	s := Refang(raw)
+	if s == "" {
+		return Info{}, ErrNoHost
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return Info{}, fmt.Errorf("urlinfo: parse %q: %w", raw, err)
+	}
+	host := strings.ToLower(u.Hostname())
+	host = strings.TrimSuffix(host, ".")
+	if host == "" {
+		return Info{}, ErrNoHost
+	}
+	info := Info{Raw: raw, URL: u, Host: host}
+	info.Domain, info.EffectiveTLD = registrable(host)
+	if i := strings.LastIndex(host, "."); i >= 0 {
+		info.TLD = host[i+1:]
+	} else {
+		info.TLD = host
+	}
+	info.Class = Classify(info.TLD)
+	if name, ok := Shorteners[host]; ok {
+		info.Shortener = name
+	} else if name, ok := Shorteners[info.Domain]; ok {
+		info.Shortener = name
+	}
+	if name, ok := MessagingHosts[host]; ok {
+		info.Messaging = name
+	}
+	for _, suf := range FreeHostingSuffixes {
+		if info.Domain == suf || strings.HasSuffix(host, "."+suf) {
+			info.FreeHosting = suf
+			break
+		}
+	}
+	info.IsAPK = strings.HasSuffix(strings.ToLower(u.Path), ".apk")
+	return info, nil
+}
+
+// registrable returns the eTLD+1 for host and the effective suffix used.
+// For a bare suffix ("co.uk") or single label it returns the host itself.
+func registrable(host string) (domain, suffix string) {
+	labels := strings.Split(host, ".")
+	if len(labels) <= 1 {
+		return host, host
+	}
+	// Longest matching multi-label suffix first.
+	for take := min(3, len(labels)-1); take >= 2; take-- {
+		cand := strings.Join(labels[len(labels)-take:], ".")
+		if multiLabelSuffixes[cand] {
+			return strings.Join(labels[len(labels)-take-1:], "."), cand
+		}
+	}
+	suffix = labels[len(labels)-1]
+	return strings.Join(labels[len(labels)-2:], "."), suffix
+}
+
+// Classify returns the IANA group for a TLD label (without dot).
+func Classify(tld string) TLDClass {
+	t := strings.ToLower(strings.TrimPrefix(tld, "."))
+	switch {
+	case t == "arpa":
+		return ClassInfrastructure
+	case t == "test" || t == "example" || t == "invalid" || t == "localhost":
+		return ClassTest
+	case sponsoredTLDs[t]:
+		return ClassSponsored
+	case genericRestrictedTLDs[t]:
+		return ClassGenericRestricted
+	case ccTLDs[t]:
+		return ClassCountryCode
+	case gTLDs[t]:
+		return ClassGeneric
+	case len(t) == 2 && isAlpha(t):
+		// Two-letter alphabetic TLDs are country codes by construction.
+		return ClassCountryCode
+	case len(t) > 2 && isAlpha(t):
+		// Unlisted longer TLDs default to the (open) generic group.
+		return ClassGeneric
+	default:
+		return ClassUnknown
+	}
+}
+
+func isAlpha(s string) bool {
+	for _, r := range s {
+		if r < 'a' || r > 'z' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,256 @@
+package urlinfo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	info, err := Parse("https://secure-login.sbi-kyc.top/verify?acc=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Host != "secure-login.sbi-kyc.top" {
+		t.Errorf("Host = %q", info.Host)
+	}
+	if info.Domain != "sbi-kyc.top" {
+		t.Errorf("Domain = %q", info.Domain)
+	}
+	if info.TLD != "top" || info.Class != ClassGeneric {
+		t.Errorf("TLD = %q class %q", info.TLD, info.Class)
+	}
+	if info.Shortener != "" || info.IsAPK {
+		t.Errorf("unexpected flags: %+v", info)
+	}
+}
+
+func TestParseSchemeless(t *testing.T) {
+	info, err := Parse("bit.ly/3xYz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shortener != "bit.ly" {
+		t.Errorf("Shortener = %q, want bit.ly", info.Shortener)
+	}
+	if info.Class != ClassCountryCode {
+		t.Errorf("ly class = %q, want country-code", info.Class)
+	}
+}
+
+func TestParseDefanged(t *testing.T) {
+	info, err := Parse("hxxps://ceskaposta[.]online/PostaOnlineTracking.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Domain != "ceskaposta.online" {
+		t.Errorf("Domain = %q", info.Domain)
+	}
+	if !info.IsAPK {
+		t.Error("IsAPK = false, want true")
+	}
+	if info.URL.Scheme != "https" {
+		t.Errorf("Scheme = %q", info.URL.Scheme)
+	}
+}
+
+func TestParseFreeHosting(t *testing.T) {
+	info, err := Parse("https://sa-krs.web.app/?d=s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FreeHosting != "web.app" {
+		t.Errorf("FreeHosting = %q", info.FreeHosting)
+	}
+	if info.Domain != "sa-krs.web.app" {
+		t.Errorf("Domain = %q, want sa-krs.web.app", info.Domain)
+	}
+	if info.EffectiveTLD != "web.app" {
+		t.Errorf("EffectiveTLD = %q", info.EffectiveTLD)
+	}
+}
+
+func TestParseMessaging(t *testing.T) {
+	info, err := Parse("https://wa.me/447700900123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Messaging != "WhatsApp" {
+		t.Errorf("Messaging = %q", info.Messaging)
+	}
+}
+
+func TestParseMultiLabelCC(t *testing.T) {
+	info, err := Parse("http://parcel.royalmail-fee.co.uk/pay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Domain != "royalmail-fee.co.uk" {
+		t.Errorf("Domain = %q", info.Domain)
+	}
+	if info.EffectiveTLD != "co.uk" {
+		t.Errorf("EffectiveTLD = %q", info.EffectiveTLD)
+	}
+	if info.Class != ClassCountryCode {
+		t.Errorf("Class = %q", info.Class)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "   ", "http://"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		tld  string
+		want TLDClass
+	}{
+		{"com", ClassGeneric},
+		{"info", ClassGeneric},
+		{"online", ClassGeneric},
+		{"uk", ClassCountryCode},
+		{"in", ClassCountryCode},
+		{"ly", ClassCountryCode},
+		{"biz", ClassGenericRestricted},
+		{"pro", ClassGenericRestricted},
+		{"gov", ClassSponsored},
+		{"museum", ClassSponsored},
+		{"arpa", ClassInfrastructure},
+		{"test", ClassTest},
+		{"zz", ClassCountryCode},   // unlisted 2-letter
+		{"newthing", ClassGeneric}, // unlisted long alpha
+		{"x1", ClassUnknown},       // non-alpha short
+		{".COM", ClassGeneric},     // case/dot tolerant
+	}
+	for _, c := range cases {
+		if got := Classify(c.tld); got != c.want {
+			t.Errorf("Classify(%q) = %q, want %q", c.tld, got, c.want)
+		}
+	}
+}
+
+func TestRefang(t *testing.T) {
+	cases := map[string]string{
+		"hxxp://evil[.]com/a":                        "http://evil.com/a",
+		"example(dot)com":                            "example.com",
+		"https://ok.com":                             "https://ok.com",
+		"download[.]china-telecom[.]cn/internet.apk": "download.china-telecom.cn/internet.apk",
+	}
+	for in, want := range cases {
+		if got := Refang(in); got != want {
+			t.Errorf("Refang(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExtractURLsSimple(t *testing.T) {
+	text := "Your parcel is held. Pay at https://evri-fee.top/pay now."
+	urls := ExtractURLs(text)
+	if len(urls) != 1 || urls[0] != "https://evri-fee.top/pay" {
+		t.Errorf("ExtractURLs = %v", urls)
+	}
+}
+
+func TestExtractURLsWrapped(t *testing.T) {
+	// URL split across two lines like a phone-screenshot rendering.
+	text := "SBI: your account is blocked, verify at https://sbi-verif\nication.top/kyc today"
+	urls := ExtractURLs(text)
+	if len(urls) != 1 {
+		t.Fatalf("ExtractURLs = %v, want 1", urls)
+	}
+	if urls[0] != "https://sbi-verification.top/kyc" {
+		t.Errorf("wrapped url = %q", urls[0])
+	}
+}
+
+func TestExtractURLsBareDomain(t *testing.T) {
+	urls := ExtractURLs("reply or visit cutt.ly/abc1 to stop")
+	if len(urls) != 1 || urls[0] != "cutt.ly/abc1" {
+		t.Errorf("ExtractURLs = %v", urls)
+	}
+}
+
+func TestExtractURLsDedup(t *testing.T) {
+	urls := ExtractURLs("go to bit.ly/x and again bit.ly/x")
+	if len(urls) != 1 {
+		t.Errorf("dedup failed: %v", urls)
+	}
+}
+
+func TestExtractURLsFiltersNoise(t *testing.T) {
+	urls := ExtractURLs("app v1.2.3 released, see report.pdf for 3.14 details")
+	if len(urls) != 0 {
+		t.Errorf("noise matched: %v", urls)
+	}
+}
+
+func TestExtractURLsTrailingPunctuation(t *testing.T) {
+	urls := ExtractURLs("Visit https://evil.com/a, now!")
+	if len(urls) != 1 || urls[0] != "https://evil.com/a" {
+		t.Errorf("ExtractURLs = %v", urls)
+	}
+}
+
+func TestExtractURLsNone(t *testing.T) {
+	if urls := ExtractURLs("Hi mum, my phone broke. Text me back"); len(urls) != 0 {
+		t.Errorf("false positive: %v", urls)
+	}
+}
+
+// Property: every extracted URL parses, and parsing is stable under refang.
+func TestExtractThenParseProperty(t *testing.T) {
+	samples := []string{
+		"pay https://a-b.com/x?q=1 or http://c.co/y",
+		"visit example[.]com now",
+		"hxxps://bad.top/dl.apk asap",
+		"plain text with no links at all",
+		"wa.me/123456 conversation",
+	}
+	for _, s := range samples {
+		for _, u := range ExtractURLs(s) {
+			info, err := Parse(u)
+			if err != nil {
+				t.Errorf("extracted %q does not parse: %v", u, err)
+				continue
+			}
+			if info.Host == "" || strings.Contains(info.Host, "[") {
+				t.Errorf("bad host %q from %q", info.Host, u)
+			}
+		}
+	}
+}
+
+// Property: Parse(Refang(x)) == Parse(x) for any defanged form.
+func TestRefangIdempotentProperty(t *testing.T) {
+	f := func(s string) bool {
+		once := Refang(s)
+		return Refang(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: registrable domain is always a suffix of the host.
+func TestDomainSuffixProperty(t *testing.T) {
+	hosts := []string{
+		"a.b.c.example.com", "x.co.uk", "deep.sa-krs.web.app",
+		"bit.ly", "single", "a.b.ngrok.io",
+	}
+	for _, h := range hosts {
+		info, err := Parse("http://" + h + "/")
+		if err != nil {
+			t.Fatalf("parse %q: %v", h, err)
+		}
+		if !strings.HasSuffix(info.Host, info.Domain) {
+			t.Errorf("domain %q not a suffix of host %q", info.Domain, info.Host)
+		}
+		if !strings.HasSuffix(info.Domain, info.EffectiveTLD) {
+			t.Errorf("etld %q not a suffix of domain %q", info.EffectiveTLD, info.Domain)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package xdrfilter
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/detect"
+	"github.com/smishkit/smishkit/internal/shortener"
+)
+
+func TestBadSenderBlocked(t *testing.T) {
+	f := New(Config{BlockBadSenders: true})
+	v, err := f.Check(context.Background(), "+99912345678901234", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Action != ActionBlock || v.Reason != ReasonBadSender {
+		t.Errorf("verdict = %+v", v)
+	}
+	// Landlines cannot send SMS: likely spoofed (§4.1).
+	v, _ = f.Check(context.Background(), "+442079460000", "hello")
+	if v.Action != ActionBlock {
+		t.Errorf("landline sender allowed: %+v", v)
+	}
+	// A valid mobile passes the sender stage.
+	v, _ = f.Check(context.Background(), "+447700900123", "hello")
+	if v.Action != ActionAllow {
+		t.Errorf("valid mobile blocked: %+v", v)
+	}
+}
+
+func TestBlocklistedDomain(t *testing.T) {
+	f := New(Config{Blocklist: []string{"sbi-kyc.top"}})
+	v, err := f.Check(context.Background(), "SBIBNK", "verify at https://secure.sbi-kyc.top/login now")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Action != ActionBlock || v.Reason != ReasonBlockedDomain {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestShortenerExpansionCatchesHiddenRedirect(t *testing.T) {
+	svc := shortener.NewService()
+	svc.Add(shortener.Link{Service: "bit.ly", Code: "abc", Target: "https://evil-bank.top/kyc"})
+	svc.Add(shortener.Link{Service: "bit.ly", Code: "dead", Target: "https://x.top/", TakenDown: true})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	f := New(Config{
+		Blocklist: []string{"evil-bank.top"},
+		Expander:  shortener.NewClient(srv.URL),
+	})
+	// Without expansion the text contains no blocked domain.
+	v, err := f.Check(context.Background(), "X", "pay now https://bit.ly/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Action != ActionBlock || v.Reason != ReasonHiddenRedirect {
+		t.Errorf("verdict = %+v", v)
+	}
+	if v.ExpandedURL != "https://evil-bank.top/kyc" {
+		t.Errorf("expanded = %q", v.ExpandedURL)
+	}
+	// Dead shorteners get flagged, not dropped.
+	v, _ = f.Check(context.Background(), "X", "click https://bit.ly/dead")
+	if v.Action != ActionFlag || v.Reason != ReasonDeadShortener {
+		t.Errorf("dead-link verdict = %+v", v)
+	}
+}
+
+func TestWithoutExpanderMisses(t *testing.T) {
+	// The status-quo baseline the paper criticizes: no redirect checking.
+	f := New(Config{Blocklist: []string{"evil-bank.top"}})
+	v, err := f.Check(context.Background(), "X", "pay now https://bit.ly/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Action != ActionAllow {
+		t.Errorf("expander-less filter should miss the redirect: %+v", v)
+	}
+}
+
+func TestClassifierStage(t *testing.T) {
+	w := corpus.Generate(corpus.Config{Seed: 31, Messages: 2000})
+	var docs []detect.Doc
+	for _, m := range w.Messages {
+		docs = append(docs, detect.Doc{Text: m.Text, Label: string(m.ScamType)})
+	}
+	for _, ham := range corpus.GenerateHam(32, 500) {
+		docs = append(docs, detect.Doc{Text: ham, Label: "ham"})
+	}
+	model, err := detect.Train(docs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Classifier: model})
+
+	v, err := f.Check(context.Background(), "X", "Royal Mail: your parcel is held at our depot. Pay the redelivery fee at https://rm-fee.top/pay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Action != ActionBlock || v.Reason != ReasonClassifier {
+		t.Errorf("smish verdict = %+v", v)
+	}
+	v, _ = f.Check(context.Background(), "Mum", "Hey, running 10 minutes late, see you soon")
+	if v.Action != ActionAllow {
+		t.Errorf("ham verdict = %+v", v)
+	}
+}
+
+// End-to-end block-rate measurement over a corpus: the three-stage filter
+// must block the bulk of smishing while passing nearly all ham.
+func TestFilterEffectiveness(t *testing.T) {
+	w := corpus.Generate(corpus.Config{Seed: 33, Messages: 3000})
+
+	// Train on half the corpus; filter the other half plus ham.
+	var docs []detect.Doc
+	for _, m := range w.Messages[:1500] {
+		docs = append(docs, detect.Doc{Text: m.Text, Label: string(m.ScamType)})
+	}
+	for _, ham := range corpus.GenerateHam(34, 400) {
+		docs = append(docs, detect.Doc{Text: ham, Label: "ham"})
+	}
+	model, err := detect.Train(docs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(Config{Classifier: model, BlockBadSenders: true})
+
+	var smish, ham []struct{ Sender, Text string }
+	for _, m := range w.Messages[1500:] {
+		smish = append(smish, struct{ Sender, Text string }{m.Sender.Value, m.Text})
+	}
+	for _, h := range corpus.GenerateHam(35, 400) {
+		ham = append(ham, struct{ Sender, Text string }{"+447700900123", h})
+	}
+
+	smishStats, err := f.Run(context.Background(), smish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hamStats, err := f.Run(context.Background(), ham)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockRate := float64(smishStats.Blocked) / float64(smishStats.Total)
+	fpRate := float64(hamStats.Blocked) / float64(hamStats.Total)
+	t.Logf("smish block rate = %.3f (flagged %.3f), ham false-positive rate = %.3f",
+		blockRate, float64(smishStats.Flagged)/float64(smishStats.Total), fpRate)
+	if blockRate < 0.85 {
+		t.Errorf("block rate = %.3f, want >= 0.85", blockRate)
+	}
+	if fpRate > 0.02 {
+		t.Errorf("ham false-positive rate = %.3f, want <= 0.02", fpRate)
+	}
+}
+
+func TestRuntimeBlocklistUpdate(t *testing.T) {
+	f := New(Config{})
+	ctx := context.Background()
+	v, _ := f.Check(ctx, "X", "see https://fresh-threat.top/x")
+	if v.Action != ActionAllow {
+		t.Fatalf("pre-update verdict = %+v", v)
+	}
+	f.AddToBlocklist("fresh-threat.top")
+	v, _ = f.Check(ctx, "X", "see https://fresh-threat.top/x")
+	if v.Action != ActionBlock {
+		t.Errorf("post-update verdict = %+v", v)
+	}
+}

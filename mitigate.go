@@ -1,0 +1,56 @@
+package smishkit
+
+import (
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/detect"
+	"github.com/smishkit/smishkit/internal/xdrfilter"
+)
+
+// The mitigation layer implements the paper's §7.2 recommendations as
+// reusable components: a multi-class smishing detector trained on the
+// labeled dataset, and an operator-side XDR filter that chains sender
+// plausibility, shortened-URL expansion against a blocklist, and the
+// detector.
+
+// Re-exported mitigation types.
+type (
+	// DetectorDoc is one labeled training document.
+	DetectorDoc = detect.Doc
+	// Detector is a trained multi-class Naive Bayes model.
+	Detector = detect.Model
+	// DetectorEvaluation summarizes held-out performance.
+	DetectorEvaluation = detect.Evaluation
+	// Filter is the operator-side XDR filtering stage.
+	Filter = xdrfilter.Filter
+	// FilterConfig assembles a Filter.
+	FilterConfig = xdrfilter.Config
+	// FilterVerdict is one message's filtering outcome.
+	FilterVerdict = xdrfilter.Verdict
+)
+
+// TrainDetector fits the multi-class model on labeled documents.
+func TrainDetector(docs []DetectorDoc, bigrams bool) (*Detector, error) {
+	return detect.Train(docs, bigrams)
+}
+
+// EvaluateDetector scores a model on held-out documents.
+func EvaluateDetector(m *Detector, test []DetectorDoc) (DetectorEvaluation, error) {
+	return detect.Evaluate(m, test)
+}
+
+// NewFilter builds an XDR filter.
+func NewFilter(cfg FilterConfig) *Filter { return xdrfilter.New(cfg) }
+
+// TrainingDocs converts a world's ground truth into detector training
+// documents: every message labeled with its scam type plus hamCount benign
+// texts labeled "ham".
+func TrainingDocs(w *World, hamSeed int64, hamCount int) []DetectorDoc {
+	docs := make([]DetectorDoc, 0, len(w.Messages)+hamCount)
+	for _, m := range w.Messages {
+		docs = append(docs, DetectorDoc{Text: m.Text, Label: string(m.ScamType)})
+	}
+	for _, ham := range corpus.GenerateHam(hamSeed, hamCount) {
+		docs = append(docs, DetectorDoc{Text: ham, Label: "ham"})
+	}
+	return docs
+}

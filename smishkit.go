@@ -1,0 +1,135 @@
+// Package smishkit is a research toolkit that reproduces "Fishing for
+// Smishing: Understanding SMS Phishing Infrastructure and Strategies by
+// Mining Public User Reports" (IMC 2025) as a runnable system.
+//
+// The toolkit has three layers:
+//
+//   - A synthetic world generator calibrated to the paper's published
+//     distributions: smishing campaigns, sender infrastructure (phone
+//     numbers, operators, spoofed IDs), and web infrastructure (domains,
+//     registrars, TLS certificates, hosting ASes, URL shorteners).
+//   - A simulation that boots that world as real network services on
+//     loopback: five report forums (Twitter-, Reddit-, Smishtank-,
+//     smishing.eu- and Pastebin-shaped), an HLR lookup service, WHOIS, a
+//     CT-log search, passive DNS with IP-to-ASN, a multi-vendor URL
+//     scanner with a Safe-Browsing API, URL shorteners, and the scammers'
+//     own hosting (with Android drive-by downloads).
+//   - The measurement pipeline from the paper: collect -> extract fields
+//     from screenshots -> curate -> enrich -> annotate -> report, ending
+//     in typed reproductions of the paper's Tables 1-19 and Figures 2-3.
+//
+// Quick start:
+//
+//	study, err := smishkit.NewStudy(smishkit.Options{Seed: 1, Messages: 4000})
+//	if err != nil { ... }
+//	defer study.Close()
+//	ds, err := study.Run(ctx)
+//	if err != nil { ... }
+//	smishkit.WriteReport(os.Stdout, ds)
+package smishkit
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/forum"
+	"github.com/smishkit/smishkit/internal/report"
+	"github.com/smishkit/smishkit/internal/screenshot"
+)
+
+// Re-exported core types so downstream users never import internal paths.
+type (
+	// World is the synthetic ground truth a simulation is seeded from.
+	World = corpus.World
+	// WorldConfig controls world generation (seed, scale, epoch).
+	WorldConfig = corpus.Config
+	// Message is one ground-truth smishing message.
+	Message = corpus.Message
+	// Simulation is the set of booted loopback servers.
+	Simulation = core.Simulation
+	// Dataset is the curated, enriched, annotated record set.
+	Dataset = core.Dataset
+	// Record is one curated report.
+	Record = core.Record
+	// Services bundles enrichment clients.
+	Services = core.Services
+	// PipelineOptions tunes extraction and enrichment.
+	PipelineOptions = core.Options
+	// RawReport is one collected forum post.
+	RawReport = forum.RawReport
+)
+
+// Extractor engines for PipelineOptions.Extractor, in ladder order.
+var (
+	// ExtractorNaiveOCR is the pytesseract-style rung: fails on custom
+	// themes and confuses similar glyphs.
+	ExtractorNaiveOCR screenshot.Extractor = screenshot.NaiveOCR{}
+	// ExtractorVisionOCR is the Google-Vision-style rung: perfect glyphs,
+	// scrambled reading order.
+	ExtractorVisionOCR screenshot.Extractor = screenshot.VisionOCR{}
+	// ExtractorStructuredVision is the rung the paper settled on.
+	ExtractorStructuredVision screenshot.Extractor = screenshot.StructuredVision{}
+)
+
+// GenerateWorld builds a deterministic synthetic world.
+func GenerateWorld(cfg WorldConfig) *World { return corpus.Generate(cfg) }
+
+// StartSimulation boots every forum and intelligence service for a world.
+func StartSimulation(w *World) (*Simulation, error) { return core.StartSimulation(w) }
+
+// Options configures a Study end to end.
+type Options struct {
+	Seed     int64
+	Messages int // synthetic corpus size (default 4000)
+	Pipeline PipelineOptions
+}
+
+// Study bundles a world, its simulation, and the pipeline — the one-stop
+// entry point for reproducing the paper.
+type Study struct {
+	World *World
+	Sim   *Simulation
+	Pipe  *core.Pipeline
+}
+
+// NewStudy generates a world and boots its simulation.
+func NewStudy(opts Options) (*Study, error) {
+	w := corpus.Generate(corpus.Config{Seed: opts.Seed, Messages: opts.Messages})
+	sim, err := core.StartSimulation(w)
+	if err != nil {
+		return nil, fmt.Errorf("smishkit: start simulation: %w", err)
+	}
+	return &Study{
+		World: w,
+		Sim:   sim,
+		Pipe:  core.NewPipeline(sim.Services(), opts.Pipeline),
+	}, nil
+}
+
+// Collect drains all five forums.
+func (s *Study) Collect(ctx context.Context) ([]RawReport, error) {
+	reports, _, err := forum.CollectAll(ctx, s.Sim.Collectors())
+	return reports, err
+}
+
+// Run collects, curates, enriches, and annotates.
+func (s *Study) Run(ctx context.Context) (*Dataset, error) {
+	reports, err := s.Collect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return s.Pipe.Run(ctx, reports)
+}
+
+// Close shuts the simulation down.
+func (s *Study) Close() {
+	if s.Sim != nil {
+		s.Sim.Close()
+	}
+}
+
+// WriteReport renders every table and figure of the paper to w.
+func WriteReport(w io.Writer, ds *Dataset) { report.RenderAll(w, ds) }

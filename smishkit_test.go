@@ -1,0 +1,107 @@
+package smishkit
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestStudyEndToEnd(t *testing.T) {
+	study, err := NewStudy(Options{Seed: 7, Messages: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer study.Close()
+
+	ds, err := study.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) == 0 {
+		t.Fatal("empty dataset")
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, ds)
+	if !strings.Contains(buf.String(), "Table 10: scam categories") {
+		t.Error("report missing scam categories")
+	}
+}
+
+func TestGenerateWorldDeterministic(t *testing.T) {
+	a := GenerateWorld(WorldConfig{Seed: 3, Messages: 100})
+	b := GenerateWorld(WorldConfig{Seed: 3, Messages: 100})
+	if len(a.Messages) != len(b.Messages) || a.Messages[0].Text != b.Messages[0].Text {
+		t.Error("world generation not deterministic")
+	}
+}
+
+func TestExtractorLadderExported(t *testing.T) {
+	for _, e := range []struct {
+		name string
+		ext  interface{ Name() string }
+	}{
+		{"naive-ocr", ExtractorNaiveOCR},
+		{"vision-ocr", ExtractorVisionOCR},
+		{"structured-vision", ExtractorStructuredVision},
+	} {
+		if e.ext.Name() != e.name {
+			t.Errorf("extractor name = %q, want %q", e.ext.Name(), e.name)
+		}
+	}
+}
+
+func TestMitigationFacade(t *testing.T) {
+	w := GenerateWorld(WorldConfig{Seed: 81, Messages: 1500})
+	docs := TrainingDocs(w, 82, 300)
+	model, err := TrainDetector(docs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFilter(FilterConfig{Classifier: model, BlockBadSenders: true})
+	v, err := f.Check(context.Background(), "+447700900123",
+		"HSBC alert: your account has been suspended. Verify at https://hsbc-verify.top/kyc within 24 hours")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Action != "block" {
+		t.Errorf("smish verdict = %+v", v)
+	}
+	v, _ = f.Check(context.Background(), "+447700900123", "running late, see you at 7")
+	if v.Action != "allow" {
+		t.Errorf("ham verdict = %+v", v)
+	}
+}
+
+func TestAnalysisFacade(t *testing.T) {
+	study, err := NewStudy(Options{Seed: 85, Messages: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer study.Close()
+	ds, err := study.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	campaigns := ClusterCampaigns(ds, DefaultClusterOptions())
+	if len(campaigns) == 0 || campaigns[0].Size() == 0 {
+		t.Fatal("no campaigns clustered")
+	}
+
+	var buf bytes.Buffer
+	n, err := WriteRelease(&buf, study.World)
+	if err != nil || n != 500 {
+		t.Fatalf("release write: n=%d err=%v", n, err)
+	}
+	records, err := ReadRelease(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRelease(records); err != nil {
+		t.Fatal(err)
+	}
+	if len(GenerateHam(1, 10)) != 10 {
+		t.Error("ham generation broken")
+	}
+}
