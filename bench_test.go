@@ -61,7 +61,11 @@ func benchDataset(b *testing.B) *core.Dataset {
 		if benchErr != nil {
 			return
 		}
-		pipe := core.NewPipeline(benchSim.Services(), core.Options{EnrichWorkers: 16})
+		var pipe *core.Pipeline
+		pipe, benchErr = core.NewPipeline(benchSim.Services(), core.Options{EnrichWorkers: 16})
+		if benchErr != nil {
+			return
+		}
 		benchDS, benchErr = pipe.Run(context.Background(), benchReports)
 	})
 	if benchErr != nil {
@@ -469,7 +473,10 @@ func BenchmarkEnrichmentFanout(b *testing.B) {
 	benchDataset(b)
 	for _, workers := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
-			pipe := core.NewPipeline(benchSim.Services(), core.Options{EnrichWorkers: workers})
+			pipe, err := core.NewPipeline(benchSim.Services(), core.Options{EnrichWorkers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
 			// A fixed 400-report slice keeps iterations comparable.
 			slice := benchReports
 			if len(slice) > 400 {
@@ -611,7 +618,10 @@ func BenchmarkFullPipeline(b *testing.B) {
 	benchDataset(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pipe := core.NewPipeline(benchSim.Services(), core.Options{EnrichWorkers: 16})
+		pipe, err := core.NewPipeline(benchSim.Services(), core.Options{EnrichWorkers: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
 		slice := benchReports
 		if len(slice) > 600 {
 			slice = slice[:600]

@@ -48,6 +48,8 @@ func main() {
 	fmt.Printf("  avscan       %s  (key: %s)\n", sim.AVScanURL, sim.AVScanKey)
 	fmt.Printf("  shortener    %s\n", sim.ShortenerURL)
 	fmt.Printf("  sites        %s\n", sim.SitesURL)
+	fmt.Printf("telemetry:\n")
+	fmt.Printf("  snapshot     %s/debug/telemetry\n", sim.DebugURL)
 	fmt.Println("\nserving; ctrl-c to stop")
 
 	sig := make(chan os.Signal, 1)

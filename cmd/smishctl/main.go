@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	smishctl [-seed N] [-messages N] [-workers N] [-extractor structured|vision|naive]
+//	smishctl [-seed N] [-messages N] [-workers N] [-extractor structured|vision|naive] [-telemetry]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	messages := flag.Int("messages", 4000, "synthetic corpus size")
 	workers := flag.Int("workers", 8, "enrichment fan-out width")
 	extractor := flag.String("extractor", "structured", "screenshot extractor: structured|vision|naive")
+	telemetry := flag.Bool("telemetry", false, "print per-stage spans and per-service client metrics after the report")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
 	flag.Parse()
 
@@ -61,6 +62,15 @@ func main() {
 	log.Printf("pipeline: %d records in %v (decoys rejected: %d)",
 		len(ds.Records), time.Since(start).Round(time.Millisecond), ds.DecoysRejected)
 
-	smishkit.WriteReport(os.Stdout, ds)
+	if err := smishkit.WriteReport(os.Stdout, ds); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
+
+	if *telemetry {
+		if err := smishkit.WriteTelemetry(os.Stdout, study.Telemetry()); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("live snapshot: %s/debug/telemetry", study.Sim.DebugURL)
+	}
 }

@@ -49,10 +49,14 @@ func main() {
 	}
 
 	// Stage 3: extract + curate (§3.2), with the structured-vision rung.
-	pipe := core.NewPipeline(sim.Services(), core.Options{
+	pipe, err := core.NewPipeline(sim.Services(), core.Options{
 		Extractor:     smishkit.ExtractorStructuredVision,
 		EnrichWorkers: 12,
+		Telemetry:     sim.Telemetry,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ds := pipe.Curate(reports)
 	fmt.Printf("curated %d records (decoys rejected: %d, empty: %d)\n",
 		len(ds.Records), ds.DecoysRejected, ds.EmptyDropped)
@@ -94,5 +98,14 @@ func main() {
 	}
 
 	// Stage 7: the paper's exhibits.
-	report.RenderAll(os.Stdout, ds)
+	if err := report.RenderAll(os.Stdout, ds); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 8: how the run behaved — stage spans, curation outcomes, and
+	// per-service client latencies (also live at sim.DebugURL).
+	fmt.Println()
+	if err := smishkit.WriteTelemetry(os.Stdout, sim.Telemetry.Snapshot()); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"github.com/smishkit/smishkit"
 	"github.com/smishkit/smishkit/internal/core"
@@ -52,8 +53,12 @@ func main() {
 	fmt.Printf("world: %d messages, %d domains (%d on the intel blocklist)\n",
 		len(world.Messages), len(world.Domains), len(blocklist))
 
+	// One collector across every replay: the per-action latency histograms
+	// below aggregate all three filter configurations.
+	collector := smishkit.NewCollector()
+
 	run := func(name string, f *xdrfilter.Filter) gateway.Stats {
-		gw := gateway.New(f)
+		gw := gateway.New(f).Instrument(collector)
 		for _, m := range world.Messages {
 			if _, err := gw.Submit(ctx, m.Sender.Value, "+447700900000", m.Text); err != nil {
 				log.Fatal(err)
@@ -98,4 +103,11 @@ func main() {
 	second, _ := gw.Submit(ctx, "+447700900501", "+447700900003", evasive)
 	fmt.Printf("after one 7726 report (+%d blocklisted): second copy %s (%s)\n",
 		added, second.Action, second.Reason)
+
+	// How the gateway behaved across all replays: submit/deliver/block
+	// latency percentiles and traffic counters.
+	fmt.Println()
+	if err := smishkit.WriteTelemetry(os.Stdout, collector.Snapshot()); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -22,5 +22,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	smishkit.WriteReport(os.Stdout, ds)
+	if err := smishkit.WriteReport(os.Stdout, ds); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/smishkit/smishkit/internal/netutil"
+	"github.com/smishkit/smishkit/internal/telemetry"
 )
 
 // Report is a VirusTotal-style aggregate scan result.
@@ -187,6 +188,13 @@ type Client struct {
 // NewClient builds a client for the service at baseURL.
 func NewClient(baseURL, apiKey string) *Client {
 	return &Client{API: netutil.Client{BaseURL: baseURL, APIKey: apiKey}}
+}
+
+// Instrument records this client's calls, errors, retries, 429s, and
+// latency into reg under the "avscan" service name. Returns c for chaining.
+func (c *Client) Instrument(reg *telemetry.Registry) *Client {
+	c.API.Metrics = telemetry.NewClientMetrics(reg, "avscan")
+	return c
 }
 
 // Scan fetches the multi-vendor report.

@@ -20,13 +20,13 @@ func runPipeline(t *testing.T, n int, seed int64) (*corpus.World, *Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(sim.Close)
+	t.Cleanup(func() { _ = sim.Close() })
 
 	reports, _, err := forum.CollectAll(context.Background(), sim.Collectors())
 	if err != nil {
 		t.Fatal(err)
 	}
-	pipe := NewPipeline(sim.Services(), Options{})
+	pipe := mustPipeline(t, sim.Services(), Options{})
 	ds, err := pipe.Run(context.Background(), reports)
 	if err != nil {
 		t.Fatal(err)
@@ -154,8 +154,8 @@ func TestPipelineNaiveExtractorDegrades(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	structured := NewPipeline(Services{}, Options{Extractor: screenshot.StructuredVision{}}).Curate(reports)
-	naive := NewPipeline(Services{}, Options{Extractor: screenshot.NaiveOCR{}}).Curate(reports)
+	structured := mustPipeline(t, Services{}, Options{Extractor: screenshot.StructuredVision{}}).Curate(reports)
+	naive := mustPipeline(t, Services{}, Options{Extractor: screenshot.NaiveOCR{}}).Curate(reports)
 
 	if len(naive.Records) >= len(structured.Records) {
 		t.Errorf("naive OCR curated %d >= structured %d; custom themes should be lost",
@@ -189,7 +189,7 @@ func TestPipelineContextCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pipe := NewPipeline(sim.Services(), Options{})
+	pipe := mustPipeline(t, sim.Services(), Options{})
 	ds := pipe.Curate(reports)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/smishkit/smishkit/internal/annotate"
 	"github.com/smishkit/smishkit/internal/avscan"
@@ -17,6 +18,7 @@ import (
 	"github.com/smishkit/smishkit/internal/screenshot"
 	"github.com/smishkit/smishkit/internal/senderid"
 	"github.com/smishkit/smishkit/internal/shortener"
+	"github.com/smishkit/smishkit/internal/telemetry"
 	"github.com/smishkit/smishkit/internal/urlinfo"
 	"github.com/smishkit/smishkit/internal/whois"
 )
@@ -38,16 +40,24 @@ type Options struct {
 	// Extractor reads screenshot attachments; defaults to StructuredVision
 	// (the rung the paper settled on in §3.2).
 	Extractor screenshot.Extractor
-	// EnrichWorkers is the enrichment fan-out width (default 8).
+	// EnrichWorkers is the enrichment fan-out width (default 8; negative
+	// is a construction error).
 	EnrichWorkers int
+	// Telemetry receives per-stage spans, per-record curation outcomes,
+	// and enrichment latency. Nil gets a private registry so
+	// Pipeline.Telemetry always works.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
 	if o.Extractor == nil {
 		o.Extractor = screenshot.StructuredVision{}
 	}
-	if o.EnrichWorkers <= 0 {
+	if o.EnrichWorkers == 0 {
 		o.EnrichWorkers = 8
+	}
+	if o.Telemetry == nil {
+		o.Telemetry = telemetry.NewRegistry()
 	}
 	return o
 }
@@ -57,12 +67,49 @@ func (o Options) withDefaults() Options {
 type Pipeline struct {
 	services Services
 	opts     Options
+	tel      *telemetry.Registry
+	met      pipelineMetrics
 }
 
-// NewPipeline builds a pipeline over the given services.
-func NewPipeline(services Services, opts Options) *Pipeline {
-	return &Pipeline{services: services, opts: opts.withDefaults()}
+// pipelineMetrics pre-resolves the hot-path instruments so per-record
+// increments are pointer-chasing only (no registry lookups, no allocs).
+type pipelineMetrics struct {
+	curateOK    *telemetry.Counter
+	curateDecoy *telemetry.Counter
+	curateEmpty *telemetry.Counter
+	enriched    *telemetry.Counter
+	annotated   *telemetry.Counter
+	busyWorkers *telemetry.Gauge
+	recordLat   *telemetry.Histogram
 }
+
+// NewPipeline builds a pipeline over the given services. It fails on
+// invalid options (currently a negative worker count) so facades can tear
+// down already-booted resources instead of deferring the blowup to Run.
+func NewPipeline(services Services, opts Options) (*Pipeline, error) {
+	if opts.EnrichWorkers < 0 {
+		return nil, errors.New("core: EnrichWorkers must not be negative")
+	}
+	opts = opts.withDefaults()
+	tel := opts.Telemetry
+	return &Pipeline{
+		services: services,
+		opts:     opts,
+		tel:      tel,
+		met: pipelineMetrics{
+			curateOK:    tel.Counter("pipeline.curate.ok"),
+			curateDecoy: tel.Counter("pipeline.curate.decoy"),
+			curateEmpty: tel.Counter("pipeline.curate.empty"),
+			enriched:    tel.Counter("pipeline.enrich.records"),
+			annotated:   tel.Counter("pipeline.annotate.records"),
+			busyWorkers: tel.Gauge("pipeline.enrich.busy_workers"),
+			recordLat:   tel.Histogram("pipeline.enrich.record_latency"),
+		},
+	}, nil
+}
+
+// Telemetry returns the registry the pipeline records into.
+func (p *Pipeline) Telemetry() *telemetry.Registry { return p.tel }
 
 // Curate turns raw forum reports into records: it reads screenshot
 // attachments with the configured extractor, rejects non-SMS decoys, pulls
@@ -70,6 +117,8 @@ func NewPipeline(services Services, opts Options) *Pipeline {
 // (§3.2). Reports whose attachment is unreadable for the extractor count
 // as EmptyDropped — the pytesseract failure mode.
 func (p *Pipeline) Curate(reports []forum.RawReport) *Dataset {
+	sp := p.tel.StartSpan("curate")
+	defer sp.End()
 	ds := &Dataset{
 		PostsByForum:  make(map[corpus.Forum]int),
 		ImagesByForum: make(map[corpus.Forum]int),
@@ -79,16 +128,19 @@ func (p *Pipeline) Curate(reports []forum.RawReport) *Dataset {
 		rec, status := p.curateOne(rep)
 		switch status {
 		case curatedOK:
+			p.met.curateOK.Inc()
 			ds.Records = append(ds.Records, rec)
 			if rec.FromImage {
 				ds.ImagesByForum[rep.Forum]++
 			}
 		case curatedDecoy:
+			p.met.curateDecoy.Inc()
 			if rep.HasAttachment() {
 				ds.ImagesByForum[rep.Forum]++
 			}
 			ds.DecoysRejected++
 		case curatedEmpty:
+			p.met.curateEmpty.Inc()
 			ds.EmptyDropped++
 		}
 	}
@@ -181,6 +233,8 @@ func parseQuotedBody(body string) (text, sender string) {
 // on landing URLs. Per-record service failures degrade that record, not
 // the run; the first context/transport-level error aborts.
 func (p *Pipeline) Enrich(ctx context.Context, ds *Dataset) error {
+	sp := p.tel.StartSpan("enrich")
+	defer sp.End()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	errOnce := sync.Once{}
@@ -198,10 +252,16 @@ func (p *Pipeline) Enrich(ctx context.Context, ds *Dataset) error {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				if err := p.enrichOne(ctx, &ds.Records[idx]); err != nil {
+				p.met.busyWorkers.Add(1)
+				start := time.Now()
+				err := p.enrichOne(ctx, &ds.Records[idx])
+				p.met.recordLat.Observe(time.Since(start))
+				p.met.busyWorkers.Add(-1)
+				if err != nil {
 					fail(err)
 					return
 				}
+				p.met.enriched.Inc()
 			}
 		}()
 	}
@@ -332,7 +392,8 @@ func isSharedPlatform(rec *Record) bool {
 	return isShort
 }
 
-// splitShort decomposes "https://bit.ly/abc" into ("bit.ly", "abc").
+// splitShort decomposes "https://bit.ly/abc" into ("bit.ly", "abc"),
+// dropping any query string or fragment after the code.
 func splitShort(u string) (service, code string) {
 	s := u
 	if i := strings.Index(s, "://"); i >= 0 {
@@ -342,15 +403,19 @@ func splitShort(u string) (service, code string) {
 	if !ok {
 		return "", ""
 	}
-	code = strings.SplitN(rest, "?", 2)[0]
+	code, _, _ = strings.Cut(rest, "?")
+	code, _, _ = strings.Cut(code, "#")
 	return strings.ToLower(host), code
 }
 
 // Annotate labels every record (§3.3.6).
 func (p *Pipeline) Annotate(ds *Dataset) {
+	sp := p.tel.StartSpan("annotate")
+	defer sp.End()
 	for i := range ds.Records {
 		rec := &ds.Records[i]
 		rec.Annotation = annotate.Annotate(rec.Text, rec.ShownURL)
+		p.met.annotated.Inc()
 	}
 }
 

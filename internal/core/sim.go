@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/smishkit/smishkit/internal/urlinfo"
@@ -17,6 +19,7 @@ import (
 	"github.com/smishkit/smishkit/internal/hlr"
 	"github.com/smishkit/smishkit/internal/malware"
 	"github.com/smishkit/smishkit/internal/shortener"
+	"github.com/smishkit/smishkit/internal/telemetry"
 	"github.com/smishkit/smishkit/internal/whois"
 )
 
@@ -39,6 +42,9 @@ type Simulation struct {
 	AVScanURL     string
 	ShortenerURL  string
 	SitesURL      string
+	// DebugURL serves GET /debug/telemetry: a live JSON snapshot of the
+	// simulation's telemetry registry.
+	DebugURL string
 
 	// Credentials the clients need.
 	TwitterBearer string
@@ -52,17 +58,35 @@ type Simulation struct {
 	ShortSvc *shortener.Service
 	AndroZoo *malware.HashDB
 
-	servers []*http.Server
-	lns     []net.Listener
+	// Telemetry aggregates client and pipeline metrics; Services() wires
+	// every enrichment client into it, and DebugURL exposes it over HTTP.
+	Telemetry *telemetry.Registry
+
+	servers   []*http.Server
+	lns       []net.Listener
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // World aliases the corpus ground truth for callers of the public facade.
 type World = corpus.World
 
-// StartSimulation generates (or accepts) a world and boots every server.
+// StartSimulation generates (or accepts) a world and boots every server
+// with a private telemetry registry.
 func StartSimulation(w *corpus.World) (*Simulation, error) {
+	return StartSimulationWithTelemetry(w, nil)
+}
+
+// StartSimulationWithTelemetry boots every server recording into reg (a
+// fresh registry when nil), so a facade can share one collector between
+// the simulation's debug endpoint and the pipeline.
+func StartSimulationWithTelemetry(w *corpus.World, reg *telemetry.Registry) (*Simulation, error) {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	sim := &Simulation{
 		World:         w,
+		Telemetry:     reg,
 		TwitterBearer: "sim-bearer",
 		HLRKey:        "sim-hlr",
 		WhoisKey:      "sim-whois",
@@ -184,18 +208,28 @@ func StartSimulation(w *corpus.World) (*Simulation, error) {
 	sim.AVScanURL = bootOrDie(avscan.NewServer(avStore, sim.AVScanKey, 0).Handler())
 	sim.ShortenerURL = bootOrDie(sim.ShortSvc.Handler())
 	sim.SitesURL = bootOrDie(sim.Sites.Handler())
+	sim.DebugURL = bootOrDie(telemetry.Handler(reg))
 	if err != nil {
-		sim.Close()
+		_ = sim.Close()
 		return nil, fmt.Errorf("core: boot simulation: %w", err)
 	}
 	return sim, nil
 }
 
-// Close shuts down every server.
-func (s *Simulation) Close() {
-	for _, srv := range s.servers {
-		_ = srv.Close()
-	}
+// Close shuts down every server and releases its listener. It is
+// idempotent: the first call does the work and its (joined) error is
+// returned by every subsequent call.
+func (s *Simulation) Close() error {
+	s.closeOnce.Do(func() {
+		var errs []error
+		for _, srv := range s.servers {
+			if err := srv.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		s.closeErr = errors.Join(errs...)
+	})
+	return s.closeErr
 }
 
 // Collectors returns ready-to-run collectors for all five forums.
@@ -209,15 +243,17 @@ func (s *Simulation) Collectors() []forum.Collector {
 	}
 }
 
-// Services returns enrichment clients wired to the simulation's servers.
+// Services returns enrichment clients wired to the simulation's servers,
+// each instrumented into the simulation's telemetry registry. Instruments
+// are named, so clients from repeated calls share the same counters.
 func (s *Simulation) Services() Services {
 	return Services{
-		HLR:       hlr.NewClient(s.HLRURL, s.HLRKey),
-		Whois:     whois.NewClient(s.WhoisURL, s.WhoisKey),
-		CTLog:     ctlog.NewClient(s.CTLogURL),
-		DNSDB:     dnsdb.NewClient(s.DNSDBURL, s.DNSDBKey),
-		AVScan:    avscan.NewClient(s.AVScanURL, s.AVScanKey),
-		Shortener: shortener.NewClient(s.ShortenerURL),
+		HLR:       hlr.NewClient(s.HLRURL, s.HLRKey).Instrument(s.Telemetry),
+		Whois:     whois.NewClient(s.WhoisURL, s.WhoisKey).Instrument(s.Telemetry),
+		CTLog:     ctlog.NewClient(s.CTLogURL).Instrument(s.Telemetry),
+		DNSDB:     dnsdb.NewClient(s.DNSDBURL, s.DNSDBKey).Instrument(s.Telemetry),
+		AVScan:    avscan.NewClient(s.AVScanURL, s.AVScanKey).Instrument(s.Telemetry),
+		Shortener: shortener.NewClient(s.ShortenerURL).Instrument(s.Telemetry),
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/smishkit/smishkit/internal/netutil"
+	"github.com/smishkit/smishkit/internal/telemetry"
 )
 
 // Certificate is one logged issuance.
@@ -162,6 +163,13 @@ type Client struct {
 // NewClient builds a client for the service at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{API: netutil.Client{BaseURL: baseURL}}
+}
+
+// Instrument records this client's calls, errors, retries, 429s, and
+// latency into reg under the "ctlog" service name. Returns c for chaining.
+func (c *Client) Instrument(reg *telemetry.Registry) *Client {
+	c.API.Metrics = telemetry.NewClientMetrics(reg, "ctlog")
+	return c
 }
 
 // Search fetches the full issuance list for a domain.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/smishkit/smishkit/internal/netutil"
+	"github.com/smishkit/smishkit/internal/telemetry"
 )
 
 // Observation is one passive-DNS sighting: domain resolved to IP during
@@ -143,6 +144,13 @@ type Client struct {
 // NewClient builds a client for the service at baseURL.
 func NewClient(baseURL, apiKey string) *Client {
 	return &Client{API: netutil.Client{BaseURL: baseURL, APIKey: apiKey}}
+}
+
+// Instrument records this client's calls, errors, retries, 429s, and
+// latency into reg under the "dnsdb" service name. Returns c for chaining.
+func (c *Client) Instrument(reg *telemetry.Registry) *Client {
+	c.API.Metrics = telemetry.NewClientMetrics(reg, "dnsdb")
+	return c
 }
 
 // Resolutions fetches a domain's pDNS history.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/smishkit/smishkit/internal/netutil"
+	"github.com/smishkit/smishkit/internal/telemetry"
 	"github.com/smishkit/smishkit/internal/urlinfo"
 	"github.com/smishkit/smishkit/internal/xdrfilter"
 )
@@ -33,6 +34,7 @@ type Message struct {
 // Gateway filters and routes SMS traffic. Safe for concurrent use.
 type Gateway struct {
 	filter *xdrfilter.Filter
+	met    gatewayMetrics
 
 	mu         sync.Mutex
 	nextID     int
@@ -40,6 +42,37 @@ type Gateway struct {
 	quarantine []Message
 	reports    []Message // 7726 submissions
 	stats      Stats
+}
+
+// gatewayMetrics holds the pre-resolved instruments Submit and Report
+// record into. All fields are nil (discarding) until Instrument is called.
+type gatewayMetrics struct {
+	submitted  *telemetry.Counter
+	delivered  *telemetry.Counter
+	blocked    *telemetry.Counter
+	flagged    *telemetry.Counter
+	reports    *telemetry.Counter
+	submitLat  *telemetry.Histogram
+	deliverLat *telemetry.Histogram
+	blockLat   *telemetry.Histogram
+	reportLat  *telemetry.Histogram
+}
+
+// Instrument records submit/deliver/block/report counts and latencies into
+// reg under "gateway.*". Call before serving traffic.
+func (g *Gateway) Instrument(reg *telemetry.Registry) *Gateway {
+	g.met = gatewayMetrics{
+		submitted:  reg.Counter("gateway.submitted"),
+		delivered:  reg.Counter("gateway.delivered"),
+		blocked:    reg.Counter("gateway.blocked"),
+		flagged:    reg.Counter("gateway.flagged"),
+		reports:    reg.Counter("gateway.user_reports"),
+		submitLat:  reg.Histogram("gateway.submit.latency"),
+		deliverLat: reg.Histogram("gateway.deliver.latency"),
+		blockLat:   reg.Histogram("gateway.block.latency"),
+		reportLat:  reg.Histogram("gateway.report.latency"),
+	}
+	return g
 }
 
 // Stats summarizes gateway traffic.
@@ -59,12 +92,14 @@ func New(filter *xdrfilter.Filter) *Gateway {
 
 // Submit runs one message through the filter and routes it.
 func (g *Gateway) Submit(ctx context.Context, from, to, text string) (Message, error) {
+	start := time.Now()
+	g.met.submitted.Inc()
 	verdict, err := g.filter.Check(ctx, from, text)
 	if err != nil {
+		g.met.submitLat.Observe(time.Since(start))
 		return Message{}, err
 	}
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	g.nextID++
 	m := Message{
 		ID:   idString(g.nextID),
@@ -87,6 +122,21 @@ func (g *Gateway) Submit(ctx context.Context, from, to, text string) (Message, e
 		g.stats.Delivered++
 		g.inboxes[to] = append(g.inboxes[to], m)
 	}
+	g.mu.Unlock()
+
+	elapsed := time.Since(start)
+	g.met.submitLat.Observe(elapsed)
+	switch m.Action {
+	case "blocked":
+		g.met.blocked.Inc()
+		g.met.blockLat.Observe(elapsed)
+	case "flagged":
+		g.met.flagged.Inc()
+		g.met.deliverLat.Observe(elapsed)
+	default:
+		g.met.delivered.Inc()
+		g.met.deliverLat.Observe(elapsed)
+	}
 	return m, nil
 }
 
@@ -94,6 +144,9 @@ func (g *Gateway) Submit(ctx context.Context, from, to, text string) (Message, e
 // Domains in reported texts join the blocklist once reported, so later
 // copies of the campaign are blocked — the paper's feedback loop.
 func (g *Gateway) Report(from, text string) int {
+	start := time.Now()
+	defer func() { g.met.reportLat.Observe(time.Since(start)) }()
+	g.met.reports.Inc()
 	g.mu.Lock()
 	g.stats.UserReports++
 	g.reports = append(g.reports, Message{From: from, Text: text, At: time.Now().UTC()})

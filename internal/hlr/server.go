@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"github.com/smishkit/smishkit/internal/netutil"
+	"github.com/smishkit/smishkit/internal/telemetry"
 )
 
 // Server exposes the registry over HTTP:
@@ -100,6 +101,13 @@ type Client struct {
 // NewClient builds a client for the service at baseURL.
 func NewClient(baseURL, apiKey string) *Client {
 	return &Client{API: netutil.Client{BaseURL: baseURL, APIKey: apiKey}}
+}
+
+// Instrument records this client's calls, errors, retries, 429s, and
+// latency into reg under the "hlr" service name. Returns c for chaining.
+func (c *Client) Instrument(reg *telemetry.Registry) *Client {
+	c.API.Metrics = telemetry.NewClientMetrics(reg, "hlr")
+	return c
 }
 
 // Lookup resolves a single MSISDN.

@@ -17,6 +17,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"github.com/smishkit/smishkit/internal/telemetry"
 )
 
 // TokenBucket is a thread-safe token-bucket rate limiter. The zero value is
@@ -113,6 +115,9 @@ type Client struct {
 	Headers    map[string]string // extra headers
 	// Sleep is swappable for tests; defaults to a context-aware sleep.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Metrics, when non-nil, records calls, errors, retries, 429s, and
+	// end-to-end latency (backoff included) for every request.
+	Metrics *telemetry.ClientMetrics
 }
 
 // APIError is a non-2xx response with its body message.
@@ -172,6 +177,21 @@ func (c *Client) PostJSON(ctx context.Context, path string, body, out any) error
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	m := c.Metrics
+	if m == nil {
+		return c.doRetry(ctx, method, path, body, out, nil)
+	}
+	m.Calls.Inc()
+	start := time.Now()
+	err := c.doRetry(ctx, method, path, body, out, m)
+	m.Latency.Observe(time.Since(start))
+	if err != nil {
+		m.Errors.Inc()
+	}
+	return err
+}
+
+func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, out any, m *telemetry.ClientMetrics) error {
 	retries := c.MaxRetries
 	if retries == 0 {
 		retries = 3
@@ -183,6 +203,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
+			if m != nil {
+				m.Retries.Inc()
+			}
 			d := backoff << (attempt - 1)
 			d += time.Duration(rand.Int63n(int64(d)/2 + 1))
 			if err := c.sleep(ctx, d); err != nil {
@@ -227,6 +250,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			}
 			return nil
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			if m != nil && resp.StatusCode == http.StatusTooManyRequests {
+				m.RateLimited.Inc()
+			}
 			lastErr = &APIError{Status: resp.StatusCode, Body: truncate(string(data), 200)}
 			continue // retryable
 		default:

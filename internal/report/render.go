@@ -13,8 +13,12 @@ import (
 	"github.com/smishkit/smishkit/internal/urlinfo"
 )
 
-// RenderAll writes every table and figure to w in reading order.
-func RenderAll(w io.Writer, ds *core.Dataset) {
+// RenderAll writes every table and figure to w in reading order. The first
+// write error aborts rendering and is returned, so callers writing to
+// files or sockets see short writes instead of silently truncated reports.
+func RenderAll(out io.Writer, ds *core.Dataset) error {
+	ew := &errWriter{w: out}
+	var w io.Writer = ew
 	recs := ds.Records
 	renderTable1(w, ds)
 	renderCounter(w, "Table 3: phone number types", Table3(recs), 0)
@@ -39,6 +43,25 @@ func RenderAll(w io.Writer, ds *core.Dataset) {
 	renderFig2(w, Fig2(recs, true))
 	renderFig3(w, Fig3(recs, 10))
 	renderCounter(w, "Sender-ID kinds (§4.1)", SenderKinds(recs), 0)
+	return ew.err
+}
+
+// errWriter latches the first write error and short-circuits later writes,
+// letting the render helpers stay plain fmt.Fprintf calls.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
 }
 
 func header(w io.Writer, title string) {

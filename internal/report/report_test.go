@@ -35,8 +35,12 @@ func sharedDataset(t *testing.T) *core.Dataset {
 			dsErr = err
 			return
 		}
-		dsVal, dsErr = core.NewPipeline(sim.Services(), core.Options{EnrichWorkers: 16}).
-			Run(context.Background(), reports)
+		pipe, err := core.NewPipeline(sim.Services(), core.Options{EnrichWorkers: 16})
+		if err != nil {
+			dsErr = err
+			return
+		}
+		dsVal, dsErr = pipe.Run(context.Background(), reports)
 	})
 	if dsErr != nil {
 		t.Fatal(dsErr)

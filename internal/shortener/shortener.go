@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/smishkit/smishkit/internal/netutil"
+	"github.com/smishkit/smishkit/internal/telemetry"
 )
 
 // Link is one shortened URL entry.
@@ -148,6 +149,14 @@ type Client struct {
 // NewClient builds a client for the redirect service at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{API: netutil.Client{BaseURL: baseURL}}
+}
+
+// Instrument records this client's calls, errors, retries, 429s, and
+// latency into reg under the "shortener" service name. Returns c for
+// chaining.
+func (c *Client) Instrument(reg *telemetry.Registry) *Client {
+	c.API.Metrics = telemetry.NewClientMetrics(reg, "shortener")
+	return c
 }
 
 // Expand resolves service/code to its target.

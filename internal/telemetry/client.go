@@ -1,0 +1,32 @@
+package telemetry
+
+// ClientMetrics bundles the per-service instruments an HTTP API client
+// records into: logical calls, terminal errors, retry attempts, 429
+// rate-limit responses, and end-to-end call latency (including backoff).
+// Instruments live in the originating Registry under
+// "client.<service>.<metric>", so two clients instrumented with the same
+// registry and service name share counts. A nil *ClientMetrics (or nil
+// fields) discards everything.
+type ClientMetrics struct {
+	Calls       *Counter
+	Errors      *Counter
+	Retries     *Counter
+	RateLimited *Counter
+	Latency     *Histogram
+}
+
+// NewClientMetrics resolves the instrument set for one named service.
+// Returns nil when reg is nil.
+func NewClientMetrics(reg *Registry, service string) *ClientMetrics {
+	if reg == nil {
+		return nil
+	}
+	prefix := "client." + service + "."
+	return &ClientMetrics{
+		Calls:       reg.Counter(prefix + "calls"),
+		Errors:      reg.Counter(prefix + "errors"),
+		Retries:     reg.Counter(prefix + "retries"),
+		RateLimited: reg.Counter(prefix + "rate_limited"),
+		Latency:     reg.Histogram(prefix + "latency"),
+	}
+}

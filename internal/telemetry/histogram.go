@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// bucketBounds are the fixed upper bounds of the latency buckets, chosen to
+// resolve both in-process stage work (tens of microseconds) and loopback
+// HTTP round-trips with retry backoff (up to seconds). Observations above
+// the last bound land in an overflow bucket.
+var bucketBounds = [...]time.Duration{
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+const numBuckets = len(bucketBounds) + 1 // + overflow
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// allocation-free atomic adds; percentile summaries are computed at
+// snapshot time by linear interpolation within the winning bucket.
+// Construct through Registry.Histogram; a nil *Histogram discards
+// observations.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds; MaxInt64 until first observation
+	max     atomic.Int64 // nanoseconds
+	buckets [numBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	n := int64(d)
+	h.count.Add(1)
+	h.sum.Add(n)
+	for {
+		cur := h.min.Load()
+		if n >= cur || h.min.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if n <= cur || h.max.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+func bucketIndex(d time.Duration) int {
+	for i, bound := range bucketBounds {
+		if d <= bound {
+			return i
+		}
+	}
+	return numBuckets - 1
+}
+
+// HistogramStats is the exported summary of one histogram.
+type HistogramStats struct {
+	Count int64         `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// Stats summarizes the histogram. Percentiles are estimates bounded by the
+// bucket layout; Min and Max are exact.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	var counts [numBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return HistogramStats{}
+	}
+	min := time.Duration(h.min.Load())
+	max := time.Duration(h.max.Load())
+	st := HistogramStats{
+		Count: total,
+		Sum:   time.Duration(h.sum.Load()),
+		Min:   min,
+		Max:   max,
+	}
+	st.Mean = st.Sum / time.Duration(total)
+	st.P50 = clampDur(percentile(&counts, total, 0.50, max), min, max)
+	st.P90 = clampDur(percentile(&counts, total, 0.90, max), min, max)
+	st.P99 = clampDur(percentile(&counts, total, 0.99, max), min, max)
+	return st
+}
+
+// percentile finds the bucket holding the q-th quantile observation and
+// interpolates linearly inside it.
+func percentile(counts *[numBuckets]int64, total int64, q float64, observedMax time.Duration) time.Duration {
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = bucketBounds[i-1]
+		}
+		hi := observedMax
+		if i < len(bucketBounds) {
+			hi = bucketBounds[i]
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return observedMax
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}

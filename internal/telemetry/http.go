@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Handler serves the registry as a JSON snapshot:
+//
+//	GET /debug/telemetry -> Snapshot
+//
+// The snapshot is taken per request, so polling observes live counters.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	return mux
+}
+
+// Write renders a snapshot as aligned human-readable text: counters,
+// gauges, histogram percentiles, and span timings, each sorted by name.
+// The first write error aborts rendering and is returned.
+func Write(w io.Writer, snap Snapshot) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "telemetry snapshot @ %s\n", snap.TakenAt.Format(time.RFC3339))
+
+	if len(snap.Spans) > 0 {
+		fmt.Fprintf(ew, "\nspans\n")
+		for _, name := range sortedKeys(snap.Spans) {
+			s := snap.Spans[name]
+			fmt.Fprintf(ew, "  %-34s runs=%-4d total=%-12s last=%s\n",
+				name, s.Count, round(s.Total), round(s.Last))
+		}
+	}
+	if len(snap.Counters) > 0 {
+		fmt.Fprintf(ew, "\ncounters\n")
+		for _, name := range sortedKeys(snap.Counters) {
+			fmt.Fprintf(ew, "  %-34s %d\n", name, snap.Counters[name])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintf(ew, "\ngauges\n")
+		for _, name := range sortedKeys(snap.Gauges) {
+			fmt.Fprintf(ew, "  %-34s %d\n", name, snap.Gauges[name])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintf(ew, "\nlatencies\n")
+		for _, name := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[name]
+			fmt.Fprintf(ew, "  %-34s n=%-6d p50=%-10s p90=%-10s p99=%-10s max=%s\n",
+				name, h.Count, round(h.P50), round(h.P90), round(h.P99), round(h.Max))
+		}
+	}
+	return ew.err
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// errWriter latches the first write error and short-circuits later writes.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled lets tests skip zero-allocation assertions under the race
+// detector, whose instrumentation changes allocation behavior.
+const raceEnabled = true

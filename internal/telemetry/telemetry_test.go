@@ -1,0 +1,274 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if reg.Counter("a") != c {
+		t.Fatal("counter not shared by name")
+	}
+	g := reg.Gauge("busy")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+}
+
+func TestNilRegistryAndInstrumentsNoop(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(9)
+	reg.Histogram("z").Observe(time.Millisecond)
+	sp := reg.StartSpan("s")
+	if sp.End() < 0 {
+		t.Fatal("nil-registry span returned negative duration")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Spans) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", snap)
+	}
+	if NewClientMetrics(nil, "svc") != nil {
+		t.Fatal("NewClientMetrics(nil) should be nil")
+	}
+}
+
+// TestConcurrentIncrementsAndSnapshots hammers one registry from many
+// goroutines while snapshotting concurrently; totals must be exact at the
+// end and snapshots must never observe more than the final value.
+func TestConcurrentIncrementsAndSnapshots(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	reg := NewRegistry()
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+
+	reader.Add(1)
+	go func() { // concurrent snapshot reader
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := reg.Snapshot()
+			if n := snap.Counters["hits"]; n > workers*perWorker {
+				t.Errorf("snapshot overshot: %d", n)
+				return
+			}
+			if h := snap.Histograms["lat"]; h.Count > 0 && (h.P50 < h.Min || h.P99 > h.Max) {
+				t.Errorf("inconsistent histogram stats: %+v", h)
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			c := reg.Counter("hits")
+			h := reg.Histogram("lat")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(time.Duration(rng.Intn(10_000_000)))
+				sp := reg.StartSpan("stage")
+				sp.End()
+			}
+		}(int64(w))
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["hits"]; got != workers*perWorker {
+		t.Fatalf("final count = %d, want %d", got, workers*perWorker)
+	}
+	if got := snap.Histograms["lat"].Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := snap.Spans["stage"].Count; got != workers*perWorker {
+		t.Fatalf("span count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramPercentiles checks the percentile estimates against known
+// distributions: estimates must land within the bucket that truly contains
+// the quantile.
+func TestHistogramPercentiles(t *testing.T) {
+	t.Run("uniform-1..100ms", func(t *testing.T) {
+		reg := NewRegistry()
+		h := reg.Histogram("u")
+		for i := 1; i <= 100; i++ {
+			h.Observe(time.Duration(i) * time.Millisecond)
+		}
+		st := h.Stats()
+		if st.Count != 100 || st.Min != time.Millisecond || st.Max != 100*time.Millisecond {
+			t.Fatalf("bad stats: %+v", st)
+		}
+		wantMean := 50500 * time.Microsecond
+		if st.Mean != wantMean {
+			t.Errorf("mean = %v, want %v", st.Mean, wantMean)
+		}
+		// True p50 = 50ms, inside the (25ms,50ms] bucket.
+		if st.P50 <= 25*time.Millisecond || st.P50 > 50*time.Millisecond {
+			t.Errorf("p50 = %v, want in (25ms,50ms]", st.P50)
+		}
+		// True p90 = 90ms, inside the (50ms,100ms] bucket.
+		if st.P90 <= 50*time.Millisecond || st.P90 > 100*time.Millisecond {
+			t.Errorf("p90 = %v, want in (50ms,100ms]", st.P90)
+		}
+		// True p99 = 99ms; the top bucket is interpolated against max.
+		if st.P99 <= 50*time.Millisecond || st.P99 > 100*time.Millisecond {
+			t.Errorf("p99 = %v, want in (50ms,100ms]", st.P99)
+		}
+	})
+	t.Run("constant", func(t *testing.T) {
+		reg := NewRegistry()
+		h := reg.Histogram("c")
+		for i := 0; i < 1000; i++ {
+			h.Observe(3 * time.Millisecond)
+		}
+		st := h.Stats()
+		// Every percentile is clamped into [min,max] = [3ms,3ms].
+		if st.P50 != 3*time.Millisecond || st.P90 != 3*time.Millisecond || st.P99 != 3*time.Millisecond {
+			t.Errorf("constant-distribution percentiles drifted: %+v", st)
+		}
+	})
+	t.Run("bimodal", func(t *testing.T) {
+		reg := NewRegistry()
+		h := reg.Histogram("b")
+		for i := 0; i < 95; i++ {
+			h.Observe(200 * time.Microsecond)
+		}
+		for i := 0; i < 5; i++ {
+			h.Observe(2 * time.Second)
+		}
+		st := h.Stats()
+		if st.P50 > time.Millisecond {
+			t.Errorf("p50 = %v, want fast mode (<=1ms)", st.P50)
+		}
+		if st.P99 < time.Second {
+			t.Errorf("p99 = %v, want slow mode (>=1s)", st.P99)
+		}
+	})
+	t.Run("overflow", func(t *testing.T) {
+		reg := NewRegistry()
+		h := reg.Histogram("o")
+		h.Observe(30 * time.Second) // above the last bound
+		st := h.Stats()
+		if st.P99 != 30*time.Second {
+			t.Errorf("overflow p99 = %v, want clamped to max 30s", st.P99)
+		}
+	})
+}
+
+func TestZeroAllocHotPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	reg := NewRegistry()
+	c := reg.Counter("hot")
+	g := reg.Gauge("hotg")
+	h := reg.Histogram("hoth")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(time.Millisecond) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { reg.Counter("hot").Inc() }); n != 0 {
+		t.Errorf("Registry.Counter lookup+Inc allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("client.hlr.calls").Add(7)
+	sp := reg.StartSpan("curate")
+	sp.End()
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["client.hlr.calls"] != 7 {
+		t.Errorf("snapshot counters = %+v", snap.Counters)
+	}
+	if snap.Spans["curate"].Count != 1 {
+		t.Errorf("snapshot spans = %+v", snap.Spans)
+	}
+}
+
+func TestWriteRendererAndErrorPropagation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pipeline.curate.ok").Add(12)
+	reg.Histogram("client.whois.latency").Observe(4 * time.Millisecond)
+	reg.StartSpan("enrich").End()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pipeline.curate.ok", "client.whois.latency", "enrich", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered snapshot missing %q:\n%s", want, out)
+		}
+	}
+
+	if err := Write(failWriter{}, reg.Snapshot()); err == nil {
+		t.Fatal("Write should surface writer errors")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}

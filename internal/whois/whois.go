@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/smishkit/smishkit/internal/netutil"
+	"github.com/smishkit/smishkit/internal/telemetry"
 )
 
 // Record is one domain's registration data.
@@ -223,6 +224,13 @@ type Client struct {
 // NewClient builds a client for the service at baseURL.
 func NewClient(baseURL, apiKey string) *Client {
 	return &Client{API: netutil.Client{BaseURL: baseURL, APIKey: apiKey}}
+}
+
+// Instrument records this client's calls, errors, retries, 429s, and
+// latency into reg under the "whois" service name. Returns c for chaining.
+func (c *Client) Instrument(reg *telemetry.Registry) *Client {
+	c.API.Metrics = telemetry.NewClientMetrics(reg, "whois")
+	return c
 }
 
 // Lookup fetches a domain's registration record.

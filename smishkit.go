@@ -30,6 +30,7 @@ package smishkit
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -38,6 +39,7 @@ import (
 	"github.com/smishkit/smishkit/internal/forum"
 	"github.com/smishkit/smishkit/internal/report"
 	"github.com/smishkit/smishkit/internal/screenshot"
+	"github.com/smishkit/smishkit/internal/telemetry"
 )
 
 // Re-exported core types so downstream users never import internal paths.
@@ -60,7 +62,26 @@ type (
 	PipelineOptions = core.Options
 	// RawReport is one collected forum post.
 	RawReport = forum.RawReport
+
+	// Collector aggregates telemetry from a study: pipeline stage spans,
+	// per-record curation outcomes, and per-service client call metrics.
+	Collector = telemetry.Registry
+	// Telemetry is a point-in-time snapshot of a Collector.
+	Telemetry = telemetry.Snapshot
+	// HistogramStats summarizes one latency histogram in a Telemetry
+	// snapshot (count, min/mean/max, p50/p90/p99).
+	HistogramStats = telemetry.HistogramStats
+	// SpanStats summarizes one named pipeline-stage span.
+	SpanStats = telemetry.SpanStats
+	// ClientMetrics is the per-service instrument bundle recorded by every
+	// enrichment client.
+	ClientMetrics = telemetry.ClientMetrics
 )
+
+// NewCollector returns an empty telemetry collector, for sharing one
+// registry across several studies or wiring external instrumentation via
+// Options.Collector.
+func NewCollector() *Collector { return telemetry.NewRegistry() }
 
 // Extractor engines for PipelineOptions.Extractor, in ladder order.
 var (
@@ -85,6 +106,13 @@ type Options struct {
 	Seed     int64
 	Messages int // synthetic corpus size (default 4000)
 	Pipeline PipelineOptions
+	// Collector, when non-nil, receives every metric the study produces:
+	// the four pipeline stage spans (collect/curate/enrich/annotate),
+	// curation outcomes, and per-service client call/error/retry/429/
+	// latency instruments. When nil a private collector is created; either
+	// way Study.Telemetry and the simulation's /debug/telemetry endpoint
+	// observe the same registry.
+	Collector *Collector
 }
 
 // Study bundles a world, its simulation, and the pipeline — the one-stop
@@ -95,23 +123,38 @@ type Study struct {
 	Pipe  *core.Pipeline
 }
 
-// NewStudy generates a world and boots its simulation.
+// NewStudy generates a world and boots its simulation. On any failure
+// after the simulation has bound its listeners — pipeline construction
+// included — the simulation is closed before returning, so a non-nil error
+// never leaks sockets.
 func NewStudy(opts Options) (*Study, error) {
+	reg := opts.Collector
+	if reg == nil {
+		reg = NewCollector()
+	}
 	w := corpus.Generate(corpus.Config{Seed: opts.Seed, Messages: opts.Messages})
-	sim, err := core.StartSimulation(w)
+	sim, err := core.StartSimulationWithTelemetry(w, reg)
 	if err != nil {
 		return nil, fmt.Errorf("smishkit: start simulation: %w", err)
 	}
-	return &Study{
-		World: w,
-		Sim:   sim,
-		Pipe:  core.NewPipeline(sim.Services(), opts.Pipeline),
-	}, nil
+	popts := opts.Pipeline
+	popts.Telemetry = reg
+	pipe, err := core.NewPipeline(sim.Services(), popts)
+	if err != nil {
+		cerr := sim.Close()
+		return nil, errors.Join(fmt.Errorf("smishkit: build pipeline: %w", err), cerr)
+	}
+	return &Study{World: w, Sim: sim, Pipe: pipe}, nil
 }
 
 // Collect drains all five forums.
 func (s *Study) Collect(ctx context.Context) ([]RawReport, error) {
+	sp := s.Pipe.Telemetry().StartSpan("collect")
+	defer sp.End()
 	reports, _, err := forum.CollectAll(ctx, s.Sim.Collectors())
+	if err == nil {
+		s.Pipe.Telemetry().Counter("pipeline.collect.reports").Add(int64(len(reports)))
+	}
 	return reports, err
 }
 
@@ -124,12 +167,27 @@ func (s *Study) Run(ctx context.Context) (*Dataset, error) {
 	return s.Pipe.Run(ctx, reports)
 }
 
-// Close shuts the simulation down.
-func (s *Study) Close() {
-	if s.Sim != nil {
-		s.Sim.Close()
+// Telemetry snapshots everything the study has recorded so far: stage
+// spans, curation counters, and per-service client metrics. Safe to call
+// concurrently with Run, and after Close.
+func (s *Study) Telemetry() Telemetry { return s.Pipe.Telemetry().Snapshot() }
+
+// Close shuts the simulation down and releases every loopback listener.
+// It is idempotent — only the first call closes; every call reports that
+// close's (joined) error. After Close the study's servers are gone, so
+// Collect and Run fail, but World, datasets already produced, and
+// Telemetry snapshots remain valid.
+func (s *Study) Close() error {
+	if s.Sim == nil {
+		return nil
 	}
+	return s.Sim.Close()
 }
 
-// WriteReport renders every table and figure of the paper to w.
-func WriteReport(w io.Writer, ds *Dataset) { report.RenderAll(w, ds) }
+// WriteReport renders every table and figure of the paper to w, returning
+// the first write error (earlier versions swallowed it).
+func WriteReport(w io.Writer, ds *Dataset) error { return report.RenderAll(w, ds) }
+
+// WriteTelemetry renders a telemetry snapshot as human-readable text:
+// stage spans, counters, gauges, and latency percentiles.
+func WriteTelemetry(w io.Writer, snap Telemetry) error { return telemetry.Write(w, snap) }

@@ -3,6 +3,9 @@ package smishkit
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
 	"strings"
 	"testing"
 )
@@ -22,9 +25,106 @@ func TestStudyEndToEnd(t *testing.T) {
 		t.Fatal("empty dataset")
 	}
 	var buf bytes.Buffer
-	WriteReport(&buf, ds)
+	if err := WriteReport(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "Table 10: scam categories") {
 		t.Error("report missing scam categories")
+	}
+	if err := WriteReport(failingWriter{}, ds); err == nil {
+		t.Error("WriteReport swallowed the writer error")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("pipe closed") }
+
+// TestStudyTelemetryEndToEnd is the acceptance check for the telemetry
+// subsystem: one full Run must produce a snapshot covering all four
+// pipeline stages and all six enrichment services, retrievable both
+// through Study.Telemetry and the simulation's /debug/telemetry endpoint.
+func TestStudyTelemetryEndToEnd(t *testing.T) {
+	collector := NewCollector()
+	study, err := NewStudy(Options{Seed: 11, Messages: 600, Collector: collector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer study.Close()
+
+	if _, err := study.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := study.Telemetry()
+	for _, stage := range []string{"collect", "curate", "enrich", "annotate"} {
+		if snap.Spans[stage].Count < 1 {
+			t.Errorf("stage %q has no span (spans: %v)", stage, snap.Spans)
+		}
+	}
+	for _, svc := range []string{"hlr", "whois", "ctlog", "dnsdb", "avscan", "shortener"} {
+		if snap.Counters["client."+svc+".calls"] == 0 {
+			t.Errorf("service %q recorded no calls", svc)
+		}
+		if snap.Histograms["client."+svc+".latency"].Count == 0 {
+			t.Errorf("service %q recorded no latencies", svc)
+		}
+	}
+	if snap.Counters["pipeline.curate.ok"] == 0 || snap.Counters["pipeline.enrich.records"] == 0 {
+		t.Errorf("pipeline counters empty: %v", snap.Counters)
+	}
+	// The user-supplied collector is the same registry the study records
+	// into.
+	if got := collector.Snapshot().Counters["pipeline.curate.ok"]; got != snap.Counters["pipeline.curate.ok"] {
+		t.Errorf("Options.Collector diverges from Study.Telemetry: %d != %d",
+			got, snap.Counters["pipeline.curate.ok"])
+	}
+
+	// Same numbers over the wire.
+	resp, err := http.Get(study.Sim.DebugURL + "/debug/telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wire Telemetry
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Counters["pipeline.curate.ok"] != snap.Counters["pipeline.curate.ok"] {
+		t.Errorf("/debug/telemetry curate.ok = %d, want %d",
+			wire.Counters["pipeline.curate.ok"], snap.Counters["pipeline.curate.ok"])
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTelemetry(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"collect", "client.hlr.calls", "p99"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered telemetry missing %q", want)
+		}
+	}
+
+	// Close is idempotent and telemetry survives it.
+	if err := study.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := study.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if after := study.Telemetry(); after.Counters["pipeline.curate.ok"] == 0 {
+		t.Error("telemetry lost after Close")
+	}
+}
+
+// TestNewStudyClosesSimOnPipelineFailure covers the no-leaked-listeners
+// contract: pipeline construction failure must yield an error (and close
+// the already-booted simulation internally).
+func TestNewStudyClosesSimOnPipelineFailure(t *testing.T) {
+	opts := Options{Seed: 1, Messages: 50}
+	opts.Pipeline.EnrichWorkers = -1
+	if _, err := NewStudy(opts); err == nil {
+		t.Fatal("NewStudy accepted a negative worker count")
 	}
 }
 
