@@ -24,6 +24,7 @@ import (
 	"github.com/smishkit/smishkit/internal/crawler"
 	"github.com/smishkit/smishkit/internal/detect"
 	"github.com/smishkit/smishkit/internal/dnsdb"
+	"github.com/smishkit/smishkit/internal/enrichcache"
 	"github.com/smishkit/smishkit/internal/forum"
 	"github.com/smishkit/smishkit/internal/malware"
 	"github.com/smishkit/smishkit/internal/monitor"
@@ -31,6 +32,7 @@ import (
 	"github.com/smishkit/smishkit/internal/screenshot"
 	"github.com/smishkit/smishkit/internal/shortener"
 	"github.com/smishkit/smishkit/internal/stats"
+	"github.com/smishkit/smishkit/internal/telemetry"
 	"github.com/smishkit/smishkit/internal/textnorm"
 	"github.com/smishkit/smishkit/internal/urlinfo"
 	"github.com/smishkit/smishkit/internal/xdrfilter"
@@ -493,6 +495,51 @@ func BenchmarkEnrichmentFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkEnrichmentCache is the before/after for the caching tier: the
+// same curated reports enriched through bare service clients vs through
+// the singleflight/TTL/LRU decorators. Reports collapse onto far fewer
+// distinct domains and numbers, so the cached runs answer most lookups
+// locally; the reported hit% is the realized reuse.
+func BenchmarkEnrichmentCache(b *testing.B) {
+	benchDataset(b)
+	slice := benchReports
+	if len(slice) > 800 {
+		slice = slice[:800]
+	}
+
+	enrich := func(b *testing.B, services core.Services) {
+		pipe, err := core.NewPipeline(services, core.Options{EnrichWorkers: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ds := pipe.Curate(slice)
+			b.StartTimer()
+			if err := pipe.Enrich(context.Background(), ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("uncached", func(b *testing.B) {
+		enrich(b, benchSim.Services())
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := enrichcache.New(enrichcache.Config{TTL: time.Hour}, telemetry.NewRegistry())
+		enrich(b, cache.WrapServices(benchSim.Services()))
+		var hits, misses int64
+		for _, st := range cache.Stats() {
+			hits += st.Hits + st.Coalesced
+			misses += st.Misses
+		}
+		if total := hits + misses; total > 0 {
+			b.ReportMetric(float64(hits)/float64(total)*100, "hit%")
+		}
+	})
+}
+
 // BenchmarkBrandNERNormalization measures the homoglyph/leet folding's
 // effect on brand recovery over obfuscated mentions.
 func BenchmarkBrandNERNormalization(b *testing.B) {
@@ -749,7 +796,7 @@ func BenchmarkXDRFilter(b *testing.B) {
 
 	for _, mode := range []struct {
 		name string
-		exp  *shortener.Client
+		exp  xdrfilter.Expander
 	}{{"without-expansion", nil}, {"with-expansion", expander}} {
 		b.Run(mode.name, func(b *testing.B) {
 			f := xdrfilter.New(xdrfilter.Config{Blocklist: blocklist, Expander: mode.exp})

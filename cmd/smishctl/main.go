@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	smishctl [-seed N] [-messages N] [-workers N] [-extractor structured|vision|naive] [-telemetry]
+//	smishctl [-seed N] [-messages N] [-workers N] [-extractor structured|vision|naive] [-telemetry] [-cache] [-cache-stats]
 package main
 
 import (
@@ -26,10 +26,15 @@ func main() {
 	workers := flag.Int("workers", 8, "enrichment fan-out width")
 	extractor := flag.String("extractor", "structured", "screenshot extractor: structured|vision|naive")
 	telemetry := flag.Bool("telemetry", false, "print per-stage spans and per-service client metrics after the report")
+	cache := flag.Bool("cache", true, "coalesce and cache enrichment lookups (singleflight + TTL/LRU + negative caching)")
+	cacheStats := flag.Bool("cache-stats", false, "print per-service cache hit/miss/coalesced counts after the report")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
 	flag.Parse()
 
 	opts := smishkit.Options{Seed: *seed, Messages: *messages}
+	if *cache {
+		opts.Cache = &smishkit.CacheConfig{ServeStale: true}
+	}
 	opts.Pipeline.EnrichWorkers = *workers
 	switch *extractor {
 	case "structured":
@@ -72,5 +77,16 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("live snapshot: %s/debug/telemetry", study.Sim.DebugURL)
+	}
+
+	if *cacheStats {
+		stats := study.CacheStats()
+		if stats == nil {
+			log.Print("cache stats requested but -cache=false; nothing to print")
+			return
+		}
+		if err := smishkit.WriteCacheStats(os.Stdout, stats); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/smishkit/smishkit"
 	"github.com/smishkit/smishkit/internal/annotate"
 	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/enrichcache"
 	"github.com/smishkit/smishkit/internal/forum"
 	"github.com/smishkit/smishkit/internal/report"
 )
@@ -49,7 +50,11 @@ func main() {
 	}
 
 	// Stage 3: extract + curate (§3.2), with the structured-vision rung.
-	pipe, err := core.NewPipeline(sim.Services(), core.Options{
+	// The enrichment cache sits between the pipeline and the service
+	// clients: 3000 messages collapse onto a few hundred distinct domains
+	// and numbers, so most lookups are answered locally.
+	cache := enrichcache.New(enrichcache.Config{ServeStale: true}, sim.Telemetry)
+	pipe, err := core.NewPipeline(cache.WrapServices(sim.Services()), core.Options{
 		Extractor:     smishkit.ExtractorStructuredVision,
 		EnrichWorkers: 12,
 		Telemetry:     sim.Telemetry,
@@ -106,6 +111,10 @@ func main() {
 	// per-service client latencies (also live at sim.DebugURL).
 	fmt.Println()
 	if err := smishkit.WriteTelemetry(os.Stdout, sim.Telemetry.Snapshot()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := smishkit.WriteCacheStats(os.Stdout, cache.Stats()); err != nil {
 		log.Fatal(err)
 	}
 }

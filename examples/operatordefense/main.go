@@ -18,6 +18,7 @@ import (
 	"github.com/smishkit/smishkit"
 	"github.com/smishkit/smishkit/internal/core"
 	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/enrichcache"
 	"github.com/smishkit/smishkit/internal/gateway"
 	"github.com/smishkit/smishkit/internal/shortener"
 	"github.com/smishkit/smishkit/internal/xdrfilter"
@@ -85,10 +86,15 @@ func main() {
 	run("no filter", xdrfilter.New(xdrfilter.Config{}))
 	// Blocklist only (no shortener expansion): hidden redirects slip by.
 	run("blocklist only", xdrfilter.New(xdrfilter.Config{Blocklist: blocklist}))
-	// Full stack: blocklist + expansion + classifier + sender checks.
+	// Full stack: blocklist + expansion + classifier + sender checks. The
+	// expander goes through the enrichment cache: repeated copies of a
+	// smish resolve their short link locally, takedowns are negative-cached
+	// instead of re-queried, and a shortener 5xx serves the last known
+	// landing URL rather than letting the message through unexpanded.
+	cache := enrichcache.New(enrichcache.Config{ServeStale: true}, collector)
 	full := xdrfilter.New(xdrfilter.Config{
 		Blocklist:       blocklist,
-		Expander:        shortener.NewClient(sim.ShortenerURL),
+		Expander:        cache.Shortener(shortener.NewClient(sim.ShortenerURL)),
 		Classifier:      model,
 		BlockBadSenders: true,
 	})
@@ -108,6 +114,10 @@ func main() {
 	// latency percentiles and traffic counters.
 	fmt.Println()
 	if err := smishkit.WriteTelemetry(os.Stdout, collector.Snapshot()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := smishkit.WriteCacheStats(os.Stdout, cache.Stats()); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -8,32 +8,16 @@ import (
 	"time"
 
 	"github.com/smishkit/smishkit/internal/annotate"
-	"github.com/smishkit/smishkit/internal/avscan"
 	"github.com/smishkit/smishkit/internal/corpus"
-	"github.com/smishkit/smishkit/internal/ctlog"
 	"github.com/smishkit/smishkit/internal/dnsdb"
 	"github.com/smishkit/smishkit/internal/extract"
 	"github.com/smishkit/smishkit/internal/forum"
-	"github.com/smishkit/smishkit/internal/hlr"
 	"github.com/smishkit/smishkit/internal/screenshot"
 	"github.com/smishkit/smishkit/internal/senderid"
 	"github.com/smishkit/smishkit/internal/shortener"
 	"github.com/smishkit/smishkit/internal/telemetry"
 	"github.com/smishkit/smishkit/internal/urlinfo"
-	"github.com/smishkit/smishkit/internal/whois"
 )
-
-// Services bundles the enrichment clients. Any nil client skips its
-// enrichment stage, mirroring how the paper's analyses draw on different
-// data sources (Table 2).
-type Services struct {
-	HLR       *hlr.Client
-	Whois     *whois.Client
-	CTLog     *ctlog.Client
-	DNSDB     *dnsdb.Client
-	AVScan    *avscan.Client
-	Shortener *shortener.Client
-}
 
 // Options tunes the pipeline.
 type Options struct {
@@ -337,7 +321,10 @@ func (p *Pipeline) enrichOne(ctx context.Context, rec *Record) error {
 				return err
 			}
 			rec.PDNS = obs
-			seen := map[string]bool{}
+			// Cross-record IP dedup lives in the enrichcache layer (the
+			// same IP resolved for every record sharing a domain used to
+			// re-query here); within one record a linear pair scan keeps
+			// the AS list unique without a per-record map allocation.
 			for _, o := range obs {
 				info, err := p.services.DNSDB.ASOf(ctx, o.IP)
 				if errors.Is(err, dnsdb.ErrNoRoute) {
@@ -346,9 +333,7 @@ func (p *Pipeline) enrichOne(ctx context.Context, rec *Record) error {
 				if err != nil {
 					return err
 				}
-				key := info.Name + "|" + info.Country
-				if !seen[key] {
-					seen[key] = true
+				if !hasASPair(rec.ASNames, rec.ASCountries, info.Name, info.Country) {
 					rec.ASNames = append(rec.ASNames, info.Name)
 					rec.ASCountries = append(rec.ASCountries, info.Country)
 				}
@@ -379,6 +364,17 @@ func (p *Pipeline) enrichOne(ctx context.Context, rec *Record) error {
 		}
 	}
 	return nil
+}
+
+// hasASPair reports whether the parallel name/country lists already hold
+// the pair; records see at most a handful of ASes, so a scan beats a map.
+func hasASPair(names, countries []string, name, country string) bool {
+	for i := range names {
+		if names[i] == name && countries[i] == country {
+			return true
+		}
+	}
+	return false
 }
 
 // isSharedPlatform reports whether the record's domain belongs to someone

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"context"
+
+	"github.com/smishkit/smishkit/internal/avscan"
+	"github.com/smishkit/smishkit/internal/ctlog"
+	"github.com/smishkit/smishkit/internal/dnsdb"
+	"github.com/smishkit/smishkit/internal/hlr"
+	"github.com/smishkit/smishkit/internal/shortener"
+	"github.com/smishkit/smishkit/internal/whois"
+)
+
+// The enrichment-client seam: one narrow interface per intelligence
+// service, shaped exactly like the concrete client in its package. The
+// pipeline only ever calls these methods, so anything — the real client,
+// an enrichcache decorator, a fake in tests — plugs in without touching
+// pipeline code.
+
+// HLRLookuper resolves an MSISDN to its HLR record (§3.3.1).
+type HLRLookuper interface {
+	Lookup(ctx context.Context, msisdn string) (hlr.Result, error)
+}
+
+// WhoisLookuper fetches a domain's registration record; found is false
+// for unregistered domains (§3.3.3).
+type WhoisLookuper interface {
+	Lookup(ctx context.Context, domain string) (whois.Record, bool, error)
+}
+
+// CTSummarizer aggregates a domain's certificate-transparency issuance
+// history (§3.3.4).
+type CTSummarizer interface {
+	Summary(ctx context.Context, domain string) (ctlog.Summary, error)
+}
+
+// DNSResolver serves passive-DNS history and IP-to-AS mapping; ASOf
+// returns dnsdb.ErrNoRoute for unannounced space (§3.3.4).
+type DNSResolver interface {
+	Resolutions(ctx context.Context, domain string) ([]dnsdb.Observation, error)
+	ASOf(ctx context.Context, ip string) (dnsdb.ASInfo, error)
+}
+
+// AVScanner runs the three URL-reputation paths: the multi-vendor
+// aggregate, the Safe Browsing API, and the transparency-report site
+// (blocked reports the site refusing the automated query, §3.3.5).
+type AVScanner interface {
+	Scan(ctx context.Context, u string) (avscan.Report, error)
+	GSBLookup(ctx context.Context, u string) (avscan.GSBResult, error)
+	Transparency(ctx context.Context, u string) (avscan.TransparencyResult, bool, error)
+}
+
+// ShortExpander resolves a short link to its target, returning
+// shortener.ErrNotFound / shortener.ErrTakenDown for lost chains (§3.3.5).
+type ShortExpander interface {
+	Expand(ctx context.Context, service, code string) (string, error)
+}
+
+// The concrete clients are the canonical implementations.
+var (
+	_ HLRLookuper   = (*hlr.Client)(nil)
+	_ WhoisLookuper = (*whois.Client)(nil)
+	_ CTSummarizer  = (*ctlog.Client)(nil)
+	_ DNSResolver   = (*dnsdb.Client)(nil)
+	_ AVScanner     = (*avscan.Client)(nil)
+	_ ShortExpander = (*shortener.Client)(nil)
+)
+
+// Services bundles the enrichment clients behind the per-service
+// interfaces. Any nil service skips its enrichment stage, mirroring how
+// the paper's analyses draw on different data sources (Table 2).
+// Decorators (caching, instrumentation) wrap individual fields.
+type Services struct {
+	HLR       HLRLookuper
+	Whois     WhoisLookuper
+	CTLog     CTSummarizer
+	DNSDB     DNSResolver
+	AVScan    AVScanner
+	Shortener ShortExpander
+}

@@ -108,9 +108,12 @@ func WriteRateLimited(w http.ResponseWriter, after time.Duration) {
 // Client is a minimal retrying JSON API client.
 type Client struct {
 	BaseURL    string
-	APIKey     string            // sent as X-Api-Key when non-empty
-	HTTPClient *http.Client      // defaults to a 10s-timeout client
-	MaxRetries int               // retries on 429/5xx; default 3
+	APIKey     string       // sent as X-Api-Key when non-empty
+	HTTPClient *http.Client // defaults to a 10s-timeout client
+	// MaxRetries caps retries on 429/5xx/transport errors: 0 means the
+	// default of 3; any negative value disables retrying entirely (the
+	// first response, whatever it is, is final).
+	MaxRetries int
 	Backoff    time.Duration     // base backoff; default 50ms
 	Headers    map[string]string // extra headers
 	// Sleep is swappable for tests; defaults to a context-aware sleep.
@@ -118,6 +121,27 @@ type Client struct {
 	// Metrics, when non-nil, records calls, errors, retries, 429s, and
 	// end-to-end latency (backoff included) for every request.
 	Metrics *telemetry.ClientMetrics
+
+	// jitterMu guards jitterRng, a lazily seeded per-client source:
+	// backoff jitter must not serialize every client in the process on
+	// math/rand's global lock.
+	jitterMu  sync.Mutex
+	jitterRng *rand.Rand
+}
+
+// jitter returns a uniform duration in [0, max] from the per-client
+// source. max <= 0 yields 0.
+func (c *Client) jitter(max int64) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	c.jitterMu.Lock()
+	if c.jitterRng == nil {
+		c.jitterRng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	d := time.Duration(c.jitterRng.Int63n(max + 1))
+	c.jitterMu.Unlock()
+	return d
 }
 
 // APIError is a non-2xx response with its body message.
@@ -193,8 +217,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 
 func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, out any, m *telemetry.ClientMetrics) error {
 	retries := c.MaxRetries
-	if retries == 0 {
+	switch {
+	case retries == 0:
 		retries = 3
+	case retries < 0:
+		retries = 0 // explicitly disabled: one attempt, no backoff
 	}
 	backoff := c.Backoff
 	if backoff == 0 {
@@ -207,7 +234,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, 
 				m.Retries.Inc()
 			}
 			d := backoff << (attempt - 1)
-			d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+			d += c.jitter(int64(d) / 2)
 			if err := c.sleep(ctx, d); err != nil {
 				return err
 			}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -117,6 +118,86 @@ func TestClientGivesUpAfterRetries(t *testing.T) {
 	}
 	if err := c.GetJSON(context.Background(), "/w", nil); err == nil {
 		t.Fatal("expected failure after retries")
+	}
+}
+
+func TestClientNegativeMaxRetriesDisablesRetrying(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		WriteError(w, http.StatusInternalServerError, "boom")
+	}))
+	defer srv.Close()
+
+	c := &Client{
+		BaseURL:    srv.URL,
+		MaxRetries: -1,
+		Sleep:      func(ctx context.Context, d time.Duration) error { return nil },
+	}
+	if err := c.GetJSON(context.Background(), "/w", nil); err == nil {
+		t.Fatal("expected failure")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (negative MaxRetries disables retrying)", calls.Load())
+	}
+}
+
+func TestClientZeroMaxRetriesMeansDefault(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		WriteError(w, http.StatusInternalServerError, "boom")
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Sleep: func(ctx context.Context, d time.Duration) error { return nil }}
+	if err := c.GetJSON(context.Background(), "/w", nil); err == nil {
+		t.Fatal("expected failure")
+	}
+	if calls.Load() != 4 {
+		t.Errorf("calls = %d, want 4 (default 3 retries)", calls.Load())
+	}
+}
+
+// TestClientJitterConcurrency exercises the lazily seeded per-client
+// jitter source from many goroutines; run under -race in CI.
+func TestClientJitterConcurrency(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			WriteError(w, http.StatusInternalServerError, "flaky")
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]int{"ok": 1})
+	}))
+	defer srv.Close()
+
+	c := &Client{
+		BaseURL: srv.URL,
+		Backoff: time.Nanosecond,
+		Sleep:   func(ctx context.Context, d time.Duration) error { return nil },
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Hammer the shared source directly...
+			for j := 0; j < 100; j++ {
+				if d := c.jitter(int64(time.Second)); d < 0 || d > time.Second {
+					t.Errorf("jitter out of range: %v", d)
+				}
+			}
+			// ...and through the retry path (first upstream call 500s).
+			var out map[string]int
+			if err := c.GetJSON(context.Background(), "/j", &out); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.jitter(0) != 0 || c.jitter(-5) != 0 {
+		t.Error("jitter(<=0) must be 0")
 	}
 }
 

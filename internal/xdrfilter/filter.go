@@ -53,13 +53,20 @@ type Verdict struct {
 	ExpandedURL string
 }
 
+// Expander resolves short-link codes to their landing URLs. Satisfied by
+// *shortener.Client, core.ShortExpander decorators (so operators can put
+// the enrichment cache in front of expansion), or any test fake.
+type Expander interface {
+	Expand(ctx context.Context, service, code string) (string, error)
+}
+
 // Config assembles a Filter.
 type Config struct {
 	// Blocklist of registrable domains known abusive.
 	Blocklist []string
 	// Expander resolves short links; nil disables redirect checking (the
 	// status quo the paper criticizes).
-	Expander *shortener.Client
+	Expander Expander
 	// Classifier labels message content; nil disables the content stage.
 	Classifier *detect.Model
 	// ClassifierThreshold is the minimum posterior for a scam label to

@@ -36,6 +36,7 @@ import (
 
 	"github.com/smishkit/smishkit/internal/core"
 	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/enrichcache"
 	"github.com/smishkit/smishkit/internal/forum"
 	"github.com/smishkit/smishkit/internal/report"
 	"github.com/smishkit/smishkit/internal/screenshot"
@@ -76,6 +77,20 @@ type (
 	// ClientMetrics is the per-service instrument bundle recorded by every
 	// enrichment client.
 	ClientMetrics = telemetry.ClientMetrics
+
+	// CacheConfig tunes the shared enrichment cache (Options.Cache):
+	// positive/negative TTLs, the per-service LRU bound, the
+	// serve-stale-on-5xx degraded mode, and per-service overrides.
+	// &CacheConfig{} selects the documented defaults.
+	CacheConfig = enrichcache.Config
+	// CacheServiceConfig overrides the cache bounds of one service
+	// (keyed "hlr", "whois", "ctlog", "dnsdb", "avscan", "shortener").
+	CacheServiceConfig = enrichcache.ServiceConfig
+	// CacheStats maps each enrichment service to its cache scoreboard.
+	CacheStats = enrichcache.Stats
+	// CacheServiceStats is one service's hit/miss/coalesced/negative/
+	// stale/eviction counts plus the live entry count.
+	CacheServiceStats = enrichcache.ServiceStats
 )
 
 // NewCollector returns an empty telemetry collector, for sharing one
@@ -113,6 +128,14 @@ type Options struct {
 	// way Study.Telemetry and the simulation's /debug/telemetry endpoint
 	// observe the same registry.
 	Collector *Collector
+	// Cache, when non-nil, inserts the shared enrichment cache between
+	// the pipeline and every service client: singleflight-coalesced
+	// lookups, per-service TTL + LRU bounds, negative-result caching,
+	// and (when CacheConfig.ServeStale is set) stale answers instead of
+	// hard failures on upstream 5xx. Hit/miss/coalesced counters land in
+	// the study's collector under "cache.<service>.*"; Study.CacheStats
+	// reads the same numbers as a typed snapshot.
+	Cache *CacheConfig
 }
 
 // Study bundles a world, its simulation, and the pipeline — the one-stop
@@ -121,6 +144,8 @@ type Study struct {
 	World *World
 	Sim   *Simulation
 	Pipe  *core.Pipeline
+
+	cache *enrichcache.Cache // nil when Options.Cache was nil
 }
 
 // NewStudy generates a world and boots its simulation. On any failure
@@ -137,14 +162,20 @@ func NewStudy(opts Options) (*Study, error) {
 	if err != nil {
 		return nil, fmt.Errorf("smishkit: start simulation: %w", err)
 	}
+	services := sim.Services()
+	var cache *enrichcache.Cache
+	if opts.Cache != nil {
+		cache = enrichcache.New(*opts.Cache, reg)
+		services = cache.WrapServices(services)
+	}
 	popts := opts.Pipeline
 	popts.Telemetry = reg
-	pipe, err := core.NewPipeline(sim.Services(), popts)
+	pipe, err := core.NewPipeline(services, popts)
 	if err != nil {
 		cerr := sim.Close()
 		return nil, errors.Join(fmt.Errorf("smishkit: build pipeline: %w", err), cerr)
 	}
-	return &Study{World: w, Sim: sim, Pipe: pipe}, nil
+	return &Study{World: w, Sim: sim, Pipe: pipe, cache: cache}, nil
 }
 
 // Collect drains all five forums.
@@ -172,6 +203,17 @@ func (s *Study) Run(ctx context.Context) (*Dataset, error) {
 // concurrently with Run, and after Close.
 func (s *Study) Telemetry() Telemetry { return s.Pipe.Telemetry().Snapshot() }
 
+// CacheStats snapshots the enrichment cache per service: hits, misses,
+// coalesced in-flight waits, negative hits, stale serves, evictions, and
+// live entries. Returns nil when the study was built without
+// Options.Cache. Safe to call concurrently with Run, and after Close.
+func (s *Study) CacheStats() CacheStats {
+	if s.cache == nil {
+		return nil
+	}
+	return s.cache.Stats()
+}
+
 // Close shuts the simulation down and releases every loopback listener.
 // It is idempotent — only the first call closes; every call reports that
 // close's (joined) error. After Close the study's servers are gone, so
@@ -191,3 +233,7 @@ func WriteReport(w io.Writer, ds *Dataset) error { return report.RenderAll(w, ds
 // WriteTelemetry renders a telemetry snapshot as human-readable text:
 // stage spans, counters, gauges, and latency percentiles.
 func WriteTelemetry(w io.Writer, snap Telemetry) error { return telemetry.Write(w, snap) }
+
+// WriteCacheStats renders a CacheStats snapshot as an aligned text table,
+// one row per service, with per-service hit rates.
+func WriteCacheStats(w io.Writer, stats CacheStats) error { return enrichcache.Write(w, stats) }

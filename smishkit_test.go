@@ -117,6 +117,93 @@ func TestStudyTelemetryEndToEnd(t *testing.T) {
 	}
 }
 
+// TestStudyCacheEndToEnd is the acceptance check for the enrichment
+// cache: a study built with Options.Cache must run the full pipeline
+// through the decorated services, record cache.<service>.* counters into
+// the same telemetry registry, and report a non-nil typed CacheStats with
+// real key reuse (a synthetic corpus repeats campaigns, domains, and
+// sender numbers heavily, so hits must dominate).
+func TestStudyCacheEndToEnd(t *testing.T) {
+	study, err := NewStudy(Options{Seed: 13, Messages: 600, Cache: &CacheConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer study.Close()
+
+	ds, err := study.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) == 0 {
+		t.Fatal("empty dataset")
+	}
+
+	stats := study.CacheStats()
+	if stats == nil {
+		t.Fatal("CacheStats = nil with Options.Cache set")
+	}
+	var hits, misses int64
+	for svc, st := range stats {
+		hits += st.Hits + st.Coalesced
+		misses += st.Misses
+		if st.Misses == 0 && st.Hits == 0 && st.Coalesced == 0 {
+			t.Errorf("service %q saw no traffic", svc)
+		}
+	}
+	if hits == 0 || misses == 0 {
+		t.Fatalf("cache saw hits=%d misses=%d, want both > 0", hits, misses)
+	}
+	// Domain-keyed services see heavy key reuse (many messages per
+	// campaign domain); URL-keyed ones (avscan, shortener) mostly don't.
+	for _, svc := range []string{"whois", "ctlog", "dnsdb"} {
+		st := stats[svc]
+		if st.Hits+st.Coalesced <= st.Misses {
+			t.Errorf("%s: hits+coalesced (%d) <= misses (%d): domain reuse should dominate",
+				svc, st.Hits+st.Coalesced, st.Misses)
+		}
+	}
+
+	// Cache counters live in the same registry as the client metrics, and
+	// every upstream call the clients record is a cache miss (or a stale
+	// probe) — the decorators absorb the rest.
+	snap := study.Telemetry()
+	if snap.Counters["cache.whois.hits"] != stats["whois"].Hits {
+		t.Errorf("telemetry cache.whois.hits = %d, CacheStats = %d",
+			snap.Counters["cache.whois.hits"], stats["whois"].Hits)
+	}
+	if calls, m := snap.Counters["client.whois.calls"], stats["whois"].Misses; calls != m {
+		t.Errorf("client.whois.calls = %d, want %d (one upstream call per miss)", calls, m)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCacheStats(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"enrichment cache", "whois", "hit%"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered cache stats missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestStudyWithoutCache keeps the default path honest: no Options.Cache
+// means nil CacheStats and no cache.* counters in telemetry.
+func TestStudyWithoutCache(t *testing.T) {
+	study, err := NewStudy(Options{Seed: 3, Messages: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer study.Close()
+	if study.CacheStats() != nil {
+		t.Error("CacheStats non-nil without Options.Cache")
+	}
+	for name := range study.Telemetry().Counters {
+		if strings.HasPrefix(name, "cache.") {
+			t.Errorf("unexpected cache counter %q without Options.Cache", name)
+		}
+	}
+}
+
 // TestNewStudyClosesSimOnPipelineFailure covers the no-leaked-listeners
 // contract: pipeline construction failure must yield an error (and close
 // the already-booted simulation internally).
