@@ -25,10 +25,12 @@ import (
 	"github.com/smishkit/smishkit/internal/detect"
 	"github.com/smishkit/smishkit/internal/dnsdb"
 	"github.com/smishkit/smishkit/internal/enrichcache"
+	"github.com/smishkit/smishkit/internal/faultinject"
 	"github.com/smishkit/smishkit/internal/forum"
 	"github.com/smishkit/smishkit/internal/malware"
 	"github.com/smishkit/smishkit/internal/monitor"
 	"github.com/smishkit/smishkit/internal/report"
+	"github.com/smishkit/smishkit/internal/resilience"
 	"github.com/smishkit/smishkit/internal/screenshot"
 	"github.com/smishkit/smishkit/internal/shortener"
 	"github.com/smishkit/smishkit/internal/stats"
@@ -537,6 +539,64 @@ func BenchmarkEnrichmentCache(b *testing.B) {
 		if total := hits + misses; total > 0 {
 			b.ReportMetric(float64(hits)/float64(total)*100, "hit%")
 		}
+	})
+}
+
+// BenchmarkEnrichDegraded measures the cost of degraded-mode enrichment:
+// whois erroring on half its calls behind a circuit breaker, against the
+// healthy baseline. The degraded run pays for failed calls and breaker
+// bookkeeping but sheds load once the breaker opens; the logged counters
+// show how much of the sweep ran short-circuited.
+func BenchmarkEnrichDegraded(b *testing.B) {
+	benchDataset(b)
+	slice := benchReports
+	if len(slice) > 800 {
+		slice = slice[:800]
+	}
+
+	enrich := func(b *testing.B, services core.Services) (degraded int64) {
+		pipe, err := core.NewPipeline(services, core.Options{EnrichWorkers: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ds := pipe.Curate(slice)
+			b.StartTimer()
+			if err := pipe.Enrich(context.Background(), ds); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			degraded = 0
+			for _, r := range ds.Records {
+				degraded += int64(len(r.EnrichmentErrors))
+			}
+			b.StartTimer()
+		}
+		return degraded
+	}
+
+	b.Run("healthy", func(b *testing.B) {
+		if degraded := enrich(b, benchSim.Services()); degraded != 0 {
+			b.Fatalf("healthy run degraded %d fields", degraded)
+		}
+	})
+	b.Run("whois-50pct-errors", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		faults := faultinject.New(faultinject.Config{
+			Seed:       1861,
+			PerService: map[string]faultinject.ServiceFaults{"whois": {ErrorRate: 0.5}},
+		}, reg)
+		breakers := resilience.New(resilience.Config{}, reg)
+		degraded := enrich(b, breakers.WrapServices(faults.WrapServices(benchSim.Services())))
+		if degraded == 0 {
+			b.Fatal("50% whois errors degraded nothing")
+		}
+		st := breakers.Stats()["whois"]
+		b.ReportMetric(float64(degraded), "degraded-fields")
+		b.Logf("whois breaker: opens=%d short-circuits=%d failures=%d successes=%d",
+			st.Opens, st.ShortCircuits, st.Failures, st.Successes)
 	})
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	smishctl [-seed N] [-messages N] [-workers N] [-extractor structured|vision|naive] [-telemetry] [-cache] [-cache-stats]
+//	smishctl [-seed N] [-messages N] [-workers N] [-extractor structured|vision|naive] [-telemetry] [-cache] [-cache-stats] [-chaos RATE]
 package main
 
 import (
@@ -28,12 +28,35 @@ func main() {
 	telemetry := flag.Bool("telemetry", false, "print per-stage spans and per-service client metrics after the report")
 	cache := flag.Bool("cache", true, "coalesce and cache enrichment lookups (singleflight + TTL/LRU + negative caching)")
 	cacheStats := flag.Bool("cache-stats", false, "print per-service cache hit/miss/coalesced counts after the report")
+	chaos := flag.Float64("chaos", 0, "inject faults into this fraction of service calls (0 disables; seeded by -seed) and enable circuit breakers")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
 	flag.Parse()
+	if *chaos < 0 || *chaos > 1 {
+		log.Fatalf("-chaos %v out of range [0, 1]", *chaos)
+	}
 
 	opts := smishkit.Options{Seed: *seed, Messages: *messages}
 	if *cache {
 		opts.Cache = &smishkit.CacheConfig{ServeStale: true}
+	}
+	if *chaos > 0 {
+		// Split the rate across fault kinds: mostly transport errors and
+		// 5xx, a sliver of rate limits and hangs, plus latency spikes.
+		opts.Faults = &smishkit.FaultConfig{
+			Seed: *seed,
+			Default: smishkit.ServiceFaults{
+				ErrorRate: *chaos * 0.5,
+				Rate5xx:   *chaos * 0.3,
+				Rate429:   *chaos * 0.15,
+				HangRate:  *chaos * 0.05,
+				SlowRate:  *chaos,
+				Latency:   2 * time.Millisecond,
+			},
+		}
+		opts.Resilience = &smishkit.ResilienceConfig{
+			CallTimeout:  2 * time.Second,
+			RecordBudget: 30 * time.Second,
+		}
 	}
 	opts.Pipeline.EnrichWorkers = *workers
 	switch *extractor {
@@ -66,6 +89,15 @@ func main() {
 	}
 	log.Printf("pipeline: %d records in %v (decoys rejected: %d)",
 		len(ds.Records), time.Since(start).Round(time.Millisecond), ds.DecoysRejected)
+	if *chaos > 0 {
+		degraded := 0
+		for _, r := range ds.Records {
+			if r.Degraded() {
+				degraded++
+			}
+		}
+		log.Printf("chaos: %d of %d records degraded", degraded, len(ds.Records))
+	}
 
 	if err := smishkit.WriteReport(os.Stdout, ds); err != nil {
 		log.Fatal(err)
@@ -86,6 +118,12 @@ func main() {
 			return
 		}
 		if err := smishkit.WriteCacheStats(os.Stdout, stats); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *chaos > 0 {
+		if err := smishkit.WriteResilienceStats(os.Stdout, study.ResilienceStats()); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/smishkit/smishkit/internal/annotate"
@@ -31,6 +33,22 @@ type Options struct {
 	// and enrichment latency. Nil gets a private registry so
 	// Pipeline.Telemetry always works.
 	Telemetry *telemetry.Registry
+
+	// RecordBudget bounds one record's total enrichment wall time; past it
+	// the record's remaining service calls fail fast and degrade their
+	// fields (0 = unbounded).
+	RecordBudget time.Duration
+	// CallTimeout bounds each individual service call, so one hung
+	// connection can't consume a whole record budget (0 = unbounded).
+	CallTimeout time.Duration
+	// AbortFailureRate aborts the run once more than this fraction of all
+	// service calls have failed — degradation is for partial outages, not
+	// a world where every service is down. 0 selects the default (0.9);
+	// negative disables the abort.
+	AbortFailureRate float64
+	// MinAbortCalls is the minimum call sample before the failure-rate
+	// abort can trigger (default 50).
+	MinAbortCalls int
 }
 
 func (o Options) withDefaults() Options {
@@ -42,6 +60,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Telemetry == nil {
 		o.Telemetry = telemetry.NewRegistry()
+	}
+	if o.AbortFailureRate == 0 {
+		o.AbortFailureRate = 0.9
+	}
+	if o.MinAbortCalls == 0 {
+		o.MinAbortCalls = 50
 	}
 	return o
 }
@@ -65,6 +89,9 @@ type pipelineMetrics struct {
 	annotated   *telemetry.Counter
 	busyWorkers *telemetry.Gauge
 	recordLat   *telemetry.Histogram
+
+	degradedFields *telemetry.Counter
+	degradedRecs   *telemetry.Counter
 }
 
 // NewPipeline builds a pipeline over the given services. It fails on
@@ -88,6 +115,9 @@ func NewPipeline(services Services, opts Options) (*Pipeline, error) {
 			annotated:   tel.Counter("pipeline.annotate.records"),
 			busyWorkers: tel.Gauge("pipeline.enrich.busy_workers"),
 			recordLat:   tel.Histogram("pipeline.enrich.record_latency"),
+
+			degradedFields: tel.Counter("pipeline.enrich.degraded_fields"),
+			degradedRecs:   tel.Counter("pipeline.enrich.degraded_records"),
 		},
 	}, nil
 }
@@ -212,10 +242,40 @@ func parseQuotedBody(body string) (text, sender string) {
 	return text, sender
 }
 
+// enrichState is one Enrich run's shared failure accounting: the
+// run-level abort threshold is computed over every service call that
+// actually reached a service (short-circuited calls are excluded — see
+// ErrShortCircuited).
+type enrichState struct {
+	calls atomic.Int64
+	fails atomic.Int64
+}
+
+// abortErr reports whether the run has crossed the failure-rate abort
+// threshold. Degradation is for partial outages; when essentially every
+// call fails, finishing the sweep would only produce an empty dataset.
+func (p *Pipeline) abortErr(st *enrichState) error {
+	rate := p.opts.AbortFailureRate
+	if rate < 0 {
+		return nil
+	}
+	calls := st.calls.Load()
+	if calls < int64(p.opts.MinAbortCalls) {
+		return nil
+	}
+	if fails := st.fails.Load(); float64(fails)/float64(calls) > rate {
+		return fmt.Errorf("core: enrichment aborted: %d of %d service calls failed (rate above %.2f)",
+			fails, calls, rate)
+	}
+	return nil
+}
+
 // Enrich fans records out over the service clients: shortener expansion,
 // HLR lookups on phone senders, and WHOIS / CT / passive-DNS / AV lookups
-// on landing URLs. Per-record service failures degrade that record, not
-// the run; the first context/transport-level error aborts.
+// on landing URLs. A failing service degrades that record's fields
+// (recorded in Record.EnrichmentErrors), not the run; the run aborts only
+// when ctx dies or the overall call failure rate crosses
+// Options.AbortFailureRate.
 func (p *Pipeline) Enrich(ctx context.Context, ds *Dataset) error {
 	sp := p.tel.StartSpan("enrich")
 	defer sp.End()
@@ -231,6 +291,7 @@ func (p *Pipeline) Enrich(ctx context.Context, ds *Dataset) error {
 		})
 	}
 
+	st := &enrichState{}
 	for w := 0; w < p.opts.EnrichWorkers; w++ {
 		wg.Add(1)
 		go func() {
@@ -238,12 +299,18 @@ func (p *Pipeline) Enrich(ctx context.Context, ds *Dataset) error {
 			for idx := range jobs {
 				p.met.busyWorkers.Add(1)
 				start := time.Now()
-				err := p.enrichOne(ctx, &ds.Records[idx])
+				err := p.enrichOne(ctx, st, &ds.Records[idx])
 				p.met.recordLat.Observe(time.Since(start))
 				p.met.busyWorkers.Add(-1)
+				if err == nil {
+					err = p.abortErr(st)
+				}
 				if err != nil {
 					fail(err)
 					return
+				}
+				if ds.Records[idx].Degraded() {
+					p.met.degradedRecs.Inc()
 				}
 				p.met.enriched.Inc()
 			}
@@ -265,105 +332,196 @@ loop:
 	return firstErr
 }
 
-// enrichOne resolves every enrichment source for one record.
-func (p *Pipeline) enrichOne(ctx context.Context, rec *Record) error {
-	// 1. Shortener expansion.
-	rec.FinalURL = rec.ShownURL
+// enrichStep runs one service call under the per-call timeout. A failure
+// degrades the record's field — appended to Record.EnrichmentErrors and
+// counted in telemetry — instead of propagating; the return value reports
+// whether the field resolved.
+func (p *Pipeline) enrichStep(ctx context.Context, st *enrichState, rec *Record, field, service string, fn func(context.Context) error) bool {
+	callCtx, cancel := ctx, context.CancelFunc(nil)
+	if p.opts.CallTimeout > 0 {
+		callCtx, cancel = context.WithTimeout(ctx, p.opts.CallTimeout)
+	}
+	err := fn(callCtx)
+	if cancel != nil {
+		cancel()
+	}
+	if err == nil {
+		st.calls.Add(1)
+		return true
+	}
+	// A short-circuited call never reached the service: the field is still
+	// lost, but the failure it echoes was counted when the guard tripped,
+	// so it stays out of the abort ratio — an open breaker shedding load
+	// must not read as "everything is failing".
+	if !errors.Is(err, ErrShortCircuited) {
+		st.calls.Add(1)
+		st.fails.Add(1)
+	}
+	p.met.degradedFields.Inc()
+	rec.EnrichmentErrors = append(rec.EnrichmentErrors, EnrichmentError{
+		Field: field, Service: service, Err: err.Error(),
+	})
+	return false
+}
+
+// enrichOne resolves every enrichment source for one record. A failing
+// service degrades the record's field, not the run; only the parent
+// context dying aborts. Options.RecordBudget bounds the record's total
+// enrichment time — past it, the remaining calls fail fast and degrade,
+// which is why the budget context is distinguished from parent here.
+func (p *Pipeline) enrichOne(parent context.Context, st *enrichState, rec *Record) error {
+	ctx := parent
+	if p.opts.RecordBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, p.opts.RecordBudget)
+		defer cancel()
+	}
+
+	// 1. Shortener expansion: resolve into a local, commit once. A failed
+	// expansion must not leave FinalURL/Domain half-rewritten, so the
+	// record's URL fields only change after the expansion settles.
+	finalURL := rec.ShownURL
 	if rec.Shortener != "" && p.services.Shortener != nil {
-		service, code := splitShort(rec.ShownURL)
-		if service != "" && code != "" {
-			target, err := p.services.Shortener.Expand(ctx, service, code)
-			switch {
-			case err == nil:
-				rec.FinalURL = target
-			case errors.Is(err, shortener.ErrNotFound), errors.Is(err, shortener.ErrTakenDown):
-				rec.FinalURL = "" // chain lost (§3.3.5)
-			default:
-				return err
+		if service, code := splitShort(rec.ShownURL); service != "" && code != "" {
+			ok := p.enrichStep(ctx, st, rec, "final_url", "shortener", func(c context.Context) error {
+				target, err := p.services.Shortener.Expand(c, service, code)
+				switch {
+				case err == nil:
+					finalURL = target
+				case errors.Is(err, shortener.ErrNotFound), errors.Is(err, shortener.ErrTakenDown):
+					finalURL = "" // chain lost (§3.3.5)
+				default:
+					return err
+				}
+				return nil
+			})
+			if !ok {
+				// Unknown landing URL: degrade rather than mislabel the
+				// shortener host as the landing domain.
+				finalURL = ""
 			}
 		}
 	}
+	rec.FinalURL = finalURL
 	if rec.FinalURL != "" {
 		if info, err := urlinfo.Parse(rec.FinalURL); err == nil {
 			rec.Domain = info.Domain
 		}
 	}
+	if err := parent.Err(); err != nil {
+		return err
+	}
 
 	// 2. HLR on phone senders.
 	if rec.SenderKind == senderid.KindPhone && p.services.HLR != nil {
-		res, err := p.services.HLR.Lookup(ctx, rec.SenderRaw)
-		if err != nil {
+		p.enrichStep(ctx, st, rec, "hlr", "hlr", func(c context.Context) error {
+			res, err := p.services.HLR.Lookup(c, rec.SenderRaw)
+			if err != nil {
+				return err
+			}
+			rec.HLR = res
+			rec.HLRDone = true
+			return nil
+		})
+		if err := parent.Err(); err != nil {
 			return err
 		}
-		rec.HLR = res
-		rec.HLRDone = true
 	}
 
 	// 3. Domain intelligence.
 	if rec.Domain != "" && !isSharedPlatform(rec) {
 		if p.services.Whois != nil {
-			w, found, err := p.services.Whois.Lookup(ctx, rec.Domain)
-			if err != nil {
-				return err
-			}
-			rec.Whois, rec.WhoisFound = w, found
+			p.enrichStep(ctx, st, rec, "whois", "whois", func(c context.Context) error {
+				w, found, err := p.services.Whois.Lookup(c, rec.Domain)
+				if err != nil {
+					return err
+				}
+				rec.Whois, rec.WhoisFound = w, found
+				return nil
+			})
 		}
 		if p.services.CTLog != nil {
-			sum, err := p.services.CTLog.Summary(ctx, rec.Domain)
-			if err != nil {
-				return err
-			}
-			rec.CT = sum
+			p.enrichStep(ctx, st, rec, "ct", "ctlog", func(c context.Context) error {
+				sum, err := p.services.CTLog.Summary(c, rec.Domain)
+				if err != nil {
+					return err
+				}
+				rec.CT = sum
+				return nil
+			})
 		}
 		if p.services.DNSDB != nil {
-			obs, err := p.services.DNSDB.Resolutions(ctx, rec.Domain)
-			if err != nil {
-				return err
-			}
-			rec.PDNS = obs
+			ok := p.enrichStep(ctx, st, rec, "pdns", "dnsdb", func(c context.Context) error {
+				obs, err := p.services.DNSDB.Resolutions(c, rec.Domain)
+				if err != nil {
+					return err
+				}
+				rec.PDNS = obs
+				return nil
+			})
 			// Cross-record IP dedup lives in the enrichcache layer (the
 			// same IP resolved for every record sharing a domain used to
 			// re-query here); within one record a linear pair scan keeps
 			// the AS list unique without a per-record map allocation.
-			for _, o := range obs {
-				info, err := p.services.DNSDB.ASOf(ctx, o.IP)
-				if errors.Is(err, dnsdb.ErrNoRoute) {
-					continue
-				}
-				if err != nil {
-					return err
-				}
-				if !hasASPair(rec.ASNames, rec.ASCountries, info.Name, info.Country) {
-					rec.ASNames = append(rec.ASNames, info.Name)
-					rec.ASCountries = append(rec.ASCountries, info.Country)
+			if ok {
+				for _, o := range rec.PDNS {
+					if !p.enrichStep(ctx, st, rec, "as_names", "dnsdb", func(c context.Context) error {
+						info, err := p.services.DNSDB.ASOf(c, o.IP)
+						if errors.Is(err, dnsdb.ErrNoRoute) {
+							return nil // unrouted IP: an answer, not a failure
+						}
+						if err != nil {
+							return err
+						}
+						if !hasASPair(rec.ASNames, rec.ASCountries, info.Name, info.Country) {
+							rec.ASNames = append(rec.ASNames, info.Name)
+							rec.ASCountries = append(rec.ASCountries, info.Country)
+						}
+						return nil
+					}) {
+						break // one degraded AS list; don't hammer a failing service per IP
+					}
 				}
 			}
 		}
+		if err := parent.Err(); err != nil {
+			return err
+		}
 	}
 
-	// 4. AV verdicts on the landing URL.
+	// 4. AV verdicts on the landing URL — three independent endpoints;
+	// each degrades alone.
 	if rec.FinalURL != "" && p.services.AVScan != nil {
-		scan, err := p.services.AVScan.Scan(ctx, rec.FinalURL)
-		if err != nil {
-			return err
-		}
-		rec.VTMalicious = scan.Stats.Malicious
-		rec.VTSuspicious = scan.Stats.Suspicious
-		gsb, err := p.services.AVScan.GSBLookup(ctx, rec.FinalURL)
-		if err != nil {
-			return err
-		}
-		rec.GSBMatched = gsb.Matched
-		tr, blocked, err := p.services.AVScan.Transparency(ctx, rec.FinalURL)
-		if err != nil {
-			return err
-		}
-		rec.GSBBlocked = blocked
-		if !blocked {
-			rec.GSBStatus = string(tr.Status)
-		}
+		p.enrichStep(ctx, st, rec, "vt", "avscan", func(c context.Context) error {
+			scan, err := p.services.AVScan.Scan(c, rec.FinalURL)
+			if err != nil {
+				return err
+			}
+			rec.VTMalicious = scan.Stats.Malicious
+			rec.VTSuspicious = scan.Stats.Suspicious
+			return nil
+		})
+		p.enrichStep(ctx, st, rec, "gsb", "avscan", func(c context.Context) error {
+			gsb, err := p.services.AVScan.GSBLookup(c, rec.FinalURL)
+			if err != nil {
+				return err
+			}
+			rec.GSBMatched = gsb.Matched
+			return nil
+		})
+		p.enrichStep(ctx, st, rec, "gsb_status", "avscan", func(c context.Context) error {
+			tr, blocked, err := p.services.AVScan.Transparency(c, rec.FinalURL)
+			if err != nil {
+				return err
+			}
+			rec.GSBBlocked = blocked
+			if !blocked {
+				rec.GSBStatus = string(tr.Status)
+			}
+			return nil
+		})
 	}
-	return nil
+	return parent.Err()
 }
 
 // hasASPair reports whether the parallel name/country lists already hold

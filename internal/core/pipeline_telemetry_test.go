@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -82,6 +84,53 @@ func TestEnrichAbortsOnTransportError(t *testing.T) {
 	if snap.Gauges["pipeline.enrich.busy_workers"] != 0 {
 		t.Errorf("busy_workers gauge = %d after shutdown, want 0",
 			snap.Gauges["pipeline.enrich.busy_workers"])
+	}
+}
+
+// shortCircuitHLR models a guard decorator (an open circuit breaker)
+// shedding every call without reaching the service.
+type shortCircuitHLR struct{ calls atomic.Int64 }
+
+func (s *shortCircuitHLR) Lookup(context.Context, string) (hlr.Result, error) {
+	s.calls.Add(1)
+	return hlr.Result{}, fmt.Errorf("guard: %w", ErrShortCircuited)
+}
+
+// TestEnrichShortCircuitsDoNotAbort pins the abort-accounting contract:
+// a guard shedding 100% of calls degrades every record's field but must
+// stay out of the AbortFailureRate ratio — an open breaker protecting
+// the sweep must not be what aborts it. (64 records is above the default
+// MinAbortCalls, so counting shed calls as failures would abort here.)
+func TestEnrichShortCircuitsDoNotAbort(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	svc := &shortCircuitHLR{}
+	pipe := mustPipeline(t, Services{HLR: svc}, Options{EnrichWorkers: 8, Telemetry: reg})
+
+	ds := &Dataset{}
+	for i := 0; i < 64; i++ {
+		ds.Records = append(ds.Records, Record{
+			SenderKind: senderid.KindPhone,
+			SenderRaw:  "+447700900123",
+		})
+	}
+	if err := pipe.Enrich(context.Background(), ds); err != nil {
+		t.Fatalf("Enrich aborted on short-circuited calls: %v", err)
+	}
+	if got := svc.calls.Load(); got != 64 {
+		t.Errorf("guard saw %d calls, want 64", got)
+	}
+	for i, r := range ds.Records {
+		if len(r.EnrichmentErrors) != 1 || r.EnrichmentErrors[0].Field != "hlr" {
+			t.Fatalf("record %d enrichment errors = %+v, want one degraded hlr field",
+				i, r.EnrichmentErrors)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["pipeline.enrich.degraded_fields"]; got != 64 {
+		t.Errorf("degraded_fields = %d, want 64", got)
+	}
+	if got := snap.Counters["pipeline.enrich.degraded_records"]; got != 64 {
+		t.Errorf("degraded_records = %d, want 64", got)
 	}
 }
 

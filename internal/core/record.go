@@ -21,6 +21,16 @@ import (
 	"github.com/smishkit/smishkit/internal/whois"
 )
 
+// EnrichmentError records one enrichment field lost to a service failure.
+// The record keeps every field that did resolve and the run keeps going;
+// the error string survives JSON round-trips so degraded datasets stay
+// auditable.
+type EnrichmentError struct {
+	Field   string `json:"field"`   // record field that was degraded (e.g. "whois")
+	Service string `json:"service"` // telemetry name of the failing service
+	Err     string `json:"err"`     // the failure, stringified
+}
+
 // Record is one fully curated, enriched, annotated smishing report — the
 // unit every table and figure is computed from.
 type Record struct {
@@ -56,10 +66,18 @@ type Record struct {
 	GSBStatus    string
 
 	Annotation annotate.Annotation
+
+	// EnrichmentErrors lists the fields lost to service failures during
+	// enrichment (nil on a fully enriched record).
+	EnrichmentErrors []EnrichmentError
 }
 
 // HasURL reports whether the record carries a usable URL.
 func (r Record) HasURL() bool { return r.ShownURL != "" }
+
+// Degraded reports whether any enrichment field was lost to a service
+// failure.
+func (r Record) Degraded() bool { return len(r.EnrichmentErrors) > 0 }
 
 // Dataset is the curated corpus plus collection bookkeeping.
 type Dataset struct {

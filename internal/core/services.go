@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 
 	"github.com/smishkit/smishkit/internal/avscan"
 	"github.com/smishkit/smishkit/internal/ctlog"
@@ -16,6 +17,16 @@ import (
 // pipeline only ever calls these methods, so anything — the real client,
 // an enrichcache decorator, a fake in tests — plugs in without touching
 // pipeline code.
+
+// ErrShortCircuited marks a service call that a local guard (such as an
+// open circuit breaker) rejected without reaching the service. Decorators
+// wrap it so the pipeline can tell a shed call from a fresh failure: the
+// record's field is still degraded, but the failure it echoes was already
+// counted when the guard tripped, so it stays out of the run-level
+// failure-rate accounting — otherwise an open breaker doing its job would
+// push the run over Options.AbortFailureRate and abort the very sweep it
+// was protecting.
+var ErrShortCircuited = errors.New("core: service call short-circuited")
 
 // HLRLookuper resolves an MSISDN to its HLR record (§3.3.1).
 type HLRLookuper interface {

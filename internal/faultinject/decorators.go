@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"context"
+
+	"github.com/smishkit/smishkit/internal/avscan"
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/ctlog"
+	"github.com/smishkit/smishkit/internal/dnsdb"
+	"github.com/smishkit/smishkit/internal/hlr"
+	"github.com/smishkit/smishkit/internal/telemetry"
+	"github.com/smishkit/smishkit/internal/whois"
+)
+
+// Injector decorates the core.Services seam with per-service fault
+// gates. Build one per chaos run; it is safe for concurrent use.
+type Injector struct {
+	gates map[string]*gate
+}
+
+// New builds an injector recording into reg (nil is allowed: counters
+// become no-ops). Multi-method services (dnsdb, avscan) share one gate,
+// so a flapping window covers every method of the service.
+func New(cfg Config, reg *telemetry.Registry) *Injector {
+	in := &Injector{gates: make(map[string]*gate, 6)}
+	for _, name := range []string{"hlr", "whois", "ctlog", "dnsdb", "avscan", "shortener"} {
+		in.gates[name] = newGate(name, cfg.forService(name), cfg.Seed, reg)
+	}
+	return in
+}
+
+// WrapServices decorates every non-nil service whose fault mix is
+// non-empty. Nil services stay nil and fault-free services pass through
+// undecorated, so a targeted single-service outage costs nothing on the
+// healthy paths.
+func (in *Injector) WrapServices(s core.Services) core.Services {
+	if s.HLR != nil && in.gates["hlr"].f.enabled() {
+		s.HLR = &faultyHLR{next: s.HLR, g: in.gates["hlr"]}
+	}
+	if s.Whois != nil && in.gates["whois"].f.enabled() {
+		s.Whois = &faultyWhois{next: s.Whois, g: in.gates["whois"]}
+	}
+	if s.CTLog != nil && in.gates["ctlog"].f.enabled() {
+		s.CTLog = &faultyCT{next: s.CTLog, g: in.gates["ctlog"]}
+	}
+	if s.DNSDB != nil && in.gates["dnsdb"].f.enabled() {
+		s.DNSDB = &faultyDNS{next: s.DNSDB, g: in.gates["dnsdb"]}
+	}
+	if s.AVScan != nil && in.gates["avscan"].f.enabled() {
+		s.AVScan = &faultyAV{next: s.AVScan, g: in.gates["avscan"]}
+	}
+	if s.Shortener != nil && in.gates["shortener"].f.enabled() {
+		s.Shortener = &faultyShort{next: s.Shortener, g: in.gates["shortener"]}
+	}
+	return s
+}
+
+type faultyHLR struct {
+	next core.HLRLookuper
+	g    *gate
+}
+
+func (d *faultyHLR) Lookup(ctx context.Context, msisdn string) (hlr.Result, error) {
+	if err := d.g.before(ctx); err != nil {
+		return hlr.Result{}, err
+	}
+	return d.next.Lookup(ctx, msisdn)
+}
+
+type faultyWhois struct {
+	next core.WhoisLookuper
+	g    *gate
+}
+
+func (d *faultyWhois) Lookup(ctx context.Context, domain string) (whois.Record, bool, error) {
+	if err := d.g.before(ctx); err != nil {
+		return whois.Record{}, false, err
+	}
+	return d.next.Lookup(ctx, domain)
+}
+
+type faultyCT struct {
+	next core.CTSummarizer
+	g    *gate
+}
+
+func (d *faultyCT) Summary(ctx context.Context, domain string) (ctlog.Summary, error) {
+	if err := d.g.before(ctx); err != nil {
+		return ctlog.Summary{}, err
+	}
+	return d.next.Summary(ctx, domain)
+}
+
+type faultyDNS struct {
+	next core.DNSResolver
+	g    *gate
+}
+
+func (d *faultyDNS) Resolutions(ctx context.Context, domain string) ([]dnsdb.Observation, error) {
+	if err := d.g.before(ctx); err != nil {
+		return nil, err
+	}
+	return d.next.Resolutions(ctx, domain)
+}
+
+func (d *faultyDNS) ASOf(ctx context.Context, ip string) (dnsdb.ASInfo, error) {
+	if err := d.g.before(ctx); err != nil {
+		return dnsdb.ASInfo{}, err
+	}
+	return d.next.ASOf(ctx, ip)
+}
+
+type faultyAV struct {
+	next core.AVScanner
+	g    *gate
+}
+
+func (d *faultyAV) Scan(ctx context.Context, u string) (avscan.Report, error) {
+	if err := d.g.before(ctx); err != nil {
+		return avscan.Report{}, err
+	}
+	return d.next.Scan(ctx, u)
+}
+
+func (d *faultyAV) GSBLookup(ctx context.Context, u string) (avscan.GSBResult, error) {
+	if err := d.g.before(ctx); err != nil {
+		return avscan.GSBResult{}, err
+	}
+	return d.next.GSBLookup(ctx, u)
+}
+
+func (d *faultyAV) Transparency(ctx context.Context, u string) (avscan.TransparencyResult, bool, error) {
+	if err := d.g.before(ctx); err != nil {
+		return avscan.TransparencyResult{}, false, err
+	}
+	return d.next.Transparency(ctx, u)
+}
+
+type faultyShort struct {
+	next core.ShortExpander
+	g    *gate
+}
+
+func (d *faultyShort) Expand(ctx context.Context, service, code string) (string, error) {
+	if err := d.g.before(ctx); err != nil {
+		return "", err
+	}
+	return d.next.Expand(ctx, service, code)
+}

@@ -37,8 +37,10 @@ import (
 	"github.com/smishkit/smishkit/internal/core"
 	"github.com/smishkit/smishkit/internal/corpus"
 	"github.com/smishkit/smishkit/internal/enrichcache"
+	"github.com/smishkit/smishkit/internal/faultinject"
 	"github.com/smishkit/smishkit/internal/forum"
 	"github.com/smishkit/smishkit/internal/report"
+	"github.com/smishkit/smishkit/internal/resilience"
 	"github.com/smishkit/smishkit/internal/screenshot"
 	"github.com/smishkit/smishkit/internal/telemetry"
 )
@@ -91,6 +93,31 @@ type (
 	// CacheServiceStats is one service's hit/miss/coalesced/negative/
 	// stale/eviction counts plus the live entry count.
 	CacheServiceStats = enrichcache.ServiceStats
+
+	// FaultConfig seeds the deterministic chaos layer (Options.Faults):
+	// per-service error / 429 / 5xx / hang / latency rates and flapping
+	// windows, all driven by one seed so a failing run reproduces exactly.
+	FaultConfig = faultinject.Config
+	// ServiceFaults is the fault mix for one service (FaultConfig.Default
+	// or a FaultConfig.PerService entry).
+	ServiceFaults = faultinject.ServiceFaults
+
+	// ResilienceConfig tunes the resilience layer (Options.Resilience):
+	// per-service circuit breakers plus the pipeline's per-record deadline
+	// budget, per-call timeout, and run-level failure-rate abort.
+	// &ResilienceConfig{} selects the documented defaults.
+	ResilienceConfig = resilience.Config
+	// BreakerConfig tunes one circuit breaker (failure threshold, open
+	// timeout, half-open probe budget).
+	BreakerConfig = resilience.BreakerConfig
+	// ResilienceStats maps each enrichment service to its breaker
+	// scoreboard (state, opens, short-circuits, probes, outcomes).
+	ResilienceStats = resilience.Stats
+	// BreakerStats is one service's breaker scoreboard.
+	BreakerStats = resilience.BreakerStats
+	// EnrichmentError records one record field lost to a service failure
+	// during a degraded (partial) enrichment.
+	EnrichmentError = core.EnrichmentError
 )
 
 // NewCollector returns an empty telemetry collector, for sharing one
@@ -136,6 +163,19 @@ type Options struct {
 	// the study's collector under "cache.<service>.*"; Study.CacheStats
 	// reads the same numbers as a typed snapshot.
 	Cache *CacheConfig
+	// Faults, when non-nil, injects deterministic faults (errors, 429/5xx
+	// bursts, hangs, latency spikes, flapping windows) between the cache
+	// and the real service clients — chaos testing for the pipeline's
+	// degraded paths. Injections land in the collector under
+	// "fault.<service>.*".
+	Faults *FaultConfig
+	// Resilience, when non-nil, adds per-service circuit breakers outside
+	// the cache (so serve-stale still sees upstream 5xx) and applies the
+	// config's record budget / call timeout / abort-threshold knobs to the
+	// pipeline. Breaker state lands in the collector under
+	// "breaker.<service>.*"; Study.ResilienceStats reads the same numbers
+	// as a typed snapshot.
+	Resilience *ResilienceConfig
 }
 
 // Study bundles a world, its simulation, and the pipeline — the one-stop
@@ -145,7 +185,8 @@ type Study struct {
 	Sim   *Simulation
 	Pipe  *core.Pipeline
 
-	cache *enrichcache.Cache // nil when Options.Cache was nil
+	cache    *enrichcache.Cache   // nil when Options.Cache was nil
+	breakers *resilience.Breakers // nil when Options.Resilience was nil
 }
 
 // NewStudy generates a world and boots its simulation. On any failure
@@ -162,20 +203,50 @@ func NewStudy(opts Options) (*Study, error) {
 	if err != nil {
 		return nil, fmt.Errorf("smishkit: start simulation: %w", err)
 	}
+	// Decorator order, innermost first: instrumented client <- faults <-
+	// cache <- breaker <- pipeline. Faults sit inside the cache so cache
+	// hits shield the pipeline from injected failures, exactly as they
+	// shield it from real ones; breakers sit outside the cache so hits
+	// cost them nothing and upstream 5xx reach the serve-stale path
+	// before being counted.
 	services := sim.Services()
+	if opts.Faults != nil {
+		services = faultinject.New(*opts.Faults, reg).WrapServices(services)
+	}
 	var cache *enrichcache.Cache
 	if opts.Cache != nil {
 		cache = enrichcache.New(*opts.Cache, reg)
 		services = cache.WrapServices(services)
 	}
+	var breakers *resilience.Breakers
+	if opts.Resilience != nil {
+		breakers = resilience.New(*opts.Resilience, reg)
+		services = breakers.WrapServices(services)
+	}
 	popts := opts.Pipeline
 	popts.Telemetry = reg
+	if r := opts.Resilience; r != nil {
+		// The resilience config's budget knobs flow into the pipeline
+		// unless the caller already set them explicitly.
+		if popts.RecordBudget == 0 {
+			popts.RecordBudget = r.RecordBudget
+		}
+		if popts.CallTimeout == 0 {
+			popts.CallTimeout = r.CallTimeout
+		}
+		if popts.AbortFailureRate == 0 {
+			popts.AbortFailureRate = r.AbortFailureRate
+		}
+		if popts.MinAbortCalls == 0 {
+			popts.MinAbortCalls = r.MinAbortCalls
+		}
+	}
 	pipe, err := core.NewPipeline(services, popts)
 	if err != nil {
 		cerr := sim.Close()
 		return nil, errors.Join(fmt.Errorf("smishkit: build pipeline: %w", err), cerr)
 	}
-	return &Study{World: w, Sim: sim, Pipe: pipe, cache: cache}, nil
+	return &Study{World: w, Sim: sim, Pipe: pipe, cache: cache, breakers: breakers}, nil
 }
 
 // Collect drains all five forums.
@@ -214,6 +285,17 @@ func (s *Study) CacheStats() CacheStats {
 	return s.cache.Stats()
 }
 
+// ResilienceStats snapshots every circuit breaker: current state plus
+// open / short-circuit / probe / outcome counts. Returns nil when the
+// study was built without Options.Resilience. Safe to call concurrently
+// with Run, and after Close.
+func (s *Study) ResilienceStats() ResilienceStats {
+	if s.breakers == nil {
+		return nil
+	}
+	return s.breakers.Stats()
+}
+
 // Close shuts the simulation down and releases every loopback listener.
 // It is idempotent — only the first call closes; every call reports that
 // close's (joined) error. After Close the study's servers are gone, so
@@ -237,3 +319,9 @@ func WriteTelemetry(w io.Writer, snap Telemetry) error { return telemetry.Write(
 // WriteCacheStats renders a CacheStats snapshot as an aligned text table,
 // one row per service, with per-service hit rates.
 func WriteCacheStats(w io.Writer, stats CacheStats) error { return enrichcache.Write(w, stats) }
+
+// WriteResilienceStats renders a ResilienceStats snapshot as an aligned
+// text table, one breaker per row.
+func WriteResilienceStats(w io.Writer, stats ResilienceStats) error {
+	return resilience.Write(w, stats)
+}

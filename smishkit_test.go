@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestStudyEndToEnd(t *testing.T) {
@@ -197,9 +198,115 @@ func TestStudyWithoutCache(t *testing.T) {
 	if study.CacheStats() != nil {
 		t.Error("CacheStats non-nil without Options.Cache")
 	}
+	if study.ResilienceStats() != nil {
+		t.Error("ResilienceStats non-nil without Options.Resilience")
+	}
 	for name := range study.Telemetry().Counters {
 		if strings.HasPrefix(name, "cache.") {
 			t.Errorf("unexpected cache counter %q without Options.Cache", name)
+		}
+		if strings.HasPrefix(name, "breaker.") || strings.HasPrefix(name, "fault.") {
+			t.Errorf("unexpected counter %q without Options.Resilience/Faults", name)
+		}
+	}
+}
+
+// TestStudyResilienceOneServiceDown is the facade acceptance check for
+// the resilience layer: with whois 100% down behind its breaker, a run
+// must still complete; whois fields degrade (each loss recorded on its
+// record), every other service's fields resolve, and ResilienceStats
+// shows the whois breaker open with real short-circuits.
+func TestStudyResilienceOneServiceDown(t *testing.T) {
+	study, err := NewStudy(Options{
+		Seed:     17,
+		Messages: 600,
+		Faults: &FaultConfig{
+			Seed:       17,
+			PerService: map[string]ServiceFaults{"whois": {ErrorRate: 1}},
+		},
+		Resilience: &ResilienceConfig{
+			Breaker:     BreakerConfig{FailureThreshold: 5, OpenTimeout: 50 * time.Millisecond},
+			CallTimeout: 2 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer study.Close()
+
+	ds, err := study.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run with one dead service aborted; want degraded completion: %v", err)
+	}
+	if len(ds.Records) == 0 {
+		t.Fatal("empty dataset")
+	}
+
+	var whoisLost, whoisResolved, otherLost, otherEnriched int
+	for _, r := range ds.Records {
+		if r.WhoisFound {
+			whoisResolved++
+		}
+		if r.CT.Certs > 0 || r.HLRDone || r.VTMalicious > 0 {
+			otherEnriched++
+		}
+		for _, e := range r.EnrichmentErrors {
+			if e.Service == "whois" {
+				whoisLost++
+				if e.Field != "whois" || e.Err == "" {
+					t.Fatalf("malformed whois enrichment error: %+v", e)
+				}
+			} else {
+				otherLost++
+			}
+		}
+	}
+	if whoisResolved != 0 {
+		t.Errorf("%d records resolved whois through a 100%% dead service", whoisResolved)
+	}
+	if whoisLost == 0 {
+		t.Error("no whois fields recorded as lost")
+	}
+	if otherLost != 0 {
+		t.Errorf("%d fields lost on healthy services", otherLost)
+	}
+	if otherEnriched == 0 {
+		t.Error("healthy services enriched nothing")
+	}
+
+	stats := study.ResilienceStats()
+	if stats == nil {
+		t.Fatal("ResilienceStats = nil with Options.Resilience set")
+	}
+	w := stats["whois"]
+	if w.Opens == 0 {
+		t.Errorf("whois breaker never opened: %+v", w)
+	}
+	if w.ShortCircuits == 0 {
+		t.Errorf("open whois breaker short-circuited nothing: %+v", w)
+	}
+	for _, svc := range []string{"hlr", "ctlog", "dnsdb", "avscan", "shortener"} {
+		if s := stats[svc]; s.Opens != 0 {
+			t.Errorf("healthy service %s breaker opened: %+v", svc, s)
+		}
+	}
+	// Short-circuited calls never reach the fault gate, so the injected
+	// count plus breaker admissions stay consistent in telemetry.
+	snap := study.Telemetry()
+	if snap.Gauges["breaker.whois.state"] == int64(0) && w.State == "open" {
+		t.Error("breaker.whois.state gauge disagrees with Stats")
+	}
+	if snap.Counters["fault.whois.injected"] == 0 {
+		t.Error("no whois faults injected")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteResilienceStats(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"resilience breakers", "whois"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("rendered resilience stats missing %q:\n%s", want, buf.String())
 		}
 	}
 }
