@@ -3,7 +3,9 @@
 //
 // Usage:
 //
-//	smishctl [-seed N] [-messages N] [-workers N] [-extractor structured|vision|naive] [-telemetry] [-cache] [-cache-stats] [-chaos RATE]
+//	smishctl [-seed N] [-messages N] [-workers N] [-step-workers N] [-stream]
+//	         [-extractor structured|vision|naive] [-telemetry] [-cache]
+//	         [-cache-stats] [-chaos RATE] [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -12,6 +14,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/smishkit/smishkit"
@@ -20,19 +24,42 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smishctl: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run holds the whole invocation so deferred cleanup (profiles, study
+// teardown) executes on every exit path; log.Fatal in main would skip it.
+func run() error {
 	seed := flag.Int64("seed", 1, "world generation seed")
 	messages := flag.Int("messages", 4000, "synthetic corpus size")
-	workers := flag.Int("workers", 8, "enrichment fan-out width")
+	workers := flag.Int("workers", 8, "record-level enrichment fan-out width")
+	stepWorkers := flag.Int("step-workers", 4, "intra-record enrichment parallelism: independent service families run concurrently per record (1 = sequential)")
+	stream := flag.Bool("stream", false, "overlap curation, enrichment, and annotation through bounded channels (record order becomes completion order)")
 	extractor := flag.String("extractor", "structured", "screenshot extractor: structured|vision|naive")
 	telemetry := flag.Bool("telemetry", false, "print per-stage spans and per-service client metrics after the report")
 	cache := flag.Bool("cache", true, "coalesce and cache enrichment lookups (singleflight + TTL/LRU + negative caching)")
 	cacheStats := flag.Bool("cache-stats", false, "print per-service cache hit/miss/coalesced counts after the report")
 	chaos := flag.Float64("chaos", 0, "inject faults into this fraction of service calls (0 disables; seeded by -seed) and enable circuit breakers")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	flag.Parse()
 	if *chaos < 0 || *chaos > 1 {
-		log.Fatalf("-chaos %v out of range [0, 1]", *chaos)
+		return fmt.Errorf("-chaos %v out of range [0, 1]", *chaos)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	opts := smishkit.Options{Seed: *seed, Messages: *messages}
@@ -59,6 +86,8 @@ func main() {
 		}
 	}
 	opts.Pipeline.EnrichWorkers = *workers
+	opts.Pipeline.StepWorkers = *stepWorkers
+	opts.Pipeline.Streaming = *stream
 	switch *extractor {
 	case "structured":
 		opts.Pipeline.Extractor = smishkit.ExtractorStructuredVision
@@ -67,7 +96,7 @@ func main() {
 	case "naive":
 		opts.Pipeline.Extractor = smishkit.ExtractorNaiveOCR
 	default:
-		log.Fatalf("unknown extractor %q", *extractor)
+		return fmt.Errorf("unknown extractor %q", *extractor)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -76,7 +105,7 @@ func main() {
 	start := time.Now()
 	study, err := smishkit.NewStudy(opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer study.Close()
 	log.Printf("world: %d messages, %d domains, %d numbers, %d short links",
@@ -85,10 +114,15 @@ func main() {
 
 	ds, err := study.Run(ctx)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("pipeline: %d records in %v (decoys rejected: %d)",
-		len(ds.Records), time.Since(start).Round(time.Millisecond), ds.DecoysRejected)
+	mode := "barrier"
+	if *stream {
+		mode = "streaming"
+	}
+	log.Printf("pipeline (%s, %d×%d workers): %d records in %v (decoys rejected: %d)",
+		mode, *workers, *stepWorkers, len(ds.Records),
+		time.Since(start).Round(time.Millisecond), ds.DecoysRejected)
 	if *chaos > 0 {
 		degraded := 0
 		for _, r := range ds.Records {
@@ -100,13 +134,13 @@ func main() {
 	}
 
 	if err := smishkit.WriteReport(os.Stdout, ds); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Println()
 
 	if *telemetry {
 		if err := smishkit.WriteTelemetry(os.Stdout, study.Telemetry()); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		log.Printf("live snapshot: %s/debug/telemetry", study.Sim.DebugURL)
 	}
@@ -115,16 +149,27 @@ func main() {
 		stats := study.CacheStats()
 		if stats == nil {
 			log.Print("cache stats requested but -cache=false; nothing to print")
-			return
-		}
-		if err := smishkit.WriteCacheStats(os.Stdout, stats); err != nil {
-			log.Fatal(err)
+		} else if err := smishkit.WriteCacheStats(os.Stdout, stats); err != nil {
+			return err
 		}
 	}
 
 	if *chaos > 0 {
 		if err := smishkit.WriteResilienceStats(os.Stdout, study.ResilienceStats()); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return nil
 }

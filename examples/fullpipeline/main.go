@@ -73,8 +73,10 @@ func main() {
 	}
 	fmt.Printf("enriched in %v\n", time.Since(start).Round(time.Millisecond))
 
-	// Stage 5: annotation (§3.3.6).
-	pipe.Annotate(ds)
+	// Stage 5: annotation (§3.3.6) — a parallel CPU stage, cancellable.
+	if err := pipe.Annotate(ctx, ds); err != nil {
+		log.Fatal(err)
+	}
 
 	// Stage 6: the §3.4 evaluation — compare annotations with the world's
 	// ground truth over a sample, exactly the protocol of the paper's

@@ -75,6 +75,10 @@ func TestChaosSoak(t *testing.T) {
 		Telemetry:    reg,
 		CallTimeout:  250 * time.Millisecond, // bounds injected hangs
 		RecordBudget: 5 * time.Second,
+		// Pin the DAG path explicitly (4 is also the default): the soak's
+		// degradation, breaker, and abort-ratio assertions must hold with
+		// a record's enrichment families racing each other.
+		StepWorkers: 4,
 	})
 	if err != nil {
 		t.Fatal(err)

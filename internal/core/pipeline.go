@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -26,9 +27,27 @@ type Options struct {
 	// Extractor reads screenshot attachments; defaults to StructuredVision
 	// (the rung the paper settled on in §3.2).
 	Extractor screenshot.Extractor
-	// EnrichWorkers is the enrichment fan-out width (default 8; negative
-	// is a construction error).
+	// EnrichWorkers is the record-level enrichment fan-out width (default
+	// 8; negative is a construction error).
 	EnrichWorkers int
+	// StepWorkers bounds intra-record enrichment parallelism. After
+	// shortener expansion settles (the only true sequencing edge — it
+	// produces FinalURL/Domain), the independent enrichment families (HLR,
+	// WHOIS, CT, the pDNS→AS chain, and the three AV endpoints) run
+	// concurrently under at most this many goroutines per record. 0 selects
+	// the default (4); 1 reproduces the historical fully sequential order;
+	// negative is a construction error.
+	StepWorkers int
+	// StageWorkers bounds the worker pools of the CPU stages (screenshot
+	// extraction in Curate, annotation in Annotate). 0 selects GOMAXPROCS;
+	// negative is a construction error.
+	StageWorkers int
+	// Streaming makes Run overlap its stages: curated records flow through
+	// a bounded channel into the enrich worker pool and are annotated on
+	// completion, so curation, enrichment, and annotation proceed
+	// concurrently. Record order in the resulting Dataset is completion
+	// order; the default barrier mode keeps bit-identical output ordering.
+	Streaming bool
 	// Telemetry receives per-stage spans, per-record curation outcomes,
 	// and enrichment latency. Nil gets a private registry so
 	// Pipeline.Telemetry always works.
@@ -57,6 +76,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.EnrichWorkers == 0 {
 		o.EnrichWorkers = 8
+	}
+	if o.StepWorkers == 0 {
+		o.StepWorkers = 4
+	}
+	if o.StageWorkers == 0 {
+		o.StageWorkers = runtime.GOMAXPROCS(0)
 	}
 	if o.Telemetry == nil {
 		o.Telemetry = telemetry.NewRegistry()
@@ -92,17 +117,44 @@ type pipelineMetrics struct {
 
 	degradedFields *telemetry.Counter
 	degradedRecs   *telemetry.Counter
+
+	// stepPar tracks how many intra-record enrichment families are in
+	// flight across the whole pool — the live parallelism the DAG scatter
+	// achieves on top of the record-level fan-out.
+	stepPar *telemetry.Gauge
+	// queueDepth is the number of curated records waiting in the streaming
+	// channel between the curate producer and the enrich workers.
+	queueDepth *telemetry.Gauge
+	// famLat holds one latency histogram per enrichment family
+	// ("pipeline.enrich.family.<name>"). Built once at construction and
+	// never mutated, so concurrent reads are lock-free.
+	famLat map[string]*telemetry.Histogram
 }
 
+// familyNames are the independent arms of the per-record enrichment DAG.
+// The slice order is the historical sequential call order, which scatter
+// preserves exactly when StepWorkers is 1.
+var familyNames = []string{"hlr", "whois", "ct", "pdns", "vt", "gsb", "gsb_status"}
+
 // NewPipeline builds a pipeline over the given services. It fails on
-// invalid options (currently a negative worker count) so facades can tear
+// invalid options (currently negative worker counts) so facades can tear
 // down already-booted resources instead of deferring the blowup to Run.
 func NewPipeline(services Services, opts Options) (*Pipeline, error) {
 	if opts.EnrichWorkers < 0 {
 		return nil, errors.New("core: EnrichWorkers must not be negative")
 	}
+	if opts.StepWorkers < 0 {
+		return nil, errors.New("core: StepWorkers must not be negative")
+	}
+	if opts.StageWorkers < 0 {
+		return nil, errors.New("core: StageWorkers must not be negative")
+	}
 	opts = opts.withDefaults()
 	tel := opts.Telemetry
+	famLat := make(map[string]*telemetry.Histogram, len(familyNames))
+	for _, name := range familyNames {
+		famLat[name] = tel.Histogram("pipeline.enrich.family." + name)
+	}
 	return &Pipeline{
 		services: services,
 		opts:     opts,
@@ -118,6 +170,10 @@ func NewPipeline(services Services, opts Options) (*Pipeline, error) {
 
 			degradedFields: tel.Counter("pipeline.enrich.degraded_fields"),
 			degradedRecs:   tel.Counter("pipeline.enrich.degraded_records"),
+
+			stepPar:    tel.Gauge("pipeline.record.step_par"),
+			queueDepth: tel.Gauge("pipeline.stream.queue_depth"),
+			famLat:     famLat,
 		},
 	}, nil
 }
@@ -130,35 +186,91 @@ func (p *Pipeline) Telemetry() *telemetry.Registry { return p.tel }
 // quoted SMS texts out of post bodies, and normalizes the four variables
 // (§3.2). Reports whose attachment is unreadable for the extractor count
 // as EmptyDropped — the pytesseract failure mode.
+//
+// Extraction (screenshot decode + OCR) dominates curation and is pure per
+// report, so it fans out over Options.StageWorkers into an index-addressed
+// scratch slice; the reduce below stays sequential, which keeps record
+// order and counter totals bit-identical to a serial sweep.
 func (p *Pipeline) Curate(reports []forum.RawReport) *Dataset {
 	sp := p.tel.StartSpan("curate")
 	defer sp.End()
 	ds := &Dataset{
-		PostsByForum:  make(map[corpus.Forum]int),
-		ImagesByForum: make(map[corpus.Forum]int),
+		// One up-front allocation sized for the common case (most reports
+		// curate OK), so the reduce loop never regrows the record slice.
+		Records:       make([]Record, 0, len(reports)),
+		PostsByForum:  make(map[corpus.Forum]int, len(corpus.Forums)),
+		ImagesByForum: make(map[corpus.Forum]int, len(corpus.Forums)),
 	}
-	for _, rep := range reports {
-		ds.PostsByForum[rep.Forum]++
-		rec, status := p.curateOne(rep)
-		switch status {
-		case curatedOK:
-			p.met.curateOK.Inc()
-			ds.Records = append(ds.Records, rec)
-			if rec.FromImage {
-				ds.ImagesByForum[rep.Forum]++
-			}
-		case curatedDecoy:
-			p.met.curateDecoy.Inc()
-			if rep.HasAttachment() {
-				ds.ImagesByForum[rep.Forum]++
-			}
-			ds.DecoysRejected++
-		case curatedEmpty:
-			p.met.curateEmpty.Inc()
-			ds.EmptyDropped++
-		}
+	results := make([]curateResult, len(reports))
+	parallelFor(context.Background(), len(reports), p.opts.StageWorkers, func(i int) {
+		results[i].rec, results[i].status = p.curateOne(reports[i])
+	})
+	for i := range reports {
+		p.reduceCurated(ds, &reports[i], &results[i])
 	}
 	return ds
+}
+
+// curateResult is one report's curation outcome, produced by the parallel
+// extraction pass and folded into the Dataset by the sequential reduce.
+type curateResult struct {
+	rec    Record
+	status curationStatus
+}
+
+// reduceCurated folds one curated report into the dataset — the
+// order-sensitive half of Curate, also reused by the streaming producer.
+func (p *Pipeline) reduceCurated(ds *Dataset, rep *forum.RawReport, res *curateResult) {
+	ds.PostsByForum[rep.Forum]++
+	switch res.status {
+	case curatedOK:
+		p.met.curateOK.Inc()
+		ds.Records = append(ds.Records, res.rec)
+		if res.rec.FromImage {
+			ds.ImagesByForum[rep.Forum]++
+		}
+	case curatedDecoy:
+		p.met.curateDecoy.Inc()
+		if rep.HasAttachment() {
+			ds.ImagesByForum[rep.Forum]++
+		}
+		ds.DecoysRejected++
+	case curatedEmpty:
+		p.met.curateEmpty.Inc()
+		ds.EmptyDropped++
+	}
+}
+
+// parallelFor runs fn(0..n-1) across at most workers goroutines. Work is
+// handed out by an atomic cursor, so the per-item overhead is one atomic
+// add — no channel send per index. A dead ctx stops workers between
+// iterations; the indexes already started still complete.
+func parallelFor(ctx context.Context, n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 type curationStatus int
@@ -333,10 +445,12 @@ loop:
 }
 
 // enrichStep runs one service call under the per-call timeout. A failure
-// degrades the record's field — appended to Record.EnrichmentErrors and
-// counted in telemetry — instead of propagating; the return value reports
-// whether the field resolved.
-func (p *Pipeline) enrichStep(ctx context.Context, st *enrichState, rec *Record, field, service string, fn func(context.Context) error) bool {
+// degrades the record's field — appended to Record.EnrichmentErrors under
+// the record's mutex and counted in telemetry — instead of propagating;
+// the return value reports whether the field resolved. mu serializes the
+// only record state shared between concurrently scattered families; every
+// other field a step writes belongs to exactly one family.
+func (p *Pipeline) enrichStep(ctx context.Context, st *enrichState, rec *Record, mu *sync.Mutex, field, service string, fn func(context.Context) error) bool {
 	callCtx, cancel := ctx, context.CancelFunc(nil)
 	if p.opts.CallTimeout > 0 {
 		callCtx, cancel = context.WithTimeout(ctx, p.opts.CallTimeout)
@@ -358,17 +472,86 @@ func (p *Pipeline) enrichStep(ctx context.Context, st *enrichState, rec *Record,
 		st.fails.Add(1)
 	}
 	p.met.degradedFields.Inc()
+	mu.Lock()
 	rec.EnrichmentErrors = append(rec.EnrichmentErrors, EnrichmentError{
 		Field: field, Service: service, Err: err.Error(),
 	})
+	mu.Unlock()
 	return false
+}
+
+// enrichFamily is one independent arm of the per-record enrichment DAG.
+// Everything run touches depends only on state settled before the scatter
+// (the committed FinalURL/Domain and immutable curation fields), so
+// families are safe to execute concurrently: each writes a disjoint set of
+// record fields and routes the shared EnrichmentErrors slice through
+// enrichStep's lock.
+type enrichFamily struct {
+	name string
+	run  func(context.Context)
+}
+
+// scatter executes the record's enrichment families under at most
+// Options.StepWorkers goroutines. Width 1 (or a single family) runs them
+// inline in slice order — the historical sequential behavior, kept exact
+// so barrier-mode output with StepWorkers=1 is bit-identical to the
+// pre-DAG pipeline. parent is checked between launches so a dead run stops
+// scheduling new service calls; families already launched finish (failing
+// fast against their dead contexts and degrading their fields).
+func (p *Pipeline) scatter(ctx, parent context.Context, fams []enrichFamily) {
+	width := p.opts.StepWorkers
+	if width > len(fams) {
+		width = len(fams)
+	}
+	if width <= 1 {
+		for i := range fams {
+			if parent.Err() != nil {
+				return
+			}
+			p.runFamily(ctx, &fams[i])
+		}
+		return
+	}
+	sem := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	for i := range fams {
+		if parent.Err() != nil {
+			break
+		}
+		f := &fams[i]
+		sem <- struct{}{} // bounds in-flight families, keeps launch order
+		wg.Add(1)
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			p.runFamily(ctx, f)
+		}()
+	}
+	wg.Wait()
+}
+
+// runFamily times one family and tracks the live intra-record parallelism.
+func (p *Pipeline) runFamily(ctx context.Context, f *enrichFamily) {
+	p.met.stepPar.Add(1)
+	start := time.Now()
+	f.run(ctx)
+	p.met.famLat[f.name].Observe(time.Since(start))
+	p.met.stepPar.Add(-1)
 }
 
 // enrichOne resolves every enrichment source for one record. A failing
 // service degrades the record's field, not the run; only the parent
 // context dying aborts. Options.RecordBudget bounds the record's total
 // enrichment time — past it, the remaining calls fail fast and degrade,
-// which is why the budget context is distinguished from parent here.
+// which is why the budget context is distinguished from parent here. The
+// budget spans the whole record regardless of StepWorkers: families
+// running in parallel share one deadline, so widening the scatter never
+// widens the time box.
+//
+// Sequencing is an explicit two-phase DAG: shortener expansion is the only
+// true edge (it produces FinalURL/Domain, which every domain- and
+// URL-keyed family reads), so it runs first and commits once; the
+// remaining families are mutually independent and scatter under
+// Options.StepWorkers.
 func (p *Pipeline) enrichOne(parent context.Context, st *enrichState, rec *Record) error {
 	ctx := parent
 	if p.opts.RecordBudget > 0 {
@@ -376,6 +559,7 @@ func (p *Pipeline) enrichOne(parent context.Context, st *enrichState, rec *Recor
 		ctx, cancel = context.WithTimeout(parent, p.opts.RecordBudget)
 		defer cancel()
 	}
+	var mu sync.Mutex // guards rec.EnrichmentErrors across scattered families
 
 	// 1. Shortener expansion: resolve into a local, commit once. A failed
 	// expansion must not leave FinalURL/Domain half-rewritten, so the
@@ -383,7 +567,7 @@ func (p *Pipeline) enrichOne(parent context.Context, st *enrichState, rec *Recor
 	finalURL := rec.ShownURL
 	if rec.Shortener != "" && p.services.Shortener != nil {
 		if service, code := splitShort(rec.ShownURL); service != "" && code != "" {
-			ok := p.enrichStep(ctx, st, rec, "final_url", "shortener", func(c context.Context) error {
+			ok := p.enrichStep(ctx, st, rec, &mu, "final_url", "shortener", func(c context.Context) error {
 				target, err := p.services.Shortener.Expand(c, service, code)
 				switch {
 				case err == nil:
@@ -412,60 +596,67 @@ func (p *Pipeline) enrichOne(parent context.Context, st *enrichState, rec *Recor
 		return err
 	}
 
-	// 2. HLR on phone senders.
+	// 2. The independent families, scattered up to StepWorkers wide.
+	fams := make([]enrichFamily, 0, len(familyNames))
 	if rec.SenderKind == senderid.KindPhone && p.services.HLR != nil {
-		p.enrichStep(ctx, st, rec, "hlr", "hlr", func(c context.Context) error {
-			res, err := p.services.HLR.Lookup(c, rec.SenderRaw)
-			if err != nil {
-				return err
-			}
-			rec.HLR = res
-			rec.HLRDone = true
-			return nil
-		})
-		if err := parent.Err(); err != nil {
-			return err
-		}
+		fams = append(fams, enrichFamily{"hlr", func(c context.Context) {
+			p.enrichStep(c, st, rec, &mu, "hlr", "hlr", func(c context.Context) error {
+				res, err := p.services.HLR.Lookup(c, rec.SenderRaw)
+				if err != nil {
+					return err
+				}
+				rec.HLR = res
+				rec.HLRDone = true
+				return nil
+			})
+		}})
 	}
-
-	// 3. Domain intelligence.
 	if rec.Domain != "" && !isSharedPlatform(rec) {
 		if p.services.Whois != nil {
-			p.enrichStep(ctx, st, rec, "whois", "whois", func(c context.Context) error {
-				w, found, err := p.services.Whois.Lookup(c, rec.Domain)
-				if err != nil {
-					return err
-				}
-				rec.Whois, rec.WhoisFound = w, found
-				return nil
-			})
+			fams = append(fams, enrichFamily{"whois", func(c context.Context) {
+				p.enrichStep(c, st, rec, &mu, "whois", "whois", func(c context.Context) error {
+					w, found, err := p.services.Whois.Lookup(c, rec.Domain)
+					if err != nil {
+						return err
+					}
+					rec.Whois, rec.WhoisFound = w, found
+					return nil
+				})
+			}})
 		}
 		if p.services.CTLog != nil {
-			p.enrichStep(ctx, st, rec, "ct", "ctlog", func(c context.Context) error {
-				sum, err := p.services.CTLog.Summary(c, rec.Domain)
-				if err != nil {
-					return err
-				}
-				rec.CT = sum
-				return nil
-			})
+			fams = append(fams, enrichFamily{"ct", func(c context.Context) {
+				p.enrichStep(c, st, rec, &mu, "ct", "ctlog", func(c context.Context) error {
+					sum, err := p.services.CTLog.Summary(c, rec.Domain)
+					if err != nil {
+						return err
+					}
+					rec.CT = sum
+					return nil
+				})
+			}})
 		}
 		if p.services.DNSDB != nil {
-			ok := p.enrichStep(ctx, st, rec, "pdns", "dnsdb", func(c context.Context) error {
-				obs, err := p.services.DNSDB.Resolutions(c, rec.Domain)
-				if err != nil {
-					return err
+			// The pDNS→AS chain is internally sequential (the AS lookups
+			// need the resolutions) but independent of every other family.
+			fams = append(fams, enrichFamily{"pdns", func(c context.Context) {
+				ok := p.enrichStep(c, st, rec, &mu, "pdns", "dnsdb", func(c context.Context) error {
+					obs, err := p.services.DNSDB.Resolutions(c, rec.Domain)
+					if err != nil {
+						return err
+					}
+					rec.PDNS = obs
+					return nil
+				})
+				if !ok {
+					return
 				}
-				rec.PDNS = obs
-				return nil
-			})
-			// Cross-record IP dedup lives in the enrichcache layer (the
-			// same IP resolved for every record sharing a domain used to
-			// re-query here); within one record a linear pair scan keeps
-			// the AS list unique without a per-record map allocation.
-			if ok {
+				// Cross-record IP dedup lives in the enrichcache layer (the
+				// same IP resolved for every record sharing a domain used to
+				// re-query here); within one record a linear pair scan keeps
+				// the AS list unique without a per-record map allocation.
 				for _, o := range rec.PDNS {
-					if !p.enrichStep(ctx, st, rec, "as_names", "dnsdb", func(c context.Context) error {
+					if !p.enrichStep(c, st, rec, &mu, "as_names", "dnsdb", func(c context.Context) error {
 						info, err := p.services.DNSDB.ASOf(c, o.IP)
 						if errors.Is(err, dnsdb.ErrNoRoute) {
 							return nil // unrouted IP: an answer, not a failure
@@ -479,48 +670,51 @@ func (p *Pipeline) enrichOne(parent context.Context, st *enrichState, rec *Recor
 						}
 						return nil
 					}) {
-						break // one degraded AS list; don't hammer a failing service per IP
+						return // one degraded AS list; don't hammer a failing service per IP
 					}
 				}
-			}
-		}
-		if err := parent.Err(); err != nil {
-			return err
+			}})
 		}
 	}
-
-	// 4. AV verdicts on the landing URL — three independent endpoints;
-	// each degrades alone.
+	// AV verdicts on the landing URL — three independent endpoints; each
+	// degrades alone.
 	if rec.FinalURL != "" && p.services.AVScan != nil {
-		p.enrichStep(ctx, st, rec, "vt", "avscan", func(c context.Context) error {
-			scan, err := p.services.AVScan.Scan(c, rec.FinalURL)
-			if err != nil {
-				return err
-			}
-			rec.VTMalicious = scan.Stats.Malicious
-			rec.VTSuspicious = scan.Stats.Suspicious
-			return nil
-		})
-		p.enrichStep(ctx, st, rec, "gsb", "avscan", func(c context.Context) error {
-			gsb, err := p.services.AVScan.GSBLookup(c, rec.FinalURL)
-			if err != nil {
-				return err
-			}
-			rec.GSBMatched = gsb.Matched
-			return nil
-		})
-		p.enrichStep(ctx, st, rec, "gsb_status", "avscan", func(c context.Context) error {
-			tr, blocked, err := p.services.AVScan.Transparency(c, rec.FinalURL)
-			if err != nil {
-				return err
-			}
-			rec.GSBBlocked = blocked
-			if !blocked {
-				rec.GSBStatus = string(tr.Status)
-			}
-			return nil
-		})
+		fams = append(fams, enrichFamily{"vt", func(c context.Context) {
+			p.enrichStep(c, st, rec, &mu, "vt", "avscan", func(c context.Context) error {
+				scan, err := p.services.AVScan.Scan(c, rec.FinalURL)
+				if err != nil {
+					return err
+				}
+				rec.VTMalicious = scan.Stats.Malicious
+				rec.VTSuspicious = scan.Stats.Suspicious
+				return nil
+			})
+		}})
+		fams = append(fams, enrichFamily{"gsb", func(c context.Context) {
+			p.enrichStep(c, st, rec, &mu, "gsb", "avscan", func(c context.Context) error {
+				gsb, err := p.services.AVScan.GSBLookup(c, rec.FinalURL)
+				if err != nil {
+					return err
+				}
+				rec.GSBMatched = gsb.Matched
+				return nil
+			})
+		}})
+		fams = append(fams, enrichFamily{"gsb_status", func(c context.Context) {
+			p.enrichStep(c, st, rec, &mu, "gsb_status", "avscan", func(c context.Context) error {
+				tr, blocked, err := p.services.AVScan.Transparency(c, rec.FinalURL)
+				if err != nil {
+					return err
+				}
+				rec.GSBBlocked = blocked
+				if !blocked {
+					rec.GSBStatus = string(tr.Status)
+				}
+				return nil
+			})
+		}})
 	}
+	p.scatter(ctx, parent, fams)
 	return parent.Err()
 }
 
@@ -562,23 +756,36 @@ func splitShort(u string) (service, code string) {
 	return strings.ToLower(host), code
 }
 
-// Annotate labels every record (§3.3.6).
-func (p *Pipeline) Annotate(ds *Dataset) {
+// Annotate labels every record (§3.3.6). Annotation is pure CPU over the
+// whole dataset, so it fans out over Options.StageWorkers; each worker
+// checks ctx between records, so a dead run stops burning CPU on records
+// it will discard and the first context error is returned.
+func (p *Pipeline) Annotate(ctx context.Context, ds *Dataset) error {
 	sp := p.tel.StartSpan("annotate")
 	defer sp.End()
-	for i := range ds.Records {
+	parallelFor(ctx, len(ds.Records), p.opts.StageWorkers, func(i int) {
 		rec := &ds.Records[i]
 		rec.Annotation = annotate.Annotate(rec.Text, rec.ShownURL)
 		p.met.annotated.Inc()
-	}
+	})
+	return ctx.Err()
 }
 
-// Run executes curate -> enrich -> annotate over collected reports.
+// Run executes curate -> enrich -> annotate over collected reports. In the
+// default barrier mode the stages run to completion in turn, so record
+// order (and therefore every rendered table) is bit-identical run to run;
+// with Options.Streaming the stages overlap and records land in
+// completion order instead.
 func (p *Pipeline) Run(ctx context.Context, reports []forum.RawReport) (*Dataset, error) {
+	if p.opts.Streaming {
+		return p.runStreaming(ctx, reports)
+	}
 	ds := p.Curate(reports)
 	if err := p.Enrich(ctx, ds); err != nil {
 		return ds, err
 	}
-	p.Annotate(ds)
+	if err := p.Annotate(ctx, ds); err != nil {
+		return ds, err
+	}
 	return ds, nil
 }

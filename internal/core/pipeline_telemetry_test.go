@@ -167,7 +167,9 @@ func TestPipelineRecordsStageSpans(t *testing.T) {
 	if err := pipe.Enrich(context.Background(), ds); err != nil {
 		t.Fatal(err)
 	}
-	pipe.Annotate(ds)
+	if err := pipe.Annotate(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
 
 	snap := reg.Snapshot()
 	for _, stage := range []string{"curate", "enrich", "annotate"} {

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/annotate"
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/forum"
+)
+
+// runStreaming is Run's overlapped mode: curation, enrichment, and
+// annotation proceed concurrently, connected by one bounded channel.
+// StageWorkers producers curate reports and push records as they settle;
+// EnrichWorkers consumers enrich each record (scattering its families up
+// to StepWorkers wide) and annotate it on completion, so a record can be
+// fully finished while later reports are still being extracted. The
+// bounded channel is the backpressure seam: its fill level is exported as
+// the pipeline.stream.queue_depth gauge (sustained full means enrichment
+// is the bottleneck; sustained empty means curation is).
+//
+// Tradeoff vs the barrier mode: Dataset.Records lands in completion order,
+// which varies run to run, and per-stage spans collapse into one "stream"
+// span because the stages no longer have disjoint lifetimes. Failure
+// semantics are unchanged — degrade-don't-abort per field, the run dying
+// only on ctx death or the AbortFailureRate guard.
+func (p *Pipeline) runStreaming(ctx context.Context, reports []forum.RawReport) (*Dataset, error) {
+	sp := p.tel.StartSpan("stream")
+	defer sp.End()
+	ds := &Dataset{
+		Records:       make([]Record, 0, len(reports)),
+		PostsByForum:  make(map[corpus.Forum]int, len(corpus.Forums)),
+		ImagesByForum: make(map[corpus.Forum]int, len(corpus.Forums)),
+	}
+
+	var errOnce sync.Once
+	var firstErr error
+	streamCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	depth := 2 * p.opts.EnrichWorkers
+	if depth < 2 {
+		depth = 2
+	}
+	curated := make(chan Record, depth)
+
+	st := &enrichState{}
+	var recMu sync.Mutex // guards ds.Records appends from the worker pool
+	var wg sync.WaitGroup
+	for w := 0; w < p.opts.EnrichWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rec := range curated {
+				p.met.queueDepth.Add(-1)
+				p.met.busyWorkers.Add(1)
+				start := time.Now()
+				err := p.enrichOne(ctx, st, &rec)
+				p.met.recordLat.Observe(time.Since(start))
+				p.met.busyWorkers.Add(-1)
+				if err == nil {
+					err = p.abortErr(st)
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+				if rec.Degraded() {
+					p.met.degradedRecs.Inc()
+				}
+				p.met.enriched.Inc()
+				// Annotate on completion: the record is finished the moment
+				// enrichment settles, instead of waiting for the whole sweep.
+				rec.Annotation = annotate.Annotate(rec.Text, rec.ShownURL)
+				p.met.annotated.Inc()
+				recMu.Lock()
+				ds.Records = append(ds.Records, rec)
+				recMu.Unlock()
+			}
+		}()
+	}
+
+	// Curate producers: extraction fans out exactly as in barrier-mode
+	// Curate, but each settled record is handed straight to the enrich
+	// pool. Collection bookkeeping is folded under a producer-side lock
+	// (cheap next to screenshot extraction).
+	var curMu sync.Mutex
+	parallelFor(streamCtx, len(reports), p.opts.StageWorkers, func(i int) {
+		var res curateResult
+		res.rec, res.status = p.curateOne(reports[i])
+		curMu.Lock()
+		ds.PostsByForum[reports[i].Forum]++
+		switch res.status {
+		case curatedOK:
+			p.met.curateOK.Inc()
+			if res.rec.FromImage {
+				ds.ImagesByForum[reports[i].Forum]++
+			}
+		case curatedDecoy:
+			p.met.curateDecoy.Inc()
+			if reports[i].HasAttachment() {
+				ds.ImagesByForum[reports[i].Forum]++
+			}
+			ds.DecoysRejected++
+		case curatedEmpty:
+			p.met.curateEmpty.Inc()
+			ds.EmptyDropped++
+		}
+		curMu.Unlock()
+		if res.status != curatedOK {
+			return
+		}
+		select {
+		case curated <- res.rec:
+			p.met.queueDepth.Add(1)
+		case <-streamCtx.Done():
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		fail(err)
+	}
+	close(curated)
+	wg.Wait()
+	// On an aborted run records may be stranded in the channel; the gauge
+	// must not leak their count into the next run's reading.
+	p.met.queueDepth.Set(0)
+	return ds, firstErr
+}
