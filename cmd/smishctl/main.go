@@ -5,7 +5,8 @@
 //
 //	smishctl [-seed N] [-messages N] [-workers N] [-step-workers N] [-stream]
 //	         [-extractor structured|vision|naive] [-telemetry] [-cache]
-//	         [-cache-stats] [-chaos RATE] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-cache-stats] [-batch] [-batch-stats] [-chaos RATE]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -41,6 +42,8 @@ func run() error {
 	telemetry := flag.Bool("telemetry", false, "print per-stage spans and per-service client metrics after the report")
 	cache := flag.Bool("cache", true, "coalesce and cache enrichment lookups (singleflight + TTL/LRU + negative caching)")
 	cacheStats := flag.Bool("cache-stats", false, "print per-service cache hit/miss/coalesced counts after the report")
+	batch := flag.Bool("batch", false, "coalesce cache misses into windowed bulk requests (HLR, passive DNS, URL scans)")
+	batchStats := flag.Bool("batch-stats", false, "print per-service batching flush/coalesced counts after the report")
 	chaos := flag.Float64("chaos", 0, "inject faults into this fraction of service calls (0 disables; seeded by -seed) and enable circuit breakers")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -65,6 +68,9 @@ func run() error {
 	opts := smishkit.Options{Seed: *seed, Messages: *messages}
 	if *cache {
 		opts.Cache = &smishkit.CacheConfig{ServeStale: true}
+	}
+	if *batch {
+		opts.Batch = &smishkit.BatchConfig{}
 	}
 	if *chaos > 0 {
 		// Split the rate across fault kinds: mostly transport errors and
@@ -150,6 +156,15 @@ func run() error {
 		if stats == nil {
 			log.Print("cache stats requested but -cache=false; nothing to print")
 		} else if err := smishkit.WriteCacheStats(os.Stdout, stats); err != nil {
+			return err
+		}
+	}
+
+	if *batchStats {
+		stats := study.BatchStats()
+		if stats == nil {
+			log.Print("batch stats requested but -batch=false; nothing to print")
+		} else if err := smishkit.WriteBatchStats(os.Stdout, stats); err != nil {
 			return err
 		}
 	}

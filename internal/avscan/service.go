@@ -2,6 +2,8 @@ package avscan
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/url"
 	"strings"
@@ -121,11 +123,19 @@ func (s *Store) Transparency(rawURL string) (TransparencyResult, bool) {
 	return TransparencyResult{URL: rawURL, Status: TransparencyLookup(rawURL, d)}, false
 }
 
-// Server exposes three endpoints mirroring the paper's three data paths:
+// MaxBulk is the largest accepted bulk-scan batch.
+const MaxBulk = 500
+
+// Server exposes the endpoints mirroring the paper's three data paths:
 //
-//	GET /vt/v1/scan?url=...          VirusTotal-style aggregate
-//	GET /gsb/v4/lookup?url=...       Safe Browsing API
-//	GET /transparency/report?url=... GSB transparency site (often 403)
+//	GET  /vt/v1/scan?url=...                VirusTotal-style aggregate
+//	POST /vt/v1/scan/bulk {"urls": [...]}   bulk aggregate (max 500)
+//	GET  /gsb/v4/lookup?url=...             Safe Browsing API
+//	POST /gsb/v4/lookup/bulk {"urls":[...]} bulk Safe Browsing (max 500)
+//	GET  /transparency/report?url=...       GSB transparency site (often 403)
+//
+// The transparency site has no bulk form: it refuses automation, which is
+// the point of that data path.
 type Server struct {
 	store   *Store
 	apiKey  string
@@ -158,7 +168,65 @@ func (s *Server) Handler() http.Handler {
 		}
 		netutil.WriteJSON(w, http.StatusOK, res)
 	}))
+	mux.HandleFunc("POST /vt/v1/scan/bulk", s.withBulk(func(u string) (any, string) {
+		return s.store.Scan(u), ""
+	}))
+	mux.HandleFunc("POST /gsb/v4/lookup/bulk", s.withBulk(func(u string) (any, string) {
+		return s.store.GSBLookup(u), ""
+	}))
 	return netutil.RequireKey(s.apiKey, mux)
+}
+
+// bulkRequest / bulkResponse are the bulk wire shapes shared by the VT and
+// GSB bulk endpoints; Results[i] answers URLs[i], with a non-empty Error
+// marking that one slot as failed without poisoning the batch.
+type bulkRequest struct {
+	URLs []string `json:"urls"`
+}
+
+type bulkItem struct {
+	Result any    `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+type bulkResponse struct {
+	Results []bulkItem `json:"results"`
+}
+
+func (s *Server) withBulk(fn func(u string) (any, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req bulkRequest
+		if err := netutil.ReadJSON(r, &req); err != nil {
+			netutil.WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if len(req.URLs) == 0 {
+			netutil.WriteError(w, http.StatusBadRequest, "empty url list")
+			return
+		}
+		if len(req.URLs) > MaxBulk {
+			netutil.WriteError(w, http.StatusRequestEntityTooLarge, "batch exceeds limit")
+			return
+		}
+		if s.limiter != nil && !s.limiter.AllowN(len(req.URLs)) {
+			netutil.WriteRateLimited(w, s.limiter.RetryAfter(len(req.URLs)))
+			return
+		}
+		resp := bulkResponse{Results: make([]bulkItem, len(req.URLs))}
+		for i, u := range req.URLs {
+			if strings.TrimSpace(u) == "" {
+				resp.Results[i] = bulkItem{Error: "empty url"}
+				continue
+			}
+			res, errMsg := fn(u)
+			if errMsg != "" {
+				resp.Results[i] = bulkItem{Error: errMsg}
+				continue
+			}
+			resp.Results[i] = bulkItem{Result: res}
+		}
+		netutil.WriteJSON(w, http.StatusOK, resp)
+	}
 }
 
 func (s *Server) withURL(fn func(w http.ResponseWriter, u string)) http.HandlerFunc {
@@ -209,6 +277,59 @@ func (c *Client) GSBLookup(ctx context.Context, u string) (GSBResult, error) {
 	var out GSBResult
 	err := c.API.GetJSON(ctx, "/gsb/v4/lookup?url="+url.QueryEscape(u), &out)
 	return out, err
+}
+
+// ScanBatch fetches many multi-vendor reports in MaxBulk-sized batches
+// with partial-result semantics: results[i] and errs[i] answer urls[i].
+func (c *Client) ScanBatch(ctx context.Context, urls []string) ([]Report, []error) {
+	return postBulk[Report](ctx, &c.API, "/vt/v1/scan/bulk", "scan", urls)
+}
+
+// GSBLookupBatch queries the Safe Browsing status of many URLs in
+// MaxBulk-sized batches with partial-result semantics.
+func (c *Client) GSBLookupBatch(ctx context.Context, urls []string) ([]GSBResult, []error) {
+	return postBulk[GSBResult](ctx, &c.API, "/gsb/v4/lookup/bulk", "gsb lookup", urls)
+}
+
+// postBulk drives one bulk endpoint chunk by chunk: a transport-level
+// failure fans out to every slot of its chunk, a per-item error lands on
+// its slot alone.
+func postBulk[V any](ctx context.Context, api *netutil.Client, path, label string, urls []string) ([]V, []error) {
+	results := make([]V, len(urls))
+	errs := make([]error, len(urls))
+	type wireItem struct {
+		Result json.RawMessage `json:"result"`
+		Error  string          `json:"error"`
+	}
+	for start := 0; start < len(urls); start += MaxBulk {
+		end := start + MaxBulk
+		if end > len(urls) {
+			end = len(urls)
+		}
+		chunk := urls[start:end]
+		var resp struct {
+			Results []wireItem `json:"results"`
+		}
+		if err := api.PostJSON(ctx, path, bulkRequest{URLs: chunk}, &resp); err != nil {
+			for i := start; i < end; i++ {
+				errs[i] = err
+			}
+			continue
+		}
+		for i := range chunk {
+			switch {
+			case i >= len(resp.Results):
+				errs[start+i] = fmt.Errorf("avscan: bulk response missing slot %d", i)
+			case resp.Results[i].Error != "":
+				errs[start+i] = fmt.Errorf("avscan: bulk %s %q: %s", label, chunk[i], resp.Results[i].Error)
+			default:
+				if err := json.Unmarshal(resp.Results[i].Result, &results[start+i]); err != nil {
+					errs[start+i] = fmt.Errorf("avscan: decode bulk %s slot %d: %w", label, i, err)
+				}
+			}
+		}
+	}
+	return results, errs
 }
 
 // Transparency queries the transparency report. blocked is true when the

@@ -11,6 +11,7 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -309,6 +310,106 @@ func TestStreamingAbortsOnContextCancel(t *testing.T) {
 	cancel()
 	if _, err := pipe.Run(ctx, reports); err == nil {
 		t.Fatal("cancelled streaming run returned nil error")
+	}
+}
+
+// slowHLR answers every lookup successfully after a fixed delay, counting
+// invocations. The delay keeps one worker pinned while the fail-latch
+// fires elsewhere; the count then reveals whether queued records still
+// reached the service afterwards.
+type slowHLR struct {
+	delay time.Duration
+	calls *atomic.Int64
+}
+
+func (s slowHLR) Lookup(ctx context.Context, _ string) (hlr.Result, error) {
+	s.calls.Add(1)
+	select {
+	case <-time.After(s.delay):
+		return hlr.Result{}, nil
+	case <-ctx.Done():
+		return hlr.Result{}, ctx.Err()
+	}
+}
+
+// slowFailingWhois fails every lookup after a fixed delay. The delay lets
+// the curation producer run ahead of the draining worker, so the queue is
+// full of not-yet-enriched records when the latch fires.
+type slowFailingWhois struct{ delay time.Duration }
+
+func (s slowFailingWhois) Lookup(ctx context.Context, _ string) (whois.Record, bool, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+	}
+	return whois.Record{}, false, errInjected
+}
+
+// TestStreamingAbortLeavesNoPostFailureRecords pins the streamCtx fix:
+// once the fail-latch fires, surviving workers must fail fast on queued
+// records instead of enriching them against the still-live outer context
+// and appending them to the Dataset.
+//
+// The schedule is forced: with two enrich workers and in-order curation,
+// one worker blocks on a slow (healthy) HLR lookup while the other drains
+// four failing WHOIS records, tripping the abort latch at 4/4 failures
+// with the channel packed full of queued phone records. The blocked
+// worker is the regression probe — before the fix its in-flight call
+// succeeds, the failure ratio drops back under the threshold, and it
+// drains that queue through the service; after the fix its call dies with
+// streamCtx and nothing queued touches a service.
+func TestStreamingAbortLeavesNoPostFailureRecords(t *testing.T) {
+	var hlrCalls atomic.Int64
+	services := Services{
+		HLR:   slowHLR{delay: 200 * time.Millisecond, calls: &hlrCalls},
+		Whois: slowFailingWhois{delay: 10 * time.Millisecond},
+	}
+	pipe := mustPipeline(t, services, Options{
+		Streaming:        true,
+		EnrichWorkers:    2,
+		StageWorkers:     1, // curate in report order: the schedule below depends on it
+		AbortFailureRate: 0.9,
+		MinAbortCalls:    4,
+	})
+
+	base := time.Date(2024, 5, 1, 12, 0, 0, 0, time.UTC)
+	report := func(i int, text, sender string) forum.RawReport {
+		return forum.RawReport{
+			Forum:    corpus.ForumSmishtank,
+			PostID:   fmt.Sprintf("abort-%02d", i),
+			PostedAt: base.Add(time.Duration(i) * time.Minute),
+			SMSText:  text,
+			SenderID: sender,
+		}
+	}
+	phone := func(i int) forum.RawReport { // HLR family only: no URL
+		return report(i, "Your parcel is held, reply YES to reschedule", "+447700900123")
+	}
+	domain := func(i int) forum.RawReport { // WHOIS family only: alpha sender
+		return report(i, fmt.Sprintf("Account locked, verify: https://evil-clinic-%d.xyz/login", i), "EVILCO")
+	}
+	reports := []forum.RawReport{phone(0), domain(1), domain(2), domain(3), domain(4)}
+	for i := 5; i < 15; i++ {
+		reports = append(reports, phone(i)) // the queued tail that must never be enriched
+	}
+
+	ds, err := pipe.Run(context.Background(), reports)
+	if err == nil {
+		t.Fatal("latched streaming run returned nil error")
+	}
+	if !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("run failed with %v, want the abort error", err)
+	}
+	// Only phone(0) was in flight when the latch fired; every later phone
+	// record must short-circuit before reaching the service.
+	if got := hlrCalls.Load(); got > 2 {
+		t.Errorf("healthy service saw %d calls, want <= 2: queued records were enriched after the fail-latch", got)
+	}
+	// Pre-latch the domain worker appended at most its three degraded
+	// records; anything near the full report count means post-failure
+	// records leaked into the Dataset.
+	if got := len(ds.Records); got > 5 {
+		t.Errorf("aborted run kept %d records, want <= 5 (pre-latch only)", got)
 	}
 }
 

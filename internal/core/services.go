@@ -67,6 +67,33 @@ type ShortExpander interface {
 	Expand(ctx context.Context, service, code string) (string, error)
 }
 
+// The optional bulk seam: a service that can answer many keys in one
+// round trip additionally implements its Bulk* interface. Every batch
+// method returns parallel result and error slices, one slot per input key
+// — per-key error demultiplexing is the contract, so one bad key degrades
+// one record, never the batch. Decorators that cannot batch simply don't
+// implement these, and callers (the batchmux tier) detect that by type
+// assertion and fall through to the per-key methods.
+
+// BulkHLRLookuper resolves many MSISDNs in one call.
+type BulkHLRLookuper interface {
+	LookupBatch(ctx context.Context, msisdns []string) ([]hlr.Result, []error)
+}
+
+// BulkDNSResolver serves many domains' passive-DNS histories in one call.
+type BulkDNSResolver interface {
+	ResolutionsBatch(ctx context.Context, domains []string) ([][]dnsdb.Observation, []error)
+}
+
+// BulkAVScanner runs the scriptable URL-reputation paths (the vendor
+// aggregate and the Safe Browsing status) over many URLs in one call.
+// Transparency is deliberately absent: the transparency site blocks
+// automation, so there is nothing to batch.
+type BulkAVScanner interface {
+	ScanBatch(ctx context.Context, urls []string) ([]avscan.Report, []error)
+	GSBLookupBatch(ctx context.Context, urls []string) ([]avscan.GSBResult, []error)
+}
+
 // The concrete clients are the canonical implementations.
 var (
 	_ HLRLookuper   = (*hlr.Client)(nil)
@@ -75,6 +102,10 @@ var (
 	_ DNSResolver   = (*dnsdb.Client)(nil)
 	_ AVScanner     = (*avscan.Client)(nil)
 	_ ShortExpander = (*shortener.Client)(nil)
+
+	_ BulkHLRLookuper = (*hlr.Client)(nil)
+	_ BulkDNSResolver = (*dnsdb.Client)(nil)
+	_ BulkAVScanner   = (*avscan.Client)(nil)
 )
 
 // Services bundles the enrichment clients behind the per-service

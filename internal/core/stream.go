@@ -62,7 +62,11 @@ func (p *Pipeline) runStreaming(ctx context.Context, reports []forum.RawReport) 
 				p.met.queueDepth.Add(-1)
 				p.met.busyWorkers.Add(1)
 				start := time.Now()
-				err := p.enrichOne(ctx, st, &rec)
+				// Enrich under streamCtx, not the outer ctx: once the
+				// fail-latch fires, queued records must fail fast instead of
+				// burning their full RecordBudget and appending post-failure
+				// records to the Dataset.
+				err := p.enrichOne(streamCtx, st, &rec)
 				p.met.recordLat.Observe(time.Since(start))
 				p.met.busyWorkers.Add(-1)
 				if err == nil {
@@ -123,7 +127,10 @@ func (p *Pipeline) runStreaming(ctx context.Context, reports []forum.RawReport) 
 		case <-streamCtx.Done():
 		}
 	})
-	if err := ctx.Err(); err != nil {
+	// streamCtx inherits the outer ctx, so this check catches an outer
+	// cancellation/deadline too; when the fail-latch itself killed the
+	// stream the latch already holds firstErr and fail is a no-op.
+	if err := streamCtx.Err(); err != nil {
 		fail(err)
 	}
 	close(curated)

@@ -2,6 +2,7 @@ package dnsdb
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/netip"
 	"net/url"
@@ -76,10 +77,14 @@ func (s *Store) ASOf(ip string) (ASInfo, error) {
 	return s.asdb.Lookup(addr)
 }
 
+// MaxBulk is the largest accepted bulk-resolution batch.
+const MaxBulk = 500
+
 // Server exposes:
 //
-//	GET /v1/pdns?domain=x  -> []Observation
-//	GET /v1/ip?addr=a.b.c.d -> ASInfo
+//	GET  /v1/pdns?domain=x                 -> []Observation
+//	GET  /v1/ip?addr=a.b.c.d               -> ASInfo
+//	POST /v1/pdns/bulk {"domains": [...]}  -> per-domain results (max 500)
 type Server struct {
 	store   *Store
 	apiKey  string
@@ -109,6 +114,33 @@ func (s *Server) Handler() http.Handler {
 		}
 		netutil.WriteJSON(w, http.StatusOK, s.store.Resolutions(domain))
 	})
+	mux.HandleFunc("POST /v1/pdns/bulk", func(w http.ResponseWriter, r *http.Request) {
+		var req bulkRequest
+		if err := netutil.ReadJSON(r, &req); err != nil {
+			netutil.WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if len(req.Domains) == 0 {
+			netutil.WriteError(w, http.StatusBadRequest, "empty domain list")
+			return
+		}
+		if len(req.Domains) > MaxBulk {
+			netutil.WriteError(w, http.StatusRequestEntityTooLarge, "batch exceeds limit")
+			return
+		}
+		if !s.allowN(w, len(req.Domains)) {
+			return
+		}
+		resp := bulkResponse{Results: make([]bulkItem, len(req.Domains))}
+		for i, d := range req.Domains {
+			if strings.TrimSpace(d) == "" {
+				resp.Results[i] = bulkItem{Domain: d, Error: "empty domain"}
+				continue
+			}
+			resp.Results[i] = bulkItem{Domain: d, Observations: s.store.Resolutions(d)}
+		}
+		netutil.WriteJSON(w, http.StatusOK, resp)
+	})
 	mux.HandleFunc("GET /v1/ip", func(w http.ResponseWriter, r *http.Request) {
 		if !s.allow(w) {
 			return
@@ -128,12 +160,31 @@ func (s *Server) Handler() http.Handler {
 	return netutil.RequireKey(s.apiKey, mux)
 }
 
-func (s *Server) allow(w http.ResponseWriter) bool {
-	if s.limiter == nil || s.limiter.Allow() {
+func (s *Server) allow(w http.ResponseWriter) bool { return s.allowN(w, 1) }
+
+func (s *Server) allowN(w http.ResponseWriter, n int) bool {
+	if s.limiter == nil || s.limiter.AllowN(n) {
 		return true
 	}
-	netutil.WriteRateLimited(w, s.limiter.RetryAfter(1))
+	netutil.WriteRateLimited(w, s.limiter.RetryAfter(n))
 	return false
+}
+
+// bulkRequest / bulkResponse are the bulk-resolution wire shapes;
+// Results[i] answers Domains[i], with a non-empty Error marking that one
+// slot as failed without poisoning the batch.
+type bulkRequest struct {
+	Domains []string `json:"domains"`
+}
+
+type bulkItem struct {
+	Domain       string        `json:"domain"`
+	Observations []Observation `json:"observations"`
+	Error        string        `json:"error,omitempty"`
+}
+
+type bulkResponse struct {
+	Results []bulkItem `json:"results"`
 }
 
 // Client consumes the API.
@@ -158,6 +209,40 @@ func (c *Client) Resolutions(ctx context.Context, domain string) ([]Observation,
 	var out []Observation
 	err := c.API.GetJSON(ctx, "/v1/pdns?domain="+url.QueryEscape(domain), &out)
 	return out, err
+}
+
+// ResolutionsBatch fetches many domains' pDNS histories in MaxBulk-sized
+// batches with partial-result semantics: results[i] and errs[i] answer
+// domains[i], and a transport-level failure fans out to every slot of its
+// chunk without touching the others.
+func (c *Client) ResolutionsBatch(ctx context.Context, domains []string) ([][]Observation, []error) {
+	results := make([][]Observation, len(domains))
+	errs := make([]error, len(domains))
+	for start := 0; start < len(domains); start += MaxBulk {
+		end := start + MaxBulk
+		if end > len(domains) {
+			end = len(domains)
+		}
+		chunk := domains[start:end]
+		var resp bulkResponse
+		if err := c.API.PostJSON(ctx, "/v1/pdns/bulk", bulkRequest{Domains: chunk}, &resp); err != nil {
+			for i := start; i < end; i++ {
+				errs[i] = err
+			}
+			continue
+		}
+		for i := range chunk {
+			switch {
+			case i >= len(resp.Results):
+				errs[start+i] = fmt.Errorf("dnsdb: bulk response missing slot %d", i)
+			case resp.Results[i].Error != "":
+				errs[start+i] = fmt.Errorf("dnsdb: bulk resolutions %q: %s", chunk[i], resp.Results[i].Error)
+			default:
+				results[start+i] = resp.Results[i].Observations
+			}
+		}
+	}
+	return results, errs
 }
 
 // ASOf resolves an IP to its AS. A 404 maps to ErrNoRoute.

@@ -33,9 +33,18 @@ func New(cfg Config, reg *telemetry.Registry) *Injector {
 // non-empty. Nil services stay nil and fault-free services pass through
 // undecorated, so a targeted single-service outage costs nothing on the
 // healthy paths.
+// Bulk-capable services keep their core.Bulk* seam through the fault
+// layer: the bulk decorator variants gate each key individually, so a
+// flapping window degrades some slots of a batch rather than hiding the
+// batching tier's fast path entirely.
 func (in *Injector) WrapServices(s core.Services) core.Services {
 	if s.HLR != nil && in.gates["hlr"].f.enabled() {
-		s.HLR = &faultyHLR{next: s.HLR, g: in.gates["hlr"]}
+		base := faultyHLR{next: s.HLR, g: in.gates["hlr"]}
+		if bulk, ok := s.HLR.(core.BulkHLRLookuper); ok {
+			s.HLR = &faultyBulkHLR{faultyHLR: base, bulk: bulk}
+		} else {
+			s.HLR = &base
+		}
 	}
 	if s.Whois != nil && in.gates["whois"].f.enabled() {
 		s.Whois = &faultyWhois{next: s.Whois, g: in.gates["whois"]}
@@ -44,15 +53,58 @@ func (in *Injector) WrapServices(s core.Services) core.Services {
 		s.CTLog = &faultyCT{next: s.CTLog, g: in.gates["ctlog"]}
 	}
 	if s.DNSDB != nil && in.gates["dnsdb"].f.enabled() {
-		s.DNSDB = &faultyDNS{next: s.DNSDB, g: in.gates["dnsdb"]}
+		base := faultyDNS{next: s.DNSDB, g: in.gates["dnsdb"]}
+		if bulk, ok := s.DNSDB.(core.BulkDNSResolver); ok {
+			s.DNSDB = &faultyBulkDNS{faultyDNS: base, bulk: bulk}
+		} else {
+			s.DNSDB = &base
+		}
 	}
 	if s.AVScan != nil && in.gates["avscan"].f.enabled() {
-		s.AVScan = &faultyAV{next: s.AVScan, g: in.gates["avscan"]}
+		base := faultyAV{next: s.AVScan, g: in.gates["avscan"]}
+		if bulk, ok := s.AVScan.(core.BulkAVScanner); ok {
+			s.AVScan = &faultyBulkAV{faultyAV: base, bulk: bulk}
+		} else {
+			s.AVScan = &base
+		}
 	}
 	if s.Shortener != nil && in.gates["shortener"].f.enabled() {
 		s.Shortener = &faultyShort{next: s.Shortener, g: in.gates["shortener"]}
 	}
 	return s
+}
+
+// gateBatch applies one gate decision per key: keys the gate rejects get
+// that fault as their slot error, the survivors go upstream as a smaller
+// batch, and the answers demultiplex back into their original slots.
+func gateBatch[V any](ctx context.Context, g *gate, keys []string,
+	bulk func(ctx context.Context, keys []string) ([]V, []error)) ([]V, []error) {
+	vals := make([]V, len(keys))
+	errs := make([]error, len(keys))
+	pass := make([]string, 0, len(keys))
+	slots := make([]int, 0, len(keys))
+	for i, k := range keys {
+		if err := g.before(ctx); err != nil {
+			errs[i] = err
+			continue
+		}
+		pass = append(pass, k)
+		slots = append(slots, i)
+	}
+	if len(pass) == 0 {
+		return vals, errs
+	}
+	pvals, perrs := bulk(ctx, pass)
+	for j, i := range slots {
+		if j < len(perrs) && perrs[j] != nil {
+			errs[i] = perrs[j]
+			continue
+		}
+		if j < len(pvals) {
+			vals[i] = pvals[j]
+		}
+	}
+	return vals, errs
 }
 
 type faultyHLR struct {
@@ -65,6 +117,15 @@ func (d *faultyHLR) Lookup(ctx context.Context, msisdn string) (hlr.Result, erro
 		return hlr.Result{}, err
 	}
 	return d.next.Lookup(ctx, msisdn)
+}
+
+type faultyBulkHLR struct {
+	faultyHLR
+	bulk core.BulkHLRLookuper
+}
+
+func (d *faultyBulkHLR) LookupBatch(ctx context.Context, msisdns []string) ([]hlr.Result, []error) {
+	return gateBatch(ctx, d.g, msisdns, d.bulk.LookupBatch)
 }
 
 type faultyWhois struct {
@@ -110,6 +171,15 @@ func (d *faultyDNS) ASOf(ctx context.Context, ip string) (dnsdb.ASInfo, error) {
 	return d.next.ASOf(ctx, ip)
 }
 
+type faultyBulkDNS struct {
+	faultyDNS
+	bulk core.BulkDNSResolver
+}
+
+func (d *faultyBulkDNS) ResolutionsBatch(ctx context.Context, domains []string) ([][]dnsdb.Observation, []error) {
+	return gateBatch(ctx, d.g, domains, d.bulk.ResolutionsBatch)
+}
+
 type faultyAV struct {
 	next core.AVScanner
 	g    *gate
@@ -134,6 +204,19 @@ func (d *faultyAV) Transparency(ctx context.Context, u string) (avscan.Transpare
 		return avscan.TransparencyResult{}, false, err
 	}
 	return d.next.Transparency(ctx, u)
+}
+
+type faultyBulkAV struct {
+	faultyAV
+	bulk core.BulkAVScanner
+}
+
+func (d *faultyBulkAV) ScanBatch(ctx context.Context, urls []string) ([]avscan.Report, []error) {
+	return gateBatch(ctx, d.g, urls, d.bulk.ScanBatch)
+}
+
+func (d *faultyBulkAV) GSBLookupBatch(ctx context.Context, urls []string) ([]avscan.GSBResult, []error) {
+	return gateBatch(ctx, d.g, urls, d.bulk.GSBLookupBatch)
 }
 
 type faultyShort struct {

@@ -31,6 +31,38 @@ type Message struct {
 	Reason string    `json:"reason"`
 }
 
+// DefaultRetention is the keep-last-N cap applied to every inbox, the
+// quarantine, and the 7726 report log unless WithRetention overrides it.
+const DefaultRetention = 1024
+
+// ring is a fixed-capacity keep-last-N message buffer: once full, each
+// push overwrites the oldest entry. It grows lazily, so an idle inbox
+// costs a map slot, not a full allocation.
+type ring struct {
+	cap   int
+	buf   []Message
+	start int // index of the oldest entry once the buffer has wrapped
+}
+
+// push appends m, reporting whether an older message was evicted.
+func (r *ring) push(m Message) bool {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, m)
+		return false
+	}
+	r.buf[r.start] = m
+	r.start = (r.start + 1) % r.cap
+	return true
+}
+
+// snapshot copies the retained messages, oldest first.
+func (r *ring) snapshot() []Message {
+	out := make([]Message, 0, len(r.buf))
+	out = append(out, r.buf[r.start:]...)
+	out = append(out, r.buf[:r.start]...)
+	return out
+}
+
 // Gateway filters and routes SMS traffic. Safe for concurrent use.
 type Gateway struct {
 	filter *xdrfilter.Filter
@@ -38,9 +70,10 @@ type Gateway struct {
 
 	mu         sync.Mutex
 	nextID     int
-	inboxes    map[string][]Message // by recipient
-	quarantine []Message
-	reports    []Message // 7726 submissions
+	retain     int              // per-ring keep-last-N cap
+	inboxes    map[string]*ring // by recipient
+	quarantine ring
+	reports    ring // 7726 submissions
 	stats      Stats
 }
 
@@ -52,6 +85,7 @@ type gatewayMetrics struct {
 	blocked    *telemetry.Counter
 	flagged    *telemetry.Counter
 	reports    *telemetry.Counter
+	dropped    *telemetry.Counter
 	submitLat  *telemetry.Histogram
 	deliverLat *telemetry.Histogram
 	blockLat   *telemetry.Histogram
@@ -67,6 +101,7 @@ func (g *Gateway) Instrument(reg *telemetry.Registry) *Gateway {
 		blocked:    reg.Counter("gateway.blocked"),
 		flagged:    reg.Counter("gateway.flagged"),
 		reports:    reg.Counter("gateway.user_reports"),
+		dropped:    reg.Counter("gateway.dropped"),
 		submitLat:  reg.Histogram("gateway.submit.latency"),
 		deliverLat: reg.Histogram("gateway.deliver.latency"),
 		blockLat:   reg.Histogram("gateway.block.latency"),
@@ -83,11 +118,53 @@ type Stats struct {
 	Flagged     int `json:"flagged"`
 	UserReports int `json:"user_reports"`
 	FeedbackAdd int `json:"feedback_blocklist_additions"`
+	// Dropped counts messages evicted from capped inbox / quarantine /
+	// report buffers under sustained traffic. Routing stats above still
+	// count every message ever processed.
+	Dropped int `json:"dropped"`
 }
 
-// New builds a gateway around a configured filter.
+// New builds a gateway around a configured filter. Inboxes, the
+// quarantine, and the report log each retain the last DefaultRetention
+// messages; see WithRetention.
 func New(filter *xdrfilter.Filter) *Gateway {
-	return &Gateway{filter: filter, inboxes: make(map[string][]Message)}
+	g := &Gateway{filter: filter, inboxes: make(map[string]*ring)}
+	return g.WithRetention(DefaultRetention)
+}
+
+// WithRetention caps each inbox, the quarantine, and the 7726 report log
+// at the last n messages (n <= 0 restores DefaultRetention). Call before
+// serving traffic: already-buffered messages keep their old cap.
+func (g *Gateway) WithRetention(n int) *Gateway {
+	if n <= 0 {
+		n = DefaultRetention
+	}
+	g.mu.Lock()
+	g.retain = n
+	g.quarantine.cap = n
+	g.reports.cap = n
+	g.mu.Unlock()
+	return g
+}
+
+// pushDropped folds one ring push into the eviction bookkeeping; callers
+// hold g.mu.
+func (g *Gateway) pushDropped(r *ring, m Message) {
+	if r.push(m) {
+		g.stats.Dropped++
+		g.met.dropped.Inc()
+	}
+}
+
+// inbox returns the recipient's ring, creating it at the current cap.
+// Callers hold g.mu.
+func (g *Gateway) inbox(to string) *ring {
+	r := g.inboxes[to]
+	if r == nil {
+		r = &ring{cap: g.retain}
+		g.inboxes[to] = r
+	}
+	return r
 }
 
 // Submit runs one message through the filter and routes it.
@@ -112,15 +189,15 @@ func (g *Gateway) Submit(ctx context.Context, from, to, text string) (Message, e
 	case xdrfilter.ActionBlock:
 		m.Action = "blocked"
 		g.stats.Blocked++
-		g.quarantine = append(g.quarantine, m)
+		g.pushDropped(&g.quarantine, m)
 	case xdrfilter.ActionFlag:
 		m.Action = "flagged"
 		g.stats.Flagged++
-		g.inboxes[to] = append(g.inboxes[to], m) // delivered with a warning
+		g.pushDropped(g.inbox(to), m) // delivered with a warning
 	default:
 		m.Action = "delivered"
 		g.stats.Delivered++
-		g.inboxes[to] = append(g.inboxes[to], m)
+		g.pushDropped(g.inbox(to), m)
 	}
 	g.mu.Unlock()
 
@@ -149,7 +226,7 @@ func (g *Gateway) Report(from, text string) int {
 	g.met.reports.Inc()
 	g.mu.Lock()
 	g.stats.UserReports++
-	g.reports = append(g.reports, Message{From: from, Text: text, At: time.Now().UTC()})
+	g.pushDropped(&g.reports, Message{From: from, Text: text, At: time.Now().UTC()})
 	g.mu.Unlock()
 
 	added := 0
@@ -170,23 +247,22 @@ func (g *Gateway) Report(from, text string) int {
 	return added
 }
 
-// Inbox returns a copy of a subscriber's messages.
+// Inbox returns a copy of a subscriber's retained messages, oldest first.
 func (g *Gateway) Inbox(subscriber string) []Message {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	msgs := g.inboxes[subscriber]
-	out := make([]Message, len(msgs))
-	copy(out, msgs)
-	return out
+	r := g.inboxes[subscriber]
+	if r == nil {
+		return []Message{}
+	}
+	return r.snapshot()
 }
 
-// Quarantine returns the blocked messages.
+// Quarantine returns the retained blocked messages, oldest first.
 func (g *Gateway) Quarantine() []Message {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	out := make([]Message, len(g.quarantine))
-	copy(out, g.quarantine)
-	return out
+	return g.quarantine.snapshot()
 }
 
 // Snapshot returns current stats.

@@ -12,6 +12,7 @@ import (
 
 	"github.com/smishkit/smishkit/internal/corpus"
 	"github.com/smishkit/smishkit/internal/detect"
+	"github.com/smishkit/smishkit/internal/telemetry"
 	"github.com/smishkit/smishkit/internal/xdrfilter"
 )
 
@@ -266,5 +267,65 @@ func TestMessageIDsUnique(t *testing.T) {
 			t.Fatalf("duplicate id %s", m.ID)
 		}
 		seen[m.ID] = true
+	}
+}
+
+func TestInboxRetentionEvictsOldest(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := testGateway(t).WithRetention(3).Instrument(reg)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		m, err := g.Submit(ctx, "+447700900123", "+447700900999", fmt.Sprintf("running late, see you at %d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Action != "delivered" {
+			t.Fatalf("message %d action = %q (%s)", i, m.Action, m.Reason)
+		}
+	}
+	inbox := g.Inbox("+447700900999")
+	if len(inbox) != 3 {
+		t.Fatalf("inbox kept %d messages, want 3", len(inbox))
+	}
+	for i, m := range inbox {
+		want := fmt.Sprintf("running late, see you at %d", i+2)
+		if m.Text != want {
+			t.Errorf("inbox[%d] = %q, want %q (eviction must drop oldest first)", i, m.Text, want)
+		}
+	}
+	st := g.Snapshot()
+	if st.Dropped != 2 {
+		t.Errorf("stats.Dropped = %d, want 2", st.Dropped)
+	}
+	if st.Submitted != 5 || st.Delivered != 5 {
+		t.Errorf("routing stats must count evicted messages too: %+v", st)
+	}
+	if got := reg.Snapshot().Counters["gateway.dropped"]; got != 2 {
+		t.Errorf("gateway.dropped counter = %d, want 2", got)
+	}
+}
+
+func TestReportLogRetentionCountsDrops(t *testing.T) {
+	g := testGateway(t).WithRetention(2)
+	for i := 0; i < 4; i++ {
+		g.Report("+447700900999", fmt.Sprintf("suspicious text %d, no url", i))
+	}
+	st := g.Snapshot()
+	if st.UserReports != 4 {
+		t.Errorf("UserReports = %d, want 4", st.UserReports)
+	}
+	if st.Dropped != 2 {
+		t.Errorf("stats.Dropped = %d, want 2", st.Dropped)
+	}
+}
+
+func TestRingWrapsInOrder(t *testing.T) {
+	r := ring{cap: 3}
+	for i := 0; i < 7; i++ {
+		r.push(Message{ID: fmt.Sprintf("m%d", i)})
+	}
+	got := r.snapshot()
+	if len(got) != 3 || got[0].ID != "m4" || got[1].ID != "m5" || got[2].ID != "m6" {
+		t.Errorf("snapshot after wrap = %v, want [m4 m5 m6]", got)
 	}
 }

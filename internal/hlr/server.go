@@ -2,7 +2,9 @@ package hlr
 
 import (
 	"context"
+	"fmt"
 	"net/http"
+	"strings"
 
 	"github.com/smishkit/smishkit/internal/netutil"
 	"github.com/smishkit/smishkit/internal/telemetry"
@@ -65,8 +67,12 @@ type bulkRequest struct {
 	MSISDNs []string `json:"msisdns"`
 }
 
+// bulkResponse carries partial-result semantics: Results[i] answers
+// MSISDNs[i], and a non-empty Errors[i] marks that one slot as failed
+// without poisoning the rest of the batch.
 type bulkResponse struct {
 	Results []Result `json:"results"`
+	Errors  []string `json:"errors,omitempty"`
 }
 
 func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
@@ -86,8 +92,15 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	if !s.allow(w, len(req.MSISDNs)) {
 		return
 	}
-	resp := bulkResponse{Results: make([]Result, len(req.MSISDNs))}
+	resp := bulkResponse{
+		Results: make([]Result, len(req.MSISDNs)),
+		Errors:  make([]string, len(req.MSISDNs)),
+	}
 	for i, m := range req.MSISDNs {
+		if strings.TrimSpace(m) == "" {
+			resp.Errors[i] = "empty msisdn"
+			continue
+		}
 		resp.Results[i] = s.store.Lookup(m)
 	}
 	netutil.WriteJSON(w, http.StatusOK, resp)
@@ -118,20 +131,49 @@ func (c *Client) Lookup(ctx context.Context, msisdn string) (Result, error) {
 }
 
 // BulkLookup resolves msisdns in MaxBulk-sized batches, preserving order.
+// The first failed slot (or transport error) fails the whole call; use
+// LookupBatch for per-key error demultiplexing.
 func (c *Client) BulkLookup(ctx context.Context, msisdns []string) ([]Result, error) {
-	out := make([]Result, 0, len(msisdns))
+	results, errs := c.LookupBatch(ctx, msisdns)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// LookupBatch resolves msisdns in MaxBulk-sized batches with partial-result
+// semantics: results[i] and errs[i] answer msisdns[i], and a transport-level
+// failure fans out to every slot of its chunk without touching the others.
+func (c *Client) LookupBatch(ctx context.Context, msisdns []string) ([]Result, []error) {
+	results := make([]Result, len(msisdns))
+	errs := make([]error, len(msisdns))
 	for start := 0; start < len(msisdns); start += MaxBulk {
 		end := start + MaxBulk
 		if end > len(msisdns) {
 			end = len(msisdns)
 		}
+		chunk := msisdns[start:end]
 		var resp bulkResponse
-		if err := c.API.PostJSON(ctx, "/v1/bulk", bulkRequest{MSISDNs: msisdns[start:end]}, &resp); err != nil {
-			return nil, err
+		if err := c.API.PostJSON(ctx, "/v1/bulk", bulkRequest{MSISDNs: chunk}, &resp); err != nil {
+			for i := start; i < end; i++ {
+				errs[i] = err
+			}
+			continue
 		}
-		out = append(out, resp.Results...)
+		for i := range chunk {
+			switch {
+			case i < len(resp.Errors) && resp.Errors[i] != "":
+				errs[start+i] = fmt.Errorf("hlr: bulk lookup %q: %s", chunk[i], resp.Errors[i])
+			case i < len(resp.Results):
+				results[start+i] = resp.Results[i]
+			default:
+				errs[start+i] = fmt.Errorf("hlr: bulk response missing slot %d", i)
+			}
+		}
 	}
-	return out, nil
+	return results, errs
 }
 
 // urlEscape percent-encodes the characters that appear in MSISDNs.

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -228,6 +229,11 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, 
 		backoff = 50 * time.Millisecond
 	}
 	var lastErr error
+	// retryAfter carries the server's Retry-After hint from the most recent
+	// 429/5xx response into the next backoff sleep; the next sleep is
+	// max(Retry-After, computed backoff), so the client never retries
+	// earlier than the server asked while keeping the exponential floor.
+	var retryAfter time.Duration
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			if m != nil {
@@ -235,10 +241,14 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, 
 			}
 			d := backoff << (attempt - 1)
 			d += c.jitter(int64(d) / 2)
+			if retryAfter > d {
+				d = retryAfter
+			}
 			if err := c.sleep(ctx, d); err != nil {
 				return err
 			}
 		}
+		retryAfter = 0
 		var rdr io.Reader
 		if body != nil {
 			rdr = bytes.NewReader(body)
@@ -280,6 +290,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, 
 			if m != nil && resp.StatusCode == http.StatusTooManyRequests {
 				m.RateLimited.Inc()
 			}
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 			lastErr = &APIError{Status: resp.StatusCode, Body: truncate(string(data), 200)}
 			continue // retryable
 		default:
@@ -287,6 +298,28 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body []byte, 
 		}
 	}
 	return fmt.Errorf("netutil: %s %s failed after %d attempts: %w", method, path, retries+1, lastErr)
+}
+
+// parseRetryAfter interprets a Retry-After header value: delay-seconds
+// first, then HTTP-date. Malformed values (and dates in the past) yield 0,
+// falling the caller through to its computed backoff.
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func truncate(s string, n int) string {

@@ -87,6 +87,130 @@ func TestClientRetriesOn429(t *testing.T) {
 	}
 }
 
+// TestClientHonorsRetryAfter pins the contract the package doc promises:
+// when a 429 carries Retry-After, the next sleep is max(Retry-After,
+// computed backoff), observed through the swappable Sleep clock.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			WriteError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]int{"ok": 1})
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		BaseURL: srv.URL,
+		Backoff: time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	if err := c.GetJSON(context.Background(), "/ra", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times, want 1", len(slept))
+	}
+	// Retry-After: 7 dominates the ~1.5ms computed backoff exactly.
+	if slept[0] != 7*time.Second {
+		t.Errorf("slept %v, want 7s from Retry-After", slept[0])
+	}
+}
+
+// TestClientRetryAfterBelowBackoffKeepsBackoff: a tiny Retry-After must not
+// shrink the exponential floor.
+func TestClientRetryAfterBelowBackoffKeepsBackoff(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			WriteRateLimited(w, 0) // Retry-After: 1
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]int{"ok": 1})
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		BaseURL: srv.URL,
+		Backoff: 10 * time.Second,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	if err := c.GetJSON(context.Background(), "/ra-low", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] < 10*time.Second {
+		t.Errorf("slept %v, want >= 10s computed backoff", slept)
+	}
+}
+
+// TestClientRetryAfterMalformed: unparseable header values fall through to
+// the computed backoff instead of stalling or panicking.
+func TestClientRetryAfterMalformed(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "soon-ish")
+			WriteError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]int{"ok": 1})
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		BaseURL: srv.URL,
+		Backoff: time.Millisecond,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	if err := c.GetJSON(context.Background(), "/ra-bad", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Computed backoff (1ms base + up to 50% jitter) — nowhere near the
+	// seconds scale a parsed header would produce.
+	if len(slept) != 1 || slept[0] > 100*time.Millisecond {
+		t.Errorf("slept %v, want small computed backoff", slept)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"3", 3 * time.Second},
+		{" 12 ", 12 * time.Second},
+		{"0", 0},
+		{"-5", 0},
+		{"garbage", 0},
+		{"Mon, 02 Jan 2006 15:04:05 GMT", 0}, // long past
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// A future HTTP-date yields roughly the remaining interval.
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got < 20*time.Second || got > 31*time.Second {
+		t.Errorf("parseRetryAfter(future date) = %v, want ~30s", got)
+	}
+}
+
 func TestClientNoRetryOn404(t *testing.T) {
 	var calls atomic.Int32
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

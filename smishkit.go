@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/smishkit/smishkit/internal/batchmux"
 	"github.com/smishkit/smishkit/internal/core"
 	"github.com/smishkit/smishkit/internal/corpus"
 	"github.com/smishkit/smishkit/internal/enrichcache"
@@ -93,6 +94,20 @@ type (
 	// CacheServiceStats is one service's hit/miss/coalesced/negative/
 	// stale/eviction counts plus the live entry count.
 	CacheServiceStats = enrichcache.ServiceStats
+
+	// BatchConfig tunes the windowed batching tier (Options.Batch): window
+	// size, partial-window flush interval, the detached bulk-call timeout,
+	// the cross-service in-flight cap, and per-service overrides.
+	// &BatchConfig{} selects the documented defaults.
+	BatchConfig = batchmux.Config
+	// BatchServiceConfig overrides the batching bounds of one service
+	// (keyed "hlr", "dnsdb", "avscan").
+	BatchServiceConfig = batchmux.ServiceConfig
+	// BatchStats maps each batchable service to its batching scoreboard.
+	BatchStats = batchmux.Stats
+	// BatchServiceStats is one service's flush/batched-keys/coalesced/
+	// fallthrough counts.
+	BatchServiceStats = batchmux.ServiceStats
 
 	// FaultConfig seeds the deterministic chaos layer (Options.Faults):
 	// per-service error / 429 / 5xx / hang / latency rates and flapping
@@ -163,6 +178,16 @@ type Options struct {
 	// the study's collector under "cache.<service>.*"; Study.CacheStats
 	// reads the same numbers as a typed snapshot.
 	Cache *CacheConfig
+	// Batch, when non-nil, inserts the windowed batching tier between the
+	// cache and the fault layer: cache misses for batchable services (HLR,
+	// passive DNS, the VT aggregate, GSB status) accumulate in per-service
+	// windows and flush as one bulk request on size or timer, with in-window
+	// dedup and per-key error demultiplexing. Services whose client has no
+	// bulk seam fall through to per-key calls, counted. Flush/batch-size/
+	// coalesced/fallthrough counters land in the collector under
+	// "batch.<service>.*"; Study.BatchStats reads the same numbers as a
+	// typed snapshot.
+	Batch *BatchConfig
 	// Faults, when non-nil, injects deterministic faults (errors, 429/5xx
 	// bursts, hangs, latency spikes, flapping windows) between the cache
 	// and the real service clients — chaos testing for the pipeline's
@@ -186,6 +211,7 @@ type Study struct {
 	Pipe  *core.Pipeline
 
 	cache    *enrichcache.Cache   // nil when Options.Cache was nil
+	batch    *batchmux.Mux        // nil when Options.Batch was nil
 	breakers *resilience.Breakers // nil when Options.Resilience was nil
 }
 
@@ -204,14 +230,21 @@ func NewStudy(opts Options) (*Study, error) {
 		return nil, fmt.Errorf("smishkit: start simulation: %w", err)
 	}
 	// Decorator order, innermost first: instrumented client <- faults <-
-	// cache <- breaker <- pipeline. Faults sit inside the cache so cache
-	// hits shield the pipeline from injected failures, exactly as they
-	// shield it from real ones; breakers sit outside the cache so hits
-	// cost them nothing and upstream 5xx reach the serve-stale path
-	// before being counted.
+	// batchmux <- cache <- breaker <- pipeline. Faults sit inside the
+	// batching tier so a flapping window degrades individual slots of a
+	// batch, not the tier itself; batchmux sits inside the cache so only
+	// cache misses reach a window and every flushed answer is cached on the
+	// way back out; breakers sit outside the cache so hits cost them
+	// nothing and upstream 5xx reach the serve-stale path before being
+	// counted.
 	services := sim.Services()
 	if opts.Faults != nil {
 		services = faultinject.New(*opts.Faults, reg).WrapServices(services)
+	}
+	var batch *batchmux.Mux
+	if opts.Batch != nil {
+		batch = batchmux.New(*opts.Batch, reg)
+		services = batch.WrapServices(services)
 	}
 	var cache *enrichcache.Cache
 	if opts.Cache != nil {
@@ -246,7 +279,7 @@ func NewStudy(opts Options) (*Study, error) {
 		cerr := sim.Close()
 		return nil, errors.Join(fmt.Errorf("smishkit: build pipeline: %w", err), cerr)
 	}
-	return &Study{World: w, Sim: sim, Pipe: pipe, cache: cache, breakers: breakers}, nil
+	return &Study{World: w, Sim: sim, Pipe: pipe, cache: cache, batch: batch, breakers: breakers}, nil
 }
 
 // Collect drains all five forums.
@@ -285,6 +318,17 @@ func (s *Study) CacheStats() CacheStats {
 	return s.cache.Stats()
 }
 
+// BatchStats snapshots the batching tier per service: flushes, cumulative
+// batched keys, in-window coalesced duplicates, and counted per-key
+// fallthroughs. Returns nil when the study was built without
+// Options.Batch. Safe to call concurrently with Run, and after Close.
+func (s *Study) BatchStats() BatchStats {
+	if s.batch == nil {
+		return nil
+	}
+	return s.batch.Stats()
+}
+
 // ResilienceStats snapshots every circuit breaker: current state plus
 // open / short-circuit / probe / outcome counts. Returns nil when the
 // study was built without Options.Resilience. Safe to call concurrently
@@ -319,6 +363,10 @@ func WriteTelemetry(w io.Writer, snap Telemetry) error { return telemetry.Write(
 // WriteCacheStats renders a CacheStats snapshot as an aligned text table,
 // one row per service, with per-service hit rates.
 func WriteCacheStats(w io.Writer, stats CacheStats) error { return enrichcache.Write(w, stats) }
+
+// WriteBatchStats renders a BatchStats snapshot as an aligned text table,
+// one row per batchable service, with mean keys per flush.
+func WriteBatchStats(w io.Writer, stats BatchStats) error { return batchmux.Write(w, stats) }
 
 // WriteResilienceStats renders a ResilienceStats snapshot as an aligned
 // text table, one breaker per row.
