@@ -6,7 +6,14 @@
 //	smishctl [-seed N] [-messages N] [-workers N] [-step-workers N] [-stream]
 //	         [-extractor structured|vision|naive] [-telemetry] [-cache]
 //	         [-cache-stats] [-batch] [-batch-stats] [-chaos RATE]
+//	         [-serve] [-poll-interval D] [-serve-rounds N] [-checkpoint-dir DIR]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//
+// With -serve, smishctl runs as a long-lived daemon: it polls the forums
+// on -poll-interval, feeds new reports through the streaming pipeline
+// (implied by -serve), and keeps the report tables current; Ctrl-C drains
+// the in-flight round and prints the final report. -checkpoint-dir makes
+// the collection cursors survive restarts.
 package main
 
 import (
@@ -15,8 +22,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"github.com/smishkit/smishkit"
@@ -45,7 +54,12 @@ func run() error {
 	batch := flag.Bool("batch", false, "coalesce cache misses into windowed bulk requests (HLR, passive DNS, URL scans)")
 	batchStats := flag.Bool("batch-stats", false, "print per-service batching flush/coalesced counts after the report")
 	chaos := flag.Float64("chaos", 0, "inject faults into this fraction of service calls (0 disables; seeded by -seed) and enable circuit breakers")
-	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	serve := flag.Bool("serve", false, "run as a long-lived daemon: poll the forums incrementally and keep the report projection current (implies -stream)")
+	pollInterval := flag.Duration("poll-interval", 2*time.Second, "idle time between daemon collection rounds (with -serve)")
+	serveRounds := flag.Int("serve-rounds", 0, "stop the daemon after N rounds (0 = run until interrupted; with -serve)")
+	checkpointDir := flag.String("checkpoint-dir", "", "persist collection cursors as JSON files under this directory so a restarted daemon resumes where it left off (with -serve)")
+	liveWaves := flag.Int("live-waves", 3, "hold back this many fixture waves and release one per round, so the daemon sees reports arrive over time (with -serve)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline (batch mode only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	flag.Parse()
@@ -94,6 +108,22 @@ func run() error {
 	opts.Pipeline.EnrichWorkers = *workers
 	opts.Pipeline.StepWorkers = *stepWorkers
 	opts.Pipeline.Streaming = *stream
+	if *serve {
+		// Service mode feeds every round through the streaming pipeline.
+		opts.Pipeline.Streaming = true
+		opts.Service = &smishkit.ServiceConfig{
+			PollInterval: *pollInterval,
+			MaxRounds:    *serveRounds,
+			LiveWaves:    *liveWaves,
+		}
+		if *checkpointDir != "" {
+			store, err := smishkit.NewFileCheckpoints(*checkpointDir)
+			if err != nil {
+				return fmt.Errorf("-checkpoint-dir: %w", err)
+			}
+			opts.Service.Checkpoints = store
+		}
+	}
 	switch *extractor {
 	case "structured":
 		opts.Pipeline.Extractor = smishkit.ExtractorStructuredVision
@@ -105,10 +135,16 @@ func run() error {
 		return fmt.Errorf("unknown extractor %q", *extractor)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-	defer cancel()
-
 	start := time.Now()
+	if *serve {
+		opts.Service.OnRound = func(info smishkit.RoundInfo) {
+			if info.Err != nil {
+				log.Printf("round %d: %v", info.Round, info.Err)
+				return
+			}
+			log.Printf("round %d: +%d reports, %d records projected", info.Round, info.NewReports, info.Records)
+		}
+	}
 	study, err := smishkit.NewStudy(opts)
 	if err != nil {
 		return err
@@ -118,13 +154,37 @@ func run() error {
 		len(study.World.Messages), len(study.World.Domains),
 		len(study.World.Numbers), len(study.World.Links))
 
-	ds, err := study.Run(ctx)
+	var ds *smishkit.Dataset
+	if *serve {
+		// Daemon mode: run until -serve-rounds completes or Ctrl-C; the
+		// shutdown drains the in-flight round before reporting.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		go func() {
+			// The status URL binds inside Serve; poll briefly to print it.
+			for i := 0; i < 100; i++ {
+				if url := study.StatusURL(); url != "" {
+					log.Printf("status: %s/status (telemetry at /debug/telemetry)", url)
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}()
+		ds, err = study.Serve(ctx)
+	} else {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		ds, err = study.Run(ctx)
+	}
 	if err != nil {
 		return err
 	}
 	mode := "barrier"
 	if *stream {
 		mode = "streaming"
+	}
+	if *serve {
+		mode = "service"
 	}
 	log.Printf("pipeline (%s, %d×%d workers): %d records in %v (decoys rejected: %d)",
 		mode, *workers, *stepWorkers, len(ds.Records),
@@ -144,33 +204,28 @@ func run() error {
 	}
 	fmt.Println()
 
+	// One snapshot serves every requested section (the former per-surface
+	// accessors still exist but are deprecated).
+	stats := study.Stats()
+	var sections []smishkit.StatsSection
 	if *telemetry {
-		if err := smishkit.WriteTelemetry(os.Stdout, study.Telemetry()); err != nil {
-			return err
-		}
+		sections = append(sections, smishkit.SectionTelemetry)
 		log.Printf("live snapshot: %s/debug/telemetry", study.Sim.DebugURL)
 	}
-
 	if *cacheStats {
-		stats := study.CacheStats()
-		if stats == nil {
-			log.Print("cache stats requested but -cache=false; nothing to print")
-		} else if err := smishkit.WriteCacheStats(os.Stdout, stats); err != nil {
-			return err
-		}
+		sections = append(sections, smishkit.SectionCache)
 	}
-
 	if *batchStats {
-		stats := study.BatchStats()
-		if stats == nil {
-			log.Print("batch stats requested but -batch=false; nothing to print")
-		} else if err := smishkit.WriteBatchStats(os.Stdout, stats); err != nil {
-			return err
-		}
+		sections = append(sections, smishkit.SectionBatch)
 	}
-
 	if *chaos > 0 {
-		if err := smishkit.WriteResilienceStats(os.Stdout, study.ResilienceStats()); err != nil {
+		sections = append(sections, smishkit.SectionResilience)
+	}
+	if *serve {
+		sections = append(sections, smishkit.SectionService)
+	}
+	if len(sections) > 0 {
+		if err := smishkit.WriteStats(os.Stdout, stats, sections...); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,238 @@
+// Package checkpoint persists the incremental-collection cursors that turn
+// the one-shot forum sweep into a resumable, continuously-syncing daemon.
+// Each forum source owns one Cursor whose fields mirror that source's
+// native pagination contract (Twitter since-IDs per keyword, Reddit after
+// tokens per keyword, offset counters for the offset-paginated APIs, the
+// last fully-consumed Pastebin paste ID). A Store durably maps source
+// names to cursors; the in-memory store backs tests and single-process
+// runs, the file store survives process death so a restarted daemon
+// resumes exactly where the previous one committed.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Cursor is one source's durable sync position. Which fields are
+// meaningful depends on the source:
+//
+//   - Twitter: Tokens maps each search keyword to the newest tweet ID the
+//     collector has fully consumed for that keyword (the v2 since_id).
+//   - Reddit: Tokens maps each keyword to the last listing child ID seen
+//     (resumed as after=t3_<id>).
+//   - Smishtank: Offset counts consumed submissions (the API's offset).
+//   - smishing.eu: Offset counts consumed table rows across pages.
+//   - Pastebin: LastID is the last fully-consumed paste ID in archive
+//     order.
+//
+// Updated is refreshed on every successful sync, including empty ones, so
+// its age measures how long a source has gone without a completed sync —
+// the collect.cursor_lag.<source> gauge.
+type Cursor struct {
+	Source  string            `json:"source"`
+	Tokens  map[string]string `json:"tokens,omitempty"`
+	Offset  int               `json:"offset,omitempty"`
+	LastID  string            `json:"last_id,omitempty"`
+	Updated time.Time         `json:"updated,omitempty"`
+}
+
+// IsZero reports whether the cursor carries no sync position at all — the
+// state of a source that has never completed a sync.
+func (c Cursor) IsZero() bool {
+	return len(c.Tokens) == 0 && c.Offset == 0 && c.LastID == ""
+}
+
+// Clone returns a deep copy, so a collector can stage updates without
+// mutating the committed cursor on a failed round.
+func (c Cursor) Clone() Cursor {
+	out := c
+	if c.Tokens != nil {
+		out.Tokens = make(map[string]string, len(c.Tokens))
+		for k, v := range c.Tokens {
+			out.Tokens[k] = v
+		}
+	}
+	return out
+}
+
+// Token returns the token stored under key ("" when absent), tolerating a
+// nil map.
+func (c Cursor) Token(key string) string {
+	if c.Tokens == nil {
+		return ""
+	}
+	return c.Tokens[key]
+}
+
+// SetToken stores a token, allocating the map on first use.
+func (c *Cursor) SetToken(key, value string) {
+	if c.Tokens == nil {
+		c.Tokens = make(map[string]string)
+	}
+	c.Tokens[key] = value
+}
+
+// Store durably maps source names to cursors. Implementations must be
+// safe for concurrent use; Save must be atomic (a reader never observes a
+// half-written cursor).
+type Store interface {
+	// Load returns the committed cursor for source and whether one exists.
+	Load(source string) (Cursor, bool, error)
+	// Save commits the cursor under cur.Source.
+	Save(cur Cursor) error
+	// All returns every committed cursor keyed by source.
+	All() (map[string]Cursor, error)
+}
+
+// MemStore is an in-memory Store: fast, concurrency-safe, gone with the
+// process. It is the default for Serve when no store is configured.
+type MemStore struct {
+	mu      sync.RWMutex
+	cursors map[string]Cursor
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{cursors: make(map[string]Cursor)}
+}
+
+// Load implements Store.
+func (s *MemStore) Load(source string) (Cursor, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.cursors[source]
+	return c.Clone(), ok, nil
+}
+
+// Save implements Store.
+func (s *MemStore) Save(cur Cursor) error {
+	if cur.Source == "" {
+		return errors.New("checkpoint: cursor has no source")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cursors[cur.Source] = cur.Clone()
+	return nil
+}
+
+// All implements Store.
+func (s *MemStore) All() (map[string]Cursor, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]Cursor, len(s.cursors))
+	for k, v := range s.cursors {
+		out[k] = v.Clone()
+	}
+	return out, nil
+}
+
+// FileStore persists one JSON file per source under a directory, written
+// via temp-file + rename so a crash mid-write never corrupts the committed
+// cursor. A daemon restarted over the same directory resumes from the last
+// committed position.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileStore opens (creating if needed) a cursor directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// path keeps source names filesystem-safe (sources are short identifiers
+// like "twitter" or "smishing.eu").
+func (s *FileStore) path(source string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, source)
+	return filepath.Join(s.dir, safe+".cursor.json")
+}
+
+// Load implements Store.
+func (s *FileStore) Load(source string) (Cursor, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := os.ReadFile(s.path(source))
+	if errors.Is(err, os.ErrNotExist) {
+		return Cursor{}, false, nil
+	}
+	if err != nil {
+		return Cursor{}, false, fmt.Errorf("checkpoint: load %s: %w", source, err)
+	}
+	var c Cursor
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Cursor{}, false, fmt.Errorf("checkpoint: decode %s: %w", source, err)
+	}
+	return c, true, nil
+}
+
+// Save implements Store: marshal, write to a temp file in the same
+// directory, fsync-free atomic rename over the committed path.
+func (s *FileStore) Save(cur Cursor) error {
+	if cur.Source == "" {
+		return errors.New("checkpoint: cursor has no source")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode %s: %w", cur.Source, err)
+	}
+	final := s.path(cur.Source)
+	tmp, err := os.CreateTemp(s.dir, "."+cur.Source+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: write %s: %w", cur.Source, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: commit %s: %w", cur.Source, err)
+	}
+	return nil
+}
+
+// All implements Store.
+func (s *FileStore) All() (map[string]Cursor, error) {
+	s.mu.Lock()
+	entries, err := os.ReadDir(s.dir)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list store: %w", err)
+	}
+	out := make(map[string]Cursor)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".cursor.json") {
+			continue
+		}
+		source := strings.TrimSuffix(e.Name(), ".cursor.json")
+		c, ok, err := s.Load(source)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[c.Source] = c
+		}
+	}
+	return out, nil
+}

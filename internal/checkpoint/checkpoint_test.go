@@ -1,0 +1,119 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	if _, ok, err := s.Load("twitter"); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	cur := Cursor{Source: "twitter", Updated: time.Now().UTC()}
+	cur.SetToken("smishing", "twitter-m42")
+	if err := s.Save(cur); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Load("twitter")
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if got.Token("smishing") != "twitter-m42" {
+		t.Fatalf("token round-trip: %+v", got)
+	}
+	// The stored cursor must be isolated from later mutation of either copy.
+	got.SetToken("smishing", "mutated")
+	again, _, _ := s.Load("twitter")
+	if again.Token("smishing") != "twitter-m42" {
+		t.Fatal("Load returned an aliased cursor")
+	}
+	if err := s.Save(Cursor{}); err == nil {
+		t.Fatal("Save accepted a cursor with no source")
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{"reddit", "smishing.eu", "pastebin"} {
+		cur := Cursor{Source: src, Offset: len(src), LastID: src + "-last", Updated: time.Now().UTC()}
+		if err := s.Save(cur); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second store over the same directory models a restarted daemon.
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s2.Load("smishing.eu")
+	if err != nil || !ok {
+		t.Fatalf("reopened load: ok=%v err=%v", ok, err)
+	}
+	if got.Offset != len("smishing.eu") || got.LastID != "smishing.eu-last" {
+		t.Fatalf("cursor lost fields across reopen: %+v", got)
+	}
+	all, err := s2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("All() = %d cursors, want 3", len(all))
+	}
+	// No stray temp files may survive a successful commit.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			t.Errorf("leftover non-cursor file %q", e.Name())
+		}
+	}
+}
+
+func TestFileStoreConcurrentSaves(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				_ = s.Save(Cursor{Source: "twitter", Offset: n*100 + j})
+				_, _, _ = s.Load("twitter")
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, ok, err := s.Load("twitter")
+	if err != nil || !ok {
+		t.Fatalf("post-race load: ok=%v err=%v", ok, err)
+	}
+	if got.Source != "twitter" {
+		t.Fatalf("torn cursor: %+v", got)
+	}
+}
+
+func TestCursorZeroAndClone(t *testing.T) {
+	var c Cursor
+	if !c.IsZero() {
+		t.Fatal("zero cursor not IsZero")
+	}
+	c.SetToken("k", "v")
+	if c.IsZero() {
+		t.Fatal("cursor with token reports IsZero")
+	}
+	cl := c.Clone()
+	cl.SetToken("k", "other")
+	if c.Token("k") != "v" {
+		t.Fatal("Clone shares token map")
+	}
+}

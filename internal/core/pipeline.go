@@ -48,6 +48,11 @@ type Options struct {
 	// concurrently. Record order in the resulting Dataset is completion
 	// order; the default barrier mode keeps bit-identical output ordering.
 	Streaming bool
+	// StreamBuffer is the capacity of the bounded channel between the
+	// streaming curate producers and the enrich pool. 0 selects the default
+	// (2×EnrichWorkers, minimum 2); negative is a construction error. Only
+	// meaningful with Streaming.
+	StreamBuffer int
 	// Telemetry receives per-stage spans, per-record curation outcomes,
 	// and enrichment latency. Nil gets a private registry so
 	// Pipeline.Telemetry always works.
@@ -148,6 +153,9 @@ func NewPipeline(services Services, opts Options) (*Pipeline, error) {
 	}
 	if opts.StageWorkers < 0 {
 		return nil, errors.New("core: StageWorkers must not be negative")
+	}
+	if opts.StreamBuffer < 0 {
+		return nil, errors.New("core: StreamBuffer must not be negative")
 	}
 	opts = opts.withDefaults()
 	tel := opts.Telemetry

@@ -58,6 +58,17 @@ type Simulation struct {
 	ShortSvc *shortener.Service
 	AndroZoo *malware.HashDB
 
+	// Forum server handles, used by ReleaseWave to publish held-back
+	// fixtures while the daemon runs.
+	TwitterSrv    *forum.TwitterServer
+	RedditSrv     *forum.RedditServer
+	SmishtankSrv  *forum.SmishtankServer
+	SmishingEUSrv *forum.SmishingEUServer
+	PastebinSrv   *forum.PastebinServer
+
+	mu    sync.Mutex
+	waves []*forum.Fixtures // fixture batches not yet published
+
 	// Telemetry aggregates client and pipeline metrics; Services() wires
 	// every enrichment client into it, and DebugURL exposes it over HTTP.
 	Telemetry *telemetry.Registry
@@ -71,6 +82,18 @@ type Simulation struct {
 // World aliases the corpus ground truth for callers of the public facade.
 type World = corpus.World
 
+// SimConfig tunes how the simulation publishes its fixtures.
+type SimConfig struct {
+	// HoldbackWaves > 0 seeds the forums with only an initial share of the
+	// fixtures and keeps the rest as that many chronological waves, released
+	// one at a time via ReleaseWave — a live world for the service daemon.
+	// 0 (the default) publishes everything up front.
+	HoldbackWaves int
+	// InitialShare is the fraction of fixtures seeded up front when waves
+	// are held back. 0 means the default of 0.5.
+	InitialShare float64
+}
+
 // StartSimulation generates (or accepts) a world and boots every server
 // with a private telemetry registry.
 func StartSimulation(w *corpus.World) (*Simulation, error) {
@@ -81,6 +104,12 @@ func StartSimulation(w *corpus.World) (*Simulation, error) {
 // fresh registry when nil), so a facade can share one collector between
 // the simulation's debug endpoint and the pipeline.
 func StartSimulationWithTelemetry(w *corpus.World, reg *telemetry.Registry) (*Simulation, error) {
+	return StartSimulationCfg(w, reg, SimConfig{})
+}
+
+// StartSimulationCfg boots every server with full control over fixture
+// publication (see SimConfig).
+func StartSimulationCfg(w *corpus.World, reg *telemetry.Registry, cfg SimConfig) (*Simulation, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
@@ -95,6 +124,13 @@ func StartSimulationWithTelemetry(w *corpus.World, reg *telemetry.Registry) (*Si
 	}
 
 	fixtures := forum.BuildFixtures(w)
+	if cfg.HoldbackWaves > 0 {
+		share := cfg.InitialShare
+		if share == 0 {
+			share = 0.5
+		}
+		fixtures, sim.waves = forum.SplitFixtures(fixtures, share, cfg.HoldbackWaves)
+	}
 
 	// Intelligence stores seeded from ground truth.
 	hlrStore := hlr.NewStore()
@@ -196,11 +232,16 @@ func StartSimulationWithTelemetry(w *corpus.World, reg *telemetry.Registry) (*Si
 		url, err = boot(h)
 		return url
 	}
-	sim.TwitterURL = bootOrDie(forum.NewTwitterServer(fixtures.Twitter, sim.TwitterBearer, 0).Handler())
-	sim.RedditURL = bootOrDie(forum.NewRedditServer(fixtures.Reddit, 0).Handler())
-	sim.SmishtankURL = bootOrDie(forum.NewSmishtankServer(fixtures.Smishtank).Handler())
-	sim.SmishingEUURL = bootOrDie(forum.NewSmishingEUServer(fixtures.SmishingEU).Handler())
-	sim.PastebinURL = bootOrDie(forum.NewPastebinServer(fixtures.Pastebin).Handler())
+	sim.TwitterSrv = forum.NewTwitterServer(fixtures.Twitter, sim.TwitterBearer, 0)
+	sim.RedditSrv = forum.NewRedditServer(fixtures.Reddit, 0)
+	sim.SmishtankSrv = forum.NewSmishtankServer(fixtures.Smishtank)
+	sim.SmishingEUSrv = forum.NewSmishingEUServer(fixtures.SmishingEU)
+	sim.PastebinSrv = forum.NewPastebinServer(fixtures.Pastebin)
+	sim.TwitterURL = bootOrDie(sim.TwitterSrv.Handler())
+	sim.RedditURL = bootOrDie(sim.RedditSrv.Handler())
+	sim.SmishtankURL = bootOrDie(sim.SmishtankSrv.Handler())
+	sim.SmishingEUURL = bootOrDie(sim.SmishingEUSrv.Handler())
+	sim.PastebinURL = bootOrDie(sim.PastebinSrv.Handler())
 	sim.HLRURL = bootOrDie(hlr.NewServer(hlrStore, sim.HLRKey, 0).Handler())
 	sim.WhoisURL = bootOrDie(whois.NewServer(whoisStore, sim.WhoisKey, 0).Handler())
 	sim.CTLogURL = bootOrDie(ctlog.NewServer(ctStore, 0).Handler())
@@ -241,6 +282,32 @@ func (s *Simulation) Collectors() []forum.Collector {
 		forum.NewSmishingEUCollector(s.SmishingEUURL),
 		forum.NewPastebinCollector(s.PastebinURL),
 	}
+}
+
+// ReleaseWave publishes the next held-back fixture wave to all five forum
+// servers, modelling new user reports arriving while the daemon polls. It
+// reports whether a wave was released (false once all waves are out).
+func (s *Simulation) ReleaseWave() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.waves) == 0 {
+		return false
+	}
+	wv := s.waves[0]
+	s.waves = s.waves[1:]
+	s.TwitterSrv.Append(wv.Twitter)
+	s.RedditSrv.Append(wv.Reddit)
+	s.SmishtankSrv.Append(wv.Smishtank)
+	s.SmishingEUSrv.Append(wv.SmishingEU)
+	s.PastebinSrv.Append(wv.Pastebin)
+	return true
+}
+
+// PendingWaves reports how many fixture waves are still held back.
+func (s *Simulation) PendingWaves() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waves)
 }
 
 // Services returns enrichment clients wired to the simulation's servers,

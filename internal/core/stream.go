@@ -45,7 +45,10 @@ func (p *Pipeline) runStreaming(ctx context.Context, reports []forum.RawReport) 
 		})
 	}
 
-	depth := 2 * p.opts.EnrichWorkers
+	depth := p.opts.StreamBuffer
+	if depth == 0 {
+		depth = 2 * p.opts.EnrichWorkers
+	}
 	if depth < 2 {
 		depth = 2
 	}

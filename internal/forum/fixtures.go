@@ -3,6 +3,7 @@ package forum
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"time"
 
@@ -93,6 +94,58 @@ func BuildFixtures(w *corpus.World) *Fixtures {
 	addNoise(corpus.ForumTwitter, &f.Twitter)
 	addNoise(corpus.ForumReddit, &f.Reddit)
 	return f
+}
+
+// SplitFixtures divides every forum's posts chronologically into an
+// initial backlog plus `waves` later batches, modelling reports that keep
+// arriving while the daemon runs. initialShare is the fraction of each
+// forum's posts seeded up front (clamped to [0,1]); the remainder is split
+// as evenly as possible across the waves. Ordering is deterministic
+// (CreatedAt, then ID) so a split run and an unsplit run publish the same
+// posts in the same relative order — the invariant the servers' append-only
+// position-based cursors rely on.
+func SplitFixtures(f *Fixtures, initialShare float64, waves int) (*Fixtures, []*Fixtures) {
+	if initialShare < 0 {
+		initialShare = 0
+	}
+	if initialShare > 1 {
+		initialShare = 1
+	}
+	if waves < 0 {
+		waves = 0
+	}
+	initial := &Fixtures{}
+	out := make([]*Fixtures, waves)
+	for i := range out {
+		out[i] = &Fixtures{}
+	}
+	split := func(posts []post, init *[]post, pick func(w *Fixtures) *[]post) {
+		sorted := make([]post, len(posts))
+		copy(sorted, posts)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			if !sorted[i].CreatedAt.Equal(sorted[j].CreatedAt) {
+				return sorted[i].CreatedAt.Before(sorted[j].CreatedAt)
+			}
+			return sorted[i].ID < sorted[j].ID
+		})
+		n0 := int(float64(len(sorted)) * initialShare)
+		if waves == 0 {
+			n0 = len(sorted)
+		}
+		*init = sorted[:n0]
+		rest := sorted[n0:]
+		for i := 0; i < waves; i++ {
+			lo := len(rest) * i / waves
+			hi := len(rest) * (i + 1) / waves
+			*pick(out[i]) = rest[lo:hi]
+		}
+	}
+	split(f.Twitter, &initial.Twitter, func(w *Fixtures) *[]post { return &w.Twitter })
+	split(f.Reddit, &initial.Reddit, func(w *Fixtures) *[]post { return &w.Reddit })
+	split(f.Smishtank, &initial.Smishtank, func(w *Fixtures) *[]post { return &w.Smishtank })
+	split(f.SmishingEU, &initial.SmishingEU, func(w *Fixtures) *[]post { return &w.SmishingEU })
+	split(f.Pastebin, &initial.Pastebin, func(w *Fixtures) *[]post { return &w.Pastebin })
+	return initial, out
 }
 
 func buildPost(rng *rand.Rand, m corpus.Message) post {

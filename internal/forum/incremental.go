@@ -1,0 +1,33 @@
+package forum
+
+import (
+	"context"
+
+	"github.com/smishkit/smishkit/internal/checkpoint"
+)
+
+// IncrementalCollector is a Collector that can resume from a durable
+// cursor instead of re-draining its forum from the beginning. All five
+// collectors implement it; their one-shot Collect is CollectSince from a
+// zero cursor, so the batch path and the daemon path share one code path.
+//
+// Contract:
+//
+//   - CollectSince streams only reports that arrived after cur, in the
+//     forum's native order, and returns the advanced cursor to commit.
+//   - A zero cursor collects the forum's full history.
+//   - On error the returned cursor is the input cursor unchanged: callers
+//     must discard the partial batch and retry the whole round later, so a
+//     half-synced position is never committed (per-round atomicity is how
+//     Serve keeps exactly-once delivery across graceful restarts).
+//   - The advanced cursor's Updated field is stamped on every successful
+//     sync, including empty ones; its age is the source's cursor lag.
+type IncrementalCollector interface {
+	Collector
+	CollectSince(ctx context.Context, cur checkpoint.Cursor, sink func(RawReport) error) (checkpoint.Cursor, error)
+}
+
+// Sources lists the checkpoint source names of the five forums, in
+// collection order. They double as telemetry label suffixes
+// (collect.cursor_lag.<source>).
+var Sources = []string{"twitter", "reddit", "smishtank", "smishing.eu", "pastebin"}

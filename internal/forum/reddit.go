@@ -7,15 +7,20 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
+	"github.com/smishkit/smishkit/internal/checkpoint"
 	"github.com/smishkit/smishkit/internal/corpus"
 	"github.com/smishkit/smishkit/internal/netutil"
 )
 
 // RedditServer speaks the listing JSON of Reddit's public search endpoint
 // (§3.1.2): GET /search.json?q=...&limit=...&after=t3_<id>, with image
-// posts linking to an /img/ URL.
+// posts linking to an /img/ URL. Posts may be appended while the server is
+// live, so all access goes through a read-write lock.
 type RedditServer struct {
+	mu      sync.RWMutex
 	posts   []post
 	limiter *netutil.TokenBucket
 }
@@ -24,12 +29,24 @@ type RedditServer struct {
 func NewRedditServer(posts []post, ratePerSec float64) *RedditServer {
 	sorted := make([]post, len(posts))
 	copy(sorted, posts)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
 	s := &RedditServer{posts: sorted}
 	if ratePerSec > 0 {
 		s.limiter = netutil.NewTokenBucket(int(ratePerSec*2)+1, ratePerSec)
 	}
 	return s
+}
+
+// Append publishes new posts at the tail of the listing. Batches must be
+// chronologically at-or-after the existing posts: `after` resolution is
+// position-based, so inserting in the middle would corrupt live cursors.
+func (s *RedditServer) Append(posts []post) {
+	batch := make([]post, len(posts))
+	copy(batch, posts)
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].CreatedAt.Before(batch[j].CreatedAt) })
+	s.mu.Lock()
+	s.posts = append(s.posts, batch...)
+	s.mu.Unlock()
 }
 
 // Reddit wire types.
@@ -79,11 +96,15 @@ func (s *RedditServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 			limit = n
 		}
 	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
 	start := 0
 	if after := r.URL.Query().Get("after"); after != "" {
 		id := strings.TrimPrefix(after, "t3_")
-		for i, p := range s.posts {
-			if p.ID == id {
+		for i := range s.posts {
+			if s.posts[i].ID == id {
 				start = i + 1
 				break
 			}
@@ -118,6 +139,8 @@ func (s *RedditServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 func (s *RedditServer) handleImage(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, p := range s.posts {
 		if p.ID == id && len(p.Attachment) > 0 {
 			w.Header().Set("Content-Type", "application/octet-stream")
@@ -152,25 +175,49 @@ func NewRedditCollector(baseURL string) *RedditCollector {
 // Name implements Collector.
 func (c *RedditCollector) Name() corpus.Forum { return corpus.ForumReddit }
 
-// Collect implements Collector.
+// Collect implements Collector: a full-history sync from a zero cursor.
 func (c *RedditCollector) Collect(ctx ctxType, sink func(RawReport) error) error {
+	_, err := c.CollectSince(ctx, checkpoint.Cursor{}, sink)
+	return err
+}
+
+// CollectSince implements IncrementalCollector: each keyword resumes after
+// the last listing child it consumed (after=t3_<id>) and pages forward.
+//
+// Pagination is keyed off children emptiness, not the `after` token: Reddit
+// omits `after` on any page it considers final, including pages that still
+// carry children (a mid-listing short page). The old loop treated an empty
+// token as end-of-data and silently dropped everything behind such a page;
+// now the collector only stops at a genuinely empty page and synthesizes
+// the next position from the last child it saw.
+func (c *RedditCollector) CollectSince(ctx ctxType, cur checkpoint.Cursor, sink func(RawReport) error) (checkpoint.Cursor, error) {
+	next := cur.Clone()
+	next.Source = "reddit"
 	seen := make(map[string]bool)
 	limit := c.PageSize
 	if limit <= 0 {
 		limit = 100
 	}
 	for _, kw := range Keywords {
+		last := cur.Token(kw)
 		after := ""
+		if last != "" {
+			after = "t3_" + last
+		}
 		for {
 			path := fmt.Sprintf("/search.json?q=%s&limit=%d", url.QueryEscape(kw), limit)
 			if after != "" {
-				path += "&after=" + after
+				path += "&after=" + url.QueryEscape(after)
 			}
 			var listing redditListing
 			if err := c.API.GetJSON(ctx, path, &listing); err != nil {
-				return fmt.Errorf("forum: reddit search %q: %w", kw, err)
+				return cur, fmt.Errorf("forum: reddit search %q: %w", kw, err)
 			}
-			for _, child := range listing.Data.Children {
+			children := listing.Data.Children
+			if len(children) == 0 {
+				break
+			}
+			for _, child := range children {
 				p := child.Data
 				if seen[p.ID] {
 					continue
@@ -185,19 +232,25 @@ func (c *RedditCollector) Collect(ctx ctxType, sink func(RawReport) error) error
 				if p.URL != "" {
 					data, err := fetchBytes(ctx, &c.API, p.URL)
 					if err != nil {
-						return fmt.Errorf("forum: reddit image %s: %w", p.ID, err)
+						return cur, fmt.Errorf("forum: reddit image %s: %w", p.ID, err)
 					}
 					rep.Attachment = data
 				}
 				if err := sink(rep); err != nil {
-					return err
+					return cur, err
 				}
 			}
-			if listing.Data.After == "" {
-				break
+			last = children[len(children)-1].Data.ID
+			if listing.Data.After != "" {
+				after = listing.Data.After
+			} else {
+				after = "t3_" + last
 			}
-			after = listing.Data.After
+		}
+		if last != "" {
+			next.SetToken(kw, last)
 		}
 	}
-	return nil
+	next.Updated = time.Now().UTC()
+	return next, nil
 }

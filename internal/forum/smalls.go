@@ -8,8 +8,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"github.com/smishkit/smishkit/internal/checkpoint"
 	"github.com/smishkit/smishkit/internal/corpus"
 	"github.com/smishkit/smishkit/internal/netutil"
 )
@@ -18,8 +20,11 @@ func unixTime(sec float64) time.Time { return time.Unix(int64(sec), 0).UTC() }
 
 // --- Smishtank (§3.1.5): JSON submissions API + screenshots ---
 
-// SmishtankServer serves the crowdsourced submission list.
+// SmishtankServer serves the crowdsourced submission list. Posts may be
+// appended while the server is live; the offset-paginated API stays
+// consistent because appends only extend the tail.
 type SmishtankServer struct {
+	mu    sync.RWMutex
 	posts []post
 }
 
@@ -27,8 +32,19 @@ type SmishtankServer struct {
 func NewSmishtankServer(posts []post) *SmishtankServer {
 	sorted := make([]post, len(posts))
 	copy(sorted, posts)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
 	return &SmishtankServer{posts: sorted}
+}
+
+// Append publishes new submissions at the tail. Batches must be
+// chronologically at-or-after the existing posts.
+func (s *SmishtankServer) Append(posts []post) {
+	batch := make([]post, len(posts))
+	copy(batch, posts)
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].CreatedAt.Before(batch[j].CreatedAt) })
+	s.mu.Lock()
+	s.posts = append(s.posts, batch...)
+	s.mu.Unlock()
 }
 
 type smishtankSubmission struct {
@@ -55,6 +71,8 @@ func (s *SmishtankServer) Handler() http.Handler {
 		if limit <= 0 || limit > 200 {
 			limit = 50
 		}
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 		if offset < 0 || offset > len(s.posts) {
 			offset = len(s.posts)
 		}
@@ -77,6 +95,8 @@ func (s *SmishtankServer) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /screenshots/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 		for _, p := range s.posts {
 			if p.ID == id && len(p.Attachment) > 0 {
 				_, _ = w.Write(p.Attachment)
@@ -101,13 +121,23 @@ func NewSmishtankCollector(baseURL string) *SmishtankCollector {
 // Name implements Collector.
 func (c *SmishtankCollector) Name() corpus.Forum { return corpus.ForumSmishtank }
 
-// Collect implements Collector.
+// Collect implements Collector: a full-history sync from a zero cursor.
 func (c *SmishtankCollector) Collect(ctx ctxType, sink func(RawReport) error) error {
-	offset := 0
+	_, err := c.CollectSince(ctx, checkpoint.Cursor{}, sink)
+	return err
+}
+
+// CollectSince implements IncrementalCollector: Cursor.Offset counts the
+// submissions already consumed, which is exactly the API's own offset
+// parameter — the submission list is append-only.
+func (c *SmishtankCollector) CollectSince(ctx ctxType, cur checkpoint.Cursor, sink func(RawReport) error) (checkpoint.Cursor, error) {
+	next := cur.Clone()
+	next.Source = "smishtank"
+	offset := cur.Offset
 	for {
 		var page smishtankPage
 		if err := c.API.GetJSON(ctx, fmt.Sprintf("/api/submissions?offset=%d&limit=100", offset), &page); err != nil {
-			return fmt.Errorf("forum: smishtank page %d: %w", offset, err)
+			return cur, fmt.Errorf("forum: smishtank page %d: %w", offset, err)
 		}
 		for _, sub := range page.Submissions {
 			posted, _ := time.Parse(time.RFC3339, sub.Submitted)
@@ -122,25 +152,35 @@ func (c *SmishtankCollector) Collect(ctx ctxType, sink func(RawReport) error) er
 			if sub.Screenshot != "" {
 				data, err := fetchBytes(ctx, &c.API, sub.Screenshot)
 				if err != nil {
-					return fmt.Errorf("forum: smishtank screenshot %s: %w", sub.ID, err)
+					return cur, fmt.Errorf("forum: smishtank screenshot %s: %w", sub.ID, err)
 				}
 				rep.Attachment = data
 			}
 			if err := sink(rep); err != nil {
-				return err
+				return cur, err
 			}
 		}
 		offset += len(page.Submissions)
 		if len(page.Submissions) == 0 || offset >= page.Total {
-			return nil
+			break
 		}
 	}
+	next.Offset = offset
+	next.Updated = time.Now().UTC()
+	return next, nil
 }
 
 // --- Smishing.eu (§3.1.3): HTML report tables, scraped weekly ---
 
-// SmishingEUServer renders paginated HTML tables of user reports.
+// smishingEUPageSize is the server's fixed rows-per-page; the collector
+// relies on it to convert its consumed-row cursor into a page + skip.
+const smishingEUPageSize = 25
+
+// SmishingEUServer renders paginated HTML tables of user reports. Posts
+// may be appended while the server is live; rows only ever extend the last
+// page, so earlier page contents are stable.
 type SmishingEUServer struct {
+	mu       sync.RWMutex
 	posts    []post
 	pageSize int
 }
@@ -149,8 +189,19 @@ type SmishingEUServer struct {
 func NewSmishingEUServer(posts []post) *SmishingEUServer {
 	sorted := make([]post, len(posts))
 	copy(sorted, posts)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
-	return &SmishingEUServer{posts: sorted, pageSize: 25}
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
+	return &SmishingEUServer{posts: sorted, pageSize: smishingEUPageSize}
+}
+
+// Append publishes new report rows at the tail. Batches must be
+// chronologically at-or-after the existing posts.
+func (s *SmishingEUServer) Append(posts []post) {
+	batch := make([]post, len(posts))
+	copy(batch, posts)
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].CreatedAt.Before(batch[j].CreatedAt) })
+	s.mu.Lock()
+	s.posts = append(s.posts, batch...)
+	s.mu.Unlock()
 }
 
 // Handler returns the web routes.
@@ -161,6 +212,8 @@ func (s *SmishingEUServer) Handler() http.Handler {
 		if page < 1 {
 			page = 1
 		}
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 		start := (page - 1) * s.pageSize
 		end := start + s.pageSize
 		if start > len(s.posts) {
@@ -204,25 +257,41 @@ func NewSmishingEUCollector(baseURL string) *SmishingEUCollector {
 // Name implements Collector.
 func (c *SmishingEUCollector) Name() corpus.Forum { return corpus.ForumSmishingEU }
 
-// Collect implements Collector.
+// Collect implements Collector: a full-history sync from a zero cursor.
 func (c *SmishingEUCollector) Collect(ctx ctxType, sink func(RawReport) error) error {
-	for page := 1; ; page++ {
+	_, err := c.CollectSince(ctx, checkpoint.Cursor{}, sink)
+	return err
+}
+
+// CollectSince implements IncrementalCollector: Cursor.Offset counts table
+// rows consumed across all pages. Resume lands on page offset/25+1 and
+// skips the rows already scraped there (new rows only ever extend the last
+// page). PostIDs are derived from the global row position, so a row keeps
+// the same ID whether it was scraped in one sweep or across many.
+func (c *SmishingEUCollector) CollectSince(ctx ctxType, cur checkpoint.Cursor, sink func(RawReport) error) (checkpoint.Cursor, error) {
+	next := cur.Clone()
+	next.Source = "smishing.eu"
+	offset := cur.Offset
+	for {
+		page := offset/smishingEUPageSize + 1
+		skip := offset % smishingEUPageSize
 		body, err := fetchBytes(ctx, &c.API, fmt.Sprintf("/reports?page=%d", page))
 		if err != nil {
-			return fmt.Errorf("forum: smishing.eu page %d: %w", page, err)
+			return cur, fmt.Errorf("forum: smishing.eu page %d: %w", page, err)
 		}
 		doc := string(body)
 		rows := rowRe.FindAllStringSubmatch(doc, -1)
-		n := 0
-		for _, row := range rows {
+		for i, row := range rows {
+			if i < skip {
+				continue
+			}
 			date, country, sender, brand, msg := row[1], row[2], row[3], row[4], row[5]
 			if date == "Date" || strings.Contains(row[0], "<th>") {
 				continue
 			}
-			n++
 			rep := RawReport{
 				Forum:     corpus.ForumSmishingEU,
-				PostID:    fmt.Sprintf("smishing.eu-p%d-r%d", page, n),
+				PostID:    fmt.Sprintf("smishing.eu-p%d-r%d", page, i+1),
 				SMSText:   html.UnescapeString(msg),
 				SenderID:  html.UnescapeString(sender),
 				Timestamp: date,
@@ -233,41 +302,57 @@ func (c *SmishingEUCollector) Collect(ctx ctxType, sink func(RawReport) error) e
 				rep.PostedAt = t
 			}
 			if err := sink(rep); err != nil {
-				return err
+				return cur, err
 			}
+			offset++
 		}
 		if !strings.Contains(doc, `rel="next"`) {
-			return nil
+			break
 		}
 	}
+	next.Offset = offset
+	next.Updated = time.Now().UTC()
+	return next, nil
 }
 
 // --- Pastebin (§3.1.4): analyst pastes, one smish per line ---
 
 // PastebinServer serves an archive listing and raw pastes. Each paste packs
 // several reports as "sender | date | message" lines, the format of the
-// abuseipdb-mirroring analyst the paper found.
+// abuseipdb-mirroring analyst the paper found. Pastes are immutable once
+// published: Append always opens new pastes, never extends existing ones,
+// so a consumed paste ID is a safe resume point.
 type PastebinServer struct {
+	mu     sync.RWMutex
 	pastes map[string][]post
 	order  []string
+	seq    int // pastes created so far, drives ID allocation
 }
 
 // NewPastebinServer groups posts into pastes of up to 10 reports.
 func NewPastebinServer(posts []post) *PastebinServer {
+	s := &PastebinServer{pastes: make(map[string][]post)}
+	s.Append(posts)
+	return s
+}
+
+// Append publishes new posts as fresh pastes of up to 10 reports each.
+func (s *PastebinServer) Append(posts []post) {
 	sorted := make([]post, len(posts))
 	copy(sorted, posts)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
-	s := &PastebinServer{pastes: make(map[string][]post)}
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := 0; i < len(sorted); i += 10 {
 		end := i + 10
 		if end > len(sorted) {
 			end = len(sorted)
 		}
-		id := fmt.Sprintf("p%06x", i/10+1)
+		s.seq++
+		id := fmt.Sprintf("p%06x", s.seq)
 		s.pastes[id] = sorted[i:end]
 		s.order = append(s.order, id)
 	}
-	return s
 }
 
 // Handler returns the web routes.
@@ -275,11 +360,15 @@ func (s *PastebinServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /archive", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 		for _, id := range s.order {
 			fmt.Fprintln(w, id)
 		}
 	})
 	mux.HandleFunc("GET /raw/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 		posts, ok := s.pastes[r.PathValue("id")]
 		if !ok {
 			http.NotFound(w, r)
@@ -307,16 +396,47 @@ func NewPastebinCollector(baseURL string) *PastebinCollector {
 // Name implements Collector.
 func (c *PastebinCollector) Name() corpus.Forum { return corpus.ForumPastebin }
 
-// Collect implements Collector.
+// Collect implements Collector: a full-history sync from a zero cursor.
 func (c *PastebinCollector) Collect(ctx ctxType, sink func(RawReport) error) error {
+	_, err := c.CollectSince(ctx, checkpoint.Cursor{}, sink)
+	return err
+}
+
+// CollectSince implements IncrementalCollector: Cursor.LastID is the last
+// fully-consumed paste in archive order; the archive is append-only and
+// pastes are immutable, so everything after it is new.
+func (c *PastebinCollector) CollectSince(ctx ctxType, cur checkpoint.Cursor, sink func(RawReport) error) (checkpoint.Cursor, error) {
+	next := cur.Clone()
+	next.Source = "pastebin"
 	index, err := fetchBytes(ctx, &c.API, "/archive")
 	if err != nil {
-		return fmt.Errorf("forum: pastebin archive: %w", err)
+		return cur, fmt.Errorf("forum: pastebin archive: %w", err)
 	}
-	for _, id := range strings.Fields(string(index)) {
+	ids := strings.Fields(string(index))
+	start := 0
+	if cur.LastID != "" {
+		found := false
+		for i, id := range ids {
+			if id == cur.LastID {
+				start = i + 1
+				found = true
+				break
+			}
+		}
+		// LastID absent from the archive (e.g. the site regrouped old pastes):
+		// paste IDs are sequential and zero-padded, so skip everything issued
+		// at or before the cursor rather than rescanning from the top.
+		if !found {
+			for start < len(ids) && ids[start] <= cur.LastID {
+				start++
+			}
+		}
+	}
+	last := cur.LastID
+	for _, id := range ids[start:] {
 		body, err := fetchBytes(ctx, &c.API, "/raw/"+id)
 		if err != nil {
-			return fmt.Errorf("forum: pastebin paste %s: %w", id, err)
+			return cur, fmt.Errorf("forum: pastebin paste %s: %w", id, err)
 		}
 		for n, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
 			parts := strings.SplitN(line, " | ", 3)
@@ -334,9 +454,12 @@ func (c *PastebinCollector) Collect(ctx ctxType, sink func(RawReport) error) err
 				rep.PostedAt = t
 			}
 			if err := sink(rep); err != nil {
-				return err
+				return cur, err
 			}
 		}
+		last = id
 	}
-	return nil
+	next.LastID = last
+	next.Updated = time.Now().UTC()
+	return next, nil
 }

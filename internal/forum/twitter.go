@@ -6,17 +6,23 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"github.com/smishkit/smishkit/internal/checkpoint"
 	"github.com/smishkit/smishkit/internal/corpus"
 	"github.com/smishkit/smishkit/internal/netutil"
 )
 
 // TwitterServer speaks a faithful subset of the v2 full-archive search API
 // the paper used through the Academic track (§3.1.1): Bearer-token auth,
-// next_token pagination, media expansion via includes, and rate limiting.
+// next_token pagination, since_id incremental queries, media expansion via
+// includes, and rate limiting. Posts may be appended while the server is
+// live (the daemon's continuously-arriving report stream), so all access
+// goes through a read-write lock.
 type TwitterServer struct {
-	posts   []post // sorted by CreatedAt
+	mu      sync.RWMutex
+	posts   []post // sorted by CreatedAt; Append only adds at the tail
 	bearer  string
 	limiter *netutil.TokenBucket
 }
@@ -25,12 +31,25 @@ type TwitterServer struct {
 func NewTwitterServer(posts []post, bearer string, ratePerSec float64) *TwitterServer {
 	sorted := make([]post, len(posts))
 	copy(sorted, posts)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].CreatedAt.Before(sorted[j].CreatedAt) })
 	s := &TwitterServer{posts: sorted, bearer: bearer}
 	if ratePerSec > 0 {
 		s.limiter = netutil.NewTokenBucket(int(ratePerSec*2)+1, ratePerSec)
 	}
 	return s
+}
+
+// Append publishes new posts at the tail of the timeline. Batches must be
+// chronologically at-or-after the existing posts (SplitFixtures guarantees
+// this): pagination tokens and since_id positions are index-based, so
+// inserting in the middle would corrupt live cursors.
+func (s *TwitterServer) Append(posts []post) {
+	batch := make([]post, len(posts))
+	copy(batch, posts)
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].CreatedAt.Before(batch[j].CreatedAt) })
+	s.mu.Lock()
+	s.posts = append(s.posts, batch...)
+	s.mu.Unlock()
 }
 
 // Twitter API wire types (subset).
@@ -98,20 +117,37 @@ func (s *TwitterServer) handleSearch(w http.ResponseWriter, r *http.Request) {
 			maxResults = n
 		}
 	}
-	offset := 0
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	start := 0
+	// since_id restricts the search to tweets after the given ID — the v2
+	// incremental-sync contract. Position-based: posts are append-only in
+	// chronological order, so "after this ID" is "after its index".
+	if sid := r.URL.Query().Get("since_id"); sid != "" {
+		for i := range s.posts {
+			if s.posts[i].ID == sid {
+				start = i + 1
+				break
+			}
+		}
+	}
 	if tok := r.URL.Query().Get("next_token"); tok != "" {
 		n, err := strconv.Atoi(strings.TrimPrefix(tok, "pg-"))
 		if err != nil {
 			netutil.WriteError(w, http.StatusBadRequest, "bad next_token")
 			return
 		}
-		offset = n
+		if n > start {
+			start = n
+		}
 	}
 
 	var resp searchResponse
 	resp.Data = []tweetObject{} // v2 returns an empty array, not null
 	matched := 0
-	for i := offset; i < len(s.posts); i++ {
+	for i := start; i < len(s.posts); i++ {
 		p := s.posts[i]
 		if !strings.Contains(strings.ToLower(p.Body), query) {
 			continue
@@ -143,6 +179,8 @@ func (s *TwitterServer) handleMedia(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := strings.TrimPrefix(r.PathValue("key"), "m-")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, p := range s.posts {
 		if p.ID == key && len(p.Attachment) > 0 {
 			w.Header().Set("Content-Type", "application/octet-stream")
@@ -173,31 +211,51 @@ func NewTwitterCollector(baseURL, bearer string) *TwitterCollector {
 // Name implements Collector.
 func (c *TwitterCollector) Name() corpus.Forum { return corpus.ForumTwitter }
 
-// Collect implements Collector: it queries each keyword, follows pagination,
-// downloads media, and deduplicates across keywords.
+// Collect implements Collector: a full-history sync from a zero cursor.
 func (c *TwitterCollector) Collect(ctx ctxType, sink func(RawReport) error) error {
+	_, err := c.CollectSince(ctx, checkpoint.Cursor{}, sink)
+	return err
+}
+
+// CollectSince implements IncrementalCollector: each keyword resumes from
+// its stored since_id (the newest tweet ID fully consumed for that
+// keyword), follows next_token pagination within the round, downloads
+// media, and deduplicates across keywords. Cross-round dedup falls out of
+// the since_id contract: a tweet matching several keywords is covered by
+// every one of their cursors after the round it appeared in.
+func (c *TwitterCollector) CollectSince(ctx ctxType, cur checkpoint.Cursor, sink func(RawReport) error) (checkpoint.Cursor, error) {
+	next := cur.Clone()
+	next.Source = "twitter"
 	seen := make(map[string]bool)
 	size := c.PageSize
 	if size <= 0 {
 		size = 100
 	}
 	for _, kw := range Keywords {
-		next := ""
+		sinceID := cur.Token(kw)
+		newest := sinceID
+		pageTok := ""
 		for {
 			path := fmt.Sprintf("/2/tweets/search/all?query=%s&max_results=%d",
 				strings.ReplaceAll(kw, " ", "%20"), size)
-			if next != "" {
-				path += "&next_token=" + next
+			if sinceID != "" {
+				path += "&since_id=" + sinceID
+			}
+			if pageTok != "" {
+				path += "&next_token=" + pageTok
 			}
 			var resp searchResponse
 			if err := c.API.GetJSON(ctx, path, &resp); err != nil {
-				return fmt.Errorf("forum: twitter search %q: %w", kw, err)
+				return cur, fmt.Errorf("forum: twitter search %q: %w", kw, err)
 			}
 			mediaByKey := make(map[string]string, len(resp.Includes.Media))
 			for _, m := range resp.Includes.Media {
 				mediaByKey[m.MediaKey] = m.URL
 			}
 			for _, tw := range resp.Data {
+				// Results arrive oldest-first, so the last tweet of the last
+				// page is the keyword's new high-water mark.
+				newest = tw.ID
 				if seen[tw.ID] {
 					continue
 				}
@@ -213,23 +271,27 @@ func (c *TwitterCollector) Collect(ctx ctxType, sink func(RawReport) error) erro
 						if url, ok := mediaByKey[key]; ok {
 							data, err := c.fetchMedia(ctx, url)
 							if err != nil {
-								return fmt.Errorf("forum: twitter media %s: %w", key, err)
+								return cur, fmt.Errorf("forum: twitter media %s: %w", key, err)
 							}
 							rep.Attachment = data
 						}
 					}
 				}
 				if err := sink(rep); err != nil {
-					return err
+					return cur, err
 				}
 			}
 			if resp.Meta.NextToken == "" {
 				break
 			}
-			next = resp.Meta.NextToken
+			pageTok = resp.Meta.NextToken
+		}
+		if newest != "" {
+			next.SetToken(kw, newest)
 		}
 	}
-	return nil
+	next.Updated = time.Now().UTC()
+	return next, nil
 }
 
 func (c *TwitterCollector) fetchMedia(ctx ctxType, path string) ([]byte, error) {

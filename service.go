@@ -1,0 +1,370 @@
+package smishkit
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/checkpoint"
+	"github.com/smishkit/smishkit/internal/forum"
+	"github.com/smishkit/smishkit/internal/report"
+	"github.com/smishkit/smishkit/internal/telemetry"
+)
+
+// Checkpoint types, re-exported so daemon callers never import internal
+// paths.
+type (
+	// Cursor is one forum's durable collection position.
+	Cursor = checkpoint.Cursor
+	// CheckpointStore persists cursors across daemon restarts.
+	CheckpointStore = checkpoint.Store
+)
+
+// NewMemCheckpoints returns an in-memory cursor store (lost on exit).
+func NewMemCheckpoints() CheckpointStore { return checkpoint.NewMemStore() }
+
+// NewFileCheckpoints returns a cursor store persisting one JSON file per
+// forum under dir, creating it if needed — the store a restarted daemon
+// resumes from.
+func NewFileCheckpoints(dir string) (CheckpointStore, error) { return checkpoint.NewFileStore(dir) }
+
+// ServiceConfig tunes Study.Serve, the long-running service mode.
+type ServiceConfig struct {
+	// PollInterval is the idle time between collection rounds (default 2s).
+	PollInterval time.Duration
+	// Checkpoints persists each forum's cursor after every successful
+	// round. Default: an in-memory store, which survives repeated Serve
+	// calls on one Study but not a process restart; use NewFileCheckpoints
+	// for durability.
+	Checkpoints CheckpointStore
+	// MaxRounds stops the daemon after that many rounds (0 = run until ctx
+	// is cancelled).
+	MaxRounds int
+	// LiveWaves > 0 holds back that many chronological fixture waves at
+	// simulation boot and releases one before each round after the first,
+	// so the daemon observes reports arriving over time. 0 publishes all
+	// fixtures up front.
+	LiveWaves int
+	// InitialShare is the fraction of fixtures seeded up front when
+	// LiveWaves is set (0 selects the default of 0.5).
+	InitialShare float64
+	// DrainTimeout bounds how long a cancelled Serve keeps processing the
+	// in-flight round before giving up on it (default 30s).
+	DrainTimeout time.Duration
+	// ProjectionQueue bounds how many processed batches may wait for the
+	// projection worker (0 selects the default of 16).
+	ProjectionQueue int
+	// OnRound, when non-nil, is called after every round with that round's
+	// outcome — the seam tests use to cancel or inspect mid-flight.
+	OnRound func(RoundInfo)
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.PollInterval == 0 {
+		c.PollInterval = 2 * time.Second
+	}
+	if c.Checkpoints == nil {
+		c.Checkpoints = checkpoint.NewMemStore()
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// RoundInfo is one Serve round's outcome.
+type RoundInfo struct {
+	// Round numbers from 1.
+	Round int
+	// NewReports is how many raw reports this round's collectors returned.
+	NewReports int
+	// Records is the cumulative record count in the projection after this
+	// round's batch was submitted (the projection merges asynchronously, so
+	// a just-submitted batch may not be folded in yet).
+	Records int
+	// Err is the round's first collection or processing error (nil on a
+	// clean round). A failed round commits nothing; its reports are
+	// re-collected next round.
+	Err error
+}
+
+// ServiceStats is a point-in-time reading of a serving Study.
+type ServiceStats struct {
+	// Rounds completed (failed rounds included).
+	Rounds int `json:"rounds"`
+	// Reports collected and committed across all rounds.
+	Reports int `json:"reports"`
+	// Records in the merged projection dataset.
+	Records int `json:"records"`
+	// PendingBatches counts processed batches not yet merged.
+	PendingBatches int `json:"pending_batches"`
+	// BacklogSeconds is the age of the oldest batch still waiting to be
+	// merged into the projection (0 when caught up).
+	BacklogSeconds float64 `json:"backlog_seconds"`
+	// Cursors maps each forum source to its committed cursor.
+	Cursors map[string]Cursor `json:"cursors"`
+	// StatusURL is the daemon's status endpoint ("" when not serving).
+	StatusURL string `json:"status_url"`
+}
+
+// serveState is the live state one Serve call maintains and the status
+// endpoint reads.
+type serveState struct {
+	mu        sync.Mutex
+	rounds    int
+	reports   int
+	statusURL string
+	proj      *report.Projection
+	store     CheckpointStore
+}
+
+func (st *serveState) stats() ServiceStats {
+	st.mu.Lock()
+	out := ServiceStats{
+		Rounds:    st.rounds,
+		Reports:   st.reports,
+		StatusURL: st.statusURL,
+		Cursors:   map[string]Cursor{},
+	}
+	proj, store := st.proj, st.store
+	st.mu.Unlock()
+	if proj != nil {
+		ps := proj.Stats()
+		out.Records = ps.Records
+		out.PendingBatches = ps.Pending
+		out.BacklogSeconds = ps.BacklogSeconds
+	}
+	if store != nil {
+		if all, err := store.All(); err == nil {
+			out.Cursors = all
+		}
+	}
+	return out
+}
+
+// StatusURL returns the base URL of the serving Study's status endpoint
+// (GET /status for ServiceStats, GET /debug/telemetry for the metrics
+// snapshot), or "" when Serve is not running.
+func (s *Study) StatusURL() string {
+	st := s.svc
+	if st == nil {
+		return ""
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.statusURL
+}
+
+// Serve runs the study as a long-running daemon: every PollInterval it
+// asks each forum collector for reports newer than its durable cursor,
+// pushes the new batch through the streaming pipeline, folds the result
+// into the incrementally-maintained report projection, and commits the
+// advanced cursors. Rounds are atomic — a collector or pipeline failure
+// discards the round's partial progress and leaves every cursor where it
+// was, so an interrupted daemon resumed from the same CheckpointStore
+// re-collects exactly the reports it never committed (no duplicates, no
+// holes).
+//
+// Cancelling ctx is the clean shutdown: the in-flight round is drained
+// (bounded by DrainTimeout), the projection is flushed, and the merged
+// dataset so far is returned with a nil error. Serve requires
+// Options.Pipeline.Streaming.
+func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
+	if !s.opts.Pipeline.Streaming {
+		return nil, fmt.Errorf("smishkit: Serve requires Options.Pipeline.Streaming")
+	}
+	var cfg ServiceConfig
+	if s.opts.Service != nil {
+		cfg = *s.opts.Service
+	}
+	cfg = cfg.withDefaults()
+
+	reg := s.Pipe.Telemetry()
+	st := &serveState{store: cfg.Checkpoints}
+	st.proj = report.NewProjection(reg, cfg.ProjectionQueue)
+	defer st.proj.Close()
+	s.svc = st
+
+	// Status endpoint: /status + /debug/telemetry on an ephemeral loopback
+	// port, alive for the duration of this Serve call.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st.stats())
+	})
+	mux.Handle("GET /debug/telemetry", telemetry.Handler(reg))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("smishkit: bind status endpoint: %w", err)
+	}
+	statusSrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = statusSrv.Serve(ln) }()
+	defer func() { _ = statusSrv.Close() }()
+	st.mu.Lock()
+	st.statusURL = "http://" + ln.Addr().String()
+	st.mu.Unlock()
+
+	collectors, err := s.incrementalCollectors()
+	if err != nil {
+		return nil, err
+	}
+
+	// Load the resume point for every source up front; the loop keeps the
+	// live cursors in memory and the store holds only committed positions.
+	cursors := make(map[string]Cursor, len(collectors))
+	for _, src := range forum.Sources {
+		if cur, ok, err := cfg.Checkpoints.Load(src); err != nil {
+			return nil, fmt.Errorf("smishkit: load checkpoint %s: %w", src, err)
+		} else if ok {
+			cursors[src] = cur
+		}
+	}
+
+	// drainCtx survives ctx cancellation so a cancelled round finishes
+	// processing and commits instead of tearing mid-batch; DrainTimeout per
+	// round bounds the overstay.
+	drainBase := context.WithoutCancel(ctx)
+	lagGauges := make(map[string]*telemetry.Gauge, len(forum.Sources))
+	for _, src := range forum.Sources {
+		lagGauges[src] = reg.Gauge("collect.cursor_lag." + src)
+	}
+	setLag := func() {
+		now := time.Now()
+		for _, src := range forum.Sources {
+			if cur, ok := cursors[src]; ok && !cur.Updated.IsZero() {
+				lag := now.Sub(cur.Updated)
+				if lag < 0 {
+					lag = 0
+				}
+				lagGauges[src].Set(int64(lag / time.Second))
+			}
+		}
+	}
+
+	released := 0
+	for round := 1; ; round++ {
+		if cfg.LiveWaves > 0 && round > 1 && released < cfg.LiveWaves {
+			if s.Sim.ReleaseWave() {
+				released++
+			}
+		}
+
+		info := RoundInfo{Round: round}
+		sp := reg.StartSpan("serve.round")
+
+		// Collect each forum as an independent atomic stage: a failing
+		// collector contributes nothing this round and keeps its cursor.
+		var batch []RawReport
+		staged := make(map[string]Cursor, len(collectors))
+		for i, ic := range collectors {
+			src := forum.Sources[i]
+			var stage []RawReport
+			next, err := ic.CollectSince(ctx, cursors[src], func(r RawReport) error {
+				stage = append(stage, r)
+				return nil
+			})
+			if err != nil {
+				reg.Counter("collect." + src + ".errors").Inc()
+				if info.Err == nil {
+					info.Err = fmt.Errorf("smishkit: collect %s: %w", src, err)
+				}
+				continue
+			}
+			reg.Counter("collect." + src + ".new_reports").Add(int64(len(stage)))
+			batch = append(batch, stage...)
+			staged[src] = next
+		}
+
+		if ctx.Err() != nil {
+			// Cancelled mid-collection: the round never completed, so none
+			// of its stages commit; a resumed daemon re-collects them.
+			sp.End()
+			break
+		}
+
+		// Process the round's batch and commit its cursors together. An
+		// empty batch still commits: the cursors' Updated stamps are what
+		// the lag gauges measure.
+		collectedAt := time.Now()
+		committed := true
+		if len(batch) > 0 {
+			procCtx, cancel := context.WithTimeout(drainBase, cfg.DrainTimeout)
+			ds, err := s.Pipe.Run(procCtx, batch)
+			if err == nil {
+				err = st.proj.Submit(procCtx, ds, collectedAt)
+			}
+			cancel()
+			if err != nil {
+				committed = false
+				if info.Err == nil {
+					info.Err = fmt.Errorf("smishkit: round %d: %w", round, err)
+				}
+			}
+		}
+		if committed {
+			info.NewReports = len(batch)
+			for src, cur := range staged {
+				if err := cfg.Checkpoints.Save(cur); err != nil {
+					if info.Err == nil {
+						info.Err = fmt.Errorf("smishkit: save checkpoint %s: %w", src, err)
+					}
+					continue
+				}
+				cursors[src] = cur
+			}
+			st.mu.Lock()
+			st.reports += len(batch)
+			st.mu.Unlock()
+		}
+		setLag()
+		sp.End()
+
+		st.mu.Lock()
+		st.rounds = round
+		st.mu.Unlock()
+		info.Records = st.proj.Stats().Records
+		if cfg.OnRound != nil {
+			cfg.OnRound(info)
+		}
+
+		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(cfg.PollInterval):
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+
+	// Graceful drain: flush every submitted batch into the projection.
+	drainCtx, cancel := context.WithTimeout(drainBase, cfg.DrainTimeout)
+	defer cancel()
+	if err := st.proj.Wait(drainCtx); err != nil {
+		return st.proj.Dataset(), fmt.Errorf("smishkit: drain projection: %w", err)
+	}
+	return st.proj.Dataset(), nil
+}
+
+// incrementalCollectors returns the simulation's collectors as
+// IncrementalCollectors, in forum.Sources order.
+func (s *Study) incrementalCollectors() ([]forum.IncrementalCollector, error) {
+	cols := s.Sim.Collectors()
+	out := make([]forum.IncrementalCollector, 0, len(cols))
+	for _, c := range cols {
+		ic, ok := c.(forum.IncrementalCollector)
+		if !ok {
+			return nil, fmt.Errorf("smishkit: collector %s is not incremental", c.Name())
+		}
+		out = append(out, ic)
+	}
+	return out, nil
+}

@@ -160,8 +160,14 @@ func StartSimulation(w *World) (*Simulation, error) { return core.StartSimulatio
 
 // Options configures a Study end to end.
 type Options struct {
-	Seed     int64
-	Messages int // synthetic corpus size (default 4000)
+	// Seed drives every random draw in world generation (default 0, a
+	// valid deterministic seed).
+	Seed int64
+	// Messages is the synthetic corpus size (default 4000; negative is a
+	// construction error).
+	Messages int
+	// Pipeline tunes extraction, enrichment, and streaming; its zero value
+	// selects the documented per-field defaults.
 	Pipeline PipelineOptions
 	// Collector, when non-nil, receives every metric the study produces:
 	// the four pipeline stage spans (collect/curate/enrich/annotate),
@@ -201,6 +207,62 @@ type Options struct {
 	// "breaker.<service>.*"; Study.ResilienceStats reads the same numbers
 	// as a typed snapshot.
 	Resilience *ResilienceConfig
+	// Service, when non-nil, configures Study.Serve — the long-running
+	// daemon mode that polls the forums incrementally, maintains the report
+	// projection, and exposes a status endpoint. Service mode requires
+	// Pipeline.Streaming (the daemon feeds each round through the streaming
+	// pipeline); see ServiceConfig for the per-field defaults.
+	Service *ServiceConfig
+}
+
+// Validate checks the options for combinations that cannot work, returning
+// a descriptive error instead of deferring the blowup (or a silent clamp)
+// to run time. NewStudy calls it first; callers building Options
+// programmatically can call it directly.
+func (o Options) Validate() error {
+	if o.Messages < 0 {
+		return fmt.Errorf("smishkit: Messages must not be negative (got %d)", o.Messages)
+	}
+	p := o.Pipeline
+	if p.EnrichWorkers < 0 {
+		return fmt.Errorf("smishkit: Pipeline.EnrichWorkers must not be negative (got %d)", p.EnrichWorkers)
+	}
+	if p.StepWorkers < 0 {
+		return fmt.Errorf("smishkit: Pipeline.StepWorkers must not be negative (got %d)", p.StepWorkers)
+	}
+	if p.StageWorkers < 0 {
+		return fmt.Errorf("smishkit: Pipeline.StageWorkers must not be negative (got %d)", p.StageWorkers)
+	}
+	if p.StreamBuffer < 0 {
+		return fmt.Errorf("smishkit: Pipeline.StreamBuffer must not be negative (got %d; 0 selects the default)", p.StreamBuffer)
+	}
+	if p.StreamBuffer > 0 && !p.Streaming {
+		return fmt.Errorf("smishkit: Pipeline.StreamBuffer is set (%d) but Pipeline.Streaming is off — the buffer only exists in streaming mode", p.StreamBuffer)
+	}
+	if s := o.Service; s != nil {
+		if !p.Streaming {
+			return fmt.Errorf("smishkit: Options.Service is set but Pipeline.Streaming is off — service mode feeds every round through the streaming pipeline")
+		}
+		if s.PollInterval < 0 {
+			return fmt.Errorf("smishkit: Service.PollInterval must not be negative (got %v)", s.PollInterval)
+		}
+		if s.DrainTimeout < 0 {
+			return fmt.Errorf("smishkit: Service.DrainTimeout must not be negative (got %v)", s.DrainTimeout)
+		}
+		if s.MaxRounds < 0 {
+			return fmt.Errorf("smishkit: Service.MaxRounds must not be negative (got %d)", s.MaxRounds)
+		}
+		if s.LiveWaves < 0 {
+			return fmt.Errorf("smishkit: Service.LiveWaves must not be negative (got %d)", s.LiveWaves)
+		}
+		if s.ProjectionQueue < 0 {
+			return fmt.Errorf("smishkit: Service.ProjectionQueue must not be negative (got %d)", s.ProjectionQueue)
+		}
+		if s.InitialShare < 0 || s.InitialShare > 1 {
+			return fmt.Errorf("smishkit: Service.InitialShare must be in [0,1] (got %v; 0 selects the default of 0.5)", s.InitialShare)
+		}
+	}
+	return nil
 }
 
 // Study bundles a world, its simulation, and the pipeline — the one-stop
@@ -213,6 +275,9 @@ type Study struct {
 	cache    *enrichcache.Cache   // nil when Options.Cache was nil
 	batch    *batchmux.Mux        // nil when Options.Batch was nil
 	breakers *resilience.Breakers // nil when Options.Resilience was nil
+
+	opts Options     // the validated options the study was built from
+	svc  *serveState // live Serve state (nil until Serve runs)
 }
 
 // NewStudy generates a world and boots its simulation. On any failure
@@ -220,12 +285,30 @@ type Study struct {
 // included — the simulation is closed before returning, so a non-nil error
 // never leaks sockets.
 func NewStudy(opts Options) (*Study, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	reg := opts.Collector
 	if reg == nil {
 		reg = NewCollector()
 	}
 	w := corpus.Generate(corpus.Config{Seed: opts.Seed, Messages: opts.Messages})
-	sim, err := core.StartSimulationWithTelemetry(w, reg)
+	var simCfg core.SimConfig
+	if opts.Service != nil {
+		simCfg.HoldbackWaves = opts.Service.LiveWaves
+		simCfg.InitialShare = opts.Service.InitialShare
+		// A daemon resuming from committed cursors restarts into a world
+		// whose held-back posts were already published before it went down;
+		// re-staging them as future waves would make the forums appear to
+		// republish content the cursors have consumed. Seed everything up
+		// front instead so a restarted daemon collects nothing twice.
+		if st := opts.Service.Checkpoints; st != nil {
+			if all, err := st.All(); err == nil && len(all) > 0 {
+				simCfg.HoldbackWaves = 0
+			}
+		}
+	}
+	sim, err := core.StartSimulationCfg(w, reg, simCfg)
 	if err != nil {
 		return nil, fmt.Errorf("smishkit: start simulation: %w", err)
 	}
@@ -279,7 +362,7 @@ func NewStudy(opts Options) (*Study, error) {
 		cerr := sim.Close()
 		return nil, errors.Join(fmt.Errorf("smishkit: build pipeline: %w", err), cerr)
 	}
-	return &Study{World: w, Sim: sim, Pipe: pipe, cache: cache, batch: batch, breakers: breakers}, nil
+	return &Study{World: w, Sim: sim, Pipe: pipe, cache: cache, batch: batch, breakers: breakers, opts: opts}, nil
 }
 
 // Collect drains all five forums.
@@ -305,12 +388,17 @@ func (s *Study) Run(ctx context.Context) (*Dataset, error) {
 // Telemetry snapshots everything the study has recorded so far: stage
 // spans, curation counters, and per-service client metrics. Safe to call
 // concurrently with Run, and after Close.
+//
+// Deprecated: use Study.Stats().Telemetry, which bundles every stats
+// surface in one call.
 func (s *Study) Telemetry() Telemetry { return s.Pipe.Telemetry().Snapshot() }
 
 // CacheStats snapshots the enrichment cache per service: hits, misses,
 // coalesced in-flight waits, negative hits, stale serves, evictions, and
 // live entries. Returns nil when the study was built without
 // Options.Cache. Safe to call concurrently with Run, and after Close.
+//
+// Deprecated: use Study.Stats().Cache.
 func (s *Study) CacheStats() CacheStats {
 	if s.cache == nil {
 		return nil
@@ -322,6 +410,8 @@ func (s *Study) CacheStats() CacheStats {
 // batched keys, in-window coalesced duplicates, and counted per-key
 // fallthroughs. Returns nil when the study was built without
 // Options.Batch. Safe to call concurrently with Run, and after Close.
+//
+// Deprecated: use Study.Stats().Batch.
 func (s *Study) BatchStats() BatchStats {
 	if s.batch == nil {
 		return nil
@@ -333,6 +423,8 @@ func (s *Study) BatchStats() BatchStats {
 // open / short-circuit / probe / outcome counts. Returns nil when the
 // study was built without Options.Resilience. Safe to call concurrently
 // with Run, and after Close.
+//
+// Deprecated: use Study.Stats().Resilience.
 func (s *Study) ResilienceStats() ResilienceStats {
 	if s.breakers == nil {
 		return nil
@@ -358,18 +450,26 @@ func WriteReport(w io.Writer, ds *Dataset) error { return report.RenderAll(w, ds
 
 // WriteTelemetry renders a telemetry snapshot as human-readable text:
 // stage spans, counters, gauges, and latency percentiles.
+//
+// Deprecated: use WriteStats(w, stats, SectionTelemetry).
 func WriteTelemetry(w io.Writer, snap Telemetry) error { return telemetry.Write(w, snap) }
 
 // WriteCacheStats renders a CacheStats snapshot as an aligned text table,
 // one row per service, with per-service hit rates.
+//
+// Deprecated: use WriteStats(w, stats, SectionCache).
 func WriteCacheStats(w io.Writer, stats CacheStats) error { return enrichcache.Write(w, stats) }
 
 // WriteBatchStats renders a BatchStats snapshot as an aligned text table,
 // one row per batchable service, with mean keys per flush.
+//
+// Deprecated: use WriteStats(w, stats, SectionBatch).
 func WriteBatchStats(w io.Writer, stats BatchStats) error { return batchmux.Write(w, stats) }
 
 // WriteResilienceStats renders a ResilienceStats snapshot as an aligned
 // text table, one breaker per row.
+//
+// Deprecated: use WriteStats(w, stats, SectionResilience).
 func WriteResilienceStats(w io.Writer, stats ResilienceStats) error {
 	return resilience.Write(w, stats)
 }

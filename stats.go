@@ -1,0 +1,162 @@
+package smishkit
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/smishkit/smishkit/internal/batchmux"
+	"github.com/smishkit/smishkit/internal/enrichcache"
+	"github.com/smishkit/smishkit/internal/resilience"
+	"github.com/smishkit/smishkit/internal/telemetry"
+)
+
+// Stats bundles every observable surface of a Study in one snapshot,
+// replacing the former per-surface accessors (Telemetry, CacheStats,
+// BatchStats, ResilienceStats). Optional layers the study was built
+// without are nil; Service is nil unless Serve has run.
+type Stats struct {
+	// Telemetry is the full metrics snapshot: stage spans, counters,
+	// gauges, and latency histograms.
+	Telemetry Telemetry
+	// Cache is the enrichment cache scoreboard (nil without Options.Cache).
+	Cache CacheStats
+	// Batch is the batching-tier scoreboard (nil without Options.Batch).
+	Batch BatchStats
+	// Resilience is the circuit-breaker scoreboard (nil without
+	// Options.Resilience).
+	Resilience ResilienceStats
+	// Service is the daemon scoreboard: rounds, committed reports,
+	// projection backlog, and per-forum cursors (nil until Serve runs).
+	Service *ServiceStats
+}
+
+// Stats snapshots every surface at once. Safe to call concurrently with
+// Run or Serve, and after Close.
+func (s *Study) Stats() Stats {
+	st := Stats{Telemetry: s.Pipe.Telemetry().Snapshot()}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	if s.batch != nil {
+		st.Batch = s.batch.Stats()
+	}
+	if s.breakers != nil {
+		st.Resilience = s.breakers.Stats()
+	}
+	if svc := s.svc; svc != nil {
+		sv := svc.stats()
+		st.Service = &sv
+	}
+	return st
+}
+
+// StatsSection selects one part of a Stats snapshot for WriteStats.
+type StatsSection string
+
+// The sections WriteStats understands.
+const (
+	SectionTelemetry  StatsSection = "telemetry"
+	SectionCache      StatsSection = "cache"
+	SectionBatch      StatsSection = "batch"
+	SectionResilience StatsSection = "resilience"
+	SectionService    StatsSection = "service"
+)
+
+// allSections is the default render order.
+var allSections = []StatsSection{
+	SectionTelemetry, SectionCache, SectionBatch, SectionResilience, SectionService,
+}
+
+// WriteStats renders the selected sections of a Stats snapshot as
+// human-readable text, in the order given. With no sections it renders
+// every section that carries data (absent layers are skipped silently; an
+// explicitly requested absent section renders an "absent" note instead).
+// An unknown section name is an error.
+func WriteStats(w io.Writer, stats Stats, sections ...StatsSection) error {
+	explicit := len(sections) > 0
+	if !explicit {
+		sections = allSections
+	}
+	for _, sec := range sections {
+		switch sec {
+		case SectionTelemetry:
+			if err := telemetry.Write(w, stats.Telemetry); err != nil {
+				return err
+			}
+		case SectionCache:
+			if stats.Cache == nil {
+				if explicit {
+					fmt.Fprintln(w, "cache: absent (study built without Options.Cache)")
+				}
+				continue
+			}
+			if err := enrichcache.Write(w, stats.Cache); err != nil {
+				return err
+			}
+		case SectionBatch:
+			if stats.Batch == nil {
+				if explicit {
+					fmt.Fprintln(w, "batch: absent (study built without Options.Batch)")
+				}
+				continue
+			}
+			if err := batchmux.Write(w, stats.Batch); err != nil {
+				return err
+			}
+		case SectionResilience:
+			if stats.Resilience == nil {
+				if explicit {
+					fmt.Fprintln(w, "resilience: absent (study built without Options.Resilience)")
+				}
+				continue
+			}
+			if err := resilience.Write(w, stats.Resilience); err != nil {
+				return err
+			}
+		case SectionService:
+			if stats.Service == nil {
+				if explicit {
+					fmt.Fprintln(w, "service: absent (Serve has not run)")
+				}
+				continue
+			}
+			if err := writeServiceStats(w, *stats.Service); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("smishkit: unknown stats section %q", sec)
+		}
+	}
+	return nil
+}
+
+// writeServiceStats renders the daemon scoreboard as aligned text.
+func writeServiceStats(w io.Writer, st ServiceStats) error {
+	if _, err := fmt.Fprintf(w, "service\n  rounds=%d reports=%d records=%d pending=%d backlog=%.1fs\n",
+		st.Rounds, st.Reports, st.Records, st.PendingBatches, st.BacklogSeconds); err != nil {
+		return err
+	}
+	if st.StatusURL != "" {
+		if _, err := fmt.Fprintf(w, "  status: %s/status\n", st.StatusURL); err != nil {
+			return err
+		}
+	}
+	for _, src := range sourcesInOrder(st.Cursors) {
+		cur := st.Cursors[src]
+		if _, err := fmt.Fprintf(w, "  cursor %-12s offset=%-6d last=%-12q tokens=%d updated=%s\n",
+			src, cur.Offset, cur.LastID, len(cur.Tokens), cur.Updated.Format("15:04:05")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sourcesInOrder(m map[string]Cursor) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
