@@ -1,0 +1,224 @@
+// Command benchwatch is the closed-loop benchmark harness's read side: it
+// polls a running smishkit daemon's GET /status and GET /debug/telemetry,
+// records a samples.csv timeseries, aggregates it into summary.json with
+// a pass/fail verdict against the profile's SLO thresholds, and — given a
+// baseline summary — fails on regressions beyond BENCH_MAX_REGRESSION_PCT.
+//
+// Usage:
+//
+//	benchwatch -profile scripts/benchmark_profiles/smoke_1k.env \
+//	           -status http://127.0.0.1:PORT -out bench/out \
+//	           [-duration D] [-baseline bench/baseline_summary.json] \
+//	           [-max-regression-pct 5]
+//
+// Exit codes: 0 pass, 1 operational error, 2 SLO verdict failed,
+// 3 baseline regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/smishkit/smishkit"
+	"github.com/smishkit/smishkit/internal/bench"
+	"github.com/smishkit/smishkit/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchwatch: ")
+	code, err := run()
+	if err != nil {
+		log.Print(err)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	profilePath := flag.String("profile", "", "benchmark profile env file (required)")
+	status := flag.String("status", "", "daemon status URL, e.g. http://127.0.0.1:PORT (required)")
+	outDir := flag.String("out", "bench/out", "directory for samples.csv and summary.json")
+	duration := flag.Duration("duration", 0, "override the watch window (default: profile duration + grace)")
+	baseline := flag.String("baseline", "", "baseline summary.json to compare against (optional)")
+	maxRegression := flag.Float64("max-regression-pct", regressionPctFromEnv(),
+		"allowed regression vs baseline, percent (env BENCH_MAX_REGRESSION_PCT)")
+	flag.Parse()
+	if *profilePath == "" || *status == "" {
+		return 1, fmt.Errorf("both -profile and -status are required")
+	}
+	p, err := bench.LoadProfile(*profilePath)
+	if err != nil {
+		return 1, err
+	}
+	window := p.Duration + p.WatchGrace
+	if *duration > 0 {
+		window = *duration
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return 1, err
+	}
+
+	samples, err := watch(strings.TrimRight(*status, "/"), p, window, filepath.Join(*outDir, "samples.csv"))
+	if err != nil {
+		return 1, err
+	}
+	summary, err := bench.Summarize(p.Name, samples, p.Thresholds())
+	if err != nil {
+		return 1, err
+	}
+	sumPath := filepath.Join(*outDir, "summary.json")
+	f, err := os.Create(sumPath)
+	if err != nil {
+		return 1, err
+	}
+	werr := bench.WriteSummary(f, summary)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return 1, werr
+	}
+	_ = bench.WriteSummary(os.Stdout, summary)
+
+	if !summary.Pass {
+		return 2, fmt.Errorf("SLO verdict: FAIL (%s)", strings.Join(summary.Failures, "; "))
+	}
+	log.Printf("SLO verdict: pass (backlog p95 %.2fs < %.2fs, %d reports)",
+		summary.ProjectionBacklogP95Seconds, summary.Thresholds.BacklogP95Seconds, summary.ReportsTotal)
+
+	if *baseline != "" {
+		bl, err := bench.LoadSummary(*baseline)
+		if err != nil {
+			return 1, err
+		}
+		regs := bench.Compare(bl, summary, *maxRegression)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				log.Printf("regression: %s", r)
+			}
+			return 3, fmt.Errorf("%d metric(s) regressed beyond %.1f%% vs %s",
+				len(regs), *maxRegression, *baseline)
+		}
+		log.Printf("baseline %s: no regression beyond %.1f%%", *baseline, *maxRegression)
+	}
+	return 0, nil
+}
+
+// regressionPctFromEnv resolves the flag default from BENCH_MAX_REGRESSION_PCT.
+func regressionPctFromEnv() float64 {
+	if v := os.Getenv("BENCH_MAX_REGRESSION_PCT"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f >= 0 {
+			return f
+		}
+	}
+	return bench.DefaultMaxRegressionPct
+}
+
+// watch polls the daemon every SampleInterval for the window, streaming
+// each sample to csvPath as it lands so a crashed run keeps its timeseries.
+func watch(base string, p bench.Profile, window time.Duration, csvPath string) ([]bench.Sample, error) {
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := bench.WriteCSVHeader(f); err != nil {
+		return nil, err
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	log.Printf("watching %s every %v for %v -> %s", base, p.SampleInterval, window, csvPath)
+	var samples []bench.Sample
+	var prev *bench.Sample
+	consecutiveFailures := 0
+	deadline := time.Now().Add(window)
+	tick := time.NewTicker(p.SampleInterval)
+	defer tick.Stop()
+	for now := time.Now(); now.Before(deadline); now = <-tick.C {
+		s, err := poll(client, base, now, prev)
+		if err != nil {
+			consecutiveFailures++
+			log.Printf("poll: %v", err)
+			// The daemon disappearing mid-run is a hard failure; a few
+			// dropped polls (GC pause, port churn) are tolerated.
+			if consecutiveFailures >= 10 {
+				return nil, fmt.Errorf("daemon unreachable for %d consecutive polls", consecutiveFailures)
+			}
+			continue
+		}
+		consecutiveFailures = 0
+		if err := bench.WriteCSVRow(f, s); err != nil {
+			return nil, err
+		}
+		samples = append(samples, s)
+		prev = &samples[len(samples)-1]
+	}
+	log.Printf("collected %d samples", len(samples))
+	return samples, nil
+}
+
+// poll takes one sample from /status and /debug/telemetry.
+func poll(client *http.Client, base string, now time.Time, prev *bench.Sample) (bench.Sample, error) {
+	var st smishkit.ServiceStats
+	if err := getJSON(client, base+"/status", &st); err != nil {
+		return bench.Sample{}, err
+	}
+	if st.SchemaVersion != smishkit.ServiceStatsSchemaVersion {
+		return bench.Sample{}, fmt.Errorf("/status schema_version %d, want %d",
+			st.SchemaVersion, smishkit.ServiceStatsSchemaVersion)
+	}
+	var snap telemetry.Snapshot
+	if err := getJSON(client, base+"/debug/telemetry", &snap); err != nil {
+		return bench.Sample{}, err
+	}
+
+	s := bench.Sample{
+		At:               now,
+		Rounds:           st.Rounds,
+		ReportsTotal:     st.Reports,
+		Records:          st.Records,
+		PendingBatches:   st.PendingBatches,
+		BacklogSeconds:   st.BacklogSeconds,
+		Reports1mTotal:   st.Reports1mTotal,
+		RoundP95Ms:       st.RoundMS.P95,
+		InjectedPosts:    st.InjectedPosts,
+		StreamQueueDepth: snap.GaugeValue("pipeline.stream.queue_depth"),
+	}
+	if h, ok := snap.Hist("pipeline.enrich.record_latency"); ok {
+		s.EnrichP95Ms = float64(h.P95) / float64(time.Millisecond)
+	}
+	for name, v := range snap.Gauges {
+		if strings.HasPrefix(name, "collect.cursor_lag.") && float64(v) > s.CursorLagMaxSeconds {
+			s.CursorLagMaxSeconds = float64(v)
+		}
+	}
+	if prev != nil {
+		if dt := s.At.Sub(prev.At).Seconds(); dt > 0 {
+			s.ReportsPerSec = float64(s.ReportsTotal-prev.ReportsTotal) / dt
+		}
+	}
+	return s, nil
+}
+
+func getJSON(client *http.Client, url string, dst any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		return fmt.Errorf("GET %s: decode: %w", url, err)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+// Command loadgen drives the closed-loop benchmark harness's write side:
+// it synthesizes smishing-report waves from an env-file profile and
+// appends them to a running smishkit daemon through POST /inject.
+//
+// Usage:
+//
+//	loadgen -profile scripts/benchmark_profiles/smoke_1k.env \
+//	        -status http://127.0.0.1:PORT [-duration D]
+//
+// The profile sets the steady rate (BENCH_BASE_RPS), burst windows
+// (BENCH_BURST_RPS every BENCH_BURST_EVERY_SECONDS for
+// BENCH_BURST_LEN_SECONDS), the wave size (BENCH_WAVE_MESSAGES), the
+// forum mix (BENCH_FORUMS), and the fault mix's decoy share
+// (BENCH_NOISE_FRACTION). loadgen spends its RPS budget in whole waves:
+// it accumulates owed messages at the profile's current rate and posts
+// one wave each time the debt covers BENCH_WAVE_MESSAGES.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/bench"
+	"github.com/smishkit/smishkit/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	profilePath := flag.String("profile", "", "benchmark profile env file (required)")
+	status := flag.String("status", "", "daemon status URL, e.g. http://127.0.0.1:PORT (required)")
+	duration := flag.Duration("duration", 0, "override the profile's BENCH_DURATION_SECONDS")
+	flag.Parse()
+	if *profilePath == "" || *status == "" {
+		return fmt.Errorf("both -profile and -status are required")
+	}
+	p, err := bench.LoadProfile(*profilePath)
+	if err != nil {
+		return err
+	}
+	if *duration > 0 {
+		p.Duration = *duration
+	}
+	base := strings.TrimRight(*status, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	log.Printf("profile %s: %v at %g rps (burst %g rps), waves of %d",
+		p.Name, p.Duration, p.BaseRPS, p.BurstRPS, p.WaveMessages)
+
+	start := time.Now()
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	var owed float64
+	var waves, appended, failures int
+	last := start
+	for now := range tick.C {
+		elapsed := now.Sub(start)
+		if elapsed >= p.Duration {
+			break
+		}
+		owed += p.RateAt(elapsed) * now.Sub(last).Seconds()
+		last = now
+		for owed >= float64(p.WaveMessages) {
+			owed -= float64(p.WaveMessages)
+			waves++
+			n, err := inject(client, base, core.InjectSpec{
+				Seed:          p.Seed + int64(waves),
+				Messages:      p.WaveMessages,
+				Forums:        p.Forums,
+				NoiseFraction: p.NoiseFraction,
+			})
+			if err != nil {
+				failures++
+				log.Printf("wave %d: %v", waves, err)
+				// An unreachable daemon fails the run outright; the CI gate
+				// must see a hard error, not a quiet half-load.
+				if failures > 5 && appended == 0 {
+					return fmt.Errorf("no wave has landed after %d attempts; giving up", failures)
+				}
+				continue
+			}
+			appended += n
+		}
+	}
+
+	rate := float64(appended) / time.Since(start).Seconds()
+	log.Printf("done: %d waves, %d posts appended (%.1f posts/sec), %d failed",
+		waves, appended, rate, failures)
+	if appended == 0 {
+		return fmt.Errorf("no posts appended")
+	}
+	if failures*2 > waves {
+		return fmt.Errorf("%d of %d waves failed", failures, waves)
+	}
+	// Machine-readable trailer for the harness log.
+	fmt.Fprintf(os.Stdout, `{"waves":%d,"appended_posts":%d,"failed_waves":%d}`+"\n",
+		waves, appended, failures)
+	return nil
+}
+
+// inject posts one wave and returns how many posts the daemon appended.
+func inject(client *http.Client, base string, spec core.InjectSpec) (int, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(base+"/inject", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("POST /inject: %s: %s", resp.Status, bytes.TrimSpace(payload))
+	}
+	var out struct {
+		AppendedPosts int `json:"appended_posts"`
+	}
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return 0, fmt.Errorf("POST /inject: decode response: %w", err)
+	}
+	return out.AppendedPosts, nil
+}

@@ -7,7 +7,7 @@
 //	         [-extractor structured|vision|naive] [-telemetry] [-cache]
 //	         [-cache-stats] [-batch] [-batch-stats] [-chaos RATE]
 //	         [-serve] [-poll-interval D] [-serve-rounds N] [-checkpoint-dir DIR]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-status-file FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -serve, smishctl runs as a long-lived daemon: it polls the forums
 // on -poll-interval, feeds new reports through the streaming pipeline
@@ -58,6 +58,7 @@ func run() error {
 	pollInterval := flag.Duration("poll-interval", 2*time.Second, "idle time between daemon collection rounds (with -serve)")
 	serveRounds := flag.Int("serve-rounds", 0, "stop the daemon after N rounds (0 = run until interrupted; with -serve)")
 	checkpointDir := flag.String("checkpoint-dir", "", "persist collection cursors as JSON files under this directory so a restarted daemon resumes where it left off (with -serve)")
+	statusFile := flag.String("status-file", "", "write the daemon's status URL to this file once it is listening, for script orchestration (with -serve)")
 	liveWaves := flag.Int("live-waves", 3, "hold back this many fixture waves and release one per round, so the daemon sees reports arrive over time (with -serve)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline (batch mode only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -115,6 +116,16 @@ func run() error {
 			PollInterval: *pollInterval,
 			MaxRounds:    *serveRounds,
 			LiveWaves:    *liveWaves,
+			// OnReady fires once the status server is listening — no
+			// polling needed to learn the URL.
+			OnReady: func(statusURL string) {
+				log.Printf("status: %s/status (telemetry at /debug/telemetry)", statusURL)
+				if *statusFile != "" {
+					if err := os.WriteFile(*statusFile, []byte(statusURL), 0o644); err != nil {
+						log.Printf("-status-file: %v", err)
+					}
+				}
+			},
 		}
 		if *checkpointDir != "" {
 			store, err := smishkit.NewFileCheckpoints(*checkpointDir)
@@ -160,16 +171,6 @@ func run() error {
 		// shutdown drains the in-flight round before reporting.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		go func() {
-			// The status URL binds inside Serve; poll briefly to print it.
-			for i := 0; i < 100; i++ {
-				if url := study.StatusURL(); url != "" {
-					log.Printf("status: %s/status (telemetry at /debug/telemetry)", url)
-					return
-				}
-				time.Sleep(10 * time.Millisecond)
-			}
-		}()
 		ds, err = study.Serve(ctx)
 	} else {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)

@@ -95,7 +95,7 @@ func runStudyWithStats(ctx context.Context, opts smishkit.Options) *smishkit.Dat
 	if err != nil {
 		log.Fatal(err) // a 30% outage must degrade, not abort
 	}
-	if err := smishkit.WriteResilienceStats(os.Stdout, study.ResilienceStats()); err != nil {
+	if err := smishkit.WriteStats(os.Stdout, study.Stats(), smishkit.SectionResilience); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()

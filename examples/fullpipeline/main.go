@@ -111,12 +111,11 @@ func main() {
 
 	// Stage 8: how the run behaved — stage spans, curation outcomes, and
 	// per-service client latencies (also live at sim.DebugURL).
+	// The layers were built by hand here (no Study), so assemble the Stats
+	// value directly and render the same sections Study.Stats would.
 	fmt.Println()
-	if err := smishkit.WriteTelemetry(os.Stdout, sim.Telemetry.Snapshot()); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println()
-	if err := smishkit.WriteCacheStats(os.Stdout, cache.Stats()); err != nil {
+	stats := smishkit.Stats{Telemetry: sim.Telemetry.Snapshot(), Cache: cache.Stats()}
+	if err := smishkit.WriteStats(os.Stdout, stats, smishkit.SectionTelemetry, smishkit.SectionCache); err != nil {
 		log.Fatal(err)
 	}
 }

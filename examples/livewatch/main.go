@@ -63,6 +63,30 @@ func main() {
 				log.Printf("round %d: +%d new reports, %d records projected",
 					info.Round, info.NewReports, info.Records)
 			},
+			// OnReady fires once the status endpoint is listening, with its
+			// URL — no need to poll StatusURL. Sample it once mid-run to
+			// show the live gauges.
+			OnReady: func(statusURL string) {
+				log.Printf("status endpoint: %s/status", statusURL)
+				go func() {
+					time.Sleep(1200 * time.Millisecond)
+					resp, err := http.Get(statusURL + "/status")
+					if err != nil {
+						return
+					}
+					defer resp.Body.Close()
+					var probe struct {
+						Rounds         int     `json:"rounds"`
+						Records        int     `json:"records"`
+						BacklogSeconds float64 `json:"backlog_seconds"`
+					}
+					if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
+						return
+					}
+					log.Printf("mid-run status: rounds=%d records=%d backlog=%.1fs",
+						probe.Rounds, probe.Records, probe.BacklogSeconds)
+				}()
+			},
 		},
 	})
 	if err != nil {
@@ -74,31 +98,6 @@ func main() {
 	// the final report prints.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-
-	go func() {
-		// The status endpoint binds when Serve starts; sample it once to
-		// show the live gauges mid-run.
-		for study.StatusURL() == "" {
-			time.Sleep(20 * time.Millisecond)
-		}
-		log.Printf("status endpoint: %s/status", study.StatusURL())
-		time.Sleep(1200 * time.Millisecond)
-		resp, err := http.Get(study.StatusURL() + "/status")
-		if err != nil {
-			return
-		}
-		defer resp.Body.Close()
-		var probe struct {
-			Rounds         int     `json:"rounds"`
-			Records        int     `json:"records"`
-			BacklogSeconds float64 `json:"backlog_seconds"`
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&probe); err != nil {
-			return
-		}
-		log.Printf("mid-run status: rounds=%d records=%d backlog=%.1fs",
-			probe.Rounds, probe.Records, probe.BacklogSeconds)
-	}()
 
 	ds, err := study.Serve(ctx)
 	if err != nil {

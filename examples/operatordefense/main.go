@@ -112,12 +112,11 @@ func main() {
 
 	// How the gateway behaved across all replays: submit/deliver/block
 	// latency percentiles and traffic counters.
+	// No Study here — the gateway stack was assembled by hand — so build
+	// the Stats value directly for the unified renderer.
 	fmt.Println()
-	if err := smishkit.WriteTelemetry(os.Stdout, collector.Snapshot()); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println()
-	if err := smishkit.WriteCacheStats(os.Stdout, cache.Stats()); err != nil {
+	stats := smishkit.Stats{Telemetry: collector.Snapshot(), Cache: cache.Stats()}
+	if err := smishkit.WriteStats(os.Stdout, stats, smishkit.SectionTelemetry, smishkit.SectionCache); err != nil {
 		log.Fatal(err)
 	}
 }

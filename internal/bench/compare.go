@@ -1,0 +1,82 @@
+package bench
+
+import "fmt"
+
+// DefaultMaxRegressionPct is the allowed baseline-vs-latest drift before
+// the CI gate fails, overridable via BENCH_MAX_REGRESSION_PCT.
+const DefaultMaxRegressionPct = 5.0
+
+// Regression is one metric that moved past the allowed drift.
+type Regression struct {
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Latest   float64 `json:"latest"`
+	// DeltaPct is the relative change in the "worse" direction, percent.
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: baseline %.3f -> latest %.3f (%+.1f%% worse, limit %s)",
+		r.Metric, r.Baseline, r.Latest, r.DeltaPct, "BENCH_MAX_REGRESSION_PCT")
+}
+
+// compareMetric describes how one summary field regresses. For a
+// zero-valued baseline a relative comparison is meaningless, so each
+// metric carries an absolute floor the latest value must cross before it
+// counts as a regression at all.
+type compareMetric struct {
+	name string
+	get  func(Summary) float64
+	// higherWorse: latest > baseline is the bad direction (latencies,
+	// backlogs). When false, latest < baseline is bad (throughput).
+	higherWorse bool
+	// zeroFloor is the absolute value latest must exceed (higherWorse) for
+	// a zero baseline to register; lower-is-worse metrics with a zero
+	// baseline are skipped outright (a baseline that measured no
+	// throughput can't anchor a throughput regression).
+	zeroFloor float64
+}
+
+var compareMetrics = []compareMetric{
+	{"projection_backlog_p95_seconds", func(s Summary) float64 { return s.ProjectionBacklogP95Seconds }, true, 1.0},
+	{"projection_backlog_p99_seconds", func(s Summary) float64 { return s.ProjectionBacklogP99Seconds }, true, 1.0},
+	{"round_p95_ms", func(s Summary) float64 { return s.RoundP95Ms }, true, 50},
+	{"enrich_p95_ms_max", func(s Summary) float64 { return s.EnrichP95MsMax }, true, 50},
+	{"reports_per_sec_avg", func(s Summary) float64 { return s.ReportsPerSecAvg }, false, 0},
+}
+
+// Compare reports every metric where latest is worse than baseline by
+// strictly more than maxRegressionPct percent. A drift of exactly
+// maxRegressionPct passes — the env knob names the worst tolerated
+// value, not the first rejected one. Pass maxRegressionPct < 0 to use
+// DefaultMaxRegressionPct.
+func Compare(baseline, latest Summary, maxRegressionPct float64) []Regression {
+	if maxRegressionPct < 0 {
+		maxRegressionPct = DefaultMaxRegressionPct
+	}
+	var out []Regression
+	for _, m := range compareMetrics {
+		b, l := m.get(baseline), m.get(latest)
+		if m.higherWorse {
+			if b == 0 {
+				if l > m.zeroFloor {
+					out = append(out, Regression{m.name, b, l, 100})
+				}
+				continue
+			}
+			delta := (l - b) / b * 100
+			if delta > maxRegressionPct {
+				out = append(out, Regression{m.name, b, l, delta})
+			}
+		} else {
+			if b == 0 {
+				continue
+			}
+			delta := (b - l) / b * 100
+			if delta > maxRegressionPct {
+				out = append(out, Regression{m.name, b, l, delta})
+			}
+		}
+	}
+	return out
+}

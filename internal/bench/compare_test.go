@@ -1,0 +1,90 @@
+package bench
+
+import "testing"
+
+func baselineSummary() Summary {
+	return Summary{
+		ProjectionBacklogP95Seconds: 10,
+		ProjectionBacklogP99Seconds: 12,
+		RoundP95Ms:                  100,
+		EnrichP95MsMax:              40,
+		ReportsPerSecAvg:            20,
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	b := baselineSummary()
+	if regs := Compare(b, b, 5); len(regs) != 0 {
+		t.Errorf("identical summaries regressed: %v", regs)
+	}
+	better := b
+	better.ProjectionBacklogP95Seconds = 5
+	better.ReportsPerSecAvg = 40
+	if regs := Compare(b, better, 5); len(regs) != 0 {
+		t.Errorf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareBoundaryExactlyAtPctPasses(t *testing.T) {
+	b := baselineSummary()
+	l := b
+	l.ProjectionBacklogP95Seconds = 10.5 // exactly +5%
+	if regs := Compare(b, l, 5); len(regs) != 0 {
+		t.Errorf("drift of exactly the limit flagged: %v", regs)
+	}
+	l.ProjectionBacklogP95Seconds = 10.51 // just over
+	regs := Compare(b, l, 5)
+	if len(regs) != 1 || regs[0].Metric != "projection_backlog_p95_seconds" {
+		t.Errorf("drift just over the limit not flagged: %v", regs)
+	}
+}
+
+func TestCompareLowerIsWorseThroughput(t *testing.T) {
+	b := baselineSummary()
+	l := b
+	l.ReportsPerSecAvg = 19 // -5% exactly: tolerated
+	if regs := Compare(b, l, 5); len(regs) != 0 {
+		t.Errorf("throughput at limit flagged: %v", regs)
+	}
+	l.ReportsPerSecAvg = 18.9 // -5.5%: regression
+	regs := Compare(b, l, 5)
+	if len(regs) != 1 || regs[0].Metric != "reports_per_sec_avg" {
+		t.Errorf("throughput drop not flagged: %v", regs)
+	}
+	// Higher throughput must never count against the run.
+	l.ReportsPerSecAvg = 100
+	if regs := Compare(b, l, 5); len(regs) != 0 {
+		t.Errorf("throughput gain flagged: %v", regs)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	var b Summary // all-zero baseline (idle smoke run)
+	l := Summary{ProjectionBacklogP95Seconds: 0.5, RoundP95Ms: 30}
+	if regs := Compare(b, l, 5); len(regs) != 0 {
+		t.Errorf("small absolute values over zero baseline flagged: %v", regs)
+	}
+	l = Summary{ProjectionBacklogP95Seconds: 2, RoundP95Ms: 80}
+	regs := Compare(b, l, 5)
+	if len(regs) != 2 {
+		t.Errorf("zero-baseline floor breaches: got %v, want backlog+round", regs)
+	}
+	// Zero-baseline throughput cannot anchor a throughput regression.
+	l = Summary{}
+	if regs := Compare(b, l, 5); len(regs) != 0 {
+		t.Errorf("zero-baseline throughput flagged: %v", regs)
+	}
+}
+
+func TestCompareDefaultPct(t *testing.T) {
+	b := baselineSummary()
+	l := b
+	l.RoundP95Ms = 104 // +4% < default 5%
+	if regs := Compare(b, l, -1); len(regs) != 0 {
+		t.Errorf("+4%% flagged under default limit: %v", regs)
+	}
+	l.RoundP95Ms = 106 // +6% > default 5%
+	if regs := Compare(b, l, -1); len(regs) != 1 {
+		t.Errorf("+6%% not flagged under default limit: %v", regs)
+	}
+}

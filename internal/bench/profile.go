@@ -1,0 +1,308 @@
+// Package bench is the closed-loop benchmark harness's math and config
+// layer: env-file load profiles (cmd/loadgen), the samples.csv timeseries
+// codec and summary.json aggregation (cmd/benchwatch), and the
+// baseline-vs-latest regression comparison the CI gate runs. Keeping it
+// all here — instead of inside the two commands — makes every piece unit
+// testable and lets the commands stay thin flag-parsers.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Profile is one benchmark configuration, parsed from an env file
+// (scripts/benchmark_profiles/*.env). The same file is sourced by
+// scripts/run_benchmark.sh for the daemon-side knobs, so it must stay
+// valid POSIX shell: KEY=VALUE lines and # comments only.
+type Profile struct {
+	// Name labels the run in summary.json (defaults to the file basename).
+	Name string
+
+	// Duration is how long loadgen drives traffic (BENCH_DURATION_SECONDS,
+	// default 60).
+	Duration time.Duration
+	// BaseRPS is the steady synthetic report rate (BENCH_BASE_RPS,
+	// default 5).
+	BaseRPS float64
+	// BurstRPS replaces BaseRPS during burst windows (BENCH_BURST_RPS,
+	// default = BaseRPS, i.e. no pressure change).
+	BurstRPS float64
+	// BurstEvery is the burst cadence (BENCH_BURST_EVERY_SECONDS, 0 =
+	// bursts disabled).
+	BurstEvery time.Duration
+	// BurstLen is each burst window's length (BENCH_BURST_LEN_SECONDS,
+	// default 5 when bursts are enabled).
+	BurstLen time.Duration
+	// WaveMessages is how many synthetic reports one POST /inject carries
+	// (BENCH_WAVE_MESSAGES, default 25): the RPS budget is spent in waves
+	// of this size.
+	WaveMessages int
+	// Forums restricts injection to a subset of sources (BENCH_FORUMS,
+	// comma-separated; empty = all five).
+	Forums []string
+	// NoiseFraction is the injected waves' decoy share (BENCH_NOISE_FRACTION,
+	// 0 = generator default).
+	NoiseFraction float64
+	// Seed is the base seed for injected waves; wave i uses Seed+i
+	// (BENCH_SEED, default 1).
+	Seed int64
+
+	// Daemon-side knobs, consumed by scripts/run_benchmark.sh when it
+	// launches smishctl -serve (parsed here so a malformed profile fails
+	// fast and loudly rather than half-applying):
+	// WorldMessages is the daemon's initial corpus size
+	// (BENCH_WORLD_MESSAGES, default 1000).
+	WorldMessages int
+	// Chaos is the daemon's injected fault mix rate (BENCH_CHAOS,
+	// default 0).
+	Chaos float64
+	// PollInterval is the daemon's collection cadence
+	// (BENCH_POLL_MS, default 500ms).
+	PollInterval time.Duration
+
+	// Benchwatch knobs:
+	// SampleInterval is the poll cadence (BENCH_SAMPLE_INTERVAL_SECONDS,
+	// default 1s).
+	SampleInterval time.Duration
+	// WatchGrace extends watching past loadgen's end so the drain is
+	// observed (BENCH_WATCH_GRACE_SECONDS, default 10).
+	WatchGrace time.Duration
+
+	// SLO thresholds:
+	// TargetBacklogP95 is the primary KPI ceiling in seconds — the run
+	// passes only while projection_backlog_p95_seconds stays strictly
+	// below it (BENCH_TARGET_PROJECTION_BACKLOG_P95_SECONDS, default 30).
+	TargetBacklogP95 float64
+	// TargetRoundP95Ms caps the daemon's round-duration p95 in
+	// milliseconds (BENCH_TARGET_ROUND_P95_MS, 0 = not enforced).
+	TargetRoundP95Ms float64
+	// MinReports is the least committed-report total a run must reach to
+	// pass — the guard against a "fast" run that ingested nothing
+	// (BENCH_MIN_REPORTS, default 1).
+	MinReports int
+}
+
+// defaultProfile is the documented baseline every profile starts from.
+func defaultProfile(name string) Profile {
+	return Profile{
+		Name:             name,
+		Duration:         60 * time.Second,
+		BaseRPS:          5,
+		BurstRPS:         0, // resolved to BaseRPS in withDefaults
+		BurstLen:         5 * time.Second,
+		WaveMessages:     25,
+		Seed:             1,
+		WorldMessages:    1000,
+		PollInterval:     500 * time.Millisecond,
+		SampleInterval:   time.Second,
+		WatchGrace:       10 * time.Second,
+		TargetBacklogP95: 30,
+		MinReports:       1,
+	}
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.BurstRPS == 0 {
+		p.BurstRPS = p.BaseRPS
+	}
+	return p
+}
+
+// Thresholds extracts the profile's pass/fail gates.
+func (p Profile) Thresholds() Thresholds {
+	return Thresholds{
+		BacklogP95Seconds: p.TargetBacklogP95,
+		RoundP95Ms:        p.TargetRoundP95Ms,
+		MinReports:        p.MinReports,
+	}
+}
+
+// RateAt returns the target injection rate at elapsed time t: BurstRPS
+// inside burst windows, BaseRPS otherwise. Burst windows open every
+// BurstEvery and stay open for BurstLen.
+func (p Profile) RateAt(t time.Duration) float64 {
+	if p.BurstEvery <= 0 {
+		return p.BaseRPS
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t%p.BurstEvery < p.BurstLen {
+		return p.BurstRPS
+	}
+	return p.BaseRPS
+}
+
+// LoadProfile reads and parses one profile env file.
+func LoadProfile(path string) (Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Profile{}, fmt.Errorf("bench: open profile: %w", err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return ParseProfile(f, name)
+}
+
+// ParseProfile parses an env-file profile: KEY=VALUE lines, # comments,
+// blank lines. Unknown BENCH_* keys, non-BENCH keys, and malformed values
+// are rejected — a typoed knob must fail the run, not silently fall back
+// to a default.
+func ParseProfile(r io.Reader, name string) (Profile, error) {
+	p := defaultProfile(name)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("bench: profile line %d: not KEY=VALUE: %q", lineNo, line)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(strings.Trim(strings.TrimSpace(value), `"'`))
+		if err := p.set(key, value); err != nil {
+			return Profile{}, fmt.Errorf("bench: profile line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Profile{}, fmt.Errorf("bench: read profile: %w", err)
+	}
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// set applies one KEY=VALUE pair.
+func (p *Profile) set(key, value string) error {
+	seconds := func(dst *time.Duration) error {
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("%s: want a non-negative number of seconds, got %q", key, value)
+		}
+		*dst = time.Duration(v * float64(time.Second))
+		return nil
+	}
+	millis := func(dst *time.Duration) error {
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("%s: want a non-negative number of milliseconds, got %q", key, value)
+		}
+		*dst = time.Duration(v * float64(time.Millisecond))
+		return nil
+	}
+	float := func(dst *float64) error {
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("%s: want a non-negative number, got %q", key, value)
+		}
+		*dst = v
+		return nil
+	}
+	integer := func(dst *int) error {
+		v, err := strconv.Atoi(value)
+		if err != nil || v < 0 {
+			return fmt.Errorf("%s: want a non-negative integer, got %q", key, value)
+		}
+		*dst = v
+		return nil
+	}
+
+	switch key {
+	case "BENCH_DURATION_SECONDS":
+		return seconds(&p.Duration)
+	case "BENCH_BASE_RPS":
+		return float(&p.BaseRPS)
+	case "BENCH_BURST_RPS":
+		return float(&p.BurstRPS)
+	case "BENCH_BURST_EVERY_SECONDS":
+		return seconds(&p.BurstEvery)
+	case "BENCH_BURST_LEN_SECONDS":
+		return seconds(&p.BurstLen)
+	case "BENCH_WAVE_MESSAGES":
+		return integer(&p.WaveMessages)
+	case "BENCH_FORUMS":
+		p.Forums = nil
+		for _, f := range strings.Split(value, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				p.Forums = append(p.Forums, f)
+			}
+		}
+		return nil
+	case "BENCH_NOISE_FRACTION":
+		if err := float(&p.NoiseFraction); err != nil {
+			return err
+		}
+		if p.NoiseFraction > 1 {
+			return fmt.Errorf("%s: want a fraction in [0,1], got %q", key, value)
+		}
+		return nil
+	case "BENCH_SEED":
+		v, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%s: want an integer, got %q", key, value)
+		}
+		p.Seed = v
+		return nil
+	case "BENCH_WORLD_MESSAGES":
+		return integer(&p.WorldMessages)
+	case "BENCH_CHAOS":
+		if err := float(&p.Chaos); err != nil {
+			return err
+		}
+		if p.Chaos > 1 {
+			return fmt.Errorf("%s: want a rate in [0,1], got %q", key, value)
+		}
+		return nil
+	case "BENCH_POLL_MS":
+		return millis(&p.PollInterval)
+	case "BENCH_SAMPLE_INTERVAL_SECONDS":
+		return seconds(&p.SampleInterval)
+	case "BENCH_WATCH_GRACE_SECONDS":
+		return seconds(&p.WatchGrace)
+	case "BENCH_TARGET_PROJECTION_BACKLOG_P95_SECONDS":
+		return float(&p.TargetBacklogP95)
+	case "BENCH_TARGET_ROUND_P95_MS":
+		return float(&p.TargetRoundP95Ms)
+	case "BENCH_MIN_REPORTS":
+		return integer(&p.MinReports)
+	default:
+		return fmt.Errorf("unknown profile key %q", key)
+	}
+}
+
+// validate rejects combinations no run can execute.
+func (p Profile) validate() error {
+	if p.Duration <= 0 {
+		return fmt.Errorf("bench: profile %s: BENCH_DURATION_SECONDS must be positive", p.Name)
+	}
+	if p.BaseRPS <= 0 {
+		return fmt.Errorf("bench: profile %s: BENCH_BASE_RPS must be positive", p.Name)
+	}
+	if p.WaveMessages <= 0 {
+		return fmt.Errorf("bench: profile %s: BENCH_WAVE_MESSAGES must be positive", p.Name)
+	}
+	if p.SampleInterval <= 0 {
+		return fmt.Errorf("bench: profile %s: BENCH_SAMPLE_INTERVAL_SECONDS must be positive", p.Name)
+	}
+	if p.BurstEvery > 0 && p.BurstLen > p.BurstEvery {
+		return fmt.Errorf("bench: profile %s: BENCH_BURST_LEN_SECONDS (%v) exceeds BENCH_BURST_EVERY_SECONDS (%v)",
+			p.Name, p.BurstLen, p.BurstEvery)
+	}
+	if p.TargetBacklogP95 <= 0 {
+		return fmt.Errorf("bench: profile %s: BENCH_TARGET_PROJECTION_BACKLOG_P95_SECONDS must be positive", p.Name)
+	}
+	return nil
+}

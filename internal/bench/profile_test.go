@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseProfileDefaults(t *testing.T) {
+	p, err := ParseProfile(strings.NewReader(""), "empty")
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if p.Name != "empty" {
+		t.Errorf("Name = %q, want empty", p.Name)
+	}
+	if p.Duration != 60*time.Second {
+		t.Errorf("Duration = %v, want 60s", p.Duration)
+	}
+	if p.BaseRPS != 5 {
+		t.Errorf("BaseRPS = %v, want 5", p.BaseRPS)
+	}
+	if p.BurstRPS != 5 {
+		t.Errorf("BurstRPS = %v, want BaseRPS (5)", p.BurstRPS)
+	}
+	if p.WaveMessages != 25 {
+		t.Errorf("WaveMessages = %d, want 25", p.WaveMessages)
+	}
+	if p.TargetBacklogP95 != 30 {
+		t.Errorf("TargetBacklogP95 = %v, want 30", p.TargetBacklogP95)
+	}
+	if p.MinReports != 1 {
+		t.Errorf("MinReports = %d, want 1", p.MinReports)
+	}
+	if p.SampleInterval != time.Second {
+		t.Errorf("SampleInterval = %v, want 1s", p.SampleInterval)
+	}
+	if p.WatchGrace != 10*time.Second {
+		t.Errorf("WatchGrace = %v, want 10s", p.WatchGrace)
+	}
+}
+
+func TestParseProfileFull(t *testing.T) {
+	src := `# heavy profile
+BENCH_DURATION_SECONDS=120
+BENCH_BASE_RPS=20
+BENCH_BURST_RPS=80
+BENCH_BURST_EVERY_SECONDS=30
+BENCH_BURST_LEN_SECONDS=10
+
+BENCH_WAVE_MESSAGES=50
+BENCH_FORUMS="reddit, twitter"
+BENCH_NOISE_FRACTION=0.25
+BENCH_SEED=42
+BENCH_WORLD_MESSAGES=10000
+BENCH_CHAOS=0.1
+BENCH_POLL_MS=250
+BENCH_SAMPLE_INTERVAL_SECONDS=2
+BENCH_WATCH_GRACE_SECONDS=15
+BENCH_TARGET_PROJECTION_BACKLOG_P95_SECONDS=45
+BENCH_TARGET_ROUND_P95_MS=500
+BENCH_MIN_REPORTS=100
+`
+	p, err := ParseProfile(strings.NewReader(src), "heavy")
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if p.Duration != 120*time.Second || p.BaseRPS != 20 || p.BurstRPS != 80 {
+		t.Errorf("rates: %+v", p)
+	}
+	if p.BurstEvery != 30*time.Second || p.BurstLen != 10*time.Second {
+		t.Errorf("burst windows: every=%v len=%v", p.BurstEvery, p.BurstLen)
+	}
+	if len(p.Forums) != 2 || p.Forums[0] != "reddit" || p.Forums[1] != "twitter" {
+		t.Errorf("Forums = %v", p.Forums)
+	}
+	if p.NoiseFraction != 0.25 || p.Seed != 42 || p.Chaos != 0.1 {
+		t.Errorf("noise/seed/chaos: %+v", p)
+	}
+	if p.PollInterval != 250*time.Millisecond {
+		t.Errorf("PollInterval = %v", p.PollInterval)
+	}
+	th := p.Thresholds()
+	if th.BacklogP95Seconds != 45 || th.RoundP95Ms != 500 || th.MinReports != 100 {
+		t.Errorf("Thresholds = %+v", th)
+	}
+}
+
+func TestParseProfileRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"unknown key":         "BENCH_TYPO_KEY=1\n",
+		"non-bench key":       "PATH=/usr/bin\n",
+		"missing equals":      "BENCH_BASE_RPS 5\n",
+		"non-numeric":         "BENCH_BASE_RPS=fast\n",
+		"negative":            "BENCH_DURATION_SECONDS=-5\n",
+		"noise above one":     "BENCH_NOISE_FRACTION=1.5\n",
+		"chaos above one":     "BENCH_CHAOS=2\n",
+		"zero duration":       "BENCH_DURATION_SECONDS=0\n",
+		"zero base rps":       "BENCH_BASE_RPS=0\n",
+		"zero wave":           "BENCH_WAVE_MESSAGES=0\n",
+		"zero backlog gate":   "BENCH_TARGET_PROJECTION_BACKLOG_P95_SECONDS=0\n",
+		"burst len > cadence": "BENCH_BURST_EVERY_SECONDS=5\nBENCH_BURST_LEN_SECONDS=10\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseProfile(strings.NewReader(src), name); err == nil {
+			t.Errorf("%s: ParseProfile accepted %q", name, src)
+		}
+	}
+}
+
+func TestRateAt(t *testing.T) {
+	p := Profile{BaseRPS: 5, BurstRPS: 50, BurstEvery: 30 * time.Second, BurstLen: 10 * time.Second}
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 50},                // burst window opens at t=0
+		{9 * time.Second, 50},  // still inside
+		{10 * time.Second, 5},  // window closed
+		{29 * time.Second, 5},  // just before next window
+		{30 * time.Second, 50}, // next window opens
+		{45 * time.Second, 5},
+	}
+	for _, c := range cases {
+		if got := p.RateAt(c.t); got != c.want {
+			t.Errorf("RateAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	flat := Profile{BaseRPS: 5, BurstRPS: 50}
+	if got := flat.RateAt(time.Second); got != 5 {
+		t.Errorf("no-cadence RateAt = %v, want BaseRPS", got)
+	}
+}

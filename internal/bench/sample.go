@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Sample is one benchwatch poll of the daemon: the /status scoreboard plus
+// the few /debug/telemetry instruments the harness tracks. One Sample is
+// one samples.csv row.
+type Sample struct {
+	// At is when the poll happened.
+	At time.Time
+	// Rounds/ReportsTotal/Records/PendingBatches/BacklogSeconds mirror the
+	// /status fields of the same names.
+	Rounds         int
+	ReportsTotal   int
+	Records        int
+	PendingBatches int
+	BacklogSeconds float64
+	// Reports1mTotal is the daemon's trailing-60s committed-report count.
+	Reports1mTotal int
+	// ReportsPerSec is the committed-report rate since the previous sample
+	// (0 on the first).
+	ReportsPerSec float64
+	// RoundP95Ms is the round-duration p95 from /status.
+	RoundP95Ms float64
+	// EnrichP95Ms is the per-record enrichment latency p95
+	// (pipeline.enrich.record histogram), 0 until records flow.
+	EnrichP95Ms float64
+	// StreamQueueDepth is the streaming pipeline's queue-depth gauge.
+	StreamQueueDepth int64
+	// CursorLagMaxSeconds is the worst per-forum collection cursor lag.
+	CursorLagMaxSeconds float64
+	// InjectedPosts is the cumulative load-injection post count.
+	InjectedPosts int
+}
+
+// csvHeader is the samples.csv column layout, in order.
+var csvHeader = []string{
+	"at", "rounds", "reports_total", "records", "pending_batches",
+	"backlog_seconds", "reports_1m_total", "reports_per_sec", "round_p95_ms",
+	"enrich_p95_ms", "stream_queue_depth", "cursor_lag_max_seconds",
+	"injected_posts",
+}
+
+// WriteCSVHeader writes the samples.csv header row.
+func WriteCSVHeader(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVRow appends one sample as a CSV row. Rows are written one at a
+// time (and the writer flushed) so a crashed run still leaves a usable
+// timeseries behind.
+func WriteCSVRow(w io.Writer, s Sample) error {
+	cw := csv.NewWriter(w)
+	row := []string{
+		s.At.UTC().Format(time.RFC3339Nano),
+		strconv.Itoa(s.Rounds),
+		strconv.Itoa(s.ReportsTotal),
+		strconv.Itoa(s.Records),
+		strconv.Itoa(s.PendingBatches),
+		formatFloat(s.BacklogSeconds),
+		strconv.Itoa(s.Reports1mTotal),
+		formatFloat(s.ReportsPerSec),
+		formatFloat(s.RoundP95Ms),
+		formatFloat(s.EnrichP95Ms),
+		strconv.FormatInt(s.StreamQueueDepth, 10),
+		formatFloat(s.CursorLagMaxSeconds),
+		strconv.Itoa(s.InjectedPosts),
+	}
+	if err := cw.Write(row); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a samples.csv produced by WriteCSVHeader/WriteCSVRow.
+func ReadCSV(r io.Reader) ([]Sample, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("bench: read samples: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != "at" {
+		return nil, fmt.Errorf("bench: samples: unexpected header %v", rows[0])
+	}
+	out := make([]Sample, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		s, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("bench: samples row %d: %w", i+2, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseRow(row []string) (Sample, error) {
+	if len(row) != len(csvHeader) {
+		return Sample{}, fmt.Errorf("want %d columns, got %d", len(csvHeader), len(row))
+	}
+	var s Sample
+	var err error
+	if s.At, err = time.Parse(time.RFC3339Nano, row[0]); err != nil {
+		return Sample{}, err
+	}
+	ints := []struct {
+		dst *int
+		col int
+	}{
+		{&s.Rounds, 1}, {&s.ReportsTotal, 2}, {&s.Records, 3},
+		{&s.PendingBatches, 4}, {&s.Reports1mTotal, 6}, {&s.InjectedPosts, 12},
+	}
+	for _, f := range ints {
+		if *f.dst, err = strconv.Atoi(row[f.col]); err != nil {
+			return Sample{}, fmt.Errorf("column %s: %w", csvHeader[f.col], err)
+		}
+	}
+	floats := []struct {
+		dst *float64
+		col int
+	}{
+		{&s.BacklogSeconds, 5}, {&s.ReportsPerSec, 7}, {&s.RoundP95Ms, 8},
+		{&s.EnrichP95Ms, 9}, {&s.CursorLagMaxSeconds, 11},
+	}
+	for _, f := range floats {
+		if *f.dst, err = strconv.ParseFloat(row[f.col], 64); err != nil {
+			return Sample{}, fmt.Errorf("column %s: %w", csvHeader[f.col], err)
+		}
+	}
+	if s.StreamQueueDepth, err = strconv.ParseInt(row[10], 10, 64); err != nil {
+		return Sample{}, fmt.Errorf("column %s: %w", csvHeader[10], err)
+	}
+	return s, nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"time"
+)
+
+// SummarySchemaVersion identifies the summary.json layout.
+const SummarySchemaVersion = 1
+
+// Thresholds are a run's pass/fail gates. The backlog ceiling is the
+// primary KPI (the run fails the moment its p95 reaches the target);
+// RoundP95Ms is optional; MinReports guards against an idle "pass".
+type Thresholds struct {
+	BacklogP95Seconds float64 `json:"projection_backlog_p95_seconds_lt"`
+	RoundP95Ms        float64 `json:"round_p95_ms_lt,omitempty"`
+	MinReports        int     `json:"min_reports,omitempty"`
+}
+
+// Summary is the aggregate verdict of one benchmark run — summary.json.
+type Summary struct {
+	SchemaVersion int       `json:"schema_version"`
+	Profile       string    `json:"profile"`
+	StartedAt     time.Time `json:"started_at"`
+	EndedAt       time.Time `json:"ended_at"`
+	Samples       int       `json:"samples"`
+
+	// Primary KPI: projection backlog percentiles across samples.
+	ProjectionBacklogP50Seconds float64 `json:"projection_backlog_p50_seconds"`
+	ProjectionBacklogP95Seconds float64 `json:"projection_backlog_p95_seconds"`
+	ProjectionBacklogP99Seconds float64 `json:"projection_backlog_p99_seconds"`
+	ProjectionBacklogMaxSeconds float64 `json:"projection_backlog_max_seconds"`
+
+	// Round-duration and enrichment latency, worst p95 observed.
+	RoundP95Ms     float64 `json:"round_p95_ms"`
+	EnrichP95MsMax float64 `json:"enrich_p95_ms_max"`
+
+	// Throughput.
+	ReportsPerSecAvg  float64 `json:"reports_per_sec_avg"`
+	ReportsPerSecMax  float64 `json:"reports_per_sec_max"`
+	Reports1mTotalAvg float64 `json:"reports_1m_total_avg"`
+	Reports1mTotalMax int     `json:"reports_1m_total_max"`
+	ReportsTotal      int     `json:"reports_total"`
+	RecordsTotal      int     `json:"records_total"`
+	InjectedPosts     int     `json:"injected_posts"`
+
+	// Saturation.
+	StreamQueueDepthMax int64   `json:"stream_queue_depth_max"`
+	CursorLagMaxSeconds float64 `json:"cursor_lag_max_seconds"`
+	PendingBatchesMax   int     `json:"pending_batches_max"`
+
+	Thresholds Thresholds `json:"thresholds"`
+	// Pass is the verdict; Failures lists every violated gate.
+	Pass     bool     `json:"pass"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Summarize aggregates a run's samples against its thresholds. At least
+// one sample is required — an empty timeseries means the harness never
+// reached the daemon, which must read as failure, not a vacuous pass.
+func Summarize(profile string, samples []Sample, th Thresholds) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, fmt.Errorf("bench: no samples to summarize")
+	}
+	s := Summary{
+		SchemaVersion: SummarySchemaVersion,
+		Profile:       profile,
+		StartedAt:     samples[0].At,
+		EndedAt:       samples[len(samples)-1].At,
+		Samples:       len(samples),
+		Thresholds:    th,
+	}
+
+	backlogs := make([]float64, 0, len(samples))
+	var rpsSum, r1mSum float64
+	for _, sm := range samples {
+		backlogs = append(backlogs, sm.BacklogSeconds)
+		s.ProjectionBacklogMaxSeconds = math.Max(s.ProjectionBacklogMaxSeconds, sm.BacklogSeconds)
+		s.RoundP95Ms = math.Max(s.RoundP95Ms, sm.RoundP95Ms)
+		s.EnrichP95MsMax = math.Max(s.EnrichP95MsMax, sm.EnrichP95Ms)
+		rpsSum += sm.ReportsPerSec
+		s.ReportsPerSecMax = math.Max(s.ReportsPerSecMax, sm.ReportsPerSec)
+		r1mSum += float64(sm.Reports1mTotal)
+		if sm.Reports1mTotal > s.Reports1mTotalMax {
+			s.Reports1mTotalMax = sm.Reports1mTotal
+		}
+		if sm.StreamQueueDepth > s.StreamQueueDepthMax {
+			s.StreamQueueDepthMax = sm.StreamQueueDepth
+		}
+		s.CursorLagMaxSeconds = math.Max(s.CursorLagMaxSeconds, sm.CursorLagMaxSeconds)
+		if sm.PendingBatches > s.PendingBatchesMax {
+			s.PendingBatchesMax = sm.PendingBatches
+		}
+	}
+	last := samples[len(samples)-1]
+	s.ReportsTotal = last.ReportsTotal
+	s.RecordsTotal = last.Records
+	s.InjectedPosts = last.InjectedPosts
+	s.ReportsPerSecAvg = rpsSum / float64(len(samples))
+	s.Reports1mTotalAvg = r1mSum / float64(len(samples))
+	s.ProjectionBacklogP50Seconds = Percentile(backlogs, 0.50)
+	s.ProjectionBacklogP95Seconds = Percentile(backlogs, 0.95)
+	s.ProjectionBacklogP99Seconds = Percentile(backlogs, 0.99)
+
+	// Verdict: the primary KPI is strict — "projection_backlog_p95_seconds
+	// < target" — so hitting the target exactly fails.
+	if th.BacklogP95Seconds > 0 && s.ProjectionBacklogP95Seconds >= th.BacklogP95Seconds {
+		s.Failures = append(s.Failures, fmt.Sprintf(
+			"projection_backlog_p95_seconds %.3f >= target %.3f",
+			s.ProjectionBacklogP95Seconds, th.BacklogP95Seconds))
+	}
+	if th.RoundP95Ms > 0 && s.RoundP95Ms >= th.RoundP95Ms {
+		s.Failures = append(s.Failures, fmt.Sprintf(
+			"round_p95_ms %.3f >= target %.3f", s.RoundP95Ms, th.RoundP95Ms))
+	}
+	if th.MinReports > 0 && s.ReportsTotal < th.MinReports {
+		s.Failures = append(s.Failures, fmt.Sprintf(
+			"reports_total %d < min %d", s.ReportsTotal, th.MinReports))
+	}
+	s.Pass = len(s.Failures) == 0
+	return s, nil
+}
+
+// Percentile returns the q-th quantile (0..1) of vals by linear
+// interpolation between closest ranks; an empty slice yields 0.
+func Percentile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(vals))
+	copy(sorted, vals)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}
+
+// WriteSummary writes a summary as indented JSON.
+func WriteSummary(w io.Writer, s Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// LoadSummary reads a summary.json.
+func LoadSummary(path string) (Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Summary{}, fmt.Errorf("bench: open summary: %w", err)
+	}
+	defer f.Close()
+	var s Summary
+	if err := json.NewDecoder(f).Decode(&s); err != nil {
+		return Summary{}, fmt.Errorf("bench: decode summary %s: %w", path, err)
+	}
+	if s.SchemaVersion != SummarySchemaVersion {
+		return Summary{}, fmt.Errorf("bench: summary %s: schema_version %d, want %d",
+			path, s.SchemaVersion, SummarySchemaVersion)
+	}
+	return s, nil
+}

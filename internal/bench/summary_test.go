@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleAt(t time.Time, backlog float64) Sample {
+	return Sample{At: t, BacklogSeconds: backlog}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSVHeader(&buf); err != nil {
+		t.Fatalf("WriteCSVHeader: %v", err)
+	}
+	in := []Sample{
+		{
+			At: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC), Rounds: 3,
+			ReportsTotal: 120, Records: 80, PendingBatches: 2,
+			BacklogSeconds: 1.5, Reports1mTotal: 40, ReportsPerSec: 6.25,
+			RoundP95Ms: 42.125, EnrichP95Ms: 9.5, StreamQueueDepth: 7,
+			CursorLagMaxSeconds: 0.75, InjectedPosts: 300,
+		},
+		{At: time.Date(2026, 8, 8, 12, 0, 1, 0, time.UTC)},
+	}
+	for _, s := range in {
+		if err := WriteCSVRow(&buf, s); err != nil {
+			t.Fatalf("WriteCSVRow: %v", err)
+		}
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d samples, want %d", len(out), len(in))
+	}
+	got, want := out[0], in[0]
+	if !got.At.Equal(want.At) || got.Rounds != want.Rounds ||
+		got.ReportsTotal != want.ReportsTotal || got.Records != want.Records ||
+		got.PendingBatches != want.PendingBatches ||
+		got.BacklogSeconds != want.BacklogSeconds ||
+		got.Reports1mTotal != want.Reports1mTotal ||
+		got.ReportsPerSec != want.ReportsPerSec ||
+		got.RoundP95Ms != want.RoundP95Ms || got.EnrichP95Ms != want.EnrichP95Ms ||
+		got.StreamQueueDepth != want.StreamQueueDepth ||
+		got.CursorLagMaxSeconds != want.CursorLagMaxSeconds ||
+		got.InjectedPosts != want.InjectedPosts {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("nope,header\n1,2\n")); err == nil {
+		t.Error("ReadCSV accepted a foreign header")
+	}
+	var buf bytes.Buffer
+	_ = WriteCSVHeader(&buf)
+	buf.WriteString("not-a-time,0,0,0,0,0,0,0,0,0,0,0,0\n")
+	if _, err := ReadCSV(&buf); err == nil {
+		t.Error("ReadCSV accepted an unparseable timestamp")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2} // sorted: 1 2 3 4
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.95, 3.85},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestSummarizeAggregates(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	samples := []Sample{
+		{At: base, BacklogSeconds: 1, ReportsPerSec: 0, RoundP95Ms: 10,
+			EnrichP95Ms: 5, Reports1mTotal: 10, StreamQueueDepth: 1,
+			CursorLagMaxSeconds: 0.5, PendingBatches: 1,
+			ReportsTotal: 10, Records: 5, InjectedPosts: 20},
+		{At: base.Add(time.Second), BacklogSeconds: 3, ReportsPerSec: 8,
+			RoundP95Ms: 30, EnrichP95Ms: 15, Reports1mTotal: 30,
+			StreamQueueDepth: 4, CursorLagMaxSeconds: 2, PendingBatches: 3,
+			ReportsTotal: 18, Records: 12, InjectedPosts: 45},
+		{At: base.Add(2 * time.Second), BacklogSeconds: 2, ReportsPerSec: 4,
+			RoundP95Ms: 20, EnrichP95Ms: 10, Reports1mTotal: 20,
+			StreamQueueDepth: 2, CursorLagMaxSeconds: 1, PendingBatches: 2,
+			ReportsTotal: 22, Records: 15, InjectedPosts: 60},
+	}
+	s, err := Summarize("t", samples, Thresholds{BacklogP95Seconds: 30, MinReports: 1})
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.Samples != 3 || !s.StartedAt.Equal(base) || !s.EndedAt.Equal(base.Add(2*time.Second)) {
+		t.Errorf("bookkeeping: %+v", s)
+	}
+	if s.ProjectionBacklogP50Seconds != 2 {
+		t.Errorf("backlog p50 = %v, want 2", s.ProjectionBacklogP50Seconds)
+	}
+	// sorted backlogs 1,2,3: p95 interpolates between 2 and 3 at rank 1.9.
+	if math.Abs(s.ProjectionBacklogP95Seconds-2.9) > 1e-9 {
+		t.Errorf("backlog p95 = %v, want 2.9", s.ProjectionBacklogP95Seconds)
+	}
+	if s.ProjectionBacklogMaxSeconds != 3 {
+		t.Errorf("backlog max = %v, want 3", s.ProjectionBacklogMaxSeconds)
+	}
+	if s.RoundP95Ms != 30 || s.EnrichP95MsMax != 15 {
+		t.Errorf("latency maxes: round=%v enrich=%v", s.RoundP95Ms, s.EnrichP95MsMax)
+	}
+	if s.ReportsPerSecAvg != 4 || s.ReportsPerSecMax != 8 {
+		t.Errorf("rps: avg=%v max=%v", s.ReportsPerSecAvg, s.ReportsPerSecMax)
+	}
+	if s.Reports1mTotalAvg != 20 || s.Reports1mTotalMax != 30 {
+		t.Errorf("1m totals: avg=%v max=%v", s.Reports1mTotalAvg, s.Reports1mTotalMax)
+	}
+	if s.ReportsTotal != 22 || s.RecordsTotal != 15 || s.InjectedPosts != 60 {
+		t.Errorf("last-sample totals: %+v", s)
+	}
+	if s.StreamQueueDepthMax != 4 || s.CursorLagMaxSeconds != 2 || s.PendingBatchesMax != 3 {
+		t.Errorf("saturation: %+v", s)
+	}
+	if !s.Pass || len(s.Failures) != 0 {
+		t.Errorf("pass = %v failures = %v, want clean pass", s.Pass, s.Failures)
+	}
+}
+
+func TestSummarizeThresholdBoundaries(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	flat := func(backlog float64, reports int) []Sample {
+		return []Sample{{At: base, BacklogSeconds: backlog, ReportsTotal: reports}}
+	}
+
+	// The KPI is strict "<": backlog p95 exactly at the target fails.
+	s, err := Summarize("t", flat(30, 5), Thresholds{BacklogP95Seconds: 30, MinReports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pass {
+		t.Error("backlog p95 == target passed; want fail (strict <)")
+	}
+	s, _ = Summarize("t", flat(29.999, 5), Thresholds{BacklogP95Seconds: 30, MinReports: 1})
+	if !s.Pass {
+		t.Errorf("backlog p95 just under target failed: %v", s.Failures)
+	}
+
+	// MinReports guards against an idle pass.
+	s, _ = Summarize("t", flat(1, 0), Thresholds{BacklogP95Seconds: 30, MinReports: 1})
+	if s.Pass {
+		t.Error("zero reports passed despite MinReports=1")
+	}
+
+	// Optional round gate only enforced when set.
+	rs := []Sample{{At: base, RoundP95Ms: 900, ReportsTotal: 5}}
+	s, _ = Summarize("t", rs, Thresholds{BacklogP95Seconds: 30, MinReports: 1})
+	if !s.Pass {
+		t.Errorf("unset round gate enforced: %v", s.Failures)
+	}
+	s, _ = Summarize("t", rs, Thresholds{BacklogP95Seconds: 30, RoundP95Ms: 500, MinReports: 1})
+	if s.Pass {
+		t.Error("round p95 900 over gate 500 passed")
+	}
+
+	if _, err := Summarize("t", nil, Thresholds{}); err == nil {
+		t.Error("Summarize accepted an empty timeseries")
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	s, err := Summarize("smoke_1k",
+		[]Sample{{At: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC), BacklogSeconds: 1, ReportsTotal: 5}},
+		Thresholds{BacklogP95Seconds: 30, MinReports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, s); err != nil {
+		t.Fatalf("WriteSummary: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"schema_version": 1`, `"profile": "smoke_1k"`,
+		`"projection_backlog_p95_seconds"`, `"pass": true`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary JSON missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -68,6 +68,13 @@ type Simulation struct {
 
 	mu    sync.Mutex
 	waves []*forum.Fixtures // fixture batches not yet published
+	// Injection timeline: injected waves are re-stamped monotonically past
+	// every fixture ever seeded (held-back waves included) so the forum
+	// servers' append-only contract holds however generation and injection
+	// interleave.
+	injectAt    time.Time
+	injectWaves int
+	injected    int
 
 	// Telemetry aggregates client and pipeline metrics; Services() wires
 	// every enrichment client into it, and DebugURL exposes it over HTTP.
@@ -124,6 +131,7 @@ func StartSimulationCfg(w *corpus.World, reg *telemetry.Registry, cfg SimConfig)
 	}
 
 	fixtures := forum.BuildFixtures(w)
+	sim.injectAt = forum.MaxCreatedAt(fixtures).Add(time.Second)
 	if cfg.HoldbackWaves > 0 {
 		share := cfg.InitialShare
 		if share == 0 {
@@ -295,12 +303,105 @@ func (s *Simulation) ReleaseWave() bool {
 	}
 	wv := s.waves[0]
 	s.waves = s.waves[1:]
-	s.TwitterSrv.Append(wv.Twitter)
-	s.RedditSrv.Append(wv.Reddit)
-	s.SmishtankSrv.Append(wv.Smishtank)
-	s.SmishingEUSrv.Append(wv.SmishingEU)
-	s.PastebinSrv.Append(wv.Pastebin)
+	if s.injectWaves > 0 {
+		// Injected posts already advanced the timeline past this wave's
+		// original timestamps; re-stamp it onto the injection timeline (IDs
+		// untouched — held-back fixtures are unique by construction) so the
+		// servers' at-or-after append contract keeps holding.
+		s.injectAt = forum.Rebase(wv, "", s.injectAt, time.Millisecond)
+	}
+	s.appendLocked(wv)
 	return true
+}
+
+// appendLocked publishes one fixture batch to all five forum servers.
+// Callers hold s.mu.
+func (s *Simulation) appendLocked(f *forum.Fixtures) {
+	s.TwitterSrv.Append(f.Twitter)
+	s.RedditSrv.Append(f.Reddit)
+	s.SmishtankSrv.Append(f.Smishtank)
+	s.SmishingEUSrv.Append(f.SmishingEU)
+	s.PastebinSrv.Append(f.Pastebin)
+}
+
+// InjectSpec describes one synthetic report wave for load injection: a
+// deterministic mini-world generated from Seed whose posts are appended to
+// the live forum servers, exactly as if that many users had just reported.
+type InjectSpec struct {
+	// Seed drives the wave's world generation. Reusing a seed republishes
+	// equivalent content under fresh post IDs — IDs are namespaced per
+	// injection, so cursors never see duplicates.
+	Seed int64 `json:"seed"`
+	// Messages is the wave's synthetic report count (1..MaxInjectMessages).
+	Messages int `json:"messages"`
+	// Forums restricts the wave to a subset of the five sources (checkpoint
+	// source names); empty means all five, in the paper's mix.
+	Forums []string `json:"forums,omitempty"`
+	// NoiseFraction is the wave's decoy share — keyword-matching awareness
+	// posts curation must reject — as a fraction of real reports (0 selects
+	// the generator default of 0.12).
+	NoiseFraction float64 `json:"noise_fraction,omitempty"`
+}
+
+// MaxInjectMessages bounds one injected wave; larger loads are repeated
+// waves (how cmd/loadgen drives sustained RPS).
+const MaxInjectMessages = 50000
+
+// Inject synthesizes the wave described by spec and appends its posts to
+// the live forum servers. The posts are re-stamped past every previously
+// published fixture and their IDs are namespaced by an injection counter,
+// so live collection cursors observe them exactly like genuinely new user
+// reports. Returns the number of posts appended (reports plus noise).
+func (s *Simulation) Inject(spec InjectSpec) (int, error) {
+	if spec.Messages <= 0 || spec.Messages > MaxInjectMessages {
+		return 0, fmt.Errorf("core: inject: Messages must be in [1,%d] (got %d)", MaxInjectMessages, spec.Messages)
+	}
+	if spec.NoiseFraction < 0 || spec.NoiseFraction > 1 {
+		return 0, fmt.Errorf("core: inject: NoiseFraction must be in [0,1] (got %v)", spec.NoiseFraction)
+	}
+	keep := make(map[string]bool, len(spec.Forums))
+	for _, name := range spec.Forums {
+		valid := false
+		for _, src := range forum.Sources {
+			if name == src {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return 0, fmt.Errorf("core: inject: unknown forum %q (valid: %v)", name, forum.Sources)
+		}
+		keep[name] = true
+	}
+
+	w := corpus.Generate(corpus.Config{
+		Seed:          spec.Seed,
+		Messages:      spec.Messages,
+		NoiseFraction: spec.NoiseFraction,
+	})
+	wave := forum.BuildFixtures(w)
+	if len(keep) > 0 {
+		wave = forum.Filter(wave, keep)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.injectWaves++
+	prefix := fmt.Sprintf("inj%d-", s.injectWaves)
+	s.injectAt = forum.Rebase(wave, prefix, s.injectAt, time.Millisecond)
+	s.appendLocked(wave)
+	n := wave.Len()
+	s.injected += n
+	s.Telemetry.Counter("sim.injected_posts").Add(int64(n))
+	s.Telemetry.Counter("sim.injected_waves").Inc()
+	return n, nil
+}
+
+// InjectedPosts reports how many posts Inject has appended in total.
+func (s *Simulation) InjectedPosts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injected
 }
 
 // PendingWaves reports how many fixture waves are still held back.

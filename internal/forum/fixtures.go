@@ -148,6 +148,84 @@ func SplitFixtures(f *Fixtures, initialShare float64, waves int) (*Fixtures, []*
 	return initial, out
 }
 
+// Len is the total post count across all five forums.
+func (f *Fixtures) Len() int {
+	return len(f.Twitter) + len(f.Reddit) + len(f.Smishtank) + len(f.SmishingEU) + len(f.Pastebin)
+}
+
+// each visits every post in place, forum by forum.
+func (f *Fixtures) each(visit func(p *post)) {
+	for _, slice := range [][]post{f.Twitter, f.Reddit, f.Smishtank, f.SmishingEU, f.Pastebin} {
+		for i := range slice {
+			visit(&slice[i])
+		}
+	}
+}
+
+// Filter returns a shallow copy keeping only the named forums' posts.
+// Names are the checkpoint source names (Sources / corpus.Forum strings);
+// unknown names select nothing — callers validate before filtering.
+func Filter(f *Fixtures, keep map[string]bool) *Fixtures {
+	out := &Fixtures{}
+	if keep[string(corpus.ForumTwitter)] {
+		out.Twitter = f.Twitter
+	}
+	if keep[string(corpus.ForumReddit)] {
+		out.Reddit = f.Reddit
+	}
+	if keep[string(corpus.ForumSmishtank)] {
+		out.Smishtank = f.Smishtank
+	}
+	if keep[string(corpus.ForumSmishingEU)] {
+		out.SmishingEU = f.SmishingEU
+	}
+	if keep[string(corpus.ForumPastebin)] {
+		out.Pastebin = f.Pastebin
+	}
+	return out
+}
+
+// Rebase re-stamps every post's CreatedAt onto a fresh timeline starting
+// at base — preserving the fixtures' (CreatedAt, ID) order, one step
+// apart — and prefixes every post ID with prefix. Load injection needs
+// both: appended batches must be chronologically at-or-after the live
+// servers' tails (the Append contract), and IDs from repeated synthetic
+// worlds would otherwise collide with the ID-resolving cursors (Reddit
+// `after`, Twitter since_id). It returns the first timestamp past the
+// rebased range, the base for the next wave.
+func Rebase(f *Fixtures, prefix string, base time.Time, step time.Duration) time.Time {
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	var all []*post
+	f.each(func(p *post) { all = append(all, p) })
+	sort.SliceStable(all, func(i, j int) bool {
+		if !all[i].CreatedAt.Equal(all[j].CreatedAt) {
+			return all[i].CreatedAt.Before(all[j].CreatedAt)
+		}
+		return all[i].ID < all[j].ID
+	})
+	t := base
+	for _, p := range all {
+		p.ID = prefix + p.ID
+		p.CreatedAt = t
+		t = t.Add(step)
+	}
+	return t
+}
+
+// MaxCreatedAt returns the latest CreatedAt across every post (zero time
+// when empty) — the tail an injected wave must be rebased past.
+func MaxCreatedAt(f *Fixtures) time.Time {
+	var max time.Time
+	f.each(func(p *post) {
+		if p.CreatedAt.After(max) {
+			max = p.CreatedAt
+		}
+	})
+	return max
+}
+
 func buildPost(rng *rand.Rand, m corpus.Message) post {
 	p := post{
 		ID:        string(m.Forum) + "-" + m.ID,

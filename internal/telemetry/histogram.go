@@ -95,6 +95,7 @@ type HistogramStats struct {
 	Mean  time.Duration `json:"mean_ns"`
 	P50   time.Duration `json:"p50_ns"`
 	P90   time.Duration `json:"p90_ns"`
+	P95   time.Duration `json:"p95_ns"`
 	P99   time.Duration `json:"p99_ns"`
 }
 
@@ -124,6 +125,7 @@ func (h *Histogram) Stats() HistogramStats {
 	st.Mean = st.Sum / time.Duration(total)
 	st.P50 = clampDur(percentile(&counts, total, 0.50, max), min, max)
 	st.P90 = clampDur(percentile(&counts, total, 0.90, max), min, max)
+	st.P95 = clampDur(percentile(&counts, total, 0.95, max), min, max)
 	st.P99 = clampDur(percentile(&counts, total, 0.99, max), min, max)
 	return st
 }

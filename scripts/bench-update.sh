@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# bench-update.sh — promote a benchmark run's summary.json to the committed
+# baseline the CI bench-gate compares against.
+#
+# Usage: scripts/bench-update.sh [summary.json]
+#
+# Defaults to bench/out/summary.json (where run_benchmark.sh leaves it).
+# Refuses to promote a failing run: the baseline must always describe a
+# configuration that met its own SLOs. Commit the updated
+# bench/baseline_summary.json alongside the change that earned it.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+SRC="${1:-bench/out/summary.json}"
+DST="bench/baseline_summary.json"
+[ -f "$SRC" ] || { echo "summary not found: $SRC (run scripts/run_benchmark.sh first)" >&2; exit 1; }
+grep -q '"pass": true' "$SRC" || { echo "refusing to promote $SRC: pass is not true" >&2; exit 1; }
+
+cp "$SRC" "$DST"
+echo "baseline updated: $DST"
+echo "review and commit it: git add $DST"

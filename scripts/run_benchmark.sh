@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# run_benchmark.sh — the closed-loop benchmark: daemon + loadgen + benchwatch.
+#
+# Usage: scripts/run_benchmark.sh [profile.env] [outdir]
+#
+#   profile.env  benchmark profile (default scripts/benchmark_profiles/smoke_1k.env)
+#   outdir       artifacts directory (default bench/out): samples.csv,
+#                summary.json, daemon.log, loadgen.log
+#
+# Set BENCH_BASELINE=bench/baseline_summary.json to also gate the run on
+# baseline regressions (BENCH_MAX_REGRESSION_PCT, default 5).
+#
+# Exit codes mirror benchwatch: 0 pass, 1 operational error,
+# 2 SLO verdict failed, 3 baseline regression.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+PROFILE="${1:-scripts/benchmark_profiles/smoke_1k.env}"
+OUT="${2:-bench/out}"
+[ -f "$PROFILE" ] || { echo "profile not found: $PROFILE" >&2; exit 1; }
+
+# Daemon-side knobs come from the same profile file. It stays valid POSIX
+# shell by contract; the Go side re-parses it strictly, so a typo fails
+# loadgen/benchwatch loudly even though sourcing here is permissive.
+BENCH_WORLD_MESSAGES=1000
+BENCH_CHAOS=0
+BENCH_POLL_MS=500
+BENCH_SEED=1
+# shellcheck disable=SC1090
+. "$PROFILE"
+
+mkdir -p "$OUT"
+BIN="$OUT/bin"
+echo "== building smishctl, loadgen, benchwatch"
+go build -o "$BIN/" ./cmd/smishctl ./cmd/loadgen ./cmd/benchwatch
+
+STATUS_FILE="$OUT/status_url"
+DAEMON_LOG="$OUT/daemon.log"
+rm -f "$STATUS_FILE"
+
+echo "== starting daemon (world=$BENCH_WORLD_MESSAGES chaos=$BENCH_CHAOS poll=${BENCH_POLL_MS}ms)"
+"$BIN/smishctl" -serve -seed "$BENCH_SEED" -messages "$BENCH_WORLD_MESSAGES" \
+    -chaos "$BENCH_CHAOS" -poll-interval "${BENCH_POLL_MS}ms" \
+    -status-file "$STATUS_FILE" >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+cleanup() {
+    kill "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# The daemon writes its status URL to STATUS_FILE once it is listening.
+for _ in $(seq 1 150); do
+    [ -s "$STATUS_FILE" ] && break
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "daemon exited before serving; log follows" >&2
+        cat "$DAEMON_LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+[ -s "$STATUS_FILE" ] || { echo "daemon never published a status URL" >&2; cat "$DAEMON_LOG" >&2; exit 1; }
+STATUS_URL="$(cat "$STATUS_FILE")"
+echo "== daemon up at $STATUS_URL (pid $DAEMON_PID)"
+
+echo "== starting loadgen"
+"$BIN/loadgen" -profile "$PROFILE" -status "$STATUS_URL" >"$OUT/loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+
+BENCHWATCH_ARGS=(-profile "$PROFILE" -status "$STATUS_URL" -out "$OUT")
+if [ -n "${BENCH_BASELINE:-}" ]; then
+    [ -f "$BENCH_BASELINE" ] || { echo "baseline not found: $BENCH_BASELINE" >&2; exit 1; }
+    BENCHWATCH_ARGS+=(-baseline "$BENCH_BASELINE")
+fi
+echo "== watching"
+set +e
+"$BIN/benchwatch" "${BENCHWATCH_ARGS[@]}"
+VERDICT=$?
+wait "$LOADGEN_PID"
+LOADGEN_RC=$?
+set -e
+
+echo "== loadgen log"
+cat "$OUT/loadgen.log"
+if [ "$LOADGEN_RC" -ne 0 ]; then
+    echo "loadgen failed (rc=$LOADGEN_RC)" >&2
+    exit 1
+fi
+echo "== artifacts in $OUT: samples.csv summary.json daemon.log loadgen.log"
+exit "$VERDICT"

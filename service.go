@@ -10,10 +10,19 @@ import (
 	"time"
 
 	"github.com/smishkit/smishkit/internal/checkpoint"
+	"github.com/smishkit/smishkit/internal/core"
 	"github.com/smishkit/smishkit/internal/forum"
 	"github.com/smishkit/smishkit/internal/report"
 	"github.com/smishkit/smishkit/internal/telemetry"
 )
+
+// InjectSpec describes one synthetic report wave for load injection — the
+// body POST /inject accepts and the argument Study.InjectWave takes. See
+// the core type for field semantics.
+type InjectSpec = core.InjectSpec
+
+// MaxInjectMessages bounds one injected wave's Messages.
+const MaxInjectMessages = core.MaxInjectMessages
 
 // Checkpoint types, re-exported so daemon callers never import internal
 // paths.
@@ -61,6 +70,12 @@ type ServiceConfig struct {
 	// OnRound, when non-nil, is called after every round with that round's
 	// outcome — the seam tests use to cancel or inspect mid-flight.
 	OnRound func(RoundInfo)
+	// OnReady, when non-nil, is called exactly once per Serve call, after
+	// the status endpoint has bound but before the first collection round,
+	// with the endpoint's base URL. It replaces polling Study.StatusURL in
+	// a sleep loop; the callback runs synchronously, so it must return
+	// promptly (hand the URL to a channel or a file and get out).
+	OnReady func(statusURL string)
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -92,8 +107,33 @@ type RoundInfo struct {
 	Err error
 }
 
-// ServiceStats is a point-in-time reading of a serving Study.
+// ServiceStatsSchemaVersion is the current GET /status JSON layout
+// version. External pollers (cmd/benchwatch and anything like it) should
+// check it and refuse layouts they don't understand; fields are only ever
+// added within a version, never renamed or repurposed.
+const ServiceStatsSchemaVersion = 1
+
+// RoundQuantiles summarizes serve-round wall time in milliseconds, from
+// the daemon's round-duration histogram (estimates bounded by the bucket
+// layout; Max is exact).
+type RoundQuantiles struct {
+	// Count is how many completed rounds the quantiles summarize.
+	Count int64 `json:"count"`
+	// P50/P95/P99 are round-duration percentiles in milliseconds.
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	// Max is the slowest completed round in milliseconds.
+	Max float64 `json:"max_ms"`
+}
+
+// ServiceStats is a point-in-time reading of a serving Study — the
+// versioned machine-readable schema GET /status serves, so external
+// pollers never have to scrape the human-oriented telemetry dump.
 type ServiceStats struct {
+	// SchemaVersion identifies this JSON layout
+	// (ServiceStatsSchemaVersion).
+	SchemaVersion int `json:"schema_version"`
 	// Rounds completed (failed rounds included).
 	Rounds int `json:"rounds"`
 	// Reports collected and committed across all rounds.
@@ -105,10 +145,29 @@ type ServiceStats struct {
 	// BacklogSeconds is the age of the oldest batch still waiting to be
 	// merged into the projection (0 when caught up).
 	BacklogSeconds float64 `json:"backlog_seconds"`
+	// Reports1m maps every forum source to the reports it committed in the
+	// trailing 60 seconds; all five sources are always present.
+	Reports1m map[string]int `json:"reports_1m"`
+	// Reports1mTotal is the trailing-60s committed-report total across all
+	// forums — the daemon's recent ingest throughput.
+	Reports1mTotal int `json:"reports_1m_total"`
+	// InjectedPosts counts forum posts appended through load injection
+	// (POST /inject or Study.InjectWave) since the simulation booted.
+	InjectedPosts int `json:"injected_posts"`
+	// RoundMS summarizes completed-round wall time.
+	RoundMS RoundQuantiles `json:"round_ms"`
 	// Cursors maps each forum source to its committed cursor.
 	Cursors map[string]Cursor `json:"cursors"`
 	// StatusURL is the daemon's status endpoint ("" when not serving).
 	StatusURL string `json:"status_url"`
+}
+
+// recentCommit is one committed round's per-forum report counts, kept for
+// the trailing-window throughput fields.
+type recentCommit struct {
+	at    time.Time
+	bySrc map[string]int
+	total int
 }
 
 // serveState is the live state one Serve call maintains and the status
@@ -117,21 +176,70 @@ type serveState struct {
 	mu        sync.Mutex
 	rounds    int
 	reports   int
+	recent    []recentCommit // committed rounds, pruned to the last 60s
 	statusURL string
 	proj      *report.Projection
 	store     CheckpointStore
+	roundHist *telemetry.Histogram // completed-round wall time
+	injected  func() int           // simulation's injected-post total
+}
+
+// commitCounts records one committed round's per-forum counts and prunes
+// entries that have aged out of the trailing window.
+func (st *serveState) commitCounts(bySrc map[string]int, total int, now time.Time) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.reports += total
+	st.recent = append(st.recent, recentCommit{at: now, bySrc: bySrc, total: total})
+	st.pruneLocked(now)
+}
+
+func (st *serveState) pruneLocked(now time.Time) {
+	cutoff := now.Add(-time.Minute)
+	keep := st.recent[:0]
+	for _, rc := range st.recent {
+		if rc.at.After(cutoff) {
+			keep = append(keep, rc)
+		}
+	}
+	st.recent = keep
 }
 
 func (st *serveState) stats() ServiceStats {
 	st.mu.Lock()
 	out := ServiceStats{
-		Rounds:    st.rounds,
-		Reports:   st.reports,
-		StatusURL: st.statusURL,
-		Cursors:   map[string]Cursor{},
+		SchemaVersion: ServiceStatsSchemaVersion,
+		Rounds:        st.rounds,
+		Reports:       st.reports,
+		Reports1m:     make(map[string]int, len(forum.Sources)),
+		StatusURL:     st.statusURL,
+		Cursors:       map[string]Cursor{},
 	}
-	proj, store := st.proj, st.store
+	st.pruneLocked(time.Now())
+	for _, src := range forum.Sources {
+		out.Reports1m[src] = 0
+	}
+	for _, rc := range st.recent {
+		for src, n := range rc.bySrc {
+			out.Reports1m[src] += n
+		}
+		out.Reports1mTotal += rc.total
+	}
+	proj, store, hist, injected := st.proj, st.store, st.roundHist, st.injected
 	st.mu.Unlock()
+	if hist != nil {
+		hs := hist.Stats()
+		out.RoundMS = RoundQuantiles{
+			Count: hs.Count,
+			P50:   durMillis(hs.P50),
+			P95:   durMillis(hs.P95),
+			P99:   durMillis(hs.P99),
+			Max:   durMillis(hs.Max),
+		}
+	}
+	if injected != nil {
+		out.InjectedPosts = injected()
+	}
 	if proj != nil {
 		ps := proj.Stats()
 		out.Records = ps.Records
@@ -144,6 +252,23 @@ func (st *serveState) stats() ServiceStats {
 		}
 	}
 	return out
+}
+
+func durMillis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// InjectWave synthesizes a deterministic report wave and appends it to the
+// study's live forum servers — the in-process form of the daemon's
+// POST /inject. It works with or without Serve running: a batch study can
+// inject then Collect, a serving study's collectors pick the wave up on
+// their next round. Returns how many posts (reports plus noise) were
+// appended.
+func (s *Study) InjectWave(spec InjectSpec) (int, error) { return s.Sim.Inject(spec) }
+
+// writeInjectError reports an /inject failure as a JSON error body.
+func writeInjectError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
 // StatusURL returns the base URL of the serving Study's status endpoint
@@ -186,11 +311,13 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 	reg := s.Pipe.Telemetry()
 	st := &serveState{store: cfg.Checkpoints}
 	st.proj = report.NewProjection(reg, cfg.ProjectionQueue)
+	st.roundHist = reg.Histogram("serve.round_duration")
+	st.injected = s.Sim.InjectedPosts
 	defer st.proj.Close()
 	s.svc = st
 
-	// Status endpoint: /status + /debug/telemetry on an ephemeral loopback
-	// port, alive for the duration of this Serve call.
+	// Status endpoint: /status + /debug/telemetry + /inject on an ephemeral
+	// loopback port, alive for the duration of this Serve call.
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -199,6 +326,23 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 		_ = enc.Encode(st.stats())
 	})
 	mux.Handle("GET /debug/telemetry", telemetry.Handler(reg))
+	// Load injection: POST /inject appends a synthetic report wave to the
+	// live forum servers (the seam cmd/loadgen drives). The wave is visible
+	// to the daemon's own collectors on its next round, closing the loop.
+	mux.HandleFunc("POST /inject", func(w http.ResponseWriter, r *http.Request) {
+		var spec InjectSpec
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+			writeInjectError(w, http.StatusBadRequest, fmt.Errorf("decode inject spec: %w", err))
+			return
+		}
+		n, err := s.Sim.Inject(spec)
+		if err != nil {
+			writeInjectError(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\n  \"appended_posts\": %d\n}\n", n)
+	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("smishkit: bind status endpoint: %w", err)
@@ -209,6 +353,9 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 	st.mu.Lock()
 	st.statusURL = "http://" + ln.Addr().String()
 	st.mu.Unlock()
+	if cfg.OnReady != nil {
+		cfg.OnReady(st.statusURL)
+	}
 
 	collectors, err := s.incrementalCollectors()
 	if err != nil {
@@ -262,6 +409,7 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 		// collector contributes nothing this round and keeps its cursor.
 		var batch []RawReport
 		staged := make(map[string]Cursor, len(collectors))
+		stagedN := make(map[string]int, len(collectors))
 		for i, ic := range collectors {
 			src := forum.Sources[i]
 			var stage []RawReport
@@ -279,6 +427,7 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 			reg.Counter("collect." + src + ".new_reports").Add(int64(len(stage)))
 			batch = append(batch, stage...)
 			staged[src] = next
+			stagedN[src] = len(stage)
 		}
 
 		if ctx.Err() != nil {
@@ -318,12 +467,10 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 				}
 				cursors[src] = cur
 			}
-			st.mu.Lock()
-			st.reports += len(batch)
-			st.mu.Unlock()
+			st.commitCounts(stagedN, len(batch), time.Now())
 		}
 		setLag()
-		sp.End()
+		st.roundHist.Observe(sp.End())
 
 		st.mu.Lock()
 		st.rounds = round

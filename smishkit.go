@@ -390,7 +390,8 @@ func (s *Study) Run(ctx context.Context) (*Dataset, error) {
 // concurrently with Run, and after Close.
 //
 // Deprecated: use Study.Stats().Telemetry, which bundles every stats
-// surface in one call.
+// surface in one call. This wrapper is slated for removal in v2 — no
+// in-tree caller remains.
 func (s *Study) Telemetry() Telemetry { return s.Pipe.Telemetry().Snapshot() }
 
 // CacheStats snapshots the enrichment cache per service: hits, misses,
@@ -398,7 +399,8 @@ func (s *Study) Telemetry() Telemetry { return s.Pipe.Telemetry().Snapshot() }
 // live entries. Returns nil when the study was built without
 // Options.Cache. Safe to call concurrently with Run, and after Close.
 //
-// Deprecated: use Study.Stats().Cache.
+// Deprecated: use Study.Stats().Cache. Slated for removal in v2 — no
+// in-tree caller remains.
 func (s *Study) CacheStats() CacheStats {
 	if s.cache == nil {
 		return nil
@@ -411,7 +413,8 @@ func (s *Study) CacheStats() CacheStats {
 // fallthroughs. Returns nil when the study was built without
 // Options.Batch. Safe to call concurrently with Run, and after Close.
 //
-// Deprecated: use Study.Stats().Batch.
+// Deprecated: use Study.Stats().Batch. Slated for removal in v2 — no
+// in-tree caller remains.
 func (s *Study) BatchStats() BatchStats {
 	if s.batch == nil {
 		return nil
@@ -424,7 +427,8 @@ func (s *Study) BatchStats() BatchStats {
 // study was built without Options.Resilience. Safe to call concurrently
 // with Run, and after Close.
 //
-// Deprecated: use Study.Stats().Resilience.
+// Deprecated: use Study.Stats().Resilience. Slated for removal in v2 —
+// no in-tree caller remains.
 func (s *Study) ResilienceStats() ResilienceStats {
 	if s.breakers == nil {
 		return nil
@@ -451,25 +455,29 @@ func WriteReport(w io.Writer, ds *Dataset) error { return report.RenderAll(w, ds
 // WriteTelemetry renders a telemetry snapshot as human-readable text:
 // stage spans, counters, gauges, and latency percentiles.
 //
-// Deprecated: use WriteStats(w, stats, SectionTelemetry).
+// Deprecated: use WriteStats(w, stats, SectionTelemetry). Slated for
+// removal in v2 — no in-tree caller remains.
 func WriteTelemetry(w io.Writer, snap Telemetry) error { return telemetry.Write(w, snap) }
 
 // WriteCacheStats renders a CacheStats snapshot as an aligned text table,
 // one row per service, with per-service hit rates.
 //
-// Deprecated: use WriteStats(w, stats, SectionCache).
+// Deprecated: use WriteStats(w, stats, SectionCache). Slated for
+// removal in v2 — no in-tree caller remains.
 func WriteCacheStats(w io.Writer, stats CacheStats) error { return enrichcache.Write(w, stats) }
 
 // WriteBatchStats renders a BatchStats snapshot as an aligned text table,
 // one row per batchable service, with mean keys per flush.
 //
-// Deprecated: use WriteStats(w, stats, SectionBatch).
+// Deprecated: use WriteStats(w, stats, SectionBatch). Slated for
+// removal in v2 — no in-tree caller remains.
 func WriteBatchStats(w io.Writer, stats BatchStats) error { return batchmux.Write(w, stats) }
 
 // WriteResilienceStats renders a ResilienceStats snapshot as an aligned
 // text table, one breaker per row.
 //
-// Deprecated: use WriteStats(w, stats, SectionResilience).
+// Deprecated: use WriteStats(w, stats, SectionResilience). Slated for
+// removal in v2 — no in-tree caller remains.
 func WriteResilienceStats(w io.Writer, stats ResilienceStats) error {
 	return resilience.Write(w, stats)
 }

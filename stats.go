@@ -133,8 +133,12 @@ func WriteStats(w io.Writer, stats Stats, sections ...StatsSection) error {
 
 // writeServiceStats renders the daemon scoreboard as aligned text.
 func writeServiceStats(w io.Writer, st ServiceStats) error {
-	if _, err := fmt.Fprintf(w, "service\n  rounds=%d reports=%d records=%d pending=%d backlog=%.1fs\n",
-		st.Rounds, st.Reports, st.Records, st.PendingBatches, st.BacklogSeconds); err != nil {
+	if _, err := fmt.Fprintf(w, "service (schema v%d)\n  rounds=%d reports=%d records=%d pending=%d backlog=%.1fs\n",
+		st.SchemaVersion, st.Rounds, st.Reports, st.Records, st.PendingBatches, st.BacklogSeconds); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  throughput: reports_1m=%d injected=%d round p50=%.1fms p95=%.1fms p99=%.1fms (n=%d)\n",
+		st.Reports1mTotal, st.InjectedPosts, st.RoundMS.P50, st.RoundMS.P95, st.RoundMS.P99, st.RoundMS.Count); err != nil {
 		return err
 	}
 	if st.StatusURL != "" {
