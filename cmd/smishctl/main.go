@@ -7,13 +7,16 @@
 //	         [-extractor structured|vision|naive] [-telemetry] [-cache]
 //	         [-cache-stats] [-batch] [-batch-stats] [-chaos RATE]
 //	         [-serve] [-poll-interval D] [-serve-rounds N] [-checkpoint-dir DIR]
-//	         [-status-file FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-data-dir DIR] [-status-file FILE] [-cpuprofile FILE]
+//	         [-memprofile FILE]
 //
 // With -serve, smishctl runs as a long-lived daemon: it polls the forums
 // on -poll-interval, feeds new reports through the streaming pipeline
 // (implied by -serve), and keeps the report tables current; Ctrl-C drains
 // the in-flight round and prints the final report. -checkpoint-dir makes
-// the collection cursors survive restarts.
+// the collection cursors survive restarts; -data-dir makes the enriched
+// dataset itself survive (cursors + record log + inject journal under one
+// directory), so a killed daemon restarts without re-enriching history.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"syscall"
@@ -58,6 +62,7 @@ func run() error {
 	pollInterval := flag.Duration("poll-interval", 2*time.Second, "idle time between daemon collection rounds (with -serve)")
 	serveRounds := flag.Int("serve-rounds", 0, "stop the daemon after N rounds (0 = run until interrupted; with -serve)")
 	checkpointDir := flag.String("checkpoint-dir", "", "persist collection cursors as JSON files under this directory so a restarted daemon resumes where it left off (with -serve)")
+	dataDir := flag.String("data-dir", "", "persist the full serving state under this directory: enriched records in a snapshot+compaction record log ('records/'), injected-wave journal, and collection cursors ('checkpoints/', unless -checkpoint-dir overrides) — a restarted daemon replays instead of re-enriching (with -serve)")
 	statusFile := flag.String("status-file", "", "write the daemon's status URL to this file once it is listening, for script orchestration (with -serve)")
 	liveWaves := flag.Int("live-waves", 3, "hold back this many fixture waves and release one per round, so the daemon sees reports arrive over time (with -serve)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline (batch mode only)")
@@ -134,6 +139,22 @@ func run() error {
 			}
 			opts.Service.Checkpoints = store
 		}
+		if *dataDir != "" {
+			opts.Durability = &smishkit.DurabilityConfig{Dir: filepath.Join(*dataDir, "records")}
+			// Cursors without the record log (or the reverse) would resume
+			// collection but lose the dataset (or the reverse), so -data-dir
+			// provides both; an explicit -checkpoint-dir still wins.
+			if *checkpointDir == "" {
+				store, err := smishkit.NewFileCheckpoints(filepath.Join(*dataDir, "checkpoints"))
+				if err != nil {
+					return fmt.Errorf("-data-dir: %w", err)
+				}
+				opts.Service.Checkpoints = store
+			}
+		}
+	}
+	if *dataDir != "" && !*serve {
+		return fmt.Errorf("-data-dir requires -serve: the record log is written by the daemon at commit time")
 	}
 	switch *extractor {
 	case "structured":
@@ -224,6 +245,9 @@ func run() error {
 	}
 	if *serve {
 		sections = append(sections, smishkit.SectionService)
+	}
+	if *dataDir != "" {
+		sections = append(sections, smishkit.SectionDurability)
 	}
 	if len(sections) > 0 {
 		if err := smishkit.WriteStats(os.Stdout, stats, sections...); err != nil {

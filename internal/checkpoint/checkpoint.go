@@ -182,8 +182,13 @@ func (s *FileStore) Load(source string) (Cursor, bool, error) {
 	return c, true, nil
 }
 
-// Save implements Store: marshal, write to a temp file in the same
-// directory, fsync-free atomic rename over the committed path.
+// Save implements Store: marshal, write + fsync a temp file in the same
+// directory, atomically rename it over the committed path, then fsync the
+// directory. The rename alone makes the swap atomic against readers, but
+// not durable: after a crash the directory entry may still point at the
+// old file (fine — the previous commit) or, without the temp-file fsync,
+// at a zero-length new one (cursor lost). Both syncs together guarantee a
+// Save that returned nil survives power loss.
 func (s *FileStore) Save(cur Cursor) error {
 	if cur.Source == "" {
 		return errors.New("checkpoint: cursor has no source")
@@ -200,16 +205,32 @@ func (s *FileStore) Save(cur Cursor) error {
 		return fmt.Errorf("checkpoint: temp file: %w", err)
 	}
 	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("checkpoint: write %s: %w", cur.Source, errors.Join(werr, cerr))
+		return fmt.Errorf("checkpoint: write %s: %w", cur.Source, errors.Join(werr, serr, cerr))
 	}
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: commit %s: %w", cur.Source, err)
 	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("checkpoint: sync store dir: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs the store directory so a just-renamed cursor's directory
+// entry is durable, not merely atomic.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	return errors.Join(serr, cerr)
 }
 
 // All implements Store.

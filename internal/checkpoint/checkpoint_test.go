@@ -117,3 +117,49 @@ func TestCursorZeroAndClone(t *testing.T) {
 		t.Fatal("Clone shares token map")
 	}
 }
+
+// TestFileStoreSaveDurabilityContract documents the crash-durability
+// contract of Save: by the time it returns nil, the cursor bytes are
+// fsynced in the temp file AND the directory entry produced by the rename
+// is fsynced — so a crash (or power loss) immediately after a successful
+// Save can only ever expose this commit or the previous one, never a
+// missing or zero-length cursor file. A unit test cannot pull the power,
+// so it pins the observable half of the contract: the committed file is
+// complete, no temp debris survives a Save, and every earlier commit is
+// fully replaced.
+func TestFileStoreSaveDurabilityContract(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		cur := Cursor{Source: "twitter", Offset: i, Updated: time.Now().UTC()}
+		if err := s.Save(cur); err != nil {
+			t.Fatalf("Save #%d: %v", i, err)
+		}
+		// The committed file is always the full, current commit.
+		got, ok, err := s.Load("twitter")
+		if err != nil || !ok || got.Offset != i {
+			t.Fatalf("after Save #%d: ok=%v err=%v cursor=%+v", i, ok, err, got)
+		}
+		// No temp files outlive a successful Save: everything in the
+		// directory is a committed cursor.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".json" {
+				t.Fatalf("Save #%d left non-commit debris %q", i, e.Name())
+			}
+			info, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Size() == 0 {
+				t.Fatalf("Save #%d left zero-length commit %q", i, e.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,730 @@
+// Package recordlog makes the enriched dataset durable. The service daemon
+// loses every in-memory structure on exit; cursors (internal/checkpoint)
+// already let a restarted daemon resume *collection* without duplicates,
+// but the enriched records themselves had to be rebuilt by re-enriching
+// the world. This package closes that gap with an append-only record log
+// plus periodic snapshots:
+//
+//   - Every committed round appends one length-prefixed, CRC-framed batch
+//     of enriched records to records.log, fsynced before the round's
+//     cursors are saved. A crash between the append and the cursor save
+//     therefore re-collects (and re-enriches) at most one round — and the
+//     log deduplicates the re-appended records by ID, so the dataset never
+//     double-counts.
+//   - Injected load waves (core.InjectSpec) are journaled in the same log.
+//     A restarted process replays them into its freshly booted simulation,
+//     so the forum servers regain the injected posts the durable cursors
+//     already point past.
+//   - Periodic snapshots (snapshot.json, atomic rename + dir sync) bound
+//     restart cost: open loads the snapshot and replays only the log tail
+//     appended after it. When the log outgrows CompactThreshold the log is
+//     snapshotted and truncated — restart cost stays one snapshot + tail
+//     no matter how long the daemon has been running.
+//
+// Frame format, little-endian:
+//
+//	[1 byte kind][4 byte payload length][4 byte IEEE CRC32 of payload][payload]
+//
+// Payloads are JSON. Batch frames carry the round's *fresh* records plus
+// the cumulative curation totals after the frame, so replaying a log with
+// duplicated frames (the crash window above) still reconstructs exact
+// totals: records dedup by ID, totals are absolute, and frames covered by
+// the snapshot are skipped by sequence number.
+//
+// On open, a torn final frame (the write the crash interrupted) is
+// truncated away and counted in recordlog.truncated_tail; a frame whose
+// CRC does not match its payload is rejected — it and everything after it
+// are truncated, counted in recordlog.corrupt_frames — because nothing
+// beyond a corrupt frame can be trusted.
+package recordlog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/telemetry"
+)
+
+// Config tunes the durable record log (the facade's Options.Durability).
+type Config struct {
+	// Dir holds records.log and snapshot.json; created if missing.
+	Dir string
+	// SnapshotInterval is how often an append also refreshes the snapshot
+	// (default 30s). Snapshots bound the tail a restart must replay.
+	SnapshotInterval time.Duration
+	// CompactThreshold is the log size in bytes that triggers compaction:
+	// snapshot everything, then truncate the log (default 8 MiB).
+	CompactThreshold int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
+	if c.CompactThreshold == 0 {
+		c.CompactThreshold = 8 << 20
+	}
+	return c
+}
+
+// Stats is the log's scoreboard, mirrored into the telemetry registry
+// under "recordlog.*".
+type Stats struct {
+	// Appends counts frames written (record batches plus inject journal
+	// entries) since open.
+	Appends int64 `json:"appends"`
+	// Replayed counts records restored on open (snapshot + log tail).
+	Replayed int64 `json:"replayed"`
+	// Deduped counts appended records dropped because their ID was already
+	// in the log — the crash-window double-count protection firing.
+	Deduped int64 `json:"deduped"`
+	// Snapshots counts snapshot files written since open.
+	Snapshots int64 `json:"snapshots"`
+	// Compactions counts snapshot-plus-truncate cycles since open.
+	Compactions int64 `json:"compactions"`
+	// TruncatedTail counts torn final frames discarded on open (0 or 1).
+	TruncatedTail int64 `json:"truncated_tail"`
+	// CorruptFrames counts CRC-mismatched or undecodable frames rejected
+	// on open.
+	CorruptFrames int64 `json:"corrupt_frames"`
+	// Records is the dataset size the log currently holds.
+	Records int `json:"records"`
+	// Injects is the journaled injection count (replayed + new).
+	Injects int `json:"injects"`
+	// LogBytes is the live log file size; SnapshotBytes the last written
+	// snapshot's size (0 before the first snapshot).
+	LogBytes      int64 `json:"log_bytes"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// LastSnapshot is when the newest snapshot was written (zero when the
+	// directory has none).
+	LastSnapshot time.Time `json:"last_snapshot"`
+}
+
+// Frame kinds.
+const (
+	kindBatch  = 1 // one committed round's fresh records + cumulative totals
+	kindInject = 2 // one journaled core.InjectSpec
+)
+
+const (
+	logName      = "records.log"
+	snapshotName = "snapshot.json"
+	frameHeader  = 1 + 4 + 4 // kind + length + crc
+	// maxFrame bounds a single frame payload; anything larger in a header
+	// is corruption, not data (the largest real batch is a few MiB).
+	maxFrame = 256 << 20
+)
+
+// totals is the cumulative curation bookkeeping after a frame. Values are
+// absolute, not deltas, so re-applied frames cannot inflate them.
+type totals struct {
+	PostsByForum   map[corpus.Forum]int `json:"posts_by_forum,omitempty"`
+	ImagesByForum  map[corpus.Forum]int `json:"images_by_forum,omitempty"`
+	DecoysRejected int                  `json:"decoys_rejected"`
+	EmptyDropped   int                  `json:"empty_dropped"`
+}
+
+func (t totals) clone() totals {
+	out := t
+	out.PostsByForum = cloneForumMap(t.PostsByForum)
+	out.ImagesByForum = cloneForumMap(t.ImagesByForum)
+	return out
+}
+
+func cloneForumMap(m map[corpus.Forum]int) map[corpus.Forum]int {
+	out := make(map[corpus.Forum]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// batchFrame is the payload of a kindBatch frame.
+type batchFrame struct {
+	Seq         uint64        `json:"seq"`
+	CommittedAt time.Time     `json:"committed_at"`
+	Records     []core.Record `json:"records"`
+	Totals      totals        `json:"totals"`
+}
+
+// injectFrame is the payload of a kindInject frame.
+type injectFrame struct {
+	Seq  uint64          `json:"seq"`
+	At   time.Time       `json:"at"`
+	Spec core.InjectSpec `json:"spec"`
+}
+
+// snapshot is the full durable state as of frame Seq; frames with lower or
+// equal sequence numbers are skipped during tail replay.
+type snapshot struct {
+	Seq     uint64            `json:"seq"`
+	SavedAt time.Time         `json:"saved_at"`
+	Injects []core.InjectSpec `json:"injects,omitempty"`
+	Records []core.Record     `json:"records"`
+	Totals  totals            `json:"totals"`
+}
+
+// counters bundles the telemetry instruments the log maintains.
+type counters struct {
+	appends, replayed, deduped, snapshots, compactions *telemetry.Counter
+	truncatedTail, corruptFrames                       *telemetry.Counter
+	logBytes                                           *telemetry.Gauge
+}
+
+func newCounters(reg *telemetry.Registry) counters {
+	return counters{
+		appends:       reg.Counter("recordlog.appends"),
+		replayed:      reg.Counter("recordlog.replayed"),
+		deduped:       reg.Counter("recordlog.deduped"),
+		snapshots:     reg.Counter("recordlog.snapshots"),
+		compactions:   reg.Counter("recordlog.compactions"),
+		truncatedTail: reg.Counter("recordlog.truncated_tail"),
+		corruptFrames: reg.Counter("recordlog.corrupt_frames"),
+		logBytes:      reg.Gauge("recordlog.log_bytes"),
+	}
+}
+
+// Log is the durable record log: single-writer, safe for concurrent use.
+type Log struct {
+	cfg Config
+	ctr counters
+
+	mu       sync.Mutex
+	f        *os.File
+	size     int64
+	seq      uint64
+	seen     map[string]struct{}
+	records  []core.Record
+	totals   totals
+	injects  []core.InjectSpec
+	lastSnap time.Time
+	stats    Stats
+	closed   bool
+	closeErr error
+}
+
+// Open opens (creating if needed) the log directory, loads the newest
+// snapshot, and replays the log tail: torn final frames are truncated,
+// corrupt frames rejected (with everything after them), records deduped by
+// ID, and totals taken from the last valid frame. reg may be nil (metrics
+// go to a private registry).
+func Open(cfg Config, reg *telemetry.Registry) (*Log, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("recordlog: Config.Dir is empty")
+	}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recordlog: create dir: %w", err)
+	}
+	l := &Log{
+		cfg:  cfg,
+		ctr:  newCounters(reg),
+		seen: make(map[string]struct{}),
+		totals: totals{
+			PostsByForum:  make(map[corpus.Forum]int),
+			ImagesByForum: make(map[corpus.Forum]int),
+		},
+	}
+	if err := l.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := l.openAndReplay(); err != nil {
+		return nil, err
+	}
+	l.stats.Replayed = int64(len(l.records))
+	l.ctr.replayed.Add(l.stats.Replayed)
+	l.ctr.logBytes.Set(l.size)
+	return l, nil
+}
+
+// loadSnapshot restores state from snapshot.json when present. A snapshot
+// that cannot be decoded is an error: silently starting empty would let a
+// later snapshot overwrite the only durable copy of the dataset.
+func (l *Log) loadSnapshot() error {
+	path := filepath.Join(l.cfg.Dir, snapshotName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("recordlog: read snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("recordlog: decode snapshot %s: %w", path, err)
+	}
+	l.seq = snap.Seq
+	l.records = snap.Records
+	l.injects = snap.Injects
+	if snap.Totals.PostsByForum != nil || snap.Totals.ImagesByForum != nil ||
+		snap.Totals.DecoysRejected != 0 || snap.Totals.EmptyDropped != 0 {
+		l.totals = snap.Totals.clone()
+		if l.totals.PostsByForum == nil {
+			l.totals.PostsByForum = make(map[corpus.Forum]int)
+		}
+		if l.totals.ImagesByForum == nil {
+			l.totals.ImagesByForum = make(map[corpus.Forum]int)
+		}
+	}
+	for _, r := range snap.Records {
+		l.seen[r.ID] = struct{}{}
+	}
+	l.lastSnap = snap.SavedAt
+	l.stats.LastSnapshot = snap.SavedAt
+	l.stats.SnapshotBytes = int64(len(data))
+	return nil
+}
+
+// openAndReplay opens records.log, replays every frame past the snapshot,
+// and truncates torn or corrupt tails so the file ends on a clean frame
+// boundary ready for appends.
+func (l *Log) openAndReplay() error {
+	path := filepath.Join(l.cfg.Dir, logName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("recordlog: open log: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("recordlog: read log: %w", err)
+	}
+
+	snapSeq := l.seq
+	var lastTotals *totals
+	off := 0
+	valid := 0 // bytes covered by fully valid frames
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			l.stats.TruncatedTail++
+			l.ctr.truncatedTail.Inc()
+			break
+		}
+		kind := data[off]
+		length := binary.LittleEndian.Uint32(data[off+1 : off+5])
+		sum := binary.LittleEndian.Uint32(data[off+5 : off+9])
+		if length > maxFrame {
+			// A length this large is a scribbled header, not a frame.
+			l.stats.CorruptFrames++
+			l.ctr.corruptFrames.Inc()
+			break
+		}
+		end := off + frameHeader + int(length)
+		if end > len(data) {
+			// The final append never completed: a torn tail, not corruption.
+			l.stats.TruncatedTail++
+			l.ctr.truncatedTail.Inc()
+			break
+		}
+		payload := data[off+frameHeader : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			l.stats.CorruptFrames++
+			l.ctr.corruptFrames.Inc()
+			break
+		}
+		switch kind {
+		case kindBatch:
+			var fr batchFrame
+			if err := json.Unmarshal(payload, &fr); err != nil {
+				l.stats.CorruptFrames++
+				l.ctr.corruptFrames.Inc()
+				off = len(data) + 1 // force truncation at `valid`
+				break
+			}
+			if fr.Seq > l.seq {
+				l.seq = fr.Seq
+			}
+			if fr.Seq > snapSeq {
+				for _, r := range fr.Records {
+					if _, dup := l.seen[r.ID]; dup {
+						continue
+					}
+					l.seen[r.ID] = struct{}{}
+					l.records = append(l.records, r)
+				}
+				t := fr.Totals.clone()
+				lastTotals = &t
+			}
+		case kindInject:
+			var fr injectFrame
+			if err := json.Unmarshal(payload, &fr); err != nil {
+				l.stats.CorruptFrames++
+				l.ctr.corruptFrames.Inc()
+				off = len(data) + 1
+				break
+			}
+			if fr.Seq > l.seq {
+				l.seq = fr.Seq
+			}
+			if fr.Seq > snapSeq {
+				l.injects = append(l.injects, fr.Spec)
+			}
+		default:
+			l.stats.CorruptFrames++
+			l.ctr.corruptFrames.Inc()
+			off = len(data) + 1
+		}
+		if off > len(data) { // corrupt payload detected inside the switch
+			break
+		}
+		off = end
+		valid = end
+	}
+	if lastTotals != nil {
+		l.totals = *lastTotals
+		if l.totals.PostsByForum == nil {
+			l.totals.PostsByForum = make(map[corpus.Forum]int)
+		}
+		if l.totals.ImagesByForum == nil {
+			l.totals.ImagesByForum = make(map[corpus.Forum]int)
+		}
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return fmt.Errorf("recordlog: truncate damaged tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("recordlog: sync truncated log: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("recordlog: seek log tail: %w", err)
+	}
+	l.f = f
+	l.size = int64(valid)
+	return nil
+}
+
+// Append logs one committed round. Records whose ID the log already holds
+// are dropped (and counted in recordlog.deduped) — the protection that
+// makes a crash between a log append and the round's cursor save safe to
+// replay. The returned dataset holds only the fresh records (plus the
+// batch's curation bookkeeping) and is what the caller should feed to the
+// live projection; it is empty when the whole batch was a replay, in which
+// case nothing is written.
+func (l *Log) Append(ds *core.Dataset, at time.Time) (*core.Dataset, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, errors.New("recordlog: log closed")
+	}
+	fresh := &core.Dataset{
+		PostsByForum:  cloneForumMap(ds.PostsByForum),
+		ImagesByForum: cloneForumMap(ds.ImagesByForum),
+	}
+	for _, r := range ds.Records {
+		if _, dup := l.seen[r.ID]; dup {
+			l.stats.Deduped++
+			l.ctr.deduped.Inc()
+			continue
+		}
+		fresh.Records = append(fresh.Records, r)
+	}
+	if len(ds.Records) > 0 && len(fresh.Records) == 0 {
+		// Every record was already logged: this is a re-collected round from
+		// the crash window (appended, cursors never saved). Its bookkeeping
+		// was counted when the records first landed, so drop it whole.
+		return &core.Dataset{
+			PostsByForum:  make(map[corpus.Forum]int),
+			ImagesByForum: make(map[corpus.Forum]int),
+		}, nil
+	}
+	fresh.DecoysRejected = ds.DecoysRejected
+	fresh.EmptyDropped = ds.EmptyDropped
+	if len(fresh.Records) == 0 && datasetEmpty(fresh) {
+		return fresh, nil // nothing worth a frame
+	}
+
+	for f, n := range ds.PostsByForum {
+		l.totals.PostsByForum[f] += n
+	}
+	for f, n := range ds.ImagesByForum {
+		l.totals.ImagesByForum[f] += n
+	}
+	l.totals.DecoysRejected += ds.DecoysRejected
+	l.totals.EmptyDropped += ds.EmptyDropped
+
+	frame := batchFrame{
+		Seq:         l.seq + 1,
+		CommittedAt: at,
+		Records:     fresh.Records,
+		Totals:      l.totals,
+	}
+	payload, err := json.Marshal(frame)
+	if err != nil {
+		return nil, fmt.Errorf("recordlog: encode batch: %w", err)
+	}
+	if err := l.writeFrameLocked(kindBatch, payload); err != nil {
+		return nil, err
+	}
+	l.seq = frame.Seq
+	for _, r := range fresh.Records {
+		l.seen[r.ID] = struct{}{}
+	}
+	l.records = append(l.records, fresh.Records...)
+	if err := l.maybeSnapshotLocked(at); err != nil {
+		return nil, err
+	}
+	return fresh, nil
+}
+
+// AppendInject journals one injection so a restarted process can replay it
+// into its fresh simulation — without it, durable cursors would point past
+// posts the rebooted forum servers never heard of.
+func (l *Log) AppendInject(spec core.InjectSpec, at time.Time) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("recordlog: log closed")
+	}
+	frame := injectFrame{Seq: l.seq + 1, At: at, Spec: spec}
+	payload, err := json.Marshal(frame)
+	if err != nil {
+		return fmt.Errorf("recordlog: encode inject: %w", err)
+	}
+	if err := l.writeFrameLocked(kindInject, payload); err != nil {
+		return err
+	}
+	l.seq = frame.Seq
+	l.injects = append(l.injects, spec)
+	return nil
+}
+
+// writeFrameLocked frames, writes, and fsyncs one payload.
+func (l *Log) writeFrameLocked(kind byte, payload []byte) error {
+	var hdr [frameHeader]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("recordlog: write frame header: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("recordlog: write frame payload: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("recordlog: sync log: %w", err)
+	}
+	l.size += int64(frameHeader + len(payload))
+	l.stats.Appends++
+	l.ctr.appends.Inc()
+	l.ctr.logBytes.Set(l.size)
+	return nil
+}
+
+// maybeSnapshotLocked refreshes the snapshot on the configured interval
+// and compacts (snapshot + truncate) when the log crosses the threshold.
+func (l *Log) maybeSnapshotLocked(now time.Time) error {
+	if l.size >= l.cfg.CompactThreshold {
+		return l.compactLocked(now)
+	}
+	if l.cfg.SnapshotInterval > 0 && now.Sub(l.lastSnap) >= l.cfg.SnapshotInterval {
+		return l.snapshotLocked(now)
+	}
+	return nil
+}
+
+// snapshotLocked writes the full state as snapshot.json via temp file +
+// fsync + atomic rename + directory sync, so a crash at any point leaves
+// either the old snapshot or the new one, never a torn mix.
+func (l *Log) snapshotLocked(now time.Time) error {
+	snap := snapshot{
+		Seq:     l.seq,
+		SavedAt: now.UTC(),
+		Injects: l.injects,
+		Records: l.records,
+		Totals:  l.totals,
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("recordlog: encode snapshot: %w", err)
+	}
+	final := filepath.Join(l.cfg.Dir, snapshotName)
+	tmp, err := os.CreateTemp(l.cfg.Dir, ".snapshot.tmp-*")
+	if err != nil {
+		return fmt.Errorf("recordlog: snapshot temp file: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("recordlog: write snapshot: %w", errors.Join(werr, serr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("recordlog: commit snapshot: %w", err)
+	}
+	if err := syncDir(l.cfg.Dir); err != nil {
+		return fmt.Errorf("recordlog: sync snapshot dir: %w", err)
+	}
+	l.lastSnap = now
+	l.stats.Snapshots++
+	l.stats.LastSnapshot = snap.SavedAt
+	l.stats.SnapshotBytes = int64(len(data))
+	l.ctr.snapshots.Inc()
+	return nil
+}
+
+// compactLocked snapshots then truncates the log. The snapshot lands
+// durably first, so a crash between the two steps merely leaves frames the
+// next open skips by sequence number.
+func (l *Log) compactLocked(now time.Time) error {
+	if err := l.snapshotLocked(now); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("recordlog: compact truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("recordlog: compact seek: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("recordlog: compact sync: %w", err)
+	}
+	l.size = 0
+	l.stats.Compactions++
+	l.ctr.compactions.Inc()
+	l.ctr.logBytes.Set(0)
+	return nil
+}
+
+// Snapshot forces a snapshot now, regardless of interval or size.
+func (l *Log) Snapshot() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("recordlog: log closed")
+	}
+	return l.snapshotLocked(time.Now())
+}
+
+// Dataset returns a copy of the full durable dataset (replayed + appended
+// this run) — what a restarted daemon seeds its projection from.
+func (l *Log) Dataset() *core.Dataset {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := &core.Dataset{
+		Records:        make([]core.Record, len(l.records)),
+		PostsByForum:   cloneForumMap(l.totals.PostsByForum),
+		ImagesByForum:  cloneForumMap(l.totals.ImagesByForum),
+		DecoysRejected: l.totals.DecoysRejected,
+		EmptyDropped:   l.totals.EmptyDropped,
+	}
+	copy(out.Records, l.records)
+	return out
+}
+
+// Injects returns the journaled injection specs in append order.
+func (l *Log) Injects() []core.InjectSpec {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]core.InjectSpec, len(l.injects))
+	copy(out, l.injects)
+	return out
+}
+
+// Stats returns the log scoreboard.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	st.Records = len(l.records)
+	st.Injects = len(l.injects)
+	st.LogBytes = l.size
+	return st
+}
+
+// Close snapshots once more (so the next open replays an empty tail) and
+// closes the file. Idempotent: the first call does the work, every call
+// reports its error.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return l.closeErr
+	}
+	l.closed = true
+	var errs []error
+	if l.stats.Appends > 0 {
+		if err := l.snapshotLocked(time.Now()); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := l.f.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("recordlog: close log: %w", err))
+	}
+	l.closeErr = errors.Join(errs...)
+	return l.closeErr
+}
+
+// datasetEmpty reports whether a dataset carries nothing durable.
+func datasetEmpty(ds *core.Dataset) bool {
+	if len(ds.Records) > 0 || ds.DecoysRejected != 0 || ds.EmptyDropped != 0 {
+		return false
+	}
+	for _, n := range ds.PostsByForum {
+		if n != 0 {
+			return false
+		}
+	}
+	for _, n := range ds.ImagesByForum {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	return errors.Join(serr, cerr)
+}
+
+// Write renders a Stats snapshot as aligned human-readable text — the
+// SectionDurability renderer.
+func Write(w io.Writer, st Stats) error {
+	if _, err := fmt.Fprintf(w, "recordlog\n  records=%d injects=%d log=%dB snapshot=%dB\n",
+		st.Records, st.Injects, st.LogBytes, st.SnapshotBytes); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  appends=%d replayed=%d deduped=%d snapshots=%d compactions=%d\n",
+		st.Appends, st.Replayed, st.Deduped, st.Snapshots, st.Compactions); err != nil {
+		return err
+	}
+	if st.TruncatedTail > 0 || st.CorruptFrames > 0 {
+		if _, err := fmt.Fprintf(w, "  damage: truncated_tail=%d corrupt_frames=%d\n",
+			st.TruncatedTail, st.CorruptFrames); err != nil {
+			return err
+		}
+	}
+	if !st.LastSnapshot.IsZero() {
+		if _, err := fmt.Fprintf(w, "  last_snapshot=%s\n", st.LastSnapshot.Format(time.RFC3339)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

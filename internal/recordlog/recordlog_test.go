@@ -1,0 +1,458 @@
+package recordlog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/corpus"
+	"github.com/smishkit/smishkit/internal/extract"
+	"github.com/smishkit/smishkit/internal/telemetry"
+)
+
+func testRecord(id string) core.Record {
+	return core.Record{
+		ID:        id,
+		Forum:     corpus.ForumTwitter,
+		Text:      "your parcel is held, pay at example.test",
+		Domain:    "example.test",
+		SenderRaw: "+15550001111",
+		Timestamp: extract.ParsedTime{Time: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC), HasDate: true},
+	}
+}
+
+func testBatch(ids ...string) *core.Dataset {
+	ds := &core.Dataset{
+		PostsByForum:  map[corpus.Forum]int{corpus.ForumTwitter: len(ids)},
+		ImagesByForum: map[corpus.Forum]int{},
+	}
+	for _, id := range ids {
+		ds.Records = append(ds.Records, testRecord(id))
+	}
+	return ds
+}
+
+func ids(ds *core.Dataset) []string {
+	out := make([]string, 0, len(ds.Records))
+	for _, r := range ds.Records {
+		out = append(out, r.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mustOpen(t *testing.T, dir string, reg *telemetry.Registry) *Log {
+	t.Helper()
+	l, err := Open(Config{Dir: dir}, reg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+// TestAppendReplayRoundTrip pins the basic contract: records appended
+// across several rounds come back identical (records, totals, injects)
+// from a fresh Open of the same directory.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, nil)
+	at := time.Date(2026, 8, 2, 9, 0, 0, 0, time.UTC)
+	if _, err := l.Append(testBatch("a", "b"), at); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.AppendInject(core.InjectSpec{Seed: 7, Messages: 10}, at); err != nil {
+		t.Fatalf("AppendInject: %v", err)
+	}
+	if _, err := l.Append(testBatch("c"), at.Add(time.Second)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	want := l.Dataset()
+	// Close without relying on its snapshot: re-open must replay the log.
+	if err := l.f.Close(); err != nil {
+		t.Fatalf("close file: %v", err)
+	}
+
+	l2 := mustOpen(t, dir, nil)
+	defer l2.Close()
+	got := l2.Dataset()
+	if !reflect.DeepEqual(ids(got), ids(want)) {
+		t.Fatalf("replayed IDs = %v, want %v", ids(got), ids(want))
+	}
+	if got.PostsByForum[corpus.ForumTwitter] != 3 {
+		t.Fatalf("replayed posts = %d, want 3", got.PostsByForum[corpus.ForumTwitter])
+	}
+	inj := l2.Injects()
+	if len(inj) != 1 || inj[0].Seed != 7 || inj[0].Messages != 10 {
+		t.Fatalf("replayed injects = %+v", inj)
+	}
+	if st := l2.Stats(); st.Replayed != 3 {
+		t.Fatalf("Stats.Replayed = %d, want 3", st.Replayed)
+	}
+}
+
+// TestAppendDedupsByRecordID pins the crash-window protection: a batch
+// whose records are already logged writes nothing and returns an empty
+// fresh set, so neither the log nor the projection double-counts.
+func TestAppendDedupsByRecordID(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	l := mustOpen(t, dir, reg)
+	defer l.Close()
+	at := time.Now()
+	if _, err := l.Append(testBatch("a", "b"), at); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	sizeBefore := l.Stats().LogBytes
+
+	// Same round again — the re-collection after a crash between append
+	// and cursor save.
+	fresh, err := l.Append(testBatch("a", "b"), at)
+	if err != nil {
+		t.Fatalf("replay Append: %v", err)
+	}
+	if len(fresh.Records) != 0 {
+		t.Fatalf("replayed batch returned %d fresh records, want 0", len(fresh.Records))
+	}
+	st := l.Stats()
+	if st.LogBytes != sizeBefore {
+		t.Fatalf("replayed batch grew the log: %d -> %d", sizeBefore, st.LogBytes)
+	}
+	if st.Deduped != 2 {
+		t.Fatalf("Stats.Deduped = %d, want 2", st.Deduped)
+	}
+	if ds := l.Dataset(); len(ds.Records) != 2 || ds.PostsByForum[corpus.ForumTwitter] != 2 {
+		t.Fatalf("dataset after replayed batch: records=%d posts=%d, want 2/2",
+			len(ds.Records), ds.PostsByForum[corpus.ForumTwitter])
+	}
+
+	// Mixed batch (partial overlap) keeps only the fresh record.
+	fresh, err = l.Append(testBatch("b", "c"), at.Add(time.Second))
+	if err != nil {
+		t.Fatalf("mixed Append: %v", err)
+	}
+	if got := ids(fresh); !reflect.DeepEqual(got, []string{"c"}) {
+		t.Fatalf("mixed batch fresh IDs = %v, want [c]", got)
+	}
+}
+
+// TestTornTailTruncatedOnOpen pins the crash-mid-append path: a final
+// frame cut off mid-payload is discarded on open, counted in
+// recordlog.truncated_tail, and the log is usable for appends again.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, nil)
+	if _, err := l.Append(testBatch("a", "b"), time.Now()); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := l.Append(testBatch("c"), time.Now()); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	intact := l.Stats().LogBytes
+	if err := l.f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Tear the final frame: keep its header and half its payload.
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	if int64(len(data)) != intact {
+		t.Fatalf("log size = %d, stats said %d", len(data), intact)
+	}
+	// Find the second frame's start by decoding the first header.
+	first := int(binary.LittleEndian.Uint32(data[1:5])) + frameHeader
+	torn := first + frameHeader + (len(data)-first-frameHeader)/2
+	if err := os.WriteFile(path, data[:torn], 0o644); err != nil {
+		t.Fatalf("tear log: %v", err)
+	}
+
+	reg := telemetry.NewRegistry()
+	l2 := mustOpen(t, dir, reg)
+	defer l2.Close()
+	if got := ids(l2.Dataset()); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("after torn tail, IDs = %v, want [a b]", got)
+	}
+	st := l2.Stats()
+	if st.TruncatedTail != 1 {
+		t.Fatalf("Stats.TruncatedTail = %d, want 1", st.TruncatedTail)
+	}
+	if got := reg.Snapshot().CounterValue("recordlog.truncated_tail"); got != 1 {
+		t.Fatalf("recordlog.truncated_tail counter = %d, want 1", got)
+	}
+	if int64(first) != st.LogBytes {
+		t.Fatalf("log not truncated to frame boundary: size=%d want=%d", st.LogBytes, first)
+	}
+
+	// The torn record can land again — its ID was never committed.
+	if _, err := l2.Append(testBatch("c"), time.Now()); err != nil {
+		t.Fatalf("Append after truncation: %v", err)
+	}
+	if got := ids(l2.Dataset()); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("after re-append, IDs = %v", got)
+	}
+}
+
+// TestCorruptFrameRejectedOnOpen pins the bit-rot path: a frame whose
+// payload no longer matches its CRC is rejected together with everything
+// after it, counted in recordlog.corrupt_frames.
+func TestCorruptFrameRejectedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, nil)
+	if _, err := l.Append(testBatch("a"), time.Now()); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := l.Append(testBatch("b"), time.Now()); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := l.Append(testBatch("c"), time.Now()); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Flip one payload byte inside the SECOND frame; its CRC now lies.
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	first := int(binary.LittleEndian.Uint32(data[1:5])) + frameHeader
+	data[first+frameHeader+4] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("corrupt log: %v", err)
+	}
+
+	reg := telemetry.NewRegistry()
+	l2 := mustOpen(t, dir, reg)
+	defer l2.Close()
+	// Frame 2 and the (valid) frame 3 behind it are both gone: nothing
+	// past a corrupt frame can be trusted.
+	if got := ids(l2.Dataset()); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("after corrupt frame, IDs = %v, want [a]", got)
+	}
+	st := l2.Stats()
+	if st.CorruptFrames != 1 {
+		t.Fatalf("Stats.CorruptFrames = %d, want 1", st.CorruptFrames)
+	}
+	if got := reg.Snapshot().CounterValue("recordlog.corrupt_frames"); got != 1 {
+		t.Fatalf("recordlog.corrupt_frames counter = %d, want 1", got)
+	}
+	if int64(first) != st.LogBytes {
+		t.Fatalf("log not truncated at corrupt frame: size=%d want=%d", st.LogBytes, first)
+	}
+}
+
+// TestGarbageHeaderRejected pins the scribbled-header path: an absurd
+// length field is treated as corruption, not as a 3 GiB allocation.
+func TestGarbageHeaderRejected(t *testing.T) {
+	dir := t.TempDir()
+	var hdr [frameHeader]byte
+	hdr[0] = kindBatch
+	binary.LittleEndian.PutUint32(hdr[1:5], maxFrame+1)
+	if err := os.WriteFile(filepath.Join(dir, logName), hdr[:], 0o644); err != nil {
+		t.Fatalf("write garbage: %v", err)
+	}
+	l := mustOpen(t, dir, nil)
+	defer l.Close()
+	if st := l.Stats(); st.CorruptFrames != 1 || st.LogBytes != 0 {
+		t.Fatalf("garbage header: corrupt=%d size=%d, want 1/0", st.CorruptFrames, st.LogBytes)
+	}
+}
+
+// TestUnknownKindRejected pins forward-compatibility handling: a frame
+// kind this build does not know is corruption (the log is private to one
+// binary version), truncated like any other damage.
+func TestUnknownKindRejected(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(`{"seq":1}`)
+	var hdr [frameHeader]byte
+	hdr[0] = 99
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	if err := os.WriteFile(filepath.Join(dir, logName), append(hdr[:], payload...), 0o644); err != nil {
+		t.Fatalf("write frame: %v", err)
+	}
+	l := mustOpen(t, dir, nil)
+	defer l.Close()
+	if st := l.Stats(); st.CorruptFrames != 1 || st.LogBytes != 0 {
+		t.Fatalf("unknown kind: corrupt=%d size=%d, want 1/0", st.CorruptFrames, st.LogBytes)
+	}
+}
+
+// TestSnapshotPlusTailEqualsUninterrupted pins the restart-cost contract:
+// a directory holding a snapshot plus a post-snapshot log tail replays to
+// exactly the dataset an uninterrupted log yields.
+func TestSnapshotPlusTailEqualsUninterrupted(t *testing.T) {
+	at := time.Date(2026, 8, 3, 10, 0, 0, 0, time.UTC)
+	batches := [][]string{{"a", "b"}, {"c"}, {"d", "e"}, {"f"}}
+
+	// Uninterrupted: one log, never snapshotted, full replay.
+	plain := t.TempDir()
+	lp := mustOpen(t, plain, nil)
+	for i, b := range batches {
+		if _, err := lp.Append(testBatch(b...), at.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatalf("plain Append: %v", err)
+		}
+	}
+	want := lp.Dataset()
+	lp.f.Close()
+
+	// Snapshotted: same batches, forced snapshot midway, then a tail.
+	snapped := t.TempDir()
+	ls := mustOpen(t, snapped, nil)
+	for i, b := range batches {
+		if _, err := ls.Append(testBatch(b...), at.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatalf("snap Append: %v", err)
+		}
+		if i == 1 {
+			if err := ls.Snapshot(); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+		}
+	}
+	ls.f.Close()
+
+	for _, dir := range []string{plain, snapped} {
+		l := mustOpen(t, dir, nil)
+		got := l.Dataset()
+		if !reflect.DeepEqual(ids(got), ids(want)) {
+			t.Errorf("%s: IDs = %v, want %v", dir, ids(got), ids(want))
+		}
+		if got.PostsByForum[corpus.ForumTwitter] != want.PostsByForum[corpus.ForumTwitter] {
+			t.Errorf("%s: posts = %d, want %d", dir,
+				got.PostsByForum[corpus.ForumTwitter], want.PostsByForum[corpus.ForumTwitter])
+		}
+		l.Close()
+	}
+}
+
+// TestCompactionTruncatesLogAndSurvivesReopen pins the bounded-restart
+// contract: crossing CompactThreshold snapshots and empties the log, and
+// a reopen of the compacted directory still holds everything.
+func TestCompactionTruncatesLogAndSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	l, err := Open(Config{Dir: dir, CompactThreshold: 1}, reg) // every append compacts
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(testBatch("a", "b"), time.Now()); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	st := l.Stats()
+	if st.Compactions != 1 {
+		t.Fatalf("Stats.Compactions = %d, want 1", st.Compactions)
+	}
+	if st.LogBytes != 0 {
+		t.Fatalf("log not truncated by compaction: %d bytes", st.LogBytes)
+	}
+	if got := reg.Snapshot().CounterValue("recordlog.compactions"); got != 1 {
+		t.Fatalf("recordlog.compactions counter = %d, want 1", got)
+	}
+	if _, err := l.Append(testBatch("c"), time.Now()); err != nil {
+		t.Fatalf("post-compaction Append: %v", err)
+	}
+	l.f.Close()
+
+	l2 := mustOpen(t, dir, nil)
+	defer l2.Close()
+	if got := ids(l2.Dataset()); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("after compaction+reopen, IDs = %v", got)
+	}
+}
+
+// TestDuplicatedFrameReplayIsIdempotent pins why frames carry cumulative
+// totals: replaying a log that contains the same round twice (the crash
+// window re-append, with the dedup map lost in between) must not inflate
+// records or totals.
+func TestDuplicatedFrameReplayIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, nil)
+	if _, err := l.Append(testBatch("a", "b"), time.Now()); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	l.f.Close()
+
+	// Duplicate the single frame byte-for-byte with a bumped Seq — what a
+	// re-collected round would have written had the dedup map been empty.
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read log: %v", err)
+	}
+	var fr batchFrame
+	if err := json.Unmarshal(data[frameHeader:], &fr); err != nil {
+		t.Fatalf("decode frame: %v", err)
+	}
+	fr.Seq++
+	payload, err := json.Marshal(fr)
+	if err != nil {
+		t.Fatalf("encode frame: %v", err)
+	}
+	var hdr [frameHeader]byte
+	hdr[0] = kindBatch
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	data = append(data, hdr[:]...)
+	data = append(data, payload...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write duplicated log: %v", err)
+	}
+
+	l2 := mustOpen(t, dir, nil)
+	defer l2.Close()
+	ds := l2.Dataset()
+	if got := ids(ds); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("duplicated frame inflated records: %v", got)
+	}
+	if ds.PostsByForum[corpus.ForumTwitter] != 2 {
+		t.Fatalf("duplicated frame inflated totals: posts=%d, want 2", ds.PostsByForum[corpus.ForumTwitter])
+	}
+}
+
+// TestCorruptSnapshotIsAnError pins that a damaged snapshot refuses to
+// open rather than silently starting empty (which would let the next
+// snapshot destroy the only durable copy).
+func TestCorruptSnapshotIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte("{not json"), 0o644); err != nil {
+		t.Fatalf("write snapshot: %v", err)
+	}
+	if _, err := Open(Config{Dir: dir}, nil); err == nil {
+		t.Fatal("Open succeeded over a corrupt snapshot")
+	}
+}
+
+// TestCloseSnapshotsDirtyState pins that Close leaves a fresh snapshot so
+// the next open replays an empty tail.
+func TestCloseSnapshotsDirtyState(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, nil)
+	if _, err := l.Append(testBatch("a"), time.Now()); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("no snapshot after Close: %v", err)
+	}
+	l2 := mustOpen(t, dir, nil)
+	defer l2.Close()
+	if got := ids(l2.Dataset()); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("after Close+reopen, IDs = %v", got)
+	}
+}

@@ -25,6 +25,7 @@ type Projection struct {
 
 	mu      sync.Mutex
 	ds      *core.Dataset
+	view    *QueryView
 	pending []time.Time // collectedAt of submitted-but-unmerged batches
 	batches int
 	closed  bool
@@ -54,6 +55,7 @@ func NewProjection(reg *telemetry.Registry, queue int) *Projection {
 			PostsByForum:  make(map[corpus.Forum]int, len(corpus.Forums)),
 			ImagesByForum: make(map[corpus.Forum]int, len(corpus.Forums)),
 		},
+		view:    NewQueryView(),
 		backlog: reg.Gauge("projection.backlog_seconds"),
 		applied: reg.Counter("projection.batches"),
 	}
@@ -71,6 +73,9 @@ func (p *Projection) run() {
 }
 
 func (p *Projection) merge(batch *core.Dataset) {
+	// The query view has its own lock; feeding it outside p.mu keeps the
+	// two independent (Query readers never contend with Dataset readers).
+	p.view.Add(batch.Records)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ds.Records = append(p.ds.Records, batch.Records...)
@@ -215,6 +220,10 @@ func (p *Projection) Stats() ProjectionStats {
 	}
 	return st
 }
+
+// Query returns the serving-side index the merge worker keeps current —
+// what the /query/* endpoints answer from.
+func (p *Projection) Query() *QueryView { return p.view }
 
 // Render writes every table and figure from the current snapshot.
 func (p *Projection) Render(w io.Writer) error {

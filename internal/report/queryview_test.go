@@ -1,0 +1,253 @@
+package report
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/annotate"
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/corpus"
+)
+
+func queryRecord(id, domain, sender string, postedAt time.Time) core.Record {
+	return core.Record{
+		ID:        id,
+		Forum:     corpus.ForumTwitter,
+		PostedAt:  postedAt,
+		Domain:    domain,
+		SenderRaw: sender,
+		Text:      "test report " + id,
+		Annotation: annotate.Annotation{
+			ScamType: corpus.ScamDelivery,
+			Brand:    "USPS",
+		},
+	}
+}
+
+// seedView builds the fixture the filter tests run against:
+//
+//	r1 evil.test     +15550000001  Jan 1   \
+//	r2 evil.test     +15550000002  Jan 2    > one campaign (shared domain)
+//	r3 other.test    +15550000002  Jan 3   /  (r3 joins via shared sender)
+//	r4 LONE.test     ""            Jan 4   — its own campaign
+//	r5 ""            +15550000009  Jan 5   — its own campaign
+func seedView(t *testing.T) *QueryView {
+	t.Helper()
+	v := NewQueryView()
+	day := func(d int) time.Time {
+		return time.Date(2026, 1, d, 12, 0, 0, 0, time.UTC)
+	}
+	v.Add([]core.Record{
+		queryRecord("r1", "evil.test", "+15550000001", day(1)),
+		queryRecord("r2", "evil.test", "+15550000002", day(2)),
+	})
+	// Second batch exercises incremental clustering across Add calls.
+	v.Add([]core.Record{
+		queryRecord("r3", "other.test", "+15550000002", day(3)),
+		queryRecord("r4", "LONE.test", "", day(4)),
+		queryRecord("r5", "", "+15550000009", day(5)),
+	})
+	return v
+}
+
+func getReports(t *testing.T, srv *httptest.Server, query string) ReportsResult {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/query/reports" + query)
+	if err != nil {
+		t.Fatalf("GET %s: %v", query, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", query, resp.StatusCode)
+	}
+	var res ReportsResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decode %s: %v", query, err)
+	}
+	return res
+}
+
+func reportIDs(res ReportsResult) []string {
+	out := make([]string, 0, len(res.Reports))
+	for _, r := range res.Reports {
+		out = append(out, r.ID)
+	}
+	return out
+}
+
+func sameIDs(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueryReportsFilters pins every /query/reports parameter at the HTTP
+// level against the seeded fixture.
+func TestQueryReportsFilters(t *testing.T) {
+	v := seedView(t)
+	mux := http.NewServeMux()
+	mux.Handle("GET /query/reports", v.ReportsHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cases := []struct {
+		name  string
+		query string
+		want  []string
+	}{
+		{"no filter returns all, posted_at order", "", []string{"r1", "r2", "r3", "r4", "r5"}},
+		{"domain", "?domain=evil.test", []string{"r1", "r2"}},
+		{"domain is case-insensitive", "?domain=lone.TEST", []string{"r4"}},
+		{"sender", "?sender=%2B15550000002", []string{"r2", "r3"}},
+		{"domain AND sender intersect", "?domain=evil.test&sender=%2B15550000002", []string{"r2"}},
+		{"campaign spans shared infrastructure", "?campaign=c-r1", []string{"r1", "r2", "r3"}},
+		{"singleton campaign", "?campaign=c-r5", []string{"r5"}},
+		{"since is inclusive", "?since=2026-01-03T12:00:00Z", []string{"r3", "r4", "r5"}},
+		{"until is exclusive", "?until=2026-01-03T12:00:00Z", []string{"r1", "r2"}},
+		{"since+until window", "?since=2026-01-02T00:00:00Z&until=2026-01-04T00:00:00Z", []string{"r2", "r3"}},
+		{"no match is empty not error", "?domain=nothere.test", []string{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := getReports(t, srv, tc.query)
+			if got := reportIDs(res); !sameIDs(got, tc.want) {
+				t.Fatalf("GET %s -> %v, want %v", tc.query, got, tc.want)
+			}
+			if res.TotalMatched != len(tc.want) || res.Returned != len(tc.want) {
+				t.Fatalf("GET %s -> total=%d returned=%d, want %d",
+					tc.query, res.TotalMatched, res.Returned, len(tc.want))
+			}
+		})
+	}
+
+	t.Run("limit truncates but reports the full match count", func(t *testing.T) {
+		res := getReports(t, srv, "?limit=2")
+		if got := reportIDs(res); !sameIDs(got, []string{"r1", "r2"}) {
+			t.Fatalf("limited IDs = %v", got)
+		}
+		if res.TotalMatched != 5 || res.Returned != 2 {
+			t.Fatalf("total=%d returned=%d, want 5/2", res.TotalMatched, res.Returned)
+		}
+	})
+
+	t.Run("campaign label is stable and attached to every report", func(t *testing.T) {
+		res := getReports(t, srv, "?domain=evil.test")
+		for _, r := range res.Reports {
+			if r.Campaign != "c-r1" {
+				t.Fatalf("report %s campaign = %q, want c-r1", r.ID, r.Campaign)
+			}
+		}
+	})
+
+	bad := []string{
+		"?since=yesterday",
+		"?until=not-a-time",
+		"?limit=0",
+		"?limit=-3",
+		"?limit=many",
+		"?bogus=1",
+	}
+	for _, q := range bad {
+		resp, err := http.Get(srv.URL + "/query/reports" + q)
+		if err != nil {
+			t.Fatalf("GET %s: %v", q, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s -> status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestQuerySummary pins the roll-up shape: distinct counts, leaderboard
+// ordering (count desc, name asc), and the top parameter.
+func TestQuerySummary(t *testing.T) {
+	v := seedView(t)
+	mux := http.NewServeMux()
+	mux.Handle("GET /query/summary", v.SummaryHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/query/summary")
+	if err != nil {
+		t.Fatalf("GET /query/summary: %v", err)
+	}
+	defer resp.Body.Close()
+	var s Summary
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatalf("decode summary: %v", err)
+	}
+	if s.Records != 5 || s.Domains != 3 || s.Senders != 3 || s.Campaigns != 3 {
+		t.Fatalf("summary counts = %+v, want records=5 domains=3 senders=3 campaigns=3", s)
+	}
+	if len(s.TopDomains) != 3 || s.TopDomains[0].Name != "evil.test" || s.TopDomains[0].Count != 2 {
+		t.Fatalf("top domains = %+v", s.TopDomains)
+	}
+	if s.TopSenders[0].Name != "+15550000002" || s.TopSenders[0].Count != 2 {
+		t.Fatalf("top senders = %+v", s.TopSenders)
+	}
+	if s.TopCampaigns[0].Name != "c-r1" || s.TopCampaigns[0].Count != 3 {
+		t.Fatalf("top campaigns = %+v", s.TopCampaigns)
+	}
+
+	resp2, err := http.Get(srv.URL + "/query/summary?top=1")
+	if err != nil {
+		t.Fatalf("GET top=1: %v", err)
+	}
+	defer resp2.Body.Close()
+	var s1 Summary
+	if err := json.NewDecoder(resp2.Body).Decode(&s1); err != nil {
+		t.Fatalf("decode top=1: %v", err)
+	}
+	if len(s1.TopDomains) != 1 || len(s1.TopSenders) != 1 || len(s1.TopCampaigns) != 1 {
+		t.Fatalf("top=1 leaderboards = %d/%d/%d rows", len(s1.TopDomains), len(s1.TopSenders), len(s1.TopCampaigns))
+	}
+	// Distinct counts are unaffected by leaderboard truncation.
+	if s1.Campaigns != 3 {
+		t.Fatalf("top=1 campaigns = %d, want 3", s1.Campaigns)
+	}
+}
+
+// TestQueryViewMergeOrderIndependence pins the union-find determinism
+// claim: feeding the same records in a different batch order yields the
+// same campaign labels and summary.
+func TestQueryViewMergeOrderIndependence(t *testing.T) {
+	day := func(d int) time.Time { return time.Date(2026, 2, d, 0, 0, 0, 0, time.UTC) }
+	recs := []core.Record{
+		queryRecord("x1", "a.test", "s1", day(1)),
+		queryRecord("x2", "b.test", "s1", day(2)), // joins x1 via sender
+		queryRecord("x3", "b.test", "s2", day(3)), // joins via domain
+		queryRecord("x4", "c.test", "s9", day(4)), // separate campaign
+	}
+	forward := NewQueryView()
+	forward.Add(recs)
+	reversed := NewQueryView()
+	for i := len(recs) - 1; i >= 0; i-- {
+		reversed.Add([]core.Record{recs[i]})
+	}
+	sf, sr := forward.Summarize(0), reversed.Summarize(0)
+	fj, _ := json.Marshal(sf)
+	rj, _ := json.Marshal(sr)
+	// Labels differ by insertion order? They must not: min record ID in a
+	// cluster is order-free, and leaderboards sort deterministically.
+	if string(fj) != string(rj) {
+		t.Fatalf("summaries diverge by insertion order:\n%s\n%s", fj, rj)
+	}
+	got := forward.Reports(ReportsQuery{Campaign: "c-x1"})
+	if got.TotalMatched != 3 {
+		t.Fatalf("campaign c-x1 matched %d, want 3", got.TotalMatched)
+	}
+	if strings.HasPrefix(got.Reports[0].Campaign, "c-c") {
+		t.Fatalf("unexpected campaign label %q", got.Reports[0].Campaign)
+	}
+}

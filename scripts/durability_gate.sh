@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# durability_gate.sh — CI entry point for the SIGKILL/restart durability gate.
+#
+#   scripts/durability_gate.sh [OUT_DIR]
+#
+# Boots smishctl -serve on a fresh -data-dir, injects a wave, SIGKILLs the
+# daemon, restarts it over the same directory, and fails unless the
+# restarted /query/summary is identical to the pre-kill snapshot with zero
+# backend enrichment calls. The orchestration lives in scripts/durgate
+# (plain Go, no curl/jq needed); everything it produces — the data
+# directory and both daemon logs — lands under OUT_DIR for artifact upload
+# on failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench/durgate}"
+exec go run ./scripts/durgate -out "$OUT"

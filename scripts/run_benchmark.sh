@@ -38,11 +38,18 @@ go build -o "$BIN/" ./cmd/smishctl ./cmd/loadgen ./cmd/benchwatch
 
 STATUS_FILE="$OUT/status_url"
 DAEMON_LOG="$OUT/daemon.log"
+# The benchmark runs with durability on: every committed round is fsynced
+# into the record log, so the SLO gate also covers the write-ahead cost.
+# Fresh directory each run — replaying a previous run's log would skew the
+# projection numbers.
+DATA_DIR="$OUT/data"
 rm -f "$STATUS_FILE"
+rm -rf "$DATA_DIR"
 
-echo "== starting daemon (world=$BENCH_WORLD_MESSAGES chaos=$BENCH_CHAOS poll=${BENCH_POLL_MS}ms)"
+echo "== starting daemon (world=$BENCH_WORLD_MESSAGES chaos=$BENCH_CHAOS poll=${BENCH_POLL_MS}ms data=$DATA_DIR)"
 "$BIN/smishctl" -serve -seed "$BENCH_SEED" -messages "$BENCH_WORLD_MESSAGES" \
     -chaos "$BENCH_CHAOS" -poll-interval "${BENCH_POLL_MS}ms" \
+    -data-dir "$DATA_DIR" \
     -status-file "$STATUS_FILE" >"$DAEMON_LOG" 2>&1 &
 DAEMON_PID=$!
 cleanup() {

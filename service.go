@@ -260,9 +260,19 @@ func durMillis(d time.Duration) float64 { return float64(d) / float64(time.Milli
 // study's live forum servers — the in-process form of the daemon's
 // POST /inject. It works with or without Serve running: a batch study can
 // inject then Collect, a serving study's collectors pick the wave up on
-// their next round. Returns how many posts (reports plus noise) were
-// appended.
-func (s *Study) InjectWave(spec InjectSpec) (int, error) { return s.Sim.Inject(spec) }
+// their next round. When the study has a record log the spec is journaled
+// first, so a restarted study replays the wave into its fresh simulation
+// and the durable cursors pointing into it stay resolvable; a journaling
+// failure fails the injection (an unjournaled wave would strand cursors on
+// restart). Returns how many posts (reports plus noise) were appended.
+func (s *Study) InjectWave(spec InjectSpec) (int, error) {
+	if s.rlog != nil {
+		if err := s.rlog.AppendInject(spec, time.Now()); err != nil {
+			return 0, err
+		}
+	}
+	return s.Sim.Inject(spec)
+}
 
 // writeInjectError reports an /inject failure as a JSON error body.
 func writeInjectError(w http.ResponseWriter, code int, err error) {
@@ -316,6 +326,20 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 	defer st.proj.Close()
 	s.svc = st
 
+	// Seed the projection with the record log's replayed dataset before the
+	// status endpoint binds, so /query/* and /status never report an empty
+	// dataset that durable history contradicts. The seed needs no
+	// enrichment: these records were enriched before the previous process
+	// died — that is the whole point of the log.
+	if s.rlog != nil {
+		seed := s.rlog.Dataset()
+		if len(seed.Records) > 0 || seed.DecoysRejected != 0 || seed.EmptyDropped != 0 {
+			if err := st.proj.Submit(ctx, seed, time.Now()); err != nil {
+				return nil, fmt.Errorf("smishkit: seed projection from record log: %w", err)
+			}
+		}
+	}
+
 	// Status endpoint: /status + /debug/telemetry + /inject on an ephemeral
 	// loopback port, alive for the duration of this Serve call.
 	mux := http.NewServeMux()
@@ -326,6 +350,11 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 		_ = enc.Encode(st.stats())
 	})
 	mux.Handle("GET /debug/telemetry", telemetry.Handler(reg))
+	// Read-only query layer over the projected dataset, served from the
+	// index the projection worker keeps current (replayed history included
+	// when the study has a record log).
+	mux.Handle("GET /query/reports", st.proj.Query().ReportsHandler())
+	mux.Handle("GET /query/summary", st.proj.Query().SummaryHandler())
 	// Load injection: POST /inject appends a synthetic report wave to the
 	// live forum servers (the seam cmd/loadgen drives). The wave is visible
 	// to the daemon's own collectors on its next round, closing the loop.
@@ -335,7 +364,7 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 			writeInjectError(w, http.StatusBadRequest, fmt.Errorf("decode inject spec: %w", err))
 			return
 		}
-		n, err := s.Sim.Inject(spec)
+		n, err := s.InjectWave(spec)
 		if err != nil {
 			writeInjectError(w, http.StatusBadRequest, err)
 			return
@@ -445,6 +474,14 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 		if len(batch) > 0 {
 			procCtx, cancel := context.WithTimeout(drainBase, cfg.DrainTimeout)
 			ds, err := s.Pipe.Run(procCtx, batch)
+			if err == nil && s.rlog != nil {
+				// Durable-first commit ordering: the round's records reach
+				// the fsynced log before the projection sees them and before
+				// any cursor commits. A crash after the append re-collects at
+				// most this round, and the log dedups the re-appended records
+				// by ID — so the projection receives only the fresh subset.
+				ds, err = s.rlog.Append(ds, collectedAt)
+			}
 			if err == nil {
 				err = st.proj.Submit(procCtx, ds, collectedAt)
 			}
@@ -497,6 +534,13 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 	defer cancel()
 	if err := st.proj.Wait(drainCtx); err != nil {
 		return st.proj.Dataset(), fmt.Errorf("smishkit: drain projection: %w", err)
+	}
+	// A clean shutdown leaves a fresh snapshot, so the next open replays an
+	// empty tail instead of the whole log.
+	if s.rlog != nil {
+		if err := s.rlog.Snapshot(); err != nil {
+			return st.proj.Dataset(), fmt.Errorf("smishkit: final record-log snapshot: %w", err)
+		}
 	}
 	return st.proj.Dataset(), nil
 }

@@ -333,6 +333,30 @@ func TestOptionsValidate(t *testing.T) {
 			Pipeline: PipelineOptions{Streaming: true},
 			Service:  &ServiceConfig{LiveWaves: 2},
 		}, ""},
+		{"durability without service", Options{
+			Pipeline:   PipelineOptions{Streaming: true},
+			Durability: &DurabilityConfig{Dir: "/tmp/x"},
+		}, "Options.Service is nil"},
+		{"durability without dir", Options{
+			Pipeline:   PipelineOptions{Streaming: true},
+			Service:    &ServiceConfig{},
+			Durability: &DurabilityConfig{},
+		}, "Durability.Dir"},
+		{"negative snapshot interval", Options{
+			Pipeline:   PipelineOptions{Streaming: true},
+			Service:    &ServiceConfig{},
+			Durability: &DurabilityConfig{Dir: "/tmp/x", SnapshotInterval: -time.Second},
+		}, "SnapshotInterval"},
+		{"negative compact threshold", Options{
+			Pipeline:   PipelineOptions{Streaming: true},
+			Service:    &ServiceConfig{},
+			Durability: &DurabilityConfig{Dir: "/tmp/x", CompactThreshold: -1},
+		}, "CompactThreshold"},
+		{"valid durability", Options{
+			Pipeline:   PipelineOptions{Streaming: true},
+			Service:    &ServiceConfig{},
+			Durability: &DurabilityConfig{Dir: "/tmp/x"},
+		}, ""},
 	}
 	for _, tc := range cases {
 		err := tc.opts.Validate()

@@ -40,6 +40,7 @@ import (
 	"github.com/smishkit/smishkit/internal/enrichcache"
 	"github.com/smishkit/smishkit/internal/faultinject"
 	"github.com/smishkit/smishkit/internal/forum"
+	"github.com/smishkit/smishkit/internal/recordlog"
 	"github.com/smishkit/smishkit/internal/report"
 	"github.com/smishkit/smishkit/internal/resilience"
 	"github.com/smishkit/smishkit/internal/screenshot"
@@ -133,6 +134,14 @@ type (
 	// EnrichmentError records one record field lost to a service failure
 	// during a degraded (partial) enrichment.
 	EnrichmentError = core.EnrichmentError
+
+	// DurabilityConfig tunes the durable record log (Options.Durability):
+	// the data directory, the snapshot refresh interval, and the log size
+	// that triggers compaction. Only Dir is required.
+	DurabilityConfig = recordlog.Config
+	// DurabilityStats is the record log scoreboard: appends, replayed
+	// records, dedup hits, snapshots, compactions, and damage counters.
+	DurabilityStats = recordlog.Stats
 )
 
 // NewCollector returns an empty telemetry collector, for sharing one
@@ -213,6 +222,17 @@ type Options struct {
 	// Pipeline.Streaming (the daemon feeds each round through the streaming
 	// pipeline); see ServiceConfig for the per-field defaults.
 	Service *ServiceConfig
+	// Durability, when non-nil, makes the served dataset survive process
+	// death: every committed round's enriched records are appended to a
+	// CRC-framed log under DurabilityConfig.Dir (fsynced before the
+	// round's cursors commit), injected waves are journaled, and periodic
+	// snapshots plus size-triggered compaction bound restart cost to one
+	// snapshot + log tail. A restarted study replays the log into its
+	// projection instead of re-enriching history, and replays the inject
+	// journal into its fresh simulation so durable cursors stay resolvable.
+	// Requires Options.Service. Metrics land in the collector under
+	// "recordlog.*"; Study.Stats().Durability is the typed snapshot.
+	Durability *DurabilityConfig
 }
 
 // Validate checks the options for combinations that cannot work, returning
@@ -262,6 +282,20 @@ func (o Options) Validate() error {
 			return fmt.Errorf("smishkit: Service.InitialShare must be in [0,1] (got %v; 0 selects the default of 0.5)", s.InitialShare)
 		}
 	}
+	if d := o.Durability; d != nil {
+		if o.Service == nil {
+			return fmt.Errorf("smishkit: Options.Durability is set but Options.Service is nil — the record log is written by Serve at commit time")
+		}
+		if d.Dir == "" {
+			return fmt.Errorf("smishkit: Durability.Dir must not be empty")
+		}
+		if d.SnapshotInterval < 0 {
+			return fmt.Errorf("smishkit: Durability.SnapshotInterval must not be negative (got %v; 0 selects the default)", d.SnapshotInterval)
+		}
+		if d.CompactThreshold < 0 {
+			return fmt.Errorf("smishkit: Durability.CompactThreshold must not be negative (got %d; 0 selects the default)", d.CompactThreshold)
+		}
+	}
 	return nil
 }
 
@@ -275,6 +309,7 @@ type Study struct {
 	cache    *enrichcache.Cache   // nil when Options.Cache was nil
 	batch    *batchmux.Mux        // nil when Options.Batch was nil
 	breakers *resilience.Breakers // nil when Options.Resilience was nil
+	rlog     *recordlog.Log       // nil when Options.Durability was nil
 
 	opts Options     // the validated options the study was built from
 	svc  *serveState // live Serve state (nil until Serve runs)
@@ -292,6 +327,16 @@ func NewStudy(opts Options) (*Study, error) {
 	if reg == nil {
 		reg = NewCollector()
 	}
+	// The record log opens before the simulation boots: its replayed state
+	// decides the holdback question below, and its inject journal must be
+	// replayed into the fresh servers before any collector runs.
+	var rlog *recordlog.Log
+	if opts.Durability != nil {
+		var err error
+		if rlog, err = recordlog.Open(*opts.Durability, reg); err != nil {
+			return nil, fmt.Errorf("smishkit: open record log: %w", err)
+		}
+	}
 	w := corpus.Generate(corpus.Config{Seed: opts.Seed, Messages: opts.Messages})
 	var simCfg core.SimConfig
 	if opts.Service != nil {
@@ -301,16 +346,36 @@ func NewStudy(opts Options) (*Study, error) {
 		// whose held-back posts were already published before it went down;
 		// re-staging them as future waves would make the forums appear to
 		// republish content the cursors have consumed. Seed everything up
-		// front instead so a restarted daemon collects nothing twice.
+		// front instead so a restarted daemon collects nothing twice. The
+		// same applies when the record log carries prior state: its inject
+		// journal is replayed below, and holdback waves released after
+		// injections would land on the injection timeline in a different
+		// order than the original run observed them.
 		if st := opts.Service.Checkpoints; st != nil {
 			if all, err := st.All(); err == nil && len(all) > 0 {
+				simCfg.HoldbackWaves = 0
+			}
+		}
+		if rlog != nil {
+			if rst := rlog.Stats(); rst.Records > 0 || rst.Injects > 0 {
 				simCfg.HoldbackWaves = 0
 			}
 		}
 	}
 	sim, err := core.StartSimulationCfg(w, reg, simCfg)
 	if err != nil {
-		return nil, fmt.Errorf("smishkit: start simulation: %w", err)
+		cerr := closeLog(rlog)
+		return nil, errors.Join(fmt.Errorf("smishkit: start simulation: %w", err), cerr)
+	}
+	// Replay journaled injections so the fresh forum servers regain every
+	// post the durable cursors already point past. Injection is
+	// deterministic given the spec sequence, so the replayed posts carry
+	// the same namespaced IDs the original run committed.
+	for i, spec := range rlogInjects(rlog) {
+		if _, err := sim.Inject(spec); err != nil {
+			cerr := errors.Join(sim.Close(), closeLog(rlog))
+			return nil, errors.Join(fmt.Errorf("smishkit: replay injection %d: %w", i+1, err), cerr)
+		}
 	}
 	// Decorator order, innermost first: instrumented client <- faults <-
 	// batchmux <- cache <- breaker <- pipeline. Faults sit inside the
@@ -359,10 +424,26 @@ func NewStudy(opts Options) (*Study, error) {
 	}
 	pipe, err := core.NewPipeline(services, popts)
 	if err != nil {
-		cerr := sim.Close()
+		cerr := errors.Join(sim.Close(), closeLog(rlog))
 		return nil, errors.Join(fmt.Errorf("smishkit: build pipeline: %w", err), cerr)
 	}
-	return &Study{World: w, Sim: sim, Pipe: pipe, cache: cache, batch: batch, breakers: breakers, opts: opts}, nil
+	return &Study{World: w, Sim: sim, Pipe: pipe, cache: cache, batch: batch, breakers: breakers, rlog: rlog, opts: opts}, nil
+}
+
+// closeLog closes a possibly-nil record log.
+func closeLog(l *recordlog.Log) error {
+	if l == nil {
+		return nil
+	}
+	return l.Close()
+}
+
+// rlogInjects returns a possibly-nil log's inject journal.
+func rlogInjects(l *recordlog.Log) []core.InjectSpec {
+	if l == nil {
+		return nil
+	}
+	return l.Injects()
 }
 
 // Collect drains all five forums.
@@ -436,16 +517,17 @@ func (s *Study) ResilienceStats() ResilienceStats {
 	return s.breakers.Stats()
 }
 
-// Close shuts the simulation down and releases every loopback listener.
-// It is idempotent — only the first call closes; every call reports that
-// close's (joined) error. After Close the study's servers are gone, so
-// Collect and Run fail, but World, datasets already produced, and
+// Close shuts the simulation down, releases every loopback listener, and
+// closes the record log (writing its final snapshot) when the study has
+// one. It is idempotent — only the first call closes; every call reports
+// that close's (joined) error. After Close the study's servers are gone,
+// so Collect and Run fail, but World, datasets already produced, and
 // Telemetry snapshots remain valid.
 func (s *Study) Close() error {
 	if s.Sim == nil {
 		return nil
 	}
-	return s.Sim.Close()
+	return errors.Join(s.Sim.Close(), closeLog(s.rlog))
 }
 
 // WriteReport renders every table and figure of the paper to w, returning

@@ -7,6 +7,7 @@ import (
 
 	"github.com/smishkit/smishkit/internal/batchmux"
 	"github.com/smishkit/smishkit/internal/enrichcache"
+	"github.com/smishkit/smishkit/internal/recordlog"
 	"github.com/smishkit/smishkit/internal/resilience"
 	"github.com/smishkit/smishkit/internal/telemetry"
 )
@@ -29,6 +30,10 @@ type Stats struct {
 	// Service is the daemon scoreboard: rounds, committed reports,
 	// projection backlog, and per-forum cursors (nil until Serve runs).
 	Service *ServiceStats
+	// Durability is the record log scoreboard: appends, replayed records,
+	// dedup hits, snapshots, compactions, and damage counters (nil without
+	// Options.Durability).
+	Durability *DurabilityStats
 }
 
 // Stats snapshots every surface at once. Safe to call concurrently with
@@ -48,6 +53,10 @@ func (s *Study) Stats() Stats {
 		sv := svc.stats()
 		st.Service = &sv
 	}
+	if s.rlog != nil {
+		ds := s.rlog.Stats()
+		st.Durability = &ds
+	}
 	return st
 }
 
@@ -61,11 +70,12 @@ const (
 	SectionBatch      StatsSection = "batch"
 	SectionResilience StatsSection = "resilience"
 	SectionService    StatsSection = "service"
+	SectionDurability StatsSection = "durability"
 )
 
 // allSections is the default render order.
 var allSections = []StatsSection{
-	SectionTelemetry, SectionCache, SectionBatch, SectionResilience, SectionService,
+	SectionTelemetry, SectionCache, SectionBatch, SectionResilience, SectionService, SectionDurability,
 }
 
 // WriteStats renders the selected sections of a Stats snapshot as
@@ -122,6 +132,16 @@ func WriteStats(w io.Writer, stats Stats, sections ...StatsSection) error {
 				continue
 			}
 			if err := writeServiceStats(w, *stats.Service); err != nil {
+				return err
+			}
+		case SectionDurability:
+			if stats.Durability == nil {
+				if explicit {
+					fmt.Fprintln(w, "durability: absent (study built without Options.Durability)")
+				}
+				continue
+			}
+			if err := recordlog.Write(w, *stats.Durability); err != nil {
 				return err
 			}
 		default:
