@@ -6,9 +6,17 @@
 //	smishctl [-seed N] [-messages N] [-workers N] [-step-workers N] [-stream]
 //	         [-extractor structured|vision|naive] [-telemetry] [-cache]
 //	         [-cache-stats] [-batch] [-batch-stats] [-chaos RATE]
+//	         [-shards N] [-shard-procs]
 //	         [-serve] [-poll-interval D] [-serve-rounds N] [-checkpoint-dir DIR]
 //	         [-data-dir DIR] [-status-file FILE] [-cpuprofile FILE]
 //	         [-memprofile FILE]
+//
+// -shards N partitions enrichment by stable key (registrable domain,
+// falling back to sender ID) across N shard instances, each owning its own
+// cache, batchmux windows, and circuit breakers; output is record-identical
+// for any N. -shard-procs additionally runs each shard as a separate OS
+// process fed over localhost (spawned from this same binary's hidden
+// -shard-worker mode).
 //
 // With -serve, smishctl runs as a long-lived daemon: it polls the forums
 // on -poll-interval, feeds new reports through the streaming pipeline
@@ -20,11 +28,15 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"runtime"
@@ -65,12 +77,32 @@ func run() error {
 	dataDir := flag.String("data-dir", "", "persist the full serving state under this directory: enriched records in a snapshot+compaction record log ('records/'), injected-wave journal, and collection cursors ('checkpoints/', unless -checkpoint-dir overrides) — a restarted daemon replays instead of re-enriching (with -serve)")
 	statusFile := flag.String("status-file", "", "write the daemon's status URL to this file once it is listening, for script orchestration (with -serve)")
 	liveWaves := flag.Int("live-waves", 3, "hold back this many fixture waves and release one per round, so the daemon sees reports arrive over time (with -serve)")
+	shards := flag.Int("shards", 0, "partition enrichment across N key-sharded instances, each owning its own cache/batch/breaker tiers (0 = unsharded; output is record-identical for any N)")
+	shardProcs := flag.Bool("shard-procs", false, "run each shard as a separate OS process fed over localhost (requires -shards)")
+	shardWorker := flag.Bool("shard-worker", false, "internal: run as one shard worker process — spec JSON on stdin, base URL on stdout, serve until SIGTERM")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline (batch mode only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 	flag.Parse()
+	if *shardWorker {
+		// Worker mode is the whole process: no world, no report — just one
+		// shard's stack behind a localhost listener, for a parent smishctl
+		// running with -shard-procs.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return smishkit.RunShardWorker(ctx, os.Stdin, os.Stdout)
+	}
 	if *chaos < 0 || *chaos > 1 {
 		return fmt.Errorf("-chaos %v out of range [0, 1]", *chaos)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d must not be negative", *shards)
+	}
+	if *shardProcs && *shards == 0 {
+		return fmt.Errorf("-shard-procs requires -shards")
+	}
+	if *shardProcs && *chaos > 0 {
+		return fmt.Errorf("-shard-procs is incompatible with -chaos: fault injection is seeded per process, so worker-side chaos would break the sharded/unsharded output identity")
 	}
 
 	if *cpuprofile != "" {
@@ -114,6 +146,9 @@ func run() error {
 	opts.Pipeline.EnrichWorkers = *workers
 	opts.Pipeline.StepWorkers = *stepWorkers
 	opts.Pipeline.Streaming = *stream
+	if *shards > 0 {
+		opts.Shards = &smishkit.ShardConfig{Shards: *shards}
+	}
 	if *serve {
 		// Service mode feeds every round through the streaming pipeline.
 		opts.Pipeline.Streaming = true
@@ -185,6 +220,21 @@ func run() error {
 	log.Printf("world: %d messages, %d domains, %d numbers, %d short links",
 		len(study.World.Messages), len(study.World.Domains),
 		len(study.World.Numbers), len(study.World.Links))
+	if *shardProcs {
+		// Workers dial the study's simulation, so they start after it: spawn
+		// this same binary N times in -shard-worker mode, read each worker's
+		// URL off its stdout, and swap the study's local shards for remote
+		// ones. Workers are torn down (SIGTERM, then reaped) on every exit
+		// path.
+		stop, err := startShardWorkers(study, *shards)
+		if stop != nil {
+			defer stop()
+		}
+		if err != nil {
+			return err
+		}
+		log.Printf("shards: %d worker processes connected", *shards)
+	}
 
 	var ds *smishkit.Dataset
 	if *serve {
@@ -243,6 +293,9 @@ func run() error {
 	if *chaos > 0 {
 		sections = append(sections, smishkit.SectionResilience)
 	}
+	if *shards > 0 {
+		sections = append(sections, smishkit.SectionShards)
+	}
 	if *serve {
 		sections = append(sections, smishkit.SectionService)
 	}
@@ -267,4 +320,53 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// startShardWorkers spawns n shard worker processes (this binary with
+// -shard-worker), connects the study to them, and returns a teardown
+// function. The teardown is non-nil whenever at least one worker started,
+// even on error — the caller must always run it.
+func startShardWorkers(study *smishkit.Study, n int) (stop func(), err error) {
+	var cmds []*exec.Cmd
+	stop = func() {
+		for _, c := range cmds {
+			_ = c.Process.Signal(syscall.SIGTERM)
+		}
+		for _, c := range cmds {
+			_ = c.Wait()
+		}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return stop, fmt.Errorf("-shard-procs: locate own binary: %w", err)
+	}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		spec, err := json.Marshal(study.ShardWorkerSpec(i))
+		if err != nil {
+			return stop, fmt.Errorf("-shard-procs: marshal worker %d spec: %w", i, err)
+		}
+		cmd := exec.Command(exe, "-shard-worker")
+		cmd.Stdin = bytes.NewReader(spec)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return stop, fmt.Errorf("-shard-procs: worker %d stdout: %w", i, err)
+		}
+		if err := cmd.Start(); err != nil {
+			return stop, fmt.Errorf("-shard-procs: start worker %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+		sc := bufio.NewScanner(out)
+		if !sc.Scan() {
+			return stop, fmt.Errorf("-shard-procs: worker %d exited before reporting its URL", i)
+		}
+		urls[i] = sc.Text()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := study.ConnectShardWorkers(ctx, urls); err != nil {
+		return stop, fmt.Errorf("-shard-procs: %w", err)
+	}
+	return stop, nil
 }

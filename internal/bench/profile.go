@@ -66,6 +66,9 @@ type Profile struct {
 	// PollInterval is the daemon's collection cadence
 	// (BENCH_POLL_MS, default 500ms).
 	PollInterval time.Duration
+	// Shards is the daemon's key-shard count (BENCH_SHARDS, default 0 =
+	// unsharded), passed through as smishctl -shards.
+	Shards int
 
 	// Benchwatch knobs:
 	// SampleInterval is the poll cadence (BENCH_SAMPLE_INTERVAL_SECONDS,
@@ -268,6 +271,8 @@ func (p *Profile) set(key, value string) error {
 		return nil
 	case "BENCH_POLL_MS":
 		return millis(&p.PollInterval)
+	case "BENCH_SHARDS":
+		return integer(&p.Shards)
 	case "BENCH_SAMPLE_INTERVAL_SECONDS":
 		return seconds(&p.SampleInterval)
 	case "BENCH_WATCH_GRACE_SECONDS":

@@ -1,6 +1,8 @@
 package report
 
 import (
+	"encoding/base64"
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -160,6 +162,44 @@ type ReportsQuery struct {
 	Since    time.Time // inclusive, against PostedAt
 	Until    time.Time // exclusive, against PostedAt
 	Limit    int
+	// After resumes a paginated walk strictly after this (PostedAt, ID)
+	// position — the decoded form of a ?cursor= token. Zero means "from
+	// the start".
+	After Cursor
+}
+
+// Cursor is an opaque pagination position in the (posted_at, id) order
+// /query/reports returns. The encoded form is URL-safe base64 over
+// "<RFC3339Nano posted_at>|<id>"; clients must treat it as opaque.
+type Cursor struct {
+	PostedAt time.Time
+	ID       string
+}
+
+// IsZero reports whether the cursor is unset.
+func (c Cursor) IsZero() bool { return c.PostedAt.IsZero() && c.ID == "" }
+
+// Encode renders the cursor as its opaque token.
+func (c Cursor) Encode() string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(c.PostedAt.UTC().Format(time.RFC3339Nano) + "|" + c.ID))
+}
+
+// DecodeCursor parses an opaque cursor token.
+func DecodeCursor(token string) (Cursor, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("not base64: %w", err)
+	}
+	ts, id, ok := strings.Cut(string(raw), "|")
+	if !ok {
+		return Cursor{}, fmt.Errorf("malformed cursor payload")
+	}
+	t, err := time.Parse(time.RFC3339Nano, ts)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("bad cursor timestamp: %w", err)
+	}
+	return Cursor{PostedAt: t, ID: id}, nil
 }
 
 // Query limits: the serving layer is for slicing, not bulk export.
@@ -173,6 +213,11 @@ type ReportsResult struct {
 	TotalMatched int        `json:"total_matched"`
 	Returned     int        `json:"returned"`
 	Reports      []queryRec `json:"reports"`
+	// NextCursor is the opaque token resuming after the last returned
+	// report; empty when this page exhausted the matches. TotalMatched
+	// counts matches after the request's cursor, so a full walk sums each
+	// page's Returned, not any one TotalMatched.
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 // Reports answers a filtered slice of the indexed records, ordered by
@@ -221,6 +266,16 @@ func (v *QueryView) Reports(q ReportsQuery) ReportsResult {
 		if q.Campaign != "" && r.Campaign != q.Campaign {
 			continue
 		}
+		if !q.After.IsZero() {
+			// Strictly after the cursor position in (posted_at, id) order —
+			// the record the cursor encodes is the last one already served.
+			if r.PostedAt.Before(q.After.PostedAt) {
+				continue
+			}
+			if r.PostedAt.Equal(q.After.PostedAt) && r.ID <= q.After.ID {
+				continue
+			}
+		}
 		matched = append(matched, r)
 	}
 	sort.Slice(matched, func(a, b int) bool {
@@ -232,6 +287,8 @@ func (v *QueryView) Reports(q ReportsQuery) ReportsResult {
 	res := ReportsResult{TotalMatched: len(matched)}
 	if len(matched) > limit {
 		matched = matched[:limit]
+		last := matched[len(matched)-1]
+		res.NextCursor = Cursor{PostedAt: last.PostedAt, ID: last.ID}.Encode()
 	}
 	res.Reports = matched
 	res.Returned = len(matched)
@@ -316,14 +373,16 @@ func topOfCounts(counts map[string]int, top int) []NameCount {
 
 // ReportsHandler serves GET /query/reports: parameters domain, sender,
 // campaign, since/until (RFC 3339, inclusive/exclusive against the post
-// time), limit (default 100, max 1000). Unknown parameters and malformed
-// values are a 400, not a silent full-table answer.
+// time), limit (default 100, max 1000), cursor (opaque, from a previous
+// response's next_cursor), and format (json, the default, or csv). Unknown
+// parameters and malformed values are a 400, not a silent full-table
+// answer.
 func (v *QueryView) ReportsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		qs := r.URL.Query()
 		for key := range qs {
 			switch key {
-			case "domain", "sender", "campaign", "since", "until", "limit":
+			case "domain", "sender", "campaign", "since", "until", "limit", "cursor", "format":
 			default:
 				http.Error(w, fmt.Sprintf("unknown query parameter %q", key), http.StatusBadRequest)
 				return
@@ -353,8 +412,41 @@ func (v *QueryView) ReportsHandler() http.Handler {
 				return
 			}
 		}
-		writeJSON(w, v.Reports(q))
+		if raw := qs.Get("cursor"); raw != "" {
+			if q.After, err = DecodeCursor(raw); err != nil {
+				http.Error(w, fmt.Sprintf("bad cursor: %v", err), http.StatusBadRequest)
+				return
+			}
+		}
+		format := qs.Get("format")
+		switch format {
+		case "", "json":
+			writeJSON(w, v.Reports(q))
+		case "csv":
+			writeReportsCSV(w, v.Reports(q))
+		default:
+			http.Error(w, fmt.Sprintf("bad format %q (json or csv)", format), http.StatusBadRequest)
+		}
 	})
+}
+
+// writeReportsCSV renders a reports page as CSV for analysis tooling. The
+// pagination cursor rides in the X-Next-Cursor header, since CSV has no
+// envelope to carry it.
+func writeReportsCSV(w http.ResponseWriter, res ReportsResult) {
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	if res.NextCursor != "" {
+		w.Header().Set("X-Next-Cursor", res.NextCursor)
+	}
+	cw := csv.NewWriter(w)
+	_ = cw.Write([]string{"id", "forum", "posted_at", "domain", "sender", "sender_kind", "campaign", "scam_type", "brand", "text"})
+	for _, r := range res.Reports {
+		_ = cw.Write([]string{
+			r.ID, r.Forum, r.PostedAt.UTC().Format(time.RFC3339Nano),
+			r.Domain, r.Sender, r.SenderKind, r.Campaign, r.ScamType, r.Brand, r.Text,
+		})
+	}
+	cw.Flush()
 }
 
 // SummaryHandler serves GET /query/summary: parameter top (default 10)

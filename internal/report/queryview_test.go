@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -249,5 +250,165 @@ func TestQueryViewMergeOrderIndependence(t *testing.T) {
 	}
 	if strings.HasPrefix(got.Reports[0].Campaign, "c-c") {
 		t.Fatalf("unexpected campaign label %q", got.Reports[0].Campaign)
+	}
+}
+
+// TestQueryReportsCursorPagination walks the seeded fixture with limit=2
+// pages: every record is served exactly once, in (posted_at, id) order,
+// and the final page carries no cursor.
+func TestQueryReportsCursorPagination(t *testing.T) {
+	v := seedView(t)
+	mux := http.NewServeMux()
+	mux.Handle("GET /query/reports", v.ReportsHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var walked []string
+	cursor := ""
+	for page := 0; ; page++ {
+		if page > 10 {
+			t.Fatal("pagination did not terminate")
+		}
+		q := "?limit=2"
+		if cursor != "" {
+			q += "&cursor=" + cursor
+		}
+		res := getReports(t, srv, q)
+		walked = append(walked, reportIDs(res)...)
+		if res.NextCursor == "" {
+			if res.Returned == 2 && len(walked) < 5 {
+				t.Fatalf("full page %d carried no cursor with records remaining", page)
+			}
+			break
+		}
+		if res.Returned != 2 {
+			t.Fatalf("page %d: returned %d with a next cursor, want a full page of 2", page, res.Returned)
+		}
+		cursor = res.NextCursor
+	}
+	if !sameIDs(walked, []string{"r1", "r2", "r3", "r4", "r5"}) {
+		t.Fatalf("cursor walk served %v, want every record once in order", walked)
+	}
+
+	// TotalMatched counts matches after the cursor, so it shrinks page by
+	// page; the first page sees everything.
+	first := getReports(t, srv, "?limit=2")
+	if first.TotalMatched != 5 {
+		t.Errorf("first page TotalMatched = %d, want 5", first.TotalMatched)
+	}
+	second := getReports(t, srv, "?limit=2&cursor="+first.NextCursor)
+	if second.TotalMatched != 3 {
+		t.Errorf("second page TotalMatched = %d, want 3 (matches after cursor)", second.TotalMatched)
+	}
+
+	// Cursor composes with filters: paging within a campaign.
+	res := getReports(t, srv, "?campaign=c-r1&limit=1")
+	if !sameIDs(reportIDs(res), []string{"r1"}) || res.NextCursor == "" {
+		t.Fatalf("campaign page 1: %v cursor=%q", reportIDs(res), res.NextCursor)
+	}
+	res = getReports(t, srv, "?campaign=c-r1&limit=5&cursor="+res.NextCursor)
+	if !sameIDs(reportIDs(res), []string{"r2", "r3"}) || res.NextCursor != "" {
+		t.Fatalf("campaign page 2: %v cursor=%q", reportIDs(res), res.NextCursor)
+	}
+
+	// Malformed cursors are a client error, not a silent full restart.
+	for _, bad := range []string{"not-base64!", "bm8tcGlwZQ", "MjAyNnxub3QtYS10aW1lfHg"} {
+		resp, err := http.Get(srv.URL + "/query/reports?cursor=" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("cursor %q -> status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestQueryReportsCSV pins the CSV export: content type, header row, one
+// row per report, and the pagination cursor riding in X-Next-Cursor.
+func TestQueryReportsCSV(t *testing.T) {
+	v := seedView(t)
+	mux := http.NewServeMux()
+	mux.Handle("GET /query/reports", v.ReportsHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/query/reports?format=csv&limit=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+		t.Errorf("Content-Type = %q, want text/csv", ct)
+	}
+	next := resp.Header.Get("X-Next-Cursor")
+	if next == "" {
+		t.Error("truncated CSV page carries no X-Next-Cursor header")
+	}
+	rows, err := csv.NewReader(resp.Body).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("CSV has %d rows, want header + 3", len(rows))
+	}
+	if rows[0][0] != "id" || rows[0][9] != "text" {
+		t.Errorf("CSV header = %v", rows[0])
+	}
+	if rows[1][0] != "r1" || rows[3][0] != "r3" {
+		t.Errorf("CSV rows out of order: %v", rows)
+	}
+
+	// Resuming from the CSV cursor in JSON yields the rest — the two
+	// formats share one pagination scheme.
+	res := getReports(t, srv, "?limit=10&cursor="+next)
+	if !sameIDs(reportIDs(res), []string{"r4", "r5"}) {
+		t.Fatalf("resume after CSV page: %v", reportIDs(res))
+	}
+
+	// The last CSV page has no cursor header.
+	resp2, err := http.Get(srv.URL + "/query/reports?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Next-Cursor"); got != "" {
+		t.Errorf("final CSV page has X-Next-Cursor %q", got)
+	}
+
+	// Unknown formats and unknown parameters stay a 400.
+	for _, q := range []string{"?format=xml", "?format=csv&bogus=1"} {
+		resp, err := http.Get(srv.URL + "/query/reports" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s -> status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestCursorCodec pins the token round-trip and decode failure modes.
+func TestCursorCodec(t *testing.T) {
+	at := time.Date(2026, 1, 3, 12, 0, 0, 123456789, time.UTC)
+	c := Cursor{PostedAt: at, ID: "r3"}
+	got, err := DecodeCursor(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.PostedAt.Equal(at) || got.ID != "r3" {
+		t.Errorf("round-trip = %+v, want %+v", got, c)
+	}
+	if (Cursor{}).IsZero() != true || c.IsZero() {
+		t.Error("IsZero misreports")
+	}
+	for _, bad := range []string{"", "%%%", "bm9wZQ"} {
+		if _, err := DecodeCursor(bad); err == nil {
+			t.Errorf("DecodeCursor(%q) accepted garbage", bad)
+		}
 	}
 }

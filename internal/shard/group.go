@@ -1,0 +1,216 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/forum"
+	"github.com/smishkit/smishkit/internal/telemetry"
+)
+
+// Group routes curated records across N shard enrichers and merges their
+// output deterministically. One batch flows through it as:
+//
+//	reports -> front.Curate -> ring-route by KeyOf -> N concurrent
+//	EnrichAnnotate calls -> scatter results back into curation order
+//
+// Because curation is deterministic and every record returns to the index
+// it was curated at, the merged Dataset is byte-identical for any shard
+// count — and identical to the unsharded barrier pipeline. Downstream
+// consumers (report projections, the union-find campaign view) therefore
+// need no shard-aware merge of their own: they see the same record
+// sequence they always did.
+type Group struct {
+	ring      *Ring
+	front     *core.Pipeline
+	mu        sync.RWMutex
+	enrichers []Enricher
+	remote    bool
+	routed    []*telemetry.Counter
+	batches   *telemetry.Counter
+}
+
+// NewGroup builds a router over the given enrichers. front curates each
+// incoming batch (its services are never called — curation is offline);
+// replicas tunes the ring's virtual-node count (0 = DefaultReplicas). The
+// per-shard "shard.<i>.routed" counters land in reg.
+func NewGroup(front *core.Pipeline, enrichers []Enricher, replicas int, reg *telemetry.Registry) (*Group, error) {
+	if front == nil {
+		return nil, fmt.Errorf("shard: group needs a front pipeline")
+	}
+	if len(enrichers) == 0 {
+		return nil, fmt.Errorf("shard: group needs at least one enricher")
+	}
+	ring, err := NewRing(len(enrichers), replicas)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{
+		ring:      ring,
+		front:     front,
+		enrichers: enrichers,
+		routed:    make([]*telemetry.Counter, len(enrichers)),
+		batches:   reg.Counter("shard.batches"),
+	}
+	for i := range g.routed {
+		g.routed[i] = reg.Counter("shard." + strconv.Itoa(i) + ".routed")
+	}
+	return g, nil
+}
+
+// Shards returns the group's shard count.
+func (g *Group) Shards() int { return g.ring.Shards() }
+
+// SetEnrichers swaps the group's enrichers — the seam the multi-process
+// mode uses to replace local stacks with remote workers after the worker
+// processes have reported their URLs. The count must match the ring.
+func (g *Group) SetEnrichers(enrichers []Enricher, remote bool) error {
+	if len(enrichers) != g.ring.Shards() {
+		return fmt.Errorf("shard: group has %d shards, got %d enrichers", g.ring.Shards(), len(enrichers))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.enrichers = enrichers
+	g.remote = remote
+	return nil
+}
+
+// Run curates one batch, routes it, and returns the merged dataset. On a
+// shard failure the lowest-indexed error is returned and the dataset must
+// be discarded (the serve loop treats the round as failed, mirroring the
+// unsharded pipeline's contract).
+func (g *Group) Run(ctx context.Context, reports []forum.RawReport) (*core.Dataset, error) {
+	g.mu.RLock()
+	enrichers := g.enrichers
+	g.mu.RUnlock()
+	g.batches.Inc()
+
+	sp := g.front.Telemetry().StartSpan("shard.route")
+	ds := g.front.Curate(reports)
+	n := len(enrichers)
+	assign := make([][]int, n)
+	for i := range ds.Records {
+		s := g.ring.Shard(KeyOf(&ds.Records[i]))
+		assign[s] = append(assign[s], i)
+	}
+	sp.End()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for s := 0; s < n; s++ {
+		if len(assign[s]) == 0 {
+			continue
+		}
+		g.routed[s].Add(int64(len(assign[s])))
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			idxs := assign[s]
+			subset := make([]core.Record, len(idxs))
+			for j, idx := range idxs {
+				subset[j] = ds.Records[idx]
+			}
+			out, err := enrichers[s].EnrichAnnotate(ctx, subset)
+			if err != nil {
+				errs[s] = fmt.Errorf("shard %d: %w", s, err)
+				return
+			}
+			if len(out) != len(idxs) {
+				errs[s] = fmt.Errorf("shard %d: returned %d records for %d routed", s, len(out), len(idxs))
+				return
+			}
+			// Scatter back into the curation-order slots — the merge that
+			// makes shard count invisible in the output.
+			for j, idx := range idxs {
+				ds.Records[idx] = out[j]
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// ShardInfo is one shard's row in GroupStats.
+type ShardInfo struct {
+	// Index is the shard's position on the ring.
+	Index int `json:"index"`
+	// Routed counts records routed to this shard since start.
+	Routed int64 `json:"routed"`
+	// Remote is set when the shard is a separate worker process.
+	Remote bool `json:"remote,omitempty"`
+	// Stack is the shard's tier scoreboard (nil when unavailable, e.g. an
+	// unreachable remote worker).
+	Stack *StackStats `json:"stack,omitempty"`
+}
+
+// GroupStats is the sharding scoreboard Study.ShardStats surfaces.
+type GroupStats struct {
+	// Shards is the configured shard count.
+	Shards int `json:"shards"`
+	// Batches counts routed batches since start.
+	Batches int64 `json:"batches"`
+	// PerShard has one row per shard, in index order.
+	PerShard []ShardInfo `json:"per_shard"`
+}
+
+// Stats reports routing totals and, where available, per-shard tier
+// scoreboards. Safe to call concurrently with Run.
+func (g *Group) Stats() GroupStats {
+	g.mu.RLock()
+	enrichers := g.enrichers
+	remote := g.remote
+	g.mu.RUnlock()
+	out := GroupStats{
+		Shards:   g.ring.Shards(),
+		Batches:  g.batches.Value(),
+		PerShard: make([]ShardInfo, len(enrichers)),
+	}
+	for i, e := range enrichers {
+		info := ShardInfo{Index: i, Routed: g.routed[i].Value(), Remote: remote}
+		if sp, ok := e.(StatsProvider); ok {
+			if st, ok := sp.Stats(); ok {
+				info.Stack = &st
+			}
+		}
+		out.PerShard[i] = info
+	}
+	return out
+}
+
+// Write renders a GroupStats snapshot as aligned text, one shard per row.
+func Write(w io.Writer, st GroupStats) error {
+	if _, err := fmt.Fprintf(w, "shards (n=%d, batches=%d)\n", st.Shards, st.Batches); err != nil {
+		return err
+	}
+	for _, sh := range st.PerShard {
+		mode := "local"
+		if sh.Remote {
+			mode = "remote"
+		}
+		line := fmt.Sprintf("  shard %-3d %-6s routed=%-8d", sh.Index, mode, sh.Routed)
+		if sh.Stack != nil {
+			line += fmt.Sprintf(" enriched=%-8d", sh.Stack.Enriched)
+			var hits, misses int64
+			for _, cs := range sh.Stack.Cache {
+				hits += cs.Hits
+				misses += cs.Misses
+			}
+			if hits+misses > 0 {
+				line += fmt.Sprintf(" cache=%.0f%%", 100*float64(hits)/float64(hits+misses))
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

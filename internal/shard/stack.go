@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/smishkit/smishkit/internal/batchmux"
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/enrichcache"
+	"github.com/smishkit/smishkit/internal/faultinject"
+	"github.com/smishkit/smishkit/internal/resilience"
+	"github.com/smishkit/smishkit/internal/telemetry"
+)
+
+// Enricher is one shard's processing seam: it enriches and annotates a
+// routed slice of curated records and returns them in the same order. The
+// local implementation is a Stack; the multi-process mode substitutes a
+// RemoteEnricher that ships the slice to a worker process over localhost.
+type Enricher interface {
+	EnrichAnnotate(ctx context.Context, recs []core.Record) ([]core.Record, error)
+}
+
+// StackStats is one shard's tier scoreboard. The maps are nil for tiers
+// the stack was built without.
+type StackStats struct {
+	// Enriched counts records this shard has enriched since start.
+	Enriched int64 `json:"enriched"`
+	// Cache is the shard's enrichment-cache scoreboard.
+	Cache enrichcache.Stats `json:"cache,omitempty"`
+	// Batch is the shard's batching scoreboard.
+	Batch batchmux.Stats `json:"batch,omitempty"`
+	// Resilience is the shard's circuit-breaker scoreboard.
+	Resilience resilience.Stats `json:"resilience,omitempty"`
+}
+
+// StatsProvider is implemented by enrichers that can report tier stats
+// (the local Stack directly, the RemoteEnricher by asking its worker).
+type StatsProvider interface {
+	Stats() (StackStats, bool)
+}
+
+// StackConfig assembles one shard's decorator stack. Tiers whose config is
+// nil are omitted; Pipeline tunes the shard's enrichment workers and
+// budgets (its Telemetry field is overwritten with the stack's registry).
+type StackConfig struct {
+	Faults     *faultinject.Config
+	Batch      *batchmux.Config
+	Cache      *enrichcache.Config
+	Resilience *resilience.Config
+	Pipeline   core.Options
+}
+
+// Stack is one shard's private tier set over a shared base Services value:
+// its own enrichment cache, batchmux windows, breaker set, and pipeline,
+// all recording into the registry the stack was built with (the facade
+// hands each shard a Prefixed view, so instruments land under
+// "shard.<i>.*" in the one global registry).
+type Stack struct {
+	pipe     *core.Pipeline
+	cache    *enrichcache.Cache
+	batch    *batchmux.Mux
+	breakers *resilience.Breakers
+	enriched *telemetry.Counter
+}
+
+// NewStack builds one shard's tiers around base, in the same decorator
+// order as the facade: instrumented client <- faults <- batchmux <- cache
+// <- breaker <- pipeline (see smishkit.NewStudy for why).
+func NewStack(base core.Services, cfg StackConfig, reg *telemetry.Registry) (*Stack, error) {
+	services := base
+	if cfg.Faults != nil {
+		services = faultinject.New(*cfg.Faults, reg).WrapServices(services)
+	}
+	st := &Stack{enriched: reg.Counter("enriched")}
+	if cfg.Batch != nil {
+		st.batch = batchmux.New(*cfg.Batch, reg)
+		services = st.batch.WrapServices(services)
+	}
+	if cfg.Cache != nil {
+		st.cache = enrichcache.New(*cfg.Cache, reg)
+		services = st.cache.WrapServices(services)
+	}
+	if cfg.Resilience != nil {
+		st.breakers = resilience.New(*cfg.Resilience, reg)
+		services = st.breakers.WrapServices(services)
+		r := cfg.Resilience
+		if cfg.Pipeline.RecordBudget == 0 {
+			cfg.Pipeline.RecordBudget = r.RecordBudget
+		}
+		if cfg.Pipeline.CallTimeout == 0 {
+			cfg.Pipeline.CallTimeout = r.CallTimeout
+		}
+		if cfg.Pipeline.AbortFailureRate == 0 {
+			cfg.Pipeline.AbortFailureRate = r.AbortFailureRate
+		}
+		if cfg.Pipeline.MinAbortCalls == 0 {
+			cfg.Pipeline.MinAbortCalls = r.MinAbortCalls
+		}
+	}
+	cfg.Pipeline.Telemetry = reg
+	// Shards never curate or stream: they receive already-curated records
+	// and run the barrier enrich+annotate path over them, which preserves
+	// input order exactly.
+	cfg.Pipeline.Streaming = false
+	pipe, err := core.NewPipeline(services, cfg.Pipeline)
+	if err != nil {
+		return nil, fmt.Errorf("shard: build pipeline: %w", err)
+	}
+	st.pipe = pipe
+	return st, nil
+}
+
+// EnrichAnnotate runs the shard's pipeline over a routed record slice,
+// returning the records enriched and annotated in input order.
+func (st *Stack) EnrichAnnotate(ctx context.Context, recs []core.Record) ([]core.Record, error) {
+	if len(recs) == 0 {
+		return recs, nil
+	}
+	ds := &core.Dataset{Records: recs}
+	if err := st.pipe.Enrich(ctx, ds); err != nil {
+		return nil, err
+	}
+	if err := st.pipe.Annotate(ctx, ds); err != nil {
+		return nil, err
+	}
+	st.enriched.Add(int64(len(ds.Records)))
+	return ds.Records, nil
+}
+
+// Stats reports the shard's tier scoreboards.
+func (st *Stack) Stats() (StackStats, bool) {
+	out := StackStats{Enriched: st.enriched.Value()}
+	if st.cache != nil {
+		out.Cache = st.cache.Stats()
+	}
+	if st.batch != nil {
+		out.Batch = st.batch.Stats()
+	}
+	if st.breakers != nil {
+		out.Resilience = st.breakers.Stats()
+	}
+	return out, true
+}

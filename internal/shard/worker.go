@@ -1,0 +1,313 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/smishkit/smishkit/internal/avscan"
+	"github.com/smishkit/smishkit/internal/batchmux"
+	"github.com/smishkit/smishkit/internal/core"
+	"github.com/smishkit/smishkit/internal/ctlog"
+	"github.com/smishkit/smishkit/internal/dnsdb"
+	"github.com/smishkit/smishkit/internal/enrichcache"
+	"github.com/smishkit/smishkit/internal/hlr"
+	"github.com/smishkit/smishkit/internal/resilience"
+	"github.com/smishkit/smishkit/internal/shortener"
+	"github.com/smishkit/smishkit/internal/telemetry"
+	"github.com/smishkit/smishkit/internal/whois"
+)
+
+// Multi-process mode: each shard runs as a separate OS process hosting a
+// Worker — its own Stack (cache, batchmux, breakers, pipeline) over HTTP
+// clients dialed at the parent's simulated services — and the parent's
+// Group routes record slices to it over localhost as JSON. core.Record
+// round-trips JSON losslessly (the record log depends on the same
+// property), so a remote shard's merged output is byte-identical to a
+// local one's.
+
+// ServiceAddr locates one upstream enrichment service for a worker.
+type ServiceAddr struct {
+	URL string `json:"url"`
+	Key string `json:"key,omitempty"`
+}
+
+// WorkerPipeline is the serializable subset of core.Options a worker's
+// pipeline needs. Durations ride as nanoseconds (encoding/json's default
+// for time.Duration).
+type WorkerPipeline struct {
+	EnrichWorkers    int           `json:"enrich_workers,omitempty"`
+	StepWorkers      int           `json:"step_workers,omitempty"`
+	RecordBudget     time.Duration `json:"record_budget,omitempty"`
+	CallTimeout      time.Duration `json:"call_timeout,omitempty"`
+	AbortFailureRate float64       `json:"abort_failure_rate,omitempty"`
+	MinAbortCalls    int           `json:"min_abort_calls,omitempty"`
+}
+
+// WorkerSpec is everything a shard worker process needs to build its
+// stack: upstream service addresses, pipeline tuning, and which tiers to
+// enable. It is the JSON document the parent writes to the worker's stdin.
+type WorkerSpec struct {
+	// Index is the shard's position on the parent's ring; the worker's
+	// telemetry records under "shard.<Index>.*".
+	Index int `json:"index"`
+
+	HLR       ServiceAddr `json:"hlr"`
+	Whois     ServiceAddr `json:"whois"`
+	CTLog     ServiceAddr `json:"ctlog"`
+	DNSDB     ServiceAddr `json:"dnsdb"`
+	AVScan    ServiceAddr `json:"avscan"`
+	Shortener ServiceAddr `json:"shortener"`
+
+	Pipeline WorkerPipeline `json:"pipeline"`
+
+	// Cache/Batch/Resilience enable the worker's private tiers with their
+	// documented defaults (the parent mirrors its own Options here).
+	Cache      bool `json:"cache,omitempty"`
+	Batch      bool `json:"batch,omitempty"`
+	Resilience bool `json:"resilience,omitempty"`
+	// ServeStale carries the cache's serve-stale flag when Cache is set.
+	ServeStale bool `json:"serve_stale,omitempty"`
+}
+
+// enrichEnvelope frames a routed record slice on the wire, both ways.
+type enrichEnvelope struct {
+	Records []core.Record `json:"records"`
+}
+
+// Worker hosts one shard's stack in its own process, behind a localhost
+// HTTP surface:
+//
+//	POST /enrich          routed records in, enriched records out (JSON)
+//	GET  /healthz         readiness probe
+//	GET  /stats           StackStats snapshot
+//	GET  /debug/telemetry the worker's registry snapshot
+type Worker struct {
+	stack *Stack
+	reg   *telemetry.Registry
+}
+
+// NewWorker builds a worker from its spec, dialing clients at the spec's
+// service addresses.
+func NewWorker(spec WorkerSpec) (*Worker, error) {
+	if spec.Index < 0 {
+		return nil, fmt.Errorf("shard: worker index must not be negative (got %d)", spec.Index)
+	}
+	for _, a := range []struct {
+		name string
+		addr ServiceAddr
+	}{
+		{"hlr", spec.HLR}, {"whois", spec.Whois}, {"ctlog", spec.CTLog},
+		{"dnsdb", spec.DNSDB}, {"avscan", spec.AVScan}, {"shortener", spec.Shortener},
+	} {
+		if a.addr.URL == "" {
+			return nil, fmt.Errorf("shard: worker spec missing %s URL", a.name)
+		}
+	}
+	reg := telemetry.NewRegistry()
+	base := core.Services{
+		HLR:       hlr.NewClient(spec.HLR.URL, spec.HLR.Key).Instrument(reg),
+		Whois:     whois.NewClient(spec.Whois.URL, spec.Whois.Key).Instrument(reg),
+		CTLog:     ctlog.NewClient(spec.CTLog.URL).Instrument(reg),
+		DNSDB:     dnsdb.NewClient(spec.DNSDB.URL, spec.DNSDB.Key).Instrument(reg),
+		AVScan:    avscan.NewClient(spec.AVScan.URL, spec.AVScan.Key).Instrument(reg),
+		Shortener: shortener.NewClient(spec.Shortener.URL).Instrument(reg),
+	}
+	cfg := StackConfig{
+		Pipeline: core.Options{
+			EnrichWorkers:    spec.Pipeline.EnrichWorkers,
+			StepWorkers:      spec.Pipeline.StepWorkers,
+			RecordBudget:     spec.Pipeline.RecordBudget,
+			CallTimeout:      spec.Pipeline.CallTimeout,
+			AbortFailureRate: spec.Pipeline.AbortFailureRate,
+			MinAbortCalls:    spec.Pipeline.MinAbortCalls,
+		},
+	}
+	if spec.Cache {
+		cfg.Cache = &enrichcache.Config{ServeStale: spec.ServeStale}
+	}
+	if spec.Batch {
+		cfg.Batch = &batchmux.Config{}
+	}
+	if spec.Resilience {
+		cfg.Resilience = &resilience.Config{}
+	}
+	stack, err := NewStack(base, cfg, reg.Prefixed("shard."+strconv.Itoa(spec.Index)+"."))
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{stack: stack, reg: reg}, nil
+}
+
+// Serve runs the worker on an ephemeral loopback listener, reports the
+// base URL via onReady, and blocks until ctx is cancelled.
+func (wk *Worker) Serve(ctx context.Context, onReady func(url string)) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("shard: bind worker listener: %w", err)
+	}
+	srv := &http.Server{Handler: wk.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	if onReady != nil {
+		onReady("http://" + ln.Addr().String())
+	}
+	select {
+	case <-ctx.Done():
+		_ = srv.Close()
+		<-done
+		return nil
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// Handler returns the worker's HTTP surface.
+func (wk *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /enrich", func(w http.ResponseWriter, r *http.Request) {
+		var in enrichEnvelope
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			writeWorkerError(w, http.StatusBadRequest, fmt.Errorf("decode records: %w", err))
+			return
+		}
+		out, err := wk.stack.EnrichAnnotate(r.Context(), in.Records)
+		if err != nil {
+			writeWorkerError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(enrichEnvelope{Records: out})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		st, _ := wk.stack.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(st)
+	})
+	mux.Handle("GET /debug/telemetry", telemetry.Handler(wk.reg))
+	return mux
+}
+
+func writeWorkerError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// RunWorker is the whole worker process: decode a WorkerSpec from r
+// (stdin), serve on an ephemeral loopback port, print the base URL as one
+// line to w (stdout — the parent reads it), and block until ctx ends.
+func RunWorker(ctx context.Context, r io.Reader, w io.Writer) error {
+	var spec WorkerSpec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return fmt.Errorf("shard: decode worker spec: %w", err)
+	}
+	wk, err := NewWorker(spec)
+	if err != nil {
+		return err
+	}
+	return wk.Serve(ctx, func(url string) { fmt.Fprintln(w, url) })
+}
+
+// RemoteEnricher is the Group-side client for one worker process.
+type RemoteEnricher struct {
+	base string
+	hc   *http.Client
+}
+
+// NewRemoteEnricher returns a client for the worker at baseURL (as printed
+// by RunWorker).
+func NewRemoteEnricher(baseURL string) *RemoteEnricher {
+	return &RemoteEnricher{base: baseURL, hc: &http.Client{}}
+}
+
+// Healthy probes the worker's readiness endpoint.
+func (re *RemoteEnricher) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, re.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := re.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard: worker %s health: %s", re.base, resp.Status)
+	}
+	return nil
+}
+
+// EnrichAnnotate ships the routed slice to the worker and returns its
+// enriched output.
+func (re *RemoteEnricher) EnrichAnnotate(ctx context.Context, recs []core.Record) ([]core.Record, error) {
+	body, err := json.Marshal(enrichEnvelope{Records: recs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, re.base+"/enrich", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := re.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var werr struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&werr)
+		if werr.Error == "" {
+			werr.Error = resp.Status
+		}
+		return nil, fmt.Errorf("shard: worker %s enrich: %s", re.base, werr.Error)
+	}
+	var out enrichEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("shard: decode worker %s response: %w", re.base, err)
+	}
+	return out.Records, nil
+}
+
+// Stats fetches the worker's tier scoreboard; ok is false when the worker
+// is unreachable.
+func (re *RemoteEnricher) Stats() (StackStats, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, re.base+"/stats", nil)
+	if err != nil {
+		return StackStats{}, false
+	}
+	resp, err := re.hc.Do(req)
+	if err != nil {
+		return StackStats{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return StackStats{}, false
+	}
+	var st StackStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return StackStats{}, false
+	}
+	return st, true
+}
+
+var _ Enricher = (*RemoteEnricher)(nil)
+var _ StatsProvider = (*RemoteEnricher)(nil)

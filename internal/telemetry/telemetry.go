@@ -91,7 +91,20 @@ func (s Span) End() time.Duration {
 // Registry is a named collection of instruments. Instruments are created
 // on first use and shared thereafter; all methods are safe for concurrent
 // use. A nil *Registry hands out nil instruments, which discard updates.
+//
+// A Registry is a (possibly prefixed) view over shared instrument state:
+// Prefixed returns a view that prepends a fixed prefix to every instrument
+// name but records into the same underlying maps, so a sharded component
+// can label its instruments "shard.0.cache.hits" while one snapshot (and
+// one /debug/telemetry endpoint) still sees everything.
 type Registry struct {
+	prefix string
+	s      *regState
+}
+
+// regState is the instrument storage every prefixed view of one registry
+// shares.
+type regState struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -102,88 +115,106 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
-		spans:    make(map[string]*spanStat),
+		s: &regState{
+			counters: make(map[string]*Counter),
+			gauges:   make(map[string]*Gauge),
+			hists:    make(map[string]*Histogram),
+			spans:    make(map[string]*spanStat),
+		},
 	}
+}
+
+// Prefixed returns a view of the same registry that prepends prefix to
+// every instrument name. Views nest (r.Prefixed("a.").Prefixed("b.")
+// records under "a.b.") and share state with r: instruments created
+// through any view appear in every view's Snapshot. A nil registry yields
+// a nil (discard-everything) view.
+func (r *Registry) Prefixed(prefix string) *Registry {
+	if r == nil || r.s == nil {
+		return nil
+	}
+	return &Registry{prefix: r.prefix + prefix, s: r.s}
 }
 
 // Counter returns the named counter, creating it if needed.
 func (r *Registry) Counter(name string) *Counter {
-	if r == nil {
+	if r == nil || r.s == nil {
 		return nil
 	}
-	r.mu.RLock()
-	c, ok := r.counters[name]
-	r.mu.RUnlock()
+	name = r.prefix + name
+	r.s.mu.RLock()
+	c, ok := r.s.counters[name]
+	r.s.mu.RUnlock()
 	if ok {
 		return c
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c, ok = r.counters[name]; !ok {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if c, ok = r.s.counters[name]; !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.s.counters[name] = c
 	}
 	return c
 }
 
 // Gauge returns the named gauge, creating it if needed.
 func (r *Registry) Gauge(name string) *Gauge {
-	if r == nil {
+	if r == nil || r.s == nil {
 		return nil
 	}
-	r.mu.RLock()
-	g, ok := r.gauges[name]
-	r.mu.RUnlock()
+	name = r.prefix + name
+	r.s.mu.RLock()
+	g, ok := r.s.gauges[name]
+	r.s.mu.RUnlock()
 	if ok {
 		return g
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if g, ok = r.gauges[name]; !ok {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if g, ok = r.s.gauges[name]; !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.s.gauges[name] = g
 	}
 	return g
 }
 
 // Histogram returns the named latency histogram, creating it if needed.
 func (r *Registry) Histogram(name string) *Histogram {
-	if r == nil {
+	if r == nil || r.s == nil {
 		return nil
 	}
-	r.mu.RLock()
-	h, ok := r.hists[name]
-	r.mu.RUnlock()
+	name = r.prefix + name
+	r.s.mu.RLock()
+	h, ok := r.s.hists[name]
+	r.s.mu.RUnlock()
 	if ok {
 		return h
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h, ok = r.hists[name]; !ok {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if h, ok = r.s.hists[name]; !ok {
 		h = newHistogram()
-		r.hists[name] = h
+		r.s.hists[name] = h
 	}
 	return h
 }
 
 // StartSpan begins a named timed region; call End on the result.
 func (r *Registry) StartSpan(name string) Span {
-	if r == nil {
+	if r == nil || r.s == nil {
 		return Span{start: time.Now()}
 	}
-	r.mu.RLock()
-	st, ok := r.spans[name]
-	r.mu.RUnlock()
+	name = r.prefix + name
+	r.s.mu.RLock()
+	st, ok := r.s.spans[name]
+	r.s.mu.RUnlock()
 	if !ok {
-		r.mu.Lock()
-		if st, ok = r.spans[name]; !ok {
+		r.s.mu.Lock()
+		if st, ok = r.s.spans[name]; !ok {
 			st = &spanStat{}
-			r.spans[name] = st
+			r.s.spans[name] = st
 		}
-		r.mu.Unlock()
+		r.s.mu.Unlock()
 	}
 	return Span{stat: st, start: time.Now()}
 }
@@ -222,7 +253,9 @@ func (s Snapshot) Hist(name string) (HistogramStats, bool) {
 }
 
 // Snapshot copies the current state of every instrument. A nil registry
-// yields an empty (but usable) snapshot.
+// yields an empty (but usable) snapshot. A prefixed view snapshots the
+// full shared state, not only its own prefix — there is one registry
+// underneath, and the snapshot reflects all of it.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{
 		TakenAt:    time.Now().UTC(),
@@ -231,21 +264,21 @@ func (r *Registry) Snapshot() Snapshot {
 		Histograms: map[string]HistogramStats{},
 		Spans:      map[string]SpanStats{},
 	}
-	if r == nil {
+	if r == nil || r.s == nil {
 		return snap
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for name, c := range r.counters {
+	r.s.mu.RLock()
+	defer r.s.mu.RUnlock()
+	for name, c := range r.s.counters {
 		snap.Counters[name] = c.Value()
 	}
-	for name, g := range r.gauges {
+	for name, g := range r.s.gauges {
 		snap.Gauges[name] = g.Value()
 	}
-	for name, h := range r.hists {
+	for name, h := range r.s.hists {
 		snap.Histograms[name] = h.Stats()
 	}
-	for name, st := range r.spans {
+	for name, st := range r.s.spans {
 		snap.Spans[name] = SpanStats{
 			Count: st.count.Load(),
 			Total: time.Duration(st.total.Load()),

@@ -272,3 +272,60 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(time.Duration(i%1000) * time.Microsecond)
 	}
 }
+
+// TestPrefixedViews pins the Prefixed contract: a prefixed view is a name
+// rewrite over the SAME shared state — instruments land in the parent's
+// maps under the prefixed name, snapshots from any view see everything,
+// and prefixes compose by concatenation.
+func TestPrefixedViews(t *testing.T) {
+	reg := NewRegistry()
+	shard0 := reg.Prefixed("shard.0.")
+	shard0.Counter("routed").Add(7)
+	reg.Counter("shard.batches").Inc()
+
+	// Same name through the view and spelled out on the root: one counter.
+	if shard0.Counter("routed") != reg.Counter("shard.0.routed") {
+		t.Fatal("prefixed counter is not the root counter under the full name")
+	}
+	if got := reg.Counter("shard.0.routed").Value(); got != 7 {
+		t.Fatalf("shard.0.routed = %d, want 7", got)
+	}
+
+	// Prefixes nest by concatenation.
+	nested := shard0.Prefixed("cache.")
+	nested.Counter("hits").Add(3)
+	if got := reg.Counter("shard.0.cache.hits").Value(); got != 3 {
+		t.Fatalf("nested prefix wrote %d to shard.0.cache.hits, want 3", got)
+	}
+
+	// Every view snapshots the full shared state, not its own slice.
+	snap := shard0.Snapshot()
+	for _, name := range []string{"shard.0.routed", "shard.batches", "shard.0.cache.hits"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("prefixed view snapshot missing %q: %v", name, snap.Counters)
+		}
+	}
+
+	// Gauges, histograms, and spans route through the prefix too.
+	shard0.Gauge("inflight").Set(2)
+	shard0.Histogram("latency").Observe(5 * time.Millisecond)
+	shard0.StartSpan("route").End()
+	snap = reg.Snapshot()
+	if snap.Gauges["shard.0.inflight"] != 2 {
+		t.Errorf("gauge missing under prefixed name: %v", snap.Gauges)
+	}
+	if snap.Histograms["shard.0.latency"].Count != 1 {
+		t.Errorf("histogram missing under prefixed name: %v", snap.Histograms)
+	}
+	if snap.Spans["shard.0.route"].Count != 1 {
+		t.Errorf("span missing under prefixed name: %v", snap.Spans)
+	}
+
+	// A nil registry's prefixed view stays a safe no-op.
+	var nilReg *Registry
+	view := nilReg.Prefixed("x.")
+	view.Counter("c").Inc()
+	if len(view.Snapshot().Counters) != 0 {
+		t.Error("nil registry's prefixed view recorded data")
+	}
+}

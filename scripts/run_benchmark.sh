@@ -28,6 +28,7 @@ BENCH_WORLD_MESSAGES=1000
 BENCH_CHAOS=0
 BENCH_POLL_MS=500
 BENCH_SEED=1
+BENCH_SHARDS=0
 # shellcheck disable=SC1090
 . "$PROFILE"
 
@@ -46,9 +47,10 @@ DATA_DIR="$OUT/data"
 rm -f "$STATUS_FILE"
 rm -rf "$DATA_DIR"
 
-echo "== starting daemon (world=$BENCH_WORLD_MESSAGES chaos=$BENCH_CHAOS poll=${BENCH_POLL_MS}ms data=$DATA_DIR)"
+echo "== starting daemon (world=$BENCH_WORLD_MESSAGES chaos=$BENCH_CHAOS poll=${BENCH_POLL_MS}ms shards=$BENCH_SHARDS data=$DATA_DIR)"
 "$BIN/smishctl" -serve -seed "$BENCH_SEED" -messages "$BENCH_WORLD_MESSAGES" \
     -chaos "$BENCH_CHAOS" -poll-interval "${BENCH_POLL_MS}ms" \
+    -shards "$BENCH_SHARDS" \
     -data-dir "$DATA_DIR" \
     -status-file "$STATUS_FILE" >"$DAEMON_LOG" 2>&1 &
 DAEMON_PID=$!

@@ -473,7 +473,11 @@ func (s *Study) Serve(ctx context.Context) (*Dataset, error) {
 		committed := true
 		if len(batch) > 0 {
 			procCtx, cancel := context.WithTimeout(drainBase, cfg.DrainTimeout)
-			ds, err := s.Pipe.Run(procCtx, batch)
+			// Sharded studies route the round through per-shard workers (the
+			// router scatters results back into curation order before the
+			// commit, so durable-first ordering below is unchanged); the
+			// unsharded path is the streaming pipeline as before.
+			ds, err := s.runBatch(procCtx, batch)
 			if err == nil && s.rlog != nil {
 				// Durable-first commit ordering: the round's records reach
 				// the fsynced log before the projection sees them and before

@@ -44,6 +44,7 @@ import (
 	"github.com/smishkit/smishkit/internal/report"
 	"github.com/smishkit/smishkit/internal/resilience"
 	"github.com/smishkit/smishkit/internal/screenshot"
+	"github.com/smishkit/smishkit/internal/shard"
 	"github.com/smishkit/smishkit/internal/telemetry"
 )
 
@@ -142,6 +143,14 @@ type (
 	// DurabilityStats is the record log scoreboard: appends, replayed
 	// records, dedup hits, snapshots, compactions, and damage counters.
 	DurabilityStats = recordlog.Stats
+
+	// ShardStats is the sharding scoreboard (Study.ShardStats,
+	// Stats().Shards): routed-record totals and per-shard tier stats.
+	ShardStats = shard.GroupStats
+	// ShardWorkerSpec is the JSON document a shard worker process builds
+	// its stack from (Study.ShardWorkerSpec emits it, RunShardWorker
+	// consumes it).
+	ShardWorkerSpec = shard.WorkerSpec
 )
 
 // NewCollector returns an empty telemetry collector, for sharing one
@@ -233,6 +242,36 @@ type Options struct {
 	// Requires Options.Service. Metrics land in the collector under
 	// "recordlog.*"; Study.Stats().Durability is the typed snapshot.
 	Durability *DurabilityConfig
+	// Shards, when non-nil, partitions enrichment by stable key across N
+	// shard instances: records are curated once, routed by a
+	// consistent-hash ring over their registrable domain (falling back to
+	// sender ID, then record ID), enriched by per-shard tier stacks — each
+	// shard owns its own cache, batchmux windows, and breaker set,
+	// recording under "shard.<i>.*" — and scattered back into curation
+	// order, so shards=1 and shards=N produce record-identical output.
+	// With sharding on, the Cache/Batch/Faults/Resilience configs build
+	// each shard's private tiers instead of one global set, and
+	// Study.Stats().Cache/Batch/Resilience are nil — Stats().Shards
+	// carries the per-shard scoreboards. Batch runs route through the
+	// shards too (Pipeline.Streaming only shapes the unsharded path).
+	Shards *ShardConfig
+}
+
+// ShardConfig tunes Options.Shards.
+type ShardConfig struct {
+	// Shards is the shard count (>= 1; 1 is a valid single-shard ring,
+	// useful for like-for-like comparisons against N > 1).
+	Shards int
+	// Replicas is the ring's virtual-node count per shard (0 selects the
+	// default of 128).
+	Replicas int
+	// WorkerURLs, when set, makes every shard remote: element i is the
+	// base URL of an already-running shard worker process (see
+	// RunShardWorker). Must have exactly Shards elements. Leave empty for
+	// in-process shards; Study.ConnectShardWorkers can switch a study to
+	// remote workers after construction (the order cmd/smishctl needs,
+	// since workers dial the study's own simulation).
+	WorkerURLs []string
 }
 
 // Validate checks the options for combinations that cannot work, returning
@@ -282,6 +321,17 @@ func (o Options) Validate() error {
 			return fmt.Errorf("smishkit: Service.InitialShare must be in [0,1] (got %v; 0 selects the default of 0.5)", s.InitialShare)
 		}
 	}
+	if sh := o.Shards; sh != nil {
+		if sh.Shards < 1 {
+			return fmt.Errorf("smishkit: Shards.Shards must be at least 1 (got %d)", sh.Shards)
+		}
+		if sh.Replicas < 0 {
+			return fmt.Errorf("smishkit: Shards.Replicas must not be negative (got %d; 0 selects the default)", sh.Replicas)
+		}
+		if len(sh.WorkerURLs) > 0 && len(sh.WorkerURLs) != sh.Shards {
+			return fmt.Errorf("smishkit: Shards.WorkerURLs has %d entries for %d shards — every shard is remote or none is", len(sh.WorkerURLs), sh.Shards)
+		}
+	}
 	if d := o.Durability; d != nil {
 		if o.Service == nil {
 			return fmt.Errorf("smishkit: Options.Durability is set but Options.Service is nil — the record log is written by Serve at commit time")
@@ -310,6 +360,7 @@ type Study struct {
 	batch    *batchmux.Mux        // nil when Options.Batch was nil
 	breakers *resilience.Breakers // nil when Options.Resilience was nil
 	rlog     *recordlog.Log       // nil when Options.Durability was nil
+	group    *shard.Group         // nil when Options.Shards was nil
 
 	opts Options     // the validated options the study was built from
 	svc  *serveState // live Serve state (nil until Serve runs)
@@ -385,25 +436,7 @@ func NewStudy(opts Options) (*Study, error) {
 	// way back out; breakers sit outside the cache so hits cost them
 	// nothing and upstream 5xx reach the serve-stale path before being
 	// counted.
-	services := sim.Services()
-	if opts.Faults != nil {
-		services = faultinject.New(*opts.Faults, reg).WrapServices(services)
-	}
-	var batch *batchmux.Mux
-	if opts.Batch != nil {
-		batch = batchmux.New(*opts.Batch, reg)
-		services = batch.WrapServices(services)
-	}
-	var cache *enrichcache.Cache
-	if opts.Cache != nil {
-		cache = enrichcache.New(*opts.Cache, reg)
-		services = cache.WrapServices(services)
-	}
-	var breakers *resilience.Breakers
-	if opts.Resilience != nil {
-		breakers = resilience.New(*opts.Resilience, reg)
-		services = breakers.WrapServices(services)
-	}
+	base := sim.Services()
 	popts := opts.Pipeline
 	popts.Telemetry = reg
 	if r := opts.Resilience; r != nil {
@@ -421,6 +454,70 @@ func NewStudy(opts Options) (*Study, error) {
 		if popts.MinAbortCalls == 0 {
 			popts.MinAbortCalls = r.MinAbortCalls
 		}
+	}
+
+	if sh := opts.Shards; sh != nil {
+		// Sharded: the tier configs build each shard's private stack (its
+		// own cache, batchmux windows, and breakers, labeled "shard.<i>.*")
+		// around the shared instrumented base clients — so the global
+		// "client.<svc>.*" counters still measure real upstream traffic.
+		// The front pipeline only curates and routes; it never enriches.
+		pipe, err := core.NewPipeline(base, popts)
+		if err != nil {
+			cerr := errors.Join(sim.Close(), closeLog(rlog))
+			return nil, errors.Join(fmt.Errorf("smishkit: build pipeline: %w", err), cerr)
+		}
+		enrichers := make([]shard.Enricher, sh.Shards)
+		for i := range enrichers {
+			if len(sh.WorkerURLs) > 0 {
+				enrichers[i] = shard.NewRemoteEnricher(sh.WorkerURLs[i])
+				continue
+			}
+			stack, err := shard.NewStack(base, shard.StackConfig{
+				Faults:     opts.Faults,
+				Batch:      opts.Batch,
+				Cache:      opts.Cache,
+				Resilience: opts.Resilience,
+				Pipeline:   opts.Pipeline,
+			}, reg.Prefixed(fmt.Sprintf("shard.%d.", i)))
+			if err != nil {
+				cerr := errors.Join(sim.Close(), closeLog(rlog))
+				return nil, errors.Join(fmt.Errorf("smishkit: build shard %d: %w", i, err), cerr)
+			}
+			enrichers[i] = stack
+		}
+		group, err := shard.NewGroup(pipe, enrichers, sh.Replicas, reg)
+		if err != nil {
+			cerr := errors.Join(sim.Close(), closeLog(rlog))
+			return nil, errors.Join(fmt.Errorf("smishkit: build shard group: %w", err), cerr)
+		}
+		if len(sh.WorkerURLs) > 0 {
+			if err := group.SetEnrichers(enrichers, true); err != nil {
+				cerr := errors.Join(sim.Close(), closeLog(rlog))
+				return nil, errors.Join(err, cerr)
+			}
+		}
+		return &Study{World: w, Sim: sim, Pipe: pipe, group: group, rlog: rlog, opts: opts}, nil
+	}
+
+	services := base
+	if opts.Faults != nil {
+		services = faultinject.New(*opts.Faults, reg).WrapServices(services)
+	}
+	var batch *batchmux.Mux
+	if opts.Batch != nil {
+		batch = batchmux.New(*opts.Batch, reg)
+		services = batch.WrapServices(services)
+	}
+	var cache *enrichcache.Cache
+	if opts.Cache != nil {
+		cache = enrichcache.New(*opts.Cache, reg)
+		services = cache.WrapServices(services)
+	}
+	var breakers *resilience.Breakers
+	if opts.Resilience != nil {
+		breakers = resilience.New(*opts.Resilience, reg)
+		services = breakers.WrapServices(services)
 	}
 	pipe, err := core.NewPipeline(services, popts)
 	if err != nil {
@@ -463,7 +560,99 @@ func (s *Study) Run(ctx context.Context) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.runBatch(ctx, reports)
+}
+
+// runBatch pushes one report batch through the pipeline: the shard router
+// when the study is sharded, the single pipeline otherwise. Both paths
+// return records in a deterministic order for a given input (the router
+// scatters results back into curation order).
+func (s *Study) runBatch(ctx context.Context, reports []RawReport) (*Dataset, error) {
+	if s.group != nil {
+		return s.group.Run(ctx, reports)
+	}
 	return s.Pipe.Run(ctx, reports)
+}
+
+// ShardStats reports the sharding scoreboard: per-shard routed-record
+// totals plus each shard's cache/batch/breaker stats. Returns nil when the
+// study was built without Options.Shards. Safe to call concurrently with
+// Run or Serve.
+func (s *Study) ShardStats() *ShardStats {
+	if s.group == nil {
+		return nil
+	}
+	st := s.group.Stats()
+	return &st
+}
+
+// ShardWorkerSpec builds the spec a shard worker process for this study
+// needs: the study's own simulated service addresses plus the pipeline and
+// tier flags mirroring the study's Options. Write its JSON to the worker's
+// stdin (see RunShardWorker). Index is the shard the worker will serve.
+// Faults are deliberately absent: the chaos layer is seeded per process,
+// so injecting it in workers would break the shards=1 vs shards=N
+// record-identity contract.
+func (s *Study) ShardWorkerSpec(index int) ShardWorkerSpec {
+	spec := ShardWorkerSpec{
+		Index:     index,
+		HLR:       shard.ServiceAddr{URL: s.Sim.HLRURL, Key: s.Sim.HLRKey},
+		Whois:     shard.ServiceAddr{URL: s.Sim.WhoisURL, Key: s.Sim.WhoisKey},
+		CTLog:     shard.ServiceAddr{URL: s.Sim.CTLogURL},
+		DNSDB:     shard.ServiceAddr{URL: s.Sim.DNSDBURL, Key: s.Sim.DNSDBKey},
+		AVScan:    shard.ServiceAddr{URL: s.Sim.AVScanURL, Key: s.Sim.AVScanKey},
+		Shortener: shard.ServiceAddr{URL: s.Sim.ShortenerURL},
+		Pipeline: shard.WorkerPipeline{
+			EnrichWorkers: s.opts.Pipeline.EnrichWorkers,
+			StepWorkers:   s.opts.Pipeline.StepWorkers,
+		},
+		Cache:      s.opts.Cache != nil,
+		Batch:      s.opts.Batch != nil,
+		Resilience: s.opts.Resilience != nil,
+	}
+	if c := s.opts.Cache; c != nil {
+		spec.ServeStale = c.ServeStale
+	}
+	if r := s.opts.Resilience; r != nil {
+		spec.Pipeline.RecordBudget = r.RecordBudget
+		spec.Pipeline.CallTimeout = r.CallTimeout
+		spec.Pipeline.AbortFailureRate = r.AbortFailureRate
+		spec.Pipeline.MinAbortCalls = r.MinAbortCalls
+	}
+	return spec
+}
+
+// ConnectShardWorkers switches a sharded study to remote shard workers:
+// urls[i] is the base URL worker i printed on startup (one per shard).
+// Each worker is health-checked before the swap; on any failure the study
+// keeps its current (local) shards. This is the multi-process bring-up
+// order cmd/smishctl uses — the study must exist first, because workers
+// dial its simulation.
+func (s *Study) ConnectShardWorkers(ctx context.Context, urls []string) error {
+	if s.group == nil {
+		return fmt.Errorf("smishkit: ConnectShardWorkers needs Options.Shards")
+	}
+	if len(urls) != s.group.Shards() {
+		return fmt.Errorf("smishkit: study has %d shards, got %d worker URLs", s.group.Shards(), len(urls))
+	}
+	enrichers := make([]shard.Enricher, len(urls))
+	for i, u := range urls {
+		re := shard.NewRemoteEnricher(u)
+		if err := re.Healthy(ctx); err != nil {
+			return fmt.Errorf("smishkit: shard worker %d: %w", i, err)
+		}
+		enrichers[i] = re
+	}
+	return s.group.SetEnrichers(enrichers, true)
+}
+
+// RunShardWorker runs one shard worker process end to end: decode a
+// ShardWorkerSpec (JSON) from r, serve the shard on an ephemeral loopback
+// port, print the base URL as a single line to w, and block until ctx is
+// cancelled. cmd/smishctl's hidden -shard-worker mode is exactly this
+// call over stdin/stdout.
+func RunShardWorker(ctx context.Context, r io.Reader, w io.Writer) error {
+	return shard.RunWorker(ctx, r, w)
 }
 
 // Telemetry snapshots everything the study has recorded so far: stage

@@ -9,6 +9,7 @@ import (
 	"github.com/smishkit/smishkit/internal/enrichcache"
 	"github.com/smishkit/smishkit/internal/recordlog"
 	"github.com/smishkit/smishkit/internal/resilience"
+	"github.com/smishkit/smishkit/internal/shard"
 	"github.com/smishkit/smishkit/internal/telemetry"
 )
 
@@ -34,6 +35,11 @@ type Stats struct {
 	// dedup hits, snapshots, compactions, and damage counters (nil without
 	// Options.Durability).
 	Durability *DurabilityStats
+	// Shards is the sharding scoreboard: routed totals and per-shard
+	// cache/batch/breaker stats (nil without Options.Shards). When present,
+	// Cache/Batch/Resilience above are nil — the tiers live inside the
+	// shards.
+	Shards *ShardStats
 }
 
 // Stats snapshots every surface at once. Safe to call concurrently with
@@ -57,6 +63,7 @@ func (s *Study) Stats() Stats {
 		ds := s.rlog.Stats()
 		st.Durability = &ds
 	}
+	st.Shards = s.ShardStats()
 	return st
 }
 
@@ -71,11 +78,12 @@ const (
 	SectionResilience StatsSection = "resilience"
 	SectionService    StatsSection = "service"
 	SectionDurability StatsSection = "durability"
+	SectionShards     StatsSection = "shards"
 )
 
 // allSections is the default render order.
 var allSections = []StatsSection{
-	SectionTelemetry, SectionCache, SectionBatch, SectionResilience, SectionService, SectionDurability,
+	SectionTelemetry, SectionCache, SectionBatch, SectionResilience, SectionShards, SectionService, SectionDurability,
 }
 
 // WriteStats renders the selected sections of a Stats snapshot as
@@ -132,6 +140,16 @@ func WriteStats(w io.Writer, stats Stats, sections ...StatsSection) error {
 				continue
 			}
 			if err := writeServiceStats(w, *stats.Service); err != nil {
+				return err
+			}
+		case SectionShards:
+			if stats.Shards == nil {
+				if explicit {
+					fmt.Fprintln(w, "shards: absent (study built without Options.Shards)")
+				}
+				continue
+			}
+			if err := shard.Write(w, *stats.Shards); err != nil {
 				return err
 			}
 		case SectionDurability:
