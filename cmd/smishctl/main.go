@@ -6,7 +6,8 @@
 //	smishctl [-seed N] [-messages N] [-workers N] [-step-workers N] [-stream]
 //	         [-extractor structured|vision|naive] [-telemetry] [-cache]
 //	         [-cache-stats] [-batch] [-batch-stats] [-chaos RATE]
-//	         [-shards N] [-shard-procs]
+//	         [-shards N] [-shard-procs] [-shard-failover]
+//	         [-shard-probe-interval D] [-shard-restart-max N]
 //	         [-serve] [-poll-interval D] [-serve-rounds N] [-checkpoint-dir DIR]
 //	         [-data-dir DIR] [-status-file FILE] [-cpuprofile FILE]
 //	         [-memprofile FILE]
@@ -16,7 +17,12 @@
 // cache, batchmux windows, and circuit breakers; output is record-identical
 // for any N. -shard-procs additionally runs each shard as a separate OS
 // process fed over localhost (spawned from this same binary's hidden
-// -shard-worker mode).
+// -shard-worker mode). -shard-failover turns on the lifecycle layer:
+// shard health is probed on -shard-probe-interval, a failed shard's
+// routed records are re-dispatched to survivors (output stays
+// record-identical), and with -shard-procs a dead worker process is
+// restarted with capped exponential backoff up to -shard-restart-max
+// times.
 //
 // With -serve, smishctl runs as a long-lived daemon: it polls the forums
 // on -poll-interval, feeds new reports through the streaming pipeline
@@ -79,6 +85,9 @@ func run() error {
 	liveWaves := flag.Int("live-waves", 3, "hold back this many fixture waves and release one per round, so the daemon sees reports arrive over time (with -serve)")
 	shards := flag.Int("shards", 0, "partition enrichment across N key-sharded instances, each owning its own cache/batch/breaker tiers (0 = unsharded; output is record-identical for any N)")
 	shardProcs := flag.Bool("shard-procs", false, "run each shard as a separate OS process fed over localhost (requires -shards)")
+	shardFailover := flag.Bool("shard-failover", false, "probe shard health and re-dispatch a failed shard's records to survivors; with -shard-procs, also restart dead worker processes (requires -shards)")
+	shardProbeInterval := flag.Duration("shard-probe-interval", 2*time.Second, "health-probe cadence (with -shard-failover)")
+	shardRestartMax := flag.Int("shard-restart-max", 5, "restart budget per worker process (with -shard-failover -shard-procs)")
 	shardWorker := flag.Bool("shard-worker", false, "internal: run as one shard worker process — spec JSON on stdin, base URL on stdout, serve until SIGTERM")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline (batch mode only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -100,6 +109,9 @@ func run() error {
 	}
 	if *shardProcs && *shards == 0 {
 		return fmt.Errorf("-shard-procs requires -shards")
+	}
+	if *shardFailover && *shards == 0 {
+		return fmt.Errorf("-shard-failover requires -shards")
 	}
 	if *shardProcs && *chaos > 0 {
 		return fmt.Errorf("-shard-procs is incompatible with -chaos: fault injection is seeded per process, so worker-side chaos would break the sharded/unsharded output identity")
@@ -147,7 +159,11 @@ func run() error {
 	opts.Pipeline.StepWorkers = *stepWorkers
 	opts.Pipeline.Streaming = *stream
 	if *shards > 0 {
-		opts.Shards = &smishkit.ShardConfig{Shards: *shards}
+		sc := &smishkit.ShardConfig{Shards: *shards, Failover: *shardFailover}
+		if *shardFailover {
+			sc.ProbeInterval = *shardProbeInterval
+		}
+		opts.Shards = sc
 	}
 	if *serve {
 		// Service mode feeds every round through the streaming pipeline.
@@ -225,8 +241,9 @@ func run() error {
 		// this same binary N times in -shard-worker mode, read each worker's
 		// URL off its stdout, and swap the study's local shards for remote
 		// ones. Workers are torn down (SIGTERM, then reaped) on every exit
-		// path.
-		stop, err := startShardWorkers(study, *shards)
+		// path; with -shard-failover a supervisor also restarts any that die
+		// mid-run.
+		stop, err := startShardWorkers(study, *shardFailover, *shardRestartMax)
 		if stop != nil {
 			defer stop()
 		}
@@ -322,51 +339,88 @@ func run() error {
 	return nil
 }
 
-// startShardWorkers spawns n shard worker processes (this binary with
-// -shard-worker), connects the study to them, and returns a teardown
-// function. The teardown is non-nil whenever at least one worker started,
-// even on error — the caller must always run it.
-func startShardWorkers(study *smishkit.Study, n int) (stop func(), err error) {
-	var cmds []*exec.Cmd
-	stop = func() {
-		for _, c := range cmds {
-			_ = c.Process.Signal(syscall.SIGTERM)
-		}
-		for _, c := range cmds {
-			_ = c.Wait()
-		}
+// startShardWorkers brings up one worker process per shard (this binary
+// with -shard-worker) under a supervisor, connects the study to them, and
+// returns a teardown function. With failover on, the supervisor also
+// restarts any worker that dies mid-run (capped exponential backoff, up to
+// maxRestarts attempts each) and re-registers the fresh URL with the
+// study's routing group; with it off, workers are launched and reaped but
+// never restarted — the original -shard-procs contract.
+func startShardWorkers(study *smishkit.Study, failover bool, maxRestarts int) (stop func(), err error) {
+	starter, err := processStarter(study)
+	if err != nil {
+		return nil, fmt.Errorf("-shard-procs: %w", err)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sup, err := study.StartShardSupervisor(ctx, starter, smishkit.ShardSupervisorConfig{
+		MaxRestarts: maxRestarts,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("-shard-procs: %w", err)
+	}
+	if !failover {
+		return sup.Stop, nil
+	}
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		sup.Run(runCtx)
+	}()
+	return func() {
+		// Teardown order matters: stop the restart loop first (and wait for
+		// it), or a restart racing Stop could respawn a worker after Stop
+		// reaped it.
+		cancelRun()
+		<-runDone
+		sup.Stop()
+	}, nil
+}
+
+// processStarter returns a ShardStarter that execs this same binary in
+// -shard-worker mode, feeds it the study's worker spec on stdin, and reads
+// its base URL off stdout. Called once per shard at bring-up and again on
+// every supervised restart.
+func processStarter(study *smishkit.Study) (smishkit.ShardStarter, error) {
 	exe, err := os.Executable()
 	if err != nil {
-		return stop, fmt.Errorf("-shard-procs: locate own binary: %w", err)
+		return nil, fmt.Errorf("locate own binary: %w", err)
 	}
-	urls := make([]string, n)
-	for i := 0; i < n; i++ {
-		spec, err := json.Marshal(study.ShardWorkerSpec(i))
+	return func(_ context.Context, index int) (smishkit.ShardWorkerHandle, error) {
+		spec, err := json.Marshal(study.ShardWorkerSpec(index))
 		if err != nil {
-			return stop, fmt.Errorf("-shard-procs: marshal worker %d spec: %w", i, err)
+			return smishkit.ShardWorkerHandle{}, fmt.Errorf("marshal worker %d spec: %w", index, err)
 		}
 		cmd := exec.Command(exe, "-shard-worker")
 		cmd.Stdin = bytes.NewReader(spec)
 		cmd.Stderr = os.Stderr
 		out, err := cmd.StdoutPipe()
 		if err != nil {
-			return stop, fmt.Errorf("-shard-procs: worker %d stdout: %w", i, err)
+			return smishkit.ShardWorkerHandle{}, fmt.Errorf("worker %d stdout: %w", index, err)
 		}
 		if err := cmd.Start(); err != nil {
-			return stop, fmt.Errorf("-shard-procs: start worker %d: %w", i, err)
+			return smishkit.ShardWorkerHandle{}, fmt.Errorf("start worker %d: %w", index, err)
 		}
-		cmds = append(cmds, cmd)
 		sc := bufio.NewScanner(out)
 		if !sc.Scan() {
-			return stop, fmt.Errorf("-shard-procs: worker %d exited before reporting its URL", i)
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+			_ = cmd.Wait()
+			return smishkit.ShardWorkerHandle{}, fmt.Errorf("worker %d exited before reporting its URL", index)
 		}
-		urls[i] = sc.Text()
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := study.ConnectShardWorkers(ctx, urls); err != nil {
-		return stop, fmt.Errorf("-shard-procs: %w", err)
-	}
-	return stop, nil
+		url := sc.Text()
+		exited := make(chan error, 1)
+		go func() {
+			for sc.Scan() { // drain so the child never blocks on a full pipe
+			}
+			exited <- cmd.Wait()
+			close(exited)
+		}()
+		return smishkit.ShardWorkerHandle{
+			URL:    url,
+			Exited: exited,
+			Stop:   func() { _ = cmd.Process.Signal(syscall.SIGTERM) },
+		}, nil
+	}, nil
 }

@@ -69,6 +69,14 @@ type Profile struct {
 	// Shards is the daemon's key-shard count (BENCH_SHARDS, default 0 =
 	// unsharded), passed through as smishctl -shards.
 	Shards int
+	// ShardFailover enables the daemon's shard lifecycle layer
+	// (BENCH_SHARD_FAILOVER, 0/1, default 0), passed through as smishctl
+	// -shard-failover. Requires Shards > 0.
+	ShardFailover bool
+	// ShardProbe is the daemon's shard health-probe cadence
+	// (BENCH_SHARD_PROBE_MS, default 1s), passed through as smishctl
+	// -shard-probe-interval when ShardFailover is on.
+	ShardProbe time.Duration
 
 	// Benchwatch knobs:
 	// SampleInterval is the poll cadence (BENCH_SAMPLE_INTERVAL_SECONDS,
@@ -104,6 +112,7 @@ func defaultProfile(name string) Profile {
 		Seed:             1,
 		WorldMessages:    1000,
 		PollInterval:     500 * time.Millisecond,
+		ShardProbe:       time.Second,
 		SampleInterval:   time.Second,
 		WatchGrace:       10 * time.Second,
 		TargetBacklogP95: 30,
@@ -273,6 +282,18 @@ func (p *Profile) set(key, value string) error {
 		return millis(&p.PollInterval)
 	case "BENCH_SHARDS":
 		return integer(&p.Shards)
+	case "BENCH_SHARD_FAILOVER":
+		switch value {
+		case "0":
+			p.ShardFailover = false
+		case "1":
+			p.ShardFailover = true
+		default:
+			return fmt.Errorf("%s: want 0 or 1, got %q", key, value)
+		}
+		return nil
+	case "BENCH_SHARD_PROBE_MS":
+		return millis(&p.ShardProbe)
 	case "BENCH_SAMPLE_INTERVAL_SECONDS":
 		return seconds(&p.SampleInterval)
 	case "BENCH_WATCH_GRACE_SECONDS":
@@ -308,6 +329,9 @@ func (p Profile) validate() error {
 	}
 	if p.TargetBacklogP95 <= 0 {
 		return fmt.Errorf("bench: profile %s: BENCH_TARGET_PROJECTION_BACKLOG_P95_SECONDS must be positive", p.Name)
+	}
+	if p.ShardFailover && p.Shards == 0 {
+		return fmt.Errorf("bench: profile %s: BENCH_SHARD_FAILOVER=1 requires BENCH_SHARDS > 0", p.Name)
 	}
 	return nil
 }

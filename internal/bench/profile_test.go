@@ -38,6 +38,33 @@ func TestParseProfileDefaults(t *testing.T) {
 	if p.WatchGrace != 10*time.Second {
 		t.Errorf("WatchGrace = %v, want 10s", p.WatchGrace)
 	}
+	if p.ShardFailover {
+		t.Error("ShardFailover defaults to true, want false")
+	}
+	if p.ShardProbe != time.Second {
+		t.Errorf("ShardProbe = %v, want 1s", p.ShardProbe)
+	}
+}
+
+func TestParseProfileShardFailover(t *testing.T) {
+	src := "BENCH_SHARDS=4\nBENCH_SHARD_FAILOVER=1\nBENCH_SHARD_PROBE_MS=500\n"
+	p, err := ParseProfile(strings.NewReader(src), "failover")
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if !p.ShardFailover {
+		t.Error("ShardFailover not parsed")
+	}
+	if p.ShardProbe != 500*time.Millisecond {
+		t.Errorf("ShardProbe = %v, want 500ms", p.ShardProbe)
+	}
+	off, err := ParseProfile(strings.NewReader("BENCH_SHARDS=4\nBENCH_SHARD_FAILOVER=0\n"), "off")
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if off.ShardFailover {
+		t.Error("BENCH_SHARD_FAILOVER=0 parsed as on")
+	}
 }
 
 func TestParseProfileFull(t *testing.T) {
@@ -100,6 +127,9 @@ func TestParseProfileRejectsMalformed(t *testing.T) {
 		"zero wave":           "BENCH_WAVE_MESSAGES=0\n",
 		"zero backlog gate":   "BENCH_TARGET_PROJECTION_BACKLOG_P95_SECONDS=0\n",
 		"burst len > cadence": "BENCH_BURST_EVERY_SECONDS=5\nBENCH_BURST_LEN_SECONDS=10\n",
+		"failover not 0/1":    "BENCH_SHARDS=2\nBENCH_SHARD_FAILOVER=yes\n",
+		"failover unsharded":  "BENCH_SHARD_FAILOVER=1\n",
+		"negative probe":      "BENCH_SHARD_PROBE_MS=-100\n",
 	}
 	for name, src := range cases {
 		if _, err := ParseProfile(strings.NewReader(src), name); err == nil {

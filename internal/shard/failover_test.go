@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/smishkit/smishkit/internal/telemetry"
+)
+
+// failoverGroup builds a 3-shard group with an attached prober; enricher
+// fail errors are passed per index (nil = healthy).
+func failoverGroup(t *testing.T, fails [3]error) (*Group, *Prober, []*markEnricher, *telemetry.Registry) {
+	t.Helper()
+	front := mustFront(t)
+	marks := make([]*markEnricher, 3)
+	enrichers := make([]Enricher, 3)
+	for i := range enrichers {
+		marks[i] = &markEnricher{index: i, fail: fails[i]}
+		enrichers[i] = marks[i]
+	}
+	reg := telemetry.NewRegistry()
+	g, err := NewGroup(front, enrichers, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProber(3, ProbeConfig{}, reg)
+	g.AttachProber(p)
+	return g, p, marks, reg
+}
+
+func TestGroupFailoverRedispatchesFailedShard(t *testing.T) {
+	g, p, marks, reg := failoverGroup(t, [3]error{nil, errors.New("shard 1 dead"), nil})
+	ds, err := g.Run(context.Background(), testReports(200))
+	if err != nil {
+		t.Fatalf("Run failed despite two surviving shards: %v", err)
+	}
+	if len(ds.Records) == 0 {
+		t.Fatal("no records")
+	}
+	// Every record landed on the shard the next-alive mapping names, and
+	// the round preserved curation order.
+	want := mustFront(t).Curate(testReports(200))
+	alive := []bool{true, false, true}
+	for i := range ds.Records {
+		rec := &ds.Records[i]
+		if rec.ID != want.Records[i].ID {
+			t.Fatalf("record %d: merged ID %q, curation order wants %q", i, rec.ID, want.Records[i].ID)
+		}
+		wantShard := g.ring.ShardAlive(KeyOf(rec), alive)
+		if got := rec.GSBStatus; got != fmt.Sprintf("shard-%d", wantShard) {
+			t.Errorf("record %q: enriched by %q, next-alive mapping says shard %d", rec.ID, got, wantShard)
+		}
+	}
+	if marks[1].seen != 0 {
+		t.Errorf("dead shard 1 still enriched %d records", marks[1].seen)
+	}
+	if !p.Up(0) || p.Up(1) || !p.Up(2) {
+		t.Errorf("prober state after failover: up=[%v %v %v], want [true false true]",
+			p.Up(0), p.Up(1), p.Up(2))
+	}
+
+	st := g.Stats()
+	if !st.Failover {
+		t.Error("Stats.Failover = false with a prober attached")
+	}
+	if st.Redispatched == 0 {
+		t.Error("Stats.Redispatched = 0 after a shard failed mid-round")
+	}
+	if st.PerShard[1].Failures != 1 {
+		t.Errorf("shard 1 failures = %d, want 1", st.PerShard[1].Failures)
+	}
+	if h := st.PerShard[1].Healthy; h == nil || *h {
+		t.Error("shard 1 not reported unhealthy in Stats")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["shard.failover.waves"] != 1 {
+		t.Errorf("shard.failover.waves = %d, want 1", snap.Counters["shard.failover.waves"])
+	}
+	if snap.Counters["shard.1.failures"] != 1 {
+		t.Errorf("shard.1.failures = %d, want 1", snap.Counters["shard.1.failures"])
+	}
+}
+
+func TestGroupFailoverErrorsWhenEveryShardDies(t *testing.T) {
+	g, _, _, _ := failoverGroup(t, [3]error{
+		errors.New("dead 0"), errors.New("dead 1"), errors.New("dead 2"),
+	})
+	_, err := g.Run(context.Background(), testReports(60))
+	if err == nil {
+		t.Fatal("Run succeeded with every shard dead")
+	}
+	if !strings.Contains(err.Error(), "no survivor") {
+		t.Errorf("error %q does not name the no-survivor condition", err)
+	}
+}
+
+func TestGroupFailoverPreRoutesAroundProbeDownShard(t *testing.T) {
+	g, p, marks, _ := failoverGroup(t, [3]error{nil, nil, nil})
+	p.MarkDown(2)
+	ds, err := g.Run(context.Background(), testReports(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marks[2].seen != 0 {
+		t.Errorf("probe-down shard 2 still enriched %d records", marks[2].seen)
+	}
+	alive := []bool{true, true, false}
+	for i := range ds.Records {
+		rec := &ds.Records[i]
+		wantShard := g.ring.ShardAlive(KeyOf(rec), alive)
+		if got := rec.GSBStatus; got != fmt.Sprintf("shard-%d", wantShard) {
+			t.Errorf("record %q: enriched by %q, next-alive mapping says shard %d", rec.ID, got, wantShard)
+		}
+	}
+	if st := g.Stats(); st.Redispatched == 0 {
+		t.Error("Stats.Redispatched = 0 after pre-routing around a down shard")
+	}
+}
+
+func TestGroupFailoverIgnoresAllDownMask(t *testing.T) {
+	// A wholly-down probe view is treated as a probe outage: routing goes
+	// to the primaries, which succeed.
+	g, p, marks, _ := failoverGroup(t, [3]error{nil, nil, nil})
+	for i := 0; i < 3; i++ {
+		p.MarkDown(i)
+	}
+	ds, err := g.Run(context.Background(), testReports(120))
+	if err != nil {
+		t.Fatalf("Run failed on an all-down mask with healthy shards: %v", err)
+	}
+	total := 0
+	for _, m := range marks {
+		total += m.seen
+	}
+	if total != len(ds.Records) {
+		t.Errorf("shards saw %d records, want %d", total, len(ds.Records))
+	}
+}
+
+func TestGroupRestartAccounting(t *testing.T) {
+	g, p, _, reg := failoverGroup(t, [3]error{nil, nil, nil})
+	p.MarkDown(1)
+	if err := g.SetEnricher(1, &markEnricher{index: 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Up(1) {
+		t.Error("SetEnricher did not mark the shard back up")
+	}
+	g.NoteRestart(1)
+	g.NoteRestart(1)
+	st := g.Stats()
+	if st.PerShard[1].Restarts != 2 {
+		t.Errorf("shard 1 restarts = %d, want 2", st.PerShard[1].Restarts)
+	}
+	if snap := reg.Snapshot(); snap.Counters["shard.1.restarts"] != 2 {
+		t.Errorf("shard.1.restarts counter = %d, want 2", snap.Counters["shard.1.restarts"])
+	}
+	if err := g.SetEnricher(7, &markEnricher{}, true); err == nil {
+		t.Error("SetEnricher accepted an out-of-range index")
+	}
+	g.NoteRestart(-1) // must not panic
+}

@@ -97,6 +97,41 @@ func (r *Ring) Shard(key string) int {
 	return r.points[i].shard
 }
 
+// ShardAlive maps a key to its owning shard among the alive ones: the
+// first virtual node at or after the key's hash whose shard is marked
+// alive, wrapping at the top of the circle. With every shard alive it
+// agrees with Shard exactly; with some down it is the "next-alive"
+// failover mapping — keys owned by a dead shard slide forward to the next
+// surviving virtual node, so each survivor absorbs roughly its
+// proportional share (~1/(N-1) of the dead shard's keys each) instead of
+// one neighbour absorbing everything. Returns -1 when no shard is alive.
+// Like Shard, it is a pure function of (key, alive), so every caller —
+// and every process — computes the same re-dispatch target.
+func (r *Ring) ShardAlive(key string, alive []bool) int {
+	any := false
+	for s := 0; s < r.shards && s < len(alive); s++ {
+		if alive[s] {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return -1
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for off := 0; off < len(r.points); off++ {
+		i := start + off
+		if i >= len(r.points) {
+			i -= len(r.points)
+		}
+		if s := r.points[i].shard; s < len(alive) && alive[s] {
+			return s
+		}
+	}
+	return -1
+}
+
 // hashKey is FNV-1a over the key bytes, pushed through a 64-bit avalanche
 // finalizer. Raw FNV-1a leaves the upper bits poorly mixed on short inputs
 // — sequential virtual-node labels then clump on the circle and shard

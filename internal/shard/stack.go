@@ -127,6 +127,11 @@ func (st *Stack) EnrichAnnotate(ctx context.Context, recs []core.Record) ([]core
 	return ds.Records, nil
 }
 
+// Healthy reports the stack as always live: an in-process stack shares the
+// caller's fate, so there is no independent failure to detect. It exists so
+// local and remote shard stacks satisfy the same HealthChecker seam.
+func (st *Stack) Healthy(context.Context) error { return nil }
+
 // Stats reports the shard's tier scoreboards.
 func (st *Stack) Stats() (StackStats, bool) {
 	out := StackStats{Enriched: st.enriched.Value()}

@@ -1,0 +1,256 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// WorkerHandle is one running worker as the supervisor sees it. Starter
+// implementations produce it; the supervisor never cares whether the
+// worker is an OS process (cmd/smishctl) or a goroutine (tests).
+type WorkerHandle struct {
+	// URL is the worker's base URL, as it printed on startup.
+	URL string
+	// Exited receives the worker's exit outcome exactly once and is then
+	// closed, so any number of waiters unblock.
+	Exited <-chan error
+	// Stop asks the worker to exit (SIGTERM for a process, context cancel
+	// for a goroutine). Must be safe to call more than once.
+	Stop func()
+}
+
+// Starter launches worker index and returns its handle. It is called for
+// the initial bring-up and again for every restart, so it must be safe to
+// invoke repeatedly for the same index.
+type Starter func(ctx context.Context, index int) (WorkerHandle, error)
+
+// SupervisorConfig tunes worker restart behavior. The zero value selects
+// every documented default.
+type SupervisorConfig struct {
+	// InitialBackoff is the delay before the first restart attempt
+	// (default 200ms). Each subsequent attempt doubles it.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+	// MaxRestarts bounds restart attempts per worker over the supervisor's
+	// lifetime (default 5). Past it the worker is left dead — the group's
+	// prober keeps it marked down and failover routes around it.
+	MaxRestarts int
+	// OnRestart, when non-nil, is called after a worker restarts with its
+	// fresh URL — the re-registration seam (Study wires it to health-check
+	// the URL and swap it into the Group). A non-nil error abandons the
+	// worker as if MaxRestarts were exhausted.
+	OnRestart func(index int, url string) error
+	// Logf, when non-nil, receives human-oriented lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.InitialBackoff <= 0 {
+		c.InitialBackoff = 200 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.MaxRestarts <= 0 {
+		c.MaxRestarts = 5
+	}
+	return c
+}
+
+// Supervisor keeps n shard workers alive: Start brings them up and
+// collects their URLs, Run watches for exits and restarts the dead with
+// capped exponential backoff, Stop tears everything down. It owns worker
+// lifecycle only — registering a restarted worker's URL with the routing
+// layer is the OnRestart callback's job, so the supervisor composes with
+// any Group without holding a reference to one.
+type Supervisor struct {
+	n     int
+	start Starter
+	cfg   SupervisorConfig
+
+	mu       sync.Mutex
+	workers  []WorkerHandle
+	restarts []int64
+	gaveUp   []bool
+	started  bool
+}
+
+// NewSupervisor builds a supervisor for n workers launched through start.
+func NewSupervisor(n int, start Starter, cfg SupervisorConfig) (*Supervisor, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: supervisor needs at least one worker (got %d)", n)
+	}
+	if start == nil {
+		return nil, fmt.Errorf("shard: supervisor needs a starter")
+	}
+	return &Supervisor{
+		n:        n,
+		start:    start,
+		cfg:      cfg.withDefaults(),
+		workers:  make([]WorkerHandle, n),
+		restarts: make([]int64, n),
+		gaveUp:   make([]bool, n),
+	}, nil
+}
+
+// Start launches every worker and returns their base URLs in index order.
+// On any failure the already-started workers are stopped and reaped
+// before the error returns.
+func (s *Supervisor) Start(ctx context.Context) ([]string, error) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("shard: supervisor already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	urls := make([]string, s.n)
+	for i := 0; i < s.n; i++ {
+		h, err := s.start(ctx, i)
+		if err != nil {
+			s.Stop()
+			return nil, fmt.Errorf("shard: start worker %d: %w", i, err)
+		}
+		s.mu.Lock()
+		s.workers[i] = h
+		s.mu.Unlock()
+		urls[i] = h.URL
+	}
+	return urls, nil
+}
+
+// Run supervises until ctx is cancelled: each worker's exit (for any
+// reason while ctx is live) triggers a restart after a capped exponential
+// backoff, re-registered through OnRestart. Run does not stop the workers
+// on return — call Stop for teardown, after cancelling Run's ctx.
+func (s *Supervisor) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := 0; i < s.n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.superviseWorker(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (s *Supervisor) superviseWorker(ctx context.Context, i int) {
+	for {
+		s.mu.Lock()
+		exited := s.workers[i].Exited
+		s.mu.Unlock()
+		if exited == nil {
+			return // never started (Start failed) — nothing to watch
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-exited:
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if !s.restartWorker(ctx, i) {
+			return
+		}
+	}
+}
+
+// restartWorker brings worker i back with capped exponential backoff.
+// Returns false when the worker is abandoned (restart budget exhausted,
+// OnRestart rejected it, or ctx ended).
+func (s *Supervisor) restartWorker(ctx context.Context, i int) bool {
+	backoff := s.cfg.InitialBackoff
+	for attempt := 1; ; attempt++ {
+		s.mu.Lock()
+		if s.restarts[i] >= int64(s.cfg.MaxRestarts) {
+			s.gaveUp[i] = true
+			s.mu.Unlock()
+			s.logf("shard worker %d: restart budget (%d) exhausted, leaving it down", i, s.cfg.MaxRestarts)
+			return false
+		}
+		s.restarts[i]++
+		s.mu.Unlock()
+
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return false
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > s.cfg.MaxBackoff {
+			backoff = s.cfg.MaxBackoff
+		}
+
+		h, err := s.start(ctx, i)
+		if err != nil {
+			s.logf("shard worker %d: restart attempt %d failed: %v", i, attempt, err)
+			continue
+		}
+		if s.cfg.OnRestart != nil {
+			if err := s.cfg.OnRestart(i, h.URL); err != nil {
+				h.Stop()
+				<-h.Exited
+				s.mu.Lock()
+				s.gaveUp[i] = true
+				s.mu.Unlock()
+				s.logf("shard worker %d: re-registration rejected, abandoning: %v", i, err)
+				return false
+			}
+		}
+		s.mu.Lock()
+		s.workers[i] = h
+		s.mu.Unlock()
+		s.logf("shard worker %d: restarted at %s (attempt %d)", i, h.URL, attempt)
+		return true
+	}
+}
+
+// Stop asks every live worker to exit and waits for them. Safe to call
+// more than once and concurrently with a cancelled Run.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	workers := make([]WorkerHandle, len(s.workers))
+	copy(workers, s.workers)
+	s.mu.Unlock()
+	for _, w := range workers {
+		if w.Stop != nil {
+			w.Stop()
+		}
+	}
+	for _, w := range workers {
+		if w.Exited != nil {
+			<-w.Exited
+		}
+	}
+}
+
+// Restarts returns per-worker restart counts in index order.
+func (s *Supervisor) Restarts() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.restarts))
+	copy(out, s.restarts)
+	return out
+}
+
+// GaveUp reports whether worker i was abandoned after exhausting its
+// restart budget (or failing re-registration).
+func (s *Supervisor) GaveUp(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return i >= 0 && i < len(s.gaveUp) && s.gaveUp[i]
+}
+
+// logf forwards to the configured logger, if any.
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

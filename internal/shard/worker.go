@@ -75,7 +75,24 @@ type WorkerSpec struct {
 	Resilience bool `json:"resilience,omitempty"`
 	// ServeStale carries the cache's serve-stale flag when Cache is set.
 	ServeStale bool `json:"serve_stale,omitempty"`
+
+	// MaxEnrichBytes caps one POST /enrich request body; larger bodies are
+	// rejected with 413 before decoding (0 selects DefaultMaxEnrichBytes).
+	MaxEnrichBytes int64 `json:"max_enrich_bytes,omitempty"`
+	// DrainTimeout bounds the graceful-shutdown drain on SIGTERM: in-flight
+	// /enrich responses get this long to finish before the listener is
+	// closed hard (0 selects 5s).
+	DrainTimeout time.Duration `json:"drain_timeout,omitempty"`
 }
+
+// DefaultMaxEnrichBytes is the POST /enrich body cap when the spec does
+// not say: sized for the largest routed subset a parent sends in practice
+// (thousands of records at a few KiB of JSON each) with an order of
+// magnitude of headroom.
+const DefaultMaxEnrichBytes int64 = 32 << 20
+
+// defaultDrainTimeout bounds Worker.Serve's graceful shutdown.
+const defaultDrainTimeout = 5 * time.Second
 
 // enrichEnvelope frames a routed record slice on the wire, both ways.
 type enrichEnvelope struct {
@@ -90,8 +107,18 @@ type enrichEnvelope struct {
 //	GET  /stats           StackStats snapshot
 //	GET  /debug/telemetry the worker's registry snapshot
 type Worker struct {
-	stack *Stack
-	reg   *telemetry.Registry
+	stack   workerBackend
+	reg     *telemetry.Registry
+	maxBody int64
+	drain   time.Duration
+}
+
+// workerBackend is what the worker's HTTP surface needs from its stack —
+// an interface so tests can substitute slow or failing backends without
+// building a full tier set.
+type workerBackend interface {
+	Enricher
+	StatsProvider
 }
 
 // NewWorker builds a worker from its spec, dialing clients at the spec's
@@ -143,7 +170,15 @@ func NewWorker(spec WorkerSpec) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Worker{stack: stack, reg: reg}, nil
+	maxBody := spec.MaxEnrichBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxEnrichBytes
+	}
+	drain := spec.DrainTimeout
+	if drain <= 0 {
+		drain = defaultDrainTimeout
+	}
+	return &Worker{stack: stack, reg: reg, maxBody: maxBody, drain: drain}, nil
 }
 
 // Serve runs the worker on an ephemeral loopback listener, reports the
@@ -161,7 +196,15 @@ func (wk *Worker) Serve(ctx context.Context, onReady func(url string)) error {
 	}
 	select {
 	case <-ctx.Done():
-		_ = srv.Close()
+		// Graceful teardown: stop accepting, let in-flight /enrich responses
+		// finish writing their bodies (a SIGTERM mid-round must not hand the
+		// parent a truncated JSON stream), and only slam the door when the
+		// drain deadline expires.
+		sdCtx, cancel := context.WithTimeout(context.Background(), wk.drain)
+		defer cancel()
+		if err := srv.Shutdown(sdCtx); err != nil {
+			_ = srv.Close()
+		}
 		<-done
 		return nil
 	case err := <-done:
@@ -176,8 +219,18 @@ func (wk *Worker) Serve(ctx context.Context, onReady func(url string)) error {
 func (wk *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /enrich", func(w http.ResponseWriter, r *http.Request) {
+		// Bound the decode: an unbounded body would let one oversized (or
+		// malicious, once workers are reachable off-box) request balloon the
+		// worker's heap before JSON parsing even fails.
+		r.Body = http.MaxBytesReader(w, r.Body, wk.maxBody)
 		var in enrichEnvelope
 		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeWorkerError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			writeWorkerError(w, http.StatusBadRequest, fmt.Errorf("decode records: %w", err))
 			return
 		}
@@ -222,21 +275,51 @@ func RunWorker(ctx context.Context, r io.Reader, w io.Writer) error {
 	return wk.Serve(ctx, func(url string) { fmt.Fprintln(w, url) })
 }
 
+// DefaultWorkerTimeout bounds one remote /enrich request when the caller
+// does not say. It exists so a hung worker can never stall Group.Run
+// forever when the round context itself has no deadline (batch-mode Run
+// with context.Background was exactly that trap); it is generous because
+// a cold cache plus a large routed subset legitimately takes a while.
+const DefaultWorkerTimeout = 2 * time.Minute
+
+// remoteRetryDelay separates the two connection attempts.
+const remoteRetryDelay = 100 * time.Millisecond
+
 // RemoteEnricher is the Group-side client for one worker process.
 type RemoteEnricher struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
 }
 
 // NewRemoteEnricher returns a client for the worker at baseURL (as printed
-// by RunWorker).
+// by RunWorker), with DefaultWorkerTimeout per request.
 func NewRemoteEnricher(baseURL string) *RemoteEnricher {
-	return &RemoteEnricher{base: baseURL, hc: &http.Client{}}
+	return &RemoteEnricher{base: baseURL, hc: &http.Client{}, timeout: DefaultWorkerTimeout}
+}
+
+// WithTimeout sets the per-request deadline (0 restores the default) and
+// returns the enricher for chaining.
+func (re *RemoteEnricher) WithTimeout(d time.Duration) *RemoteEnricher {
+	if d <= 0 {
+		d = DefaultWorkerTimeout
+	}
+	re.timeout = d
+	return re
+}
+
+// reqCtx derives the per-attempt request context: the caller's ctx capped
+// by the client's own timeout, so a hung worker fails the attempt even
+// when the round context has no deadline.
+func (re *RemoteEnricher) reqCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, re.timeout)
 }
 
 // Healthy probes the worker's readiness endpoint.
 func (re *RemoteEnricher) Healthy(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, re.base+"/healthz", nil)
+	rctx, cancel := re.reqCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, re.base+"/healthz", nil)
 	if err != nil {
 		return err
 	}
@@ -252,20 +335,61 @@ func (re *RemoteEnricher) Healthy(ctx context.Context) error {
 }
 
 // EnrichAnnotate ships the routed slice to the worker and returns its
-// enriched output.
+// enriched output. Each attempt is bounded by the client timeout, and a
+// connection-level failure (dial refused, reset, per-attempt deadline —
+// anything where no HTTP status came back) is retried once: enrichment is
+// key-deterministic and the worker handler has no side effects beyond its
+// own caches, so replaying the request is safe. HTTP-level errors are
+// never retried — the worker answered, and its answer is authoritative.
 func (re *RemoteEnricher) EnrichAnnotate(ctx context.Context, recs []core.Record) ([]core.Record, error) {
 	body, err := json.Marshal(enrichEnvelope{Records: recs})
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, re.base+"/enrich", bytes.NewReader(body))
+	const attempts = 2
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, lastErr
+			case <-time.After(remoteRetryDelay):
+			}
+		}
+		out, err := re.enrichOnce(ctx, body)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		var connErr *connectionError
+		if !errors.As(err, &connErr) || ctx.Err() != nil {
+			// The worker answered (status error, decode error) or the round
+			// itself is over — retrying cannot help.
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("shard: worker %s unreachable after %d attempts: %w", re.base, attempts, lastErr)
+}
+
+// connectionError wraps transport-level failures so the retry loop can
+// tell them apart from worker-reported errors.
+type connectionError struct{ err error }
+
+func (e *connectionError) Error() string { return e.err.Error() }
+func (e *connectionError) Unwrap() error { return e.err }
+
+// enrichOnce performs one /enrich round trip.
+func (re *RemoteEnricher) enrichOnce(ctx context.Context, body []byte) ([]core.Record, error) {
+	rctx, cancel := re.reqCtx(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, re.base+"/enrich", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := re.hc.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, &connectionError{err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

@@ -29,8 +29,17 @@ BENCH_CHAOS=0
 BENCH_POLL_MS=500
 BENCH_SEED=1
 BENCH_SHARDS=0
+BENCH_SHARD_FAILOVER=0
+BENCH_SHARD_PROBE_MS=1000
 # shellcheck disable=SC1090
 . "$PROFILE"
+
+# Failover flags expand unquoted below (a plain string, not an array, so
+# set -u stays happy when it is empty).
+SHARD_FAILOVER_FLAGS=""
+if [ "$BENCH_SHARD_FAILOVER" = "1" ]; then
+    SHARD_FAILOVER_FLAGS="-shard-failover -shard-probe-interval ${BENCH_SHARD_PROBE_MS}ms"
+fi
 
 mkdir -p "$OUT"
 BIN="$OUT/bin"
@@ -47,10 +56,11 @@ DATA_DIR="$OUT/data"
 rm -f "$STATUS_FILE"
 rm -rf "$DATA_DIR"
 
-echo "== starting daemon (world=$BENCH_WORLD_MESSAGES chaos=$BENCH_CHAOS poll=${BENCH_POLL_MS}ms shards=$BENCH_SHARDS data=$DATA_DIR)"
+echo "== starting daemon (world=$BENCH_WORLD_MESSAGES chaos=$BENCH_CHAOS poll=${BENCH_POLL_MS}ms shards=$BENCH_SHARDS failover=$BENCH_SHARD_FAILOVER data=$DATA_DIR)"
+# shellcheck disable=SC2086  # SHARD_FAILOVER_FLAGS is a deliberate word-split
 "$BIN/smishctl" -serve -seed "$BENCH_SEED" -messages "$BENCH_WORLD_MESSAGES" \
     -chaos "$BENCH_CHAOS" -poll-interval "${BENCH_POLL_MS}ms" \
-    -shards "$BENCH_SHARDS" \
+    -shards "$BENCH_SHARDS" $SHARD_FAILOVER_FLAGS \
     -data-dir "$DATA_DIR" \
     -status-file "$STATUS_FILE" >"$DAEMON_LOG" 2>&1 &
 DAEMON_PID=$!

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/smishkit/smishkit/internal/batchmux"
 	"github.com/smishkit/smishkit/internal/core"
@@ -272,6 +273,24 @@ type ShardConfig struct {
 	// remote workers after construction (the order cmd/smishctl needs,
 	// since workers dial the study's own simulation).
 	WorkerURLs []string
+	// Failover turns on the shard lifecycle layer: a background prober
+	// tracks each shard's health ("shard.<i>.health" gauges), and when a
+	// shard's dispatch fails or its probe marks it down, its routed subset
+	// is re-dispatched to surviving shards via the ring's next-alive
+	// mapping. Output stays record-identical because enrichment is a pure
+	// function of the routing key — only the executing stack changes. With
+	// Failover off (the default), any shard failure fails the round, the
+	// original contract.
+	Failover bool
+	// ProbeInterval is the health-probe cadence (0 selects 2s). Requires
+	// Failover.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (0 selects 1s). Requires
+	// Failover.
+	ProbeTimeout time.Duration
+	// WorkerTimeout bounds one remote /enrich request (0 selects 2m). Only
+	// meaningful with remote workers (WorkerURLs or ConnectShardWorkers).
+	WorkerTimeout time.Duration
 }
 
 // Validate checks the options for combinations that cannot work, returning
@@ -331,6 +350,18 @@ func (o Options) Validate() error {
 		if len(sh.WorkerURLs) > 0 && len(sh.WorkerURLs) != sh.Shards {
 			return fmt.Errorf("smishkit: Shards.WorkerURLs has %d entries for %d shards — every shard is remote or none is", len(sh.WorkerURLs), sh.Shards)
 		}
+		if sh.ProbeInterval < 0 {
+			return fmt.Errorf("smishkit: Shards.ProbeInterval must not be negative (got %v; 0 selects the default)", sh.ProbeInterval)
+		}
+		if sh.ProbeTimeout < 0 {
+			return fmt.Errorf("smishkit: Shards.ProbeTimeout must not be negative (got %v; 0 selects the default)", sh.ProbeTimeout)
+		}
+		if sh.WorkerTimeout < 0 {
+			return fmt.Errorf("smishkit: Shards.WorkerTimeout must not be negative (got %v; 0 selects the default)", sh.WorkerTimeout)
+		}
+		if !sh.Failover && (sh.ProbeInterval > 0 || sh.ProbeTimeout > 0) {
+			return fmt.Errorf("smishkit: Shards.ProbeInterval/ProbeTimeout are set but Shards.Failover is off — the prober only runs in failover mode")
+		}
 	}
 	if d := o.Durability; d != nil {
 		if o.Service == nil {
@@ -361,6 +392,8 @@ type Study struct {
 	breakers *resilience.Breakers // nil when Options.Resilience was nil
 	rlog     *recordlog.Log       // nil when Options.Durability was nil
 	group    *shard.Group         // nil when Options.Shards was nil
+
+	proberStop context.CancelFunc // stops the health-probe loop (nil without Shards.Failover)
 
 	opts Options     // the validated options the study was built from
 	svc  *serveState // live Serve state (nil until Serve runs)
@@ -470,7 +503,7 @@ func NewStudy(opts Options) (*Study, error) {
 		enrichers := make([]shard.Enricher, sh.Shards)
 		for i := range enrichers {
 			if len(sh.WorkerURLs) > 0 {
-				enrichers[i] = shard.NewRemoteEnricher(sh.WorkerURLs[i])
+				enrichers[i] = shard.NewRemoteEnricher(sh.WorkerURLs[i]).WithTimeout(sh.WorkerTimeout)
 				continue
 			}
 			stack, err := shard.NewStack(base, shard.StackConfig{
@@ -497,7 +530,18 @@ func NewStudy(opts Options) (*Study, error) {
 				return nil, errors.Join(err, cerr)
 			}
 		}
-		return &Study{World: w, Sim: sim, Pipe: pipe, group: group, rlog: rlog, opts: opts}, nil
+		st := &Study{World: w, Sim: sim, Pipe: pipe, group: group, rlog: rlog, opts: opts}
+		if sh.Failover {
+			prober := shard.NewProber(sh.Shards, shard.ProbeConfig{
+				Interval: sh.ProbeInterval,
+				Timeout:  sh.ProbeTimeout,
+			}, reg)
+			group.AttachProber(prober)
+			pctx, cancel := context.WithCancel(context.Background())
+			st.proberStop = cancel
+			go prober.Run(pctx)
+		}
+		return st, nil
 	}
 
 	services := base
@@ -637,13 +681,22 @@ func (s *Study) ConnectShardWorkers(ctx context.Context, urls []string) error {
 	}
 	enrichers := make([]shard.Enricher, len(urls))
 	for i, u := range urls {
-		re := shard.NewRemoteEnricher(u)
+		re := shard.NewRemoteEnricher(u).WithTimeout(s.workerTimeout())
 		if err := re.Healthy(ctx); err != nil {
 			return fmt.Errorf("smishkit: shard worker %d: %w", i, err)
 		}
 		enrichers[i] = re
 	}
 	return s.group.SetEnrichers(enrichers, true)
+}
+
+// workerTimeout returns the configured per-request worker timeout (0 when
+// the study is unsharded — NewRemoteEnricher's default applies).
+func (s *Study) workerTimeout() time.Duration {
+	if sh := s.opts.Shards; sh != nil {
+		return sh.WorkerTimeout
+	}
+	return 0
 }
 
 // RunShardWorker runs one shard worker process end to end: decode a
@@ -653,6 +706,67 @@ func (s *Study) ConnectShardWorkers(ctx context.Context, urls []string) error {
 // call over stdin/stdout.
 func RunShardWorker(ctx context.Context, r io.Reader, w io.Writer) error {
 	return shard.RunWorker(ctx, r, w)
+}
+
+// Shard lifecycle re-exports, so supervisor callers (cmd/smishctl, tests)
+// never import internal paths.
+type (
+	// ShardWorkerHandle is one running shard worker as the supervisor sees
+	// it: its URL, an exit channel, and a stop function.
+	ShardWorkerHandle = shard.WorkerHandle
+	// ShardStarter launches (or re-launches) worker index and returns its
+	// handle — an OS process for cmd/smishctl, a goroutine in tests.
+	ShardStarter = shard.Starter
+	// ShardSupervisorConfig tunes restart backoff and budget.
+	ShardSupervisorConfig = shard.SupervisorConfig
+	// ShardSupervisor keeps shard workers alive, restarting the dead with
+	// capped exponential backoff.
+	ShardSupervisor = shard.Supervisor
+)
+
+// StartShardSupervisor brings up one worker per shard through start,
+// connects the study to them, and returns a supervisor wired so that every
+// restarted worker is health-checked and swapped back into the routing
+// group (with ShardStats().PerShard[i].Restarts counting the swap). The
+// caller owns the supervisor's lifecycle: run `go sup.Run(ctx)` to enable
+// restarts, then on teardown cancel that ctx and call sup.Stop(). Requires
+// a sharded study; any OnRestart already set in cfg runs after the study's
+// own re-registration.
+func (s *Study) StartShardSupervisor(ctx context.Context, start ShardStarter, cfg ShardSupervisorConfig) (*ShardSupervisor, error) {
+	if s.group == nil {
+		return nil, fmt.Errorf("smishkit: StartShardSupervisor needs Options.Shards")
+	}
+	chain := cfg.OnRestart
+	cfg.OnRestart = func(index int, url string) error {
+		re := shard.NewRemoteEnricher(url).WithTimeout(s.workerTimeout())
+		hctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := re.Healthy(hctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("smishkit: restarted shard worker %d: %w", index, err)
+		}
+		if err := s.group.SetEnricher(index, re, true); err != nil {
+			return err
+		}
+		s.group.NoteRestart(index)
+		if chain != nil {
+			return chain(index, url)
+		}
+		return nil
+	}
+	sup, err := shard.NewSupervisor(s.group.Shards(), start, cfg)
+	if err != nil {
+		return nil, err
+	}
+	urls, err := sup.Start(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ConnectShardWorkers(ctx, urls); err != nil {
+		sup.Stop()
+		return nil, err
+	}
+	return sup, nil
 }
 
 // Telemetry snapshots everything the study has recorded so far: stage
@@ -715,6 +829,9 @@ func (s *Study) ResilienceStats() ResilienceStats {
 func (s *Study) Close() error {
 	if s.Sim == nil {
 		return nil
+	}
+	if s.proberStop != nil {
+		s.proberStop()
 	}
 	return errors.Join(s.Sim.Close(), closeLog(s.rlog))
 }
